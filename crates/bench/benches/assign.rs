@@ -1,0 +1,30 @@
+//! Criterion benchmarks of the assignment algorithms (experiment P1):
+//! the paper claims IFA is `O(n²)`, DFA `O(n)`, and all runtimes "within
+//! seconds" on 2005-era hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use copack_core::{dfa, ifa, random_assignment};
+use copack_gen::finger_count_sweep;
+
+fn bench_assignment_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assign");
+    for circuit in finger_count_sweep(&[96, 208, 448, 896]) {
+        let quadrant = circuit.build_quadrant().expect("builds");
+        let nets = quadrant.net_count();
+        group.bench_with_input(BenchmarkId::new("ifa", nets), &quadrant, |b, q| {
+            b.iter(|| ifa(black_box(q)).expect("ifa"));
+        });
+        group.bench_with_input(BenchmarkId::new("dfa", nets), &quadrant, |b, q| {
+            b.iter(|| dfa(black_box(q), 1).expect("dfa"));
+        });
+        group.bench_with_input(BenchmarkId::new("random", nets), &quadrant, |b, q| {
+            b.iter(|| random_assignment(black_box(q), 7).expect("random"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment_methods);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmark of the full co-design pipeline per circuit — the
+//! end-to-end counterpart of the paper's "runtimes for all cases are
+//! within seconds" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use copack_core::{Codesign, ExchangeConfig, Schedule};
+use copack_gen::circuits;
+use copack_power::GridSpec;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let config = Codesign {
+        // A shortened but representative run: coarse grid, short schedule.
+        grid: GridSpec::default_chip(24),
+        exchange: ExchangeConfig {
+            schedule: Schedule {
+                moves_per_temp_per_finger: 1,
+                final_temp_ratio: 1e-1,
+                cooling: 0.8,
+                ..Schedule::default()
+            },
+            ..ExchangeConfig::default()
+        },
+        ..Codesign::default()
+    };
+    for circuit in circuits() {
+        let quadrant = circuit.build_quadrant().expect("builds");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.finger_count),
+            &quadrant,
+            |b, q| {
+                b.iter(|| config.run(black_box(q)).expect("pipeline runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline);
+criterion_main!(benches);

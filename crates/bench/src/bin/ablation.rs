@@ -1,0 +1,347 @@
+//! Ablation studies (experiments A1–A3 in `DESIGN.md`) — our additions
+//! beyond the paper's tables, probing its design choices:
+//!
+//! * **A1** — the acceptance rule exactly as printed in Fig. 14
+//!   (`rand > exp(−ΔC/T)`) vs classic Metropolis: the printed rule inverts
+//!   hill-climbing and should do no better.
+//! * **A2** — DFA's cut-line slack `n ∈ {1, 2, 3}`: larger slack trades
+//!   interior density for room along the quadrant cut-lines.
+//! * **A3** — the Δ_IR pad-spacing proxy vs the full finite-difference
+//!   solve: how well the cheap surrogate tracks the real objective across
+//!   many candidate pad plans.
+//! * **A4** — wire-bond boundary ring vs flip-chip area array at equal pad
+//!   budgets (the paper's §2.4 claim).
+//! * **A5** — the paper's bottom-left via rule vs bottom-right: the
+//!   "without loss of generality" claim, measured.
+//! * **A6** — naive (flyline) vs optimally balanced crossings: how much of
+//!   a bad assignment a perfect router could repair, and how little it can
+//!   add on top of DFA.
+//! * **A7** — stacking-depth sweep ψ ∈ {2, 3, 4, 6}: how the bonding-wire
+//!   reclaim and the exchange's density cost scale with tier count (the
+//!   paper only evaluates ψ = 4).
+//!
+//! Run with `cargo run --release -p copack-bench --bin ablation`.
+
+use copack_bench::{f2, TextTable};
+use copack_core::{
+    assign, dfa, exchange, Acceptance, AssignMethod, Codesign, CostWeights, ExchangeConfig,
+    IrObjective, Schedule,
+};
+use copack_gen::{circuit, circuits};
+use copack_power::{
+    solve_plan, solve_sor, GridSpec, PadArray, PadPlan, PadRing, PadSpacingProxy, Solver,
+};
+use copack_geom::{Assignment, Package};
+use copack_route::{
+    analyze, balanced_density_map, cutline_congestion, density_map, density_map_with_plan,
+    via_plan_with, DensityModel, ViaRule,
+};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    acceptance_rule();
+    dfa_slack();
+    proxy_vs_solver();
+    flipchip_vs_wirebond();
+    via_rule();
+    balanced_router();
+    psi_sweep();
+}
+
+/// A1: Metropolis vs the literally printed acceptance rule.
+fn acceptance_rule() {
+    let c = circuit(3);
+    let q = c.build_quadrant().expect("builds");
+    let initial = dfa(&q, 1).expect("dfa");
+    let grid = GridSpec::default_chip(48);
+
+    let mut table = TextTable::new([
+        "Acceptance",
+        "best cost",
+        "IR-drop (mV)",
+        "accepted",
+        "uphill accepted",
+    ]);
+    for (name, acceptance) in [
+        ("metropolis", Acceptance::Metropolis),
+        ("as-written", Acceptance::AsWritten),
+        ("greedy", Acceptance::Greedy),
+    ] {
+        let cfg = ExchangeConfig {
+            acceptance,
+            ..ExchangeConfig::default()
+        };
+        let r = exchange(&q, &initial, &copack_geom::StackConfig::planar(), &cfg)
+            .expect("exchange runs");
+        let ir = copack_core::evaluate_ir(&q, &r.assignment, &grid)
+            .expect("solves")
+            .expect("power nets exist");
+        table.row([
+            name.to_owned(),
+            format!("{:.4}", r.stats.final_cost),
+            f2(ir * 1000.0),
+            r.stats.accepted.to_string(),
+            r.stats.uphill_accepted.to_string(),
+        ]);
+    }
+    println!("A1: acceptance rule (circuit 3, 2-D exchange)");
+    println!("{}", table.render());
+}
+
+/// A2: DFA slack sweep over the five circuits, including the shared
+/// cut-line congestion across a full 4-quadrant package (the quantity the
+/// slack exists to control).
+fn dfa_slack() {
+    let mut table = TextTable::new([
+        "Input case",
+        "n=1 dens",
+        "n=2 dens",
+        "n=3 dens",
+        "n=1 interior",
+        "n=2 interior",
+        "n=3 interior",
+        "n=1 cutline",
+        "n=2 cutline",
+        "n=3 cutline",
+    ]);
+    for c in circuits() {
+        let q = c.build_quadrant().expect("builds");
+        let package = Package::uniform(q.clone());
+        let mut cells = vec![c.name.clone()];
+        let mut interior = Vec::new();
+        let mut cutline = Vec::new();
+        for slack in [1u32, 2, 3] {
+            let a = assign(&q, AssignMethod::Dfa { slack }).expect("dfa");
+            let r = analyze(&q, &a, DensityModel::Geometric).expect("routable");
+            cells.push(r.max_density.to_string());
+            interior.push(r.max_density_interior.to_string());
+            let sides: [Assignment; 4] = [a.clone(), a.clone(), a.clone(), a];
+            let cut = cutline_congestion(&package, &sides, DensityModel::Geometric)
+                .expect("routable");
+            cutline.push(cut.max().to_string());
+        }
+        cells.extend(interior);
+        cells.extend(cutline);
+        table.row(cells);
+    }
+    println!("A2: DFA cut-line slack sweep");
+    println!("{}", table.render());
+}
+
+/// A3: how well the Δ_IR proxy ranks pad plans vs the full solver.
+fn proxy_vs_solver() {
+    let grid = GridSpec::default_chip(32);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xAB1A);
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    for _ in 0..40 {
+        let pads = 12;
+        let ts: Vec<f64> = (0..pads).map(|_| rng.gen::<f64>()).collect();
+        let proxy = PadSpacingProxy::new(&ts).expect("proxy").delta_ir();
+        let drop = solve_sor(&grid, &PadRing::from_ts(ts).expect("ring"))
+            .expect("solves")
+            .max_drop();
+        samples.push((proxy, drop));
+    }
+    // Kendall-style concordance between proxy and solved drop.
+    let mut concordant = 0usize;
+    let mut total = 0usize;
+    for i in 0..samples.len() {
+        for j in i + 1..samples.len() {
+            total += 1;
+            if (samples[i].0 - samples[j].0) * (samples[i].1 - samples[j].1) > 0.0 {
+                concordant += 1;
+            }
+        }
+    }
+    let pct = 100.0 * concordant as f64 / total as f64;
+    println!("A3: delta_IR proxy vs full solve (40 random 12-pad rings, 32x32 grid)");
+    println!("  pairwise rank agreement: {pct:.1}% ({concordant}/{total} pairs)");
+    assert!(pct > 65.0, "the proxy must track the solver");
+    let _ = Codesign::default(); // the pipeline uses the proxy internally
+
+    // Part 2: anneal with the full solve *inside* the loop — the option the
+    // paper rejects as too slow — on circuit 1 with a tiny schedule, and
+    // compare outcome and wall time against the proxy.
+    let c = circuit(1);
+    let q = c.build_quadrant().expect("builds");
+    let initial = dfa(&q, 1).expect("dfa");
+    let eval_grid = GridSpec::default_chip(32);
+    let schedule = Schedule {
+        moves_per_temp_per_finger: 1,
+        final_temp_ratio: 1e-1,
+        cooling: 0.8,
+        ..Schedule::default()
+    };
+    let mut results = Vec::new();
+    for (name, objective, lambda) in [
+        ("proxy", IrObjective::Proxy, 800.0),
+        (
+            "full-solve",
+            IrObjective::FullSolve {
+                grid: GridSpec::default_chip(12),
+            },
+            4000.0,
+        ),
+    ] {
+        let cfg = ExchangeConfig {
+            ir_objective: objective,
+            weights: CostWeights {
+                lambda,
+                ..CostWeights::default()
+            },
+            schedule,
+            ..ExchangeConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let r = exchange(&q, &initial, &copack_geom::StackConfig::planar(), &cfg)
+            .expect("exchange runs");
+        let elapsed = start.elapsed();
+        let ir = copack_core::evaluate_ir(&q, &r.assignment, &eval_grid)
+            .expect("solves")
+            .expect("power nets");
+        println!(
+            "  in-loop {name:<10}: IR {:.3} mV in {:?} ({} moves)",
+            ir * 1000.0,
+            elapsed,
+            r.stats.proposed
+        );
+        results.push((elapsed, ir));
+    }
+    println!(
+        "  full-solve costs {:.0}x the proxy's time for a comparable result",
+        results[1].0.as_secs_f64() / results[0].0.as_secs_f64().max(1e-9)
+    );
+
+    println!();
+}
+
+/// A4: the paper's §2.4 claim — wire-bond IR-drop is worse than flip-chip.
+fn flipchip_vs_wirebond() {
+    let grid = GridSpec {
+        current_density: 4.6e-7,
+        ..GridSpec::default_chip(48)
+    };
+    let mut table = TextTable::new(["pads", "wire-bond (mV)", "flip-chip (mV)", "ratio"]);
+    for side in [2usize, 4, 8] {
+        let pads = side * side;
+        let wb = solve_plan(&grid, &PadPlan::WireBond(PadRing::uniform(pads)), Solver::Sor)
+            .expect("solves");
+        let fc = solve_plan(
+            &grid,
+            &PadPlan::FlipChip(PadArray::new(side, side).expect("array")),
+            Solver::Sor,
+        )
+        .expect("solves");
+        assert!(fc.max_drop() < wb.max_drop(), "flip-chip must win");
+        table.row([
+            pads.to_string(),
+            f2(wb.max_drop() * 1000.0),
+            f2(fc.max_drop() * 1000.0),
+            f2(wb.max_drop() / fc.max_drop()),
+        ]);
+    }
+    println!("A4: wire-bond vs flip-chip IR-drop (uniform load, 48x48)");
+    println!("{}", table.render());
+}
+
+/// A5: the bottom-left via rule vs bottom-right, across the circuits.
+fn via_rule() {
+    let mut table = TextTable::new([
+        "Input case",
+        "DFA dens (BL)",
+        "DFA dens (BR)",
+        "interior (BL)",
+        "interior (BR)",
+    ]);
+    for c in circuits() {
+        let q = c.build_quadrant().expect("builds");
+        let a = assign(&q, AssignMethod::dfa_default()).expect("dfa");
+        let mut cells = vec![c.name.clone()];
+        let mut interior = Vec::new();
+        for rule in [ViaRule::BottomLeft, ViaRule::BottomRight] {
+            let plan = via_plan_with(&q, rule);
+            let map = density_map_with_plan(&q, &a, DensityModel::Geometric, &plan)
+                .expect("routable");
+            cells.push(map.max_density().to_string());
+            interior.push(map.max_density_interior().to_string());
+        }
+        cells.extend(interior);
+        table.row(cells);
+    }
+    println!("A5: via-corner rule (bottom-left = the paper's, vs bottom-right)");
+    println!("{}", table.render());
+    println!("Similar densities either way back the paper's 'without loss of generality'.");
+}
+
+/// A6: flyline vs optimally balanced crossings, per assignment method.
+fn balanced_router() {
+    let mut table = TextTable::new([
+        "Input case",
+        "random fly",
+        "random bal",
+        "ifa fly",
+        "ifa bal",
+        "dfa fly",
+        "dfa bal",
+    ]);
+    for c in circuits() {
+        let q = c.build_quadrant().expect("builds");
+        let mut cells = vec![c.name.clone()];
+        for method in [
+            AssignMethod::Random { seed: 11 },
+            AssignMethod::Ifa,
+            AssignMethod::dfa_default(),
+        ] {
+            let a = assign(&q, method).expect("assigns");
+            let fly = density_map(&q, &a, DensityModel::Geometric)
+                .expect("routable")
+                .max_density();
+            let bal = balanced_density_map(&q, &a).expect("routable").max_density();
+            assert!(bal <= fly);
+            cells.push(fly.to_string());
+            cells.push(bal.to_string());
+        }
+        // Reorder: flys then bals were interleaved per method; fine as-is.
+        table.row(cells);
+    }
+    println!("A6: flyline vs balanced (best-achievable) max density");
+    println!("{}", table.render());
+    println!("Even a perfect router cannot repair a bad order down to DFA's level:");
+    println!("the planarity-forced spans are set by the assignment alone.");
+}
+
+/// A7: stacking-depth sweep on circuit 3.
+fn psi_sweep() {
+    let mut table = TextTable::new([
+        "psi",
+        "omega before",
+        "omega after",
+        "bondwire impr %",
+        "dens DFA",
+        "dens exch",
+        "IR impr %",
+    ]);
+    for psi in [2u8, 3, 4, 6] {
+        let circuit = circuit(3).stacked(psi);
+        let q = circuit.build_quadrant().expect("builds");
+        let cfg = Codesign {
+            stack: circuit.stack().expect("stack"),
+            grid: GridSpec::default_chip(32),
+            ..Codesign::default()
+        };
+        let r = cfg.run(&q).expect("pipeline");
+        table.row([
+            psi.to_string(),
+            r.omega_before.to_string(),
+            r.omega_after.to_string(),
+            f2(r.omega_improvement_percent.unwrap_or(0.0)),
+            r.routing_before.max_density.to_string(),
+            r.routing_after.max_density.to_string(),
+            f2(r.ir_improvement_percent.unwrap_or(0.0)),
+        ]);
+    }
+    println!("A7: stacking-depth sweep (circuit 3)");
+    println!("{}", table.render());
+    println!("Deeper stacks have more zero-bit capacity to reclaim but a tighter");
+    println!("interleaving target; the paper evaluates only psi = 4.");
+}

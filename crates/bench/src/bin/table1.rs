@@ -1,0 +1,46 @@
+//! Regenerates the paper's **Table 1**: the published parameters of the
+//! five test circuits, plus the derived per-quadrant structure our
+//! generator fills in (ball rows, supply-pad counts).
+//!
+//! Run with `cargo run --release -p copack-bench --bin table1`.
+
+use copack_bench::TextTable;
+use copack_gen::circuits;
+use copack_geom::NetKind;
+
+fn main() {
+    let mut table = TextTable::new([
+        "Input case",
+        "Finger/pads",
+        "Ball space (um)",
+        "Finger w (um)",
+        "Finger h (um)",
+        "Finger s (um)",
+        "Rows/quadrant",
+        "Row sizes (bottom-up)",
+        "Power",
+        "Ground",
+    ]);
+    for c in circuits() {
+        let q = c.build_quadrant().expect("circuit builds");
+        let sizes: Vec<String> = (1..=q.row_count() as u32)
+            .map(|y| q.row(y).len().to_string())
+            .collect();
+        table.row([
+            c.name.clone(),
+            c.finger_count.to_string(),
+            format!("{}", c.ball_pitch),
+            format!("{}", c.finger_width),
+            format!("{}", c.finger_height),
+            format!("{}", c.finger_space),
+            c.rows.to_string(),
+            sizes.join("/"),
+            (q.nets_of_kind(NetKind::Power).count() * 4).to_string(),
+            (q.nets_of_kind(NetKind::Ground).count() * 4).to_string(),
+        ]);
+    }
+    println!("Table 1: experimental data of the test circuits");
+    println!("{}", table.render());
+    println!("Published columns (2-6) are verbatim from the paper; the rest are");
+    println!("the synthetic fill-ins documented in DESIGN.md.");
+}

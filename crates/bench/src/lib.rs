@@ -1,0 +1,128 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see the experiment index in `DESIGN.md`); this small library holds the
+//! text-table plumbing they share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A plain-text table printer that mimics the paper's layout: a header row,
+/// aligned columns, and whatever summary rows the caller appends.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let print_row = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            let _ = writeln!(out);
+        };
+        print_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            print_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimal places (the paper's table style).
+#[must_use]
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float as a whole-number micron count with thousands
+/// separators, like the paper's wirelength columns ("42,844").
+#[must_use]
+pub fn thousands(v: f64) -> String {
+    let n = v.round() as i64;
+    let s = n.abs().to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    if n < 0 {
+        out.insert(0, '-');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["a", "bb"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        assert!(s.starts_with("a    bb"), "{s}");
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn thousands_inserts_separators() {
+        assert_eq!(thousands(42844.0), "42,844");
+        assert_eq!(thousands(999.4), "999");
+        assert_eq!(thousands(1_234_567.0), "1,234,567");
+        assert_eq!(thousands(-1234.0), "-1,234");
+    }
+
+    #[test]
+    fn f2_rounds_to_two_places() {
+        assert_eq!(f2(10.619), "10.62");
+        assert_eq!(f2(1.0), "1.00");
+    }
+}

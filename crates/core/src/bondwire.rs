@@ -1,0 +1,190 @@
+//! Physical bonding-wire length model for stacking ICs.
+//!
+//! The ω metric (see [`crate::omega`]) is the paper's *optimisation*
+//! surrogate for bonding wires; this module provides the corresponding
+//! *physical* length model so the surrogate can be validated: each tier's
+//! pads are spread uniformly along that tier's (shrunken) die edge in
+//! finger order, and a wire from finger `F_a` to a pad on tier `d` pays the
+//! horizontal offset plus the tier's vertical drop and edge set-back.
+
+use copack_geom::{Assignment, NetId, Quadrant, StackConfig, TierId};
+
+use crate::CoreError;
+
+/// Bonding-wire length of every net, in finger order.
+///
+/// The pad of the `r`-th tier-`d` net (counting tier-`d` nets left to right
+/// by finger position) sits at
+/// `x = span_d · ((r − ½)/k_d − ½)` on tier `d`'s edge, where `span_d` is
+/// the base finger span minus twice the tier's shrink, and `k_d` the
+/// tier-`d` net count. The wire length is then
+/// `√(Δx² + reach_d²)` with `reach_d² = (gap + shrink_d)² + drop_d²`.
+///
+/// # Errors
+///
+/// * [`CoreError::Geom`] if a placed net is unknown.
+/// * [`CoreError::BadConfig`] if a net's tier exceeds the stack.
+pub fn bondwire_lengths(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+    stack: &StackConfig,
+) -> Result<Vec<(NetId, f64)>, CoreError> {
+    let alpha = assignment.finger_count() as f64;
+    let base_span = alpha * quadrant.geometry().finger_pitch;
+    let gap = quadrant.geometry().finger_height;
+
+    // Tier-d nets in finger order.
+    let mut by_tier: Vec<Vec<(NetId, f64)>> = vec![Vec::new(); stack.tiers as usize];
+    for (finger, net) in assignment.iter() {
+        let tier = quadrant
+            .net(net)
+            .ok_or(copack_geom::GeomError::UnknownNet { net })?
+            .tier;
+        if stack.check_tier(tier).is_err() {
+            return Err(CoreError::BadConfig { parameter: "tier" });
+        }
+        let fx = quadrant.finger_center(finger).x;
+        by_tier[(tier.get() - 1) as usize].push((net, fx));
+    }
+
+    let mut lengths = Vec::with_capacity(assignment.net_count());
+    for (d0, nets) in by_tier.iter().enumerate() {
+        let tier = TierId::new(d0 as u8 + 1);
+        let k = nets.len() as f64;
+        let span = (base_span - 2.0 * stack.shrink_of(tier)).max(base_span * 0.1);
+        let reach = {
+            let setback = gap + stack.shrink_of(tier);
+            let drop = stack.drop_of(tier);
+            setback.hypot(drop)
+        };
+        for (r, &(net, fx)) in nets.iter().enumerate() {
+            let pad_x = span * ((r as f64 + 0.5) / k - 0.5);
+            let len = (fx - pad_x).hypot(reach);
+            lengths.push((net, len));
+        }
+    }
+    lengths.sort_by_key(|&(net, _)| {
+        assignment
+            .position_of(net)
+            .expect("net came from the assignment")
+    });
+    Ok(lengths)
+}
+
+/// Total bonding-wire length of the assignment.
+///
+/// # Errors
+///
+/// Propagates [`bondwire_lengths`] errors.
+pub fn total_bondwire(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+    stack: &StackConfig,
+) -> Result<f64, CoreError> {
+    Ok(bondwire_lengths(quadrant, assignment, stack)?
+        .iter()
+        .map(|&(_, l)| l)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-tier quadrant mirroring the paper's Fig. 4: 12 nets, 6 per tier.
+    fn fig4(tiers_blocked: bool) -> (Quadrant, Assignment) {
+        let mut b = Quadrant::builder().row(1u32..=12);
+        for n in 1u32..=12 {
+            let tier = if tiers_blocked {
+                // (A): pairs of fingers share a tier → long wires.
+                TierId::new(if (n - 1) / 2 % 2 == 0 { 2 } else { 1 })
+            } else {
+                // (B): tiers alternate finger by finger → short wires.
+                TierId::new(((n - 1) % 2) as u8 + 1)
+            };
+            b = b.net_tier(n, tier);
+        }
+        let q = b.build().unwrap();
+        let a = Assignment::from_order(1u32..=12);
+        (q, a)
+    }
+
+    #[test]
+    fn every_net_gets_a_positive_length() {
+        let (q, a) = fig4(false);
+        let stack = StackConfig::stacked(2).unwrap();
+        let lens = bondwire_lengths(&q, &a, &stack).unwrap();
+        assert_eq!(lens.len(), 12);
+        for &(_, l) in &lens {
+            assert!(l > 0.0);
+        }
+    }
+
+    #[test]
+    fn interleaved_tiers_are_shorter_than_blocked() {
+        // The paper's Fig. 4 claim: (B)'s interleaving beats (A)'s blocks.
+        let stack = StackConfig::stacked(2).unwrap();
+        let (qa, aa) = fig4(true);
+        let (qb, ab) = fig4(false);
+        let blocked = total_bondwire(&qa, &aa, &stack).unwrap();
+        let interleaved = total_bondwire(&qb, &ab, &stack).unwrap();
+        assert!(
+            interleaved < blocked,
+            "interleaved {interleaved} !< blocked {blocked}"
+        );
+    }
+
+    #[test]
+    fn omega_orders_agree_with_physical_lengths() {
+        // ω = 0 (interleaved) must correspond to the shorter wires; this is
+        // the validation of the surrogate.
+        let stack = StackConfig::stacked(2).unwrap();
+        let (qa, aa) = fig4(true);
+        let (qb, ab) = fig4(false);
+        let om_a = crate::omega_of_assignment(&qa, &aa, 2).unwrap();
+        let om_b = crate::omega_of_assignment(&qb, &ab, 2).unwrap();
+        assert!(om_b < om_a);
+        let len_a = total_bondwire(&qa, &aa, &stack).unwrap();
+        let len_b = total_bondwire(&qb, &ab, &stack).unwrap();
+        assert!(len_b < len_a);
+    }
+
+    #[test]
+    fn higher_tiers_pay_more_reach() {
+        // Same order, more tiers stacked: wires to tier 3 are longer than
+        // the same horizontal offsets to tier 1.
+        let mut b = Quadrant::builder().row([1u32, 2]);
+        b = b.net_tier(1u32, TierId::new(1)).net_tier(2u32, TierId::new(3));
+        let q = b.build().unwrap();
+        let a = Assignment::from_order([1u32, 2]);
+        let stack = StackConfig::stacked(3).unwrap();
+        let lens = bondwire_lengths(&q, &a, &stack).unwrap();
+        let l1 = lens.iter().find(|&&(n, _)| n.raw() == 1).unwrap().1;
+        let l3 = lens.iter().find(|&&(n, _)| n.raw() == 2).unwrap().1;
+        assert!(l3 > l1);
+    }
+
+    #[test]
+    fn planar_stack_reduces_to_pad_offset_geometry() {
+        let q = Quadrant::builder().row([1u32, 2, 3]).build().unwrap();
+        let a = Assignment::from_order([1u32, 2, 3]);
+        let lens = bondwire_lengths(&q, &a, &StackConfig::planar()).unwrap();
+        // Symmetric layout: outer wires equal, middle shortest.
+        assert!((lens[0].1 - lens[2].1).abs() < 1e-9);
+        assert!(lens[1].1 <= lens[0].1);
+    }
+
+    #[test]
+    fn tier_outside_stack_is_rejected() {
+        let q = Quadrant::builder()
+            .row([1u32])
+            .net_tier(1u32, TierId::new(4))
+            .build()
+            .unwrap();
+        let a = Assignment::from_order([1u32]);
+        assert!(matches!(
+            total_bondwire(&q, &a, &StackConfig::stacked(2).unwrap()),
+            Err(CoreError::BadConfig { .. })
+        ));
+    }
+}

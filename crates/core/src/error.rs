@@ -1,0 +1,102 @@
+//! Error type for the planning algorithms.
+
+use std::error::Error;
+use std::fmt;
+
+use copack_geom::GeomError;
+use copack_power::PowerError;
+use copack_route::RouteError;
+
+/// Errors raised by assignment, exchange and the co-design pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A model-construction error.
+    Geom(GeomError),
+    /// A routing/legality error.
+    Route(RouteError),
+    /// An IR-drop analysis error.
+    Power(PowerError),
+    /// A configuration value is unusable.
+    BadConfig {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+    },
+    /// The 2-D exchange step needs at least one power pad to move.
+    NoMovablePads,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Geom(e) => write!(f, "model error: {e}"),
+            Self::Route(e) => write!(f, "routing error: {e}"),
+            Self::Power(e) => write!(f, "power error: {e}"),
+            Self::BadConfig { parameter } => {
+                write!(f, "configuration parameter `{parameter}` is invalid")
+            }
+            Self::NoMovablePads => {
+                write!(f, "the 2-d exchange step needs at least one power pad")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Geom(e) => Some(e),
+            Self::Route(e) => Some(e),
+            Self::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for CoreError {
+    fn from(e: GeomError) -> Self {
+        Self::Geom(e)
+    }
+}
+
+impl From<RouteError> for CoreError {
+    fn from(e: RouteError) -> Self {
+        Self::Route(e)
+    }
+}
+
+impl From<PowerError> for CoreError {
+    fn from(e: PowerError) -> Self {
+        Self::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let g: CoreError = GeomError::NoRows.into();
+        let r: CoreError = RouteError::Geom(GeomError::NoRows).into();
+        let p: CoreError = PowerError::NoPads.into();
+        for e in [g, r, p] {
+            assert!(Error::source(&e).is_some());
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn plain_variants_have_messages() {
+        assert!(!CoreError::BadConfig { parameter: "seed" }
+            .to_string()
+            .is_empty());
+        assert!(!CoreError::NoMovablePads.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

@@ -1,0 +1,499 @@
+//! The finger/pad exchange step (paper Fig. 14): simulated annealing over
+//! adjacent swaps under the monotonicity-preserving range constraint.
+
+use copack_geom::{Assignment, FingerIdx, NetId, NetKind, Quadrant, StackConfig};
+use copack_power::PadSpacingProxy;
+use copack_route::{check_monotonic, exchange_range};
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    evaluate_ir, omega_of_assignment, CoreError, ExchangeConfig, IrObjective, OmegaTracker,
+    SectionTracker,
+};
+
+/// Outcome of the exchange step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExchangeResult {
+    /// The improved assignment.
+    pub assignment: Assignment,
+    /// Run statistics.
+    pub stats: ExchangeStats,
+}
+
+/// Statistics of one annealing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExchangeStats {
+    /// Cost of the initial order (Eq. 3).
+    pub initial_cost: f64,
+    /// Cost of the final order.
+    pub final_cost: f64,
+    /// Moves proposed (including range-constraint rejections).
+    pub proposed: usize,
+    /// Moves accepted.
+    pub accepted: usize,
+    /// Accepted moves that made the cost worse (uphill).
+    pub uphill_accepted: usize,
+    /// Moves rejected by the range constraint before costing.
+    pub constraint_rejected: usize,
+    /// Temperature steps performed.
+    pub temperature_steps: usize,
+}
+
+/// Runs the power-supply-noise-driven exchange (Fig. 14) on an initial
+/// order.
+///
+/// * 2-D designs (ψ = 1): only **power** pads are picked for swapping
+///   (Fig. 14 line 7); `ID` (Eq. 2) and `Δ_IR` drive the cost, ω is
+///   identically zero.
+/// * Stacking designs (ψ ≥ 2): any pad may move (line 5) and ω joins the
+///   cost.
+///
+/// Every proposed swap must keep both involved nets inside their exchange
+/// ranges (strictly between their same-row neighbours), so the result is
+/// always monotonic-legal and hence routable.
+///
+/// # Errors
+///
+/// * [`CoreError::BadConfig`] for invalid weights or schedule.
+/// * [`CoreError::NoMovablePads`] for a 2-D design without power nets.
+/// * [`CoreError::Route`] if `initial` is incomplete or illegal.
+pub fn exchange(
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+) -> Result<ExchangeResult, CoreError> {
+    if !config.weights.is_valid() {
+        return Err(CoreError::BadConfig {
+            parameter: "weights",
+        });
+    }
+    if !config.schedule.is_valid() {
+        return Err(CoreError::BadConfig {
+            parameter: "schedule",
+        });
+    }
+    check_monotonic(quadrant, initial)?;
+    initial.validate_complete(quadrant)?;
+
+    let psi = stack.tiers;
+    let movable: Vec<NetId> = if psi == 1 {
+        quadrant.nets_of_kind(NetKind::Power).collect()
+    } else {
+        quadrant.nets().map(|n| n.id).collect()
+    };
+    if movable.is_empty() {
+        return Err(CoreError::NoMovablePads);
+    }
+
+    let alpha = initial.finger_count();
+    // Incremental trackers: an adjacent swap moves one net across at most
+    // one section delimiter and touches at most two omega groups, so the
+    // ID and omega terms update in O(1) instead of O(beta) per move (see
+    // `tracker.rs`; equivalence to the from-scratch definitions is
+    // property-tested there). Omega falls back to recomputation for
+    // sparse assignments, which the tracker does not model.
+    let mut sections = SectionTracker::new(quadrant, initial)?;
+    let dense = initial.net_count() == alpha;
+    let mut omega_tracker = if psi > 1 && dense {
+        Some(OmegaTracker::new(quadrant, initial, psi)?)
+    } else {
+        None
+    };
+    let cost_of = |a: &Assignment,
+                   sections: &SectionTracker,
+                   omega_tracker: &Option<OmegaTracker>|
+     -> Result<f64, CoreError> {
+        let mut cost = 0.0;
+        if config.weights.lambda > 0.0 {
+            match &config.ir_objective {
+                IrObjective::Proxy => {
+                    let ts: Vec<f64> = quadrant
+                        .nets_of_kind(NetKind::Power)
+                        .filter_map(|n| a.position_of(n))
+                        .map(|f| (f.get() as f64 - 0.5) / alpha as f64)
+                        .collect();
+                    if !ts.is_empty() {
+                        cost += config.weights.lambda * PadSpacingProxy::new(&ts)?.delta_ir();
+                    }
+                }
+                IrObjective::FullSolve { grid } => {
+                    if let Some(drop) = evaluate_ir(quadrant, a, grid)? {
+                        cost += config.weights.lambda * drop;
+                    }
+                }
+            }
+        }
+        if config.weights.rho > 0.0 {
+            cost += config.weights.rho * f64::from(sections.increased_density());
+        }
+        if config.weights.phi > 0.0 && psi > 1 {
+            let omega = match omega_tracker {
+                Some(tracker) => tracker.omega(),
+                None => omega_of_assignment(quadrant, a, psi)?,
+            };
+            cost += config.weights.phi * omega as f64;
+        }
+        Ok(cost)
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut current = initial.clone();
+    let initial_cost = cost_of(&current, &sections, &omega_tracker)?;
+    let mut current_cost = initial_cost;
+
+    // Temperature scale: tied to the IR/ID part of the cost only. The
+    // omega term's magnitude grows with the finger count and would
+    // otherwise over-heat stacking runs relative to 2-D ones.
+    let omega_part = match (&omega_tracker, psi > 1 && config.weights.phi > 0.0) {
+        (Some(tracker), true) => config.weights.phi * tracker.omega() as f64,
+        (None, true) => config.weights.phi * omega_of_assignment(quadrant, initial, psi)? as f64,
+        _ => 0.0,
+    };
+    let temp_base = (initial_cost - omega_part).max(0.0);
+    let mut temperature = config.schedule.initial_temp_factor * (temp_base + 1.0);
+    let final_temp = temperature * config.schedule.final_temp_ratio;
+    let moves_per_temp = config.schedule.moves_per_temp_per_finger * alpha;
+
+    let mut stats = ExchangeStats {
+        initial_cost,
+        final_cost: initial_cost,
+        proposed: 0,
+        accepted: 0,
+        uphill_accepted: 0,
+        constraint_rejected: 0,
+        temperature_steps: 0,
+    };
+
+    // The annealer walks uphill by design; keep the best state seen so the
+    // result can never be worse than the input.
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+
+    while temperature > final_temp {
+        for _ in 0..moves_per_temp {
+            stats.proposed += 1;
+            let net = movable[rng.gen_range(0..movable.len())];
+            let pos = current.position_of(net).expect("complete assignment");
+            let right = rng.gen_bool(0.5);
+            let target = if right {
+                if pos.get() as usize >= alpha {
+                    stats.constraint_rejected += 1;
+                    continue;
+                }
+                FingerIdx::new(pos.get() + 1)
+            } else {
+                if pos.get() == 1 {
+                    stats.constraint_rejected += 1;
+                    continue;
+                }
+                FingerIdx::new(pos.get() - 1)
+            };
+
+            // Range constraint: the moved net must stay inside its span,
+            // and the displaced neighbour (if any) inside its own.
+            let (lo, hi) = exchange_range(quadrant, &current, net)?;
+            if target < lo || target > hi {
+                stats.constraint_rejected += 1;
+                continue;
+            }
+            if let Some(neighbour) = current.net_at(target) {
+                let (nlo, nhi) = exchange_range(quadrant, &current, neighbour)?;
+                if pos < nlo || pos > nhi {
+                    stats.constraint_rejected += 1;
+                    continue;
+                }
+            }
+
+            // Apply the swap to the trackers (self-inverse on revert).
+            let left_slot = if pos < target { pos } else { target };
+            let left_net = current.net_at(left_slot);
+            let right_net = current.net_at(FingerIdx::new(left_slot.get() + 1));
+            if let (Some(l), Some(r)) = (left_net, right_net) {
+                sections.apply_adjacent_swap(l, r);
+            }
+            if let Some(tracker) = &mut omega_tracker {
+                tracker.apply_adjacent_swap(left_slot);
+            }
+            current.swap(pos, target)?;
+            let new_cost = cost_of(&current, &sections, &omega_tracker)?;
+            let delta = new_cost - current_cost;
+            let accept = if delta <= 0.0 {
+                true
+            } else {
+                config
+                    .acceptance
+                    .accepts(delta, temperature, rng.gen::<f64>())
+            };
+            if accept {
+                stats.accepted += 1;
+                if delta > 0.0 {
+                    stats.uphill_accepted += 1;
+                }
+                current_cost = new_cost;
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best = current.clone();
+                }
+            } else {
+                current.swap(pos, target)?; // revert
+                if let (Some(l), Some(r)) = (left_net, right_net) {
+                    sections.apply_adjacent_swap(r, l);
+                }
+                if let Some(tracker) = &mut omega_tracker {
+                    tracker.apply_adjacent_swap(left_slot);
+                }
+            }
+        }
+        temperature *= config.schedule.cooling;
+        stats.temperature_steps += 1;
+    }
+
+    debug_assert!(check_monotonic(quadrant, &best).is_ok());
+    stats.final_cost = best_cost;
+    Ok(ExchangeResult {
+        assignment: best,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dfa, CostWeights};
+    use copack_geom::{NetKind, Quadrant, TierId};
+    use copack_route::is_monotonic;
+
+    /// Fig. 5 instance with power nets sprinkled in.
+    fn quadrant_2d() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .net_kind(10u32, NetKind::Power)
+            .net_kind(5u32, NetKind::Power)
+            .net_kind(9u32, NetKind::Power)
+            .net_kind(0u32, NetKind::Ground)
+            .build()
+            .unwrap()
+    }
+
+    /// Two-tier version of the same instance.
+    fn quadrant_stacked() -> Quadrant {
+        let mut b = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .net_kind(10u32, NetKind::Power)
+            .net_kind(5u32, NetKind::Power);
+        for n in [10u32, 2, 4, 1, 3, 11] {
+            b = b.net_tier(n, TierId::new(2));
+        }
+        b.build().unwrap()
+    }
+
+    fn fast_config(seed: u64) -> ExchangeConfig {
+        ExchangeConfig {
+            schedule: crate::Schedule {
+                moves_per_temp_per_finger: 2,
+                final_temp_ratio: 1e-2,
+                ..crate::Schedule::default()
+            },
+            seed,
+            ..ExchangeConfig::default()
+        }
+    }
+
+    #[test]
+    fn exchange_never_breaks_monotonicity() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        for seed in 0..5 {
+            let r = exchange(&q, &initial, &StackConfig::planar(), &fast_config(seed)).unwrap();
+            assert!(is_monotonic(&q, &r.assignment), "seed {seed}");
+            assert!(r.assignment.validate_complete(&q).is_ok());
+        }
+    }
+
+    #[test]
+    fn exchange_does_not_increase_cost() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let r = exchange(&q, &initial, &StackConfig::planar(), &fast_config(1)).unwrap();
+        assert!(r.stats.final_cost <= r.stats.initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn two_d_exchange_moves_only_power_pads() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let r = exchange(&q, &initial, &StackConfig::planar(), &fast_config(2)).unwrap();
+        // Signal/ground nets may be displaced by a power pad swapping with
+        // them, but their *relative* order must be intact.
+        let signals_before: Vec<_> = initial
+            .order()
+            .into_iter()
+            .filter(|&n| q.net(n).unwrap().kind != NetKind::Power)
+            .collect();
+        let signals_after: Vec<_> = r
+            .assignment
+            .order()
+            .into_iter()
+            .filter(|&n| q.net(n).unwrap().kind != NetKind::Power)
+            .collect();
+        assert_eq!(signals_before, signals_after);
+    }
+
+    #[test]
+    fn exchange_improves_power_pad_spreading() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let proxy_of = |a: &Assignment| {
+            let ts: Vec<f64> = q
+                .nets_of_kind(NetKind::Power)
+                .map(|n| (a.position_of(n).unwrap().get() as f64 - 0.5) / 12.0)
+                .collect();
+            PadSpacingProxy::new(&ts).unwrap().delta_ir()
+        };
+        let r = exchange(&q, &initial, &StackConfig::planar(), &fast_config(3)).unwrap();
+        assert!(proxy_of(&r.assignment) <= proxy_of(&initial) + 1e-12);
+    }
+
+    #[test]
+    fn stacked_exchange_reduces_omega() {
+        let q = quadrant_stacked();
+        let initial = dfa(&q, 1).unwrap();
+        let stack = StackConfig::stacked(2).unwrap();
+        let om_before = omega_of_assignment(&q, &initial, 2).unwrap();
+        // Make the bonding-wire term the dominant objective so the test
+        // exercises the omega mechanics rather than the weight balance.
+        let mut cfg = fast_config(4);
+        cfg.weights = CostWeights {
+            lambda: 0.0,
+            rho: 0.5,
+            phi: 1.0,
+        };
+        let r = exchange(&q, &initial, &stack, &cfg).unwrap();
+        let om_after = omega_of_assignment(&q, &r.assignment, 2).unwrap();
+        assert!(om_after <= om_before, "{om_after} !<= {om_before}");
+        assert!(is_monotonic(&q, &r.assignment));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let a = exchange(&q, &initial, &StackConfig::planar(), &fast_config(9)).unwrap();
+        let b = exchange(&q, &initial, &StackConfig::planar(), &fast_config(9)).unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn no_power_pads_in_2d_is_an_error() {
+        let q = Quadrant::builder().row([1u32, 2]).build().unwrap();
+        let initial = Assignment::from_order([1u32, 2]);
+        assert!(matches!(
+            exchange(&q, &initial, &StackConfig::planar(), &fast_config(0)),
+            Err(CoreError::NoMovablePads)
+        ));
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let mut bad = fast_config(0);
+        bad.weights = CostWeights {
+            lambda: -1.0,
+            ..CostWeights::default()
+        };
+        assert!(matches!(
+            exchange(&q, &initial, &StackConfig::planar(), &bad),
+            Err(CoreError::BadConfig { .. })
+        ));
+        let mut bad = fast_config(0);
+        bad.schedule.cooling = 2.0;
+        assert!(exchange(&q, &initial, &StackConfig::planar(), &bad).is_err());
+    }
+
+    #[test]
+    fn illegal_initial_order_is_rejected() {
+        let q = quadrant_2d();
+        let bad = Assignment::from_order([10u32, 11, 1, 2, 9, 3, 4, 6, 5, 7, 8, 0]);
+        assert!(exchange(&q, &bad, &StackConfig::planar(), &fast_config(0)).is_err());
+    }
+
+    #[test]
+    fn result_is_never_worse_than_the_input_even_with_bad_rules() {
+        // The annealer returns the best state seen, so even the paper's
+        // inverted acceptance rule cannot hand back a degraded order.
+        use crate::Acceptance;
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        for acceptance in [Acceptance::Metropolis, Acceptance::AsWritten, Acceptance::Greedy] {
+            let mut cfg = fast_config(11);
+            cfg.acceptance = acceptance;
+            let r = exchange(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
+            assert!(
+                r.stats.final_cost <= r.stats.initial_cost + 1e-9,
+                "{acceptance:?}: {} > {}",
+                r.stats.final_cost,
+                r.stats.initial_cost
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_assignments_exchange_via_the_fallback_path() {
+        // More fingers than nets: the omega tracker declines and the
+        // exchange falls back to recomputation; legality must still hold.
+        let mut b = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .net_kind(10u32, NetKind::Power)
+            .net_kind(5u32, NetKind::Power)
+            .fingers(15);
+        for n in [10u32, 2, 4, 1, 3, 11] {
+            b = b.net_tier(n, TierId::new(2));
+        }
+        let q = b.build().unwrap();
+        let initial = dfa(&q, 1).unwrap();
+        assert_eq!(initial.finger_count(), 15);
+        let stack = StackConfig::stacked(2).unwrap();
+        let r = exchange(&q, &initial, &stack, &fast_config(8)).unwrap();
+        assert!(is_monotonic(&q, &r.assignment));
+        assert!(r.assignment.validate_complete(&q).is_ok());
+        assert!(r.stats.final_cost <= r.stats.initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn full_solve_objective_runs_and_stays_legal() {
+        use crate::IrObjective;
+        use copack_power::GridSpec;
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let mut cfg = fast_config(6);
+        cfg.schedule.final_temp_ratio = 0.5; // a handful of temperature steps
+        cfg.ir_objective = IrObjective::FullSolve {
+            grid: GridSpec::default_chip(8),
+        };
+        let r = exchange(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
+        assert!(is_monotonic(&q, &r.assignment));
+        assert!(r.stats.final_cost <= r.stats.initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let r = exchange(&q, &initial, &StackConfig::planar(), &fast_config(5)).unwrap();
+        let s = r.stats;
+        assert!(s.accepted <= s.proposed);
+        assert!(s.uphill_accepted <= s.accepted);
+        assert!(s.constraint_rejected <= s.proposed);
+        assert!(s.temperature_steps > 0);
+    }
+}

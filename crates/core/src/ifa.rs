@@ -1,0 +1,175 @@
+//! Intuitive-Insertion-Based Finger/Pad Assignment (IFA, paper Fig. 9).
+
+use copack_geom::{Assignment, NetId, Quadrant};
+
+use crate::CoreError;
+
+/// Runs IFA: rows are processed from the highest line down; the top row is
+/// laid out directly, and every lower row's nets are *inserted* into the
+/// growing order so the monotonic rule can never be violated.
+///
+/// Insertion rule (from the paper's worked example — its pseudocode has an
+/// off-by-one typo, see `DESIGN.md`): the net of ball `x` on row `y`
+/// (`1 < x < m`) is inserted immediately **before** the net of ball `x` on
+/// row `y + 1`; ball 1 goes to the front and ball `m` to the back. When row
+/// `y + 1` has fewer than `x` balls, the net is inserted after the last
+/// anchor instead.
+///
+/// Complexity `O(n²)` in the net count (each insertion is linear).
+///
+/// # Errors
+///
+/// Currently infallible for a valid [`Quadrant`]; the `Result` mirrors the
+/// other assignment methods.
+///
+/// # Example
+///
+/// The paper's §3.1.1 example, reproduced exactly:
+///
+/// ```
+/// use copack_core::ifa;
+/// use copack_geom::Quadrant;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = Quadrant::builder()
+///     .row([10u32, 2, 4, 7, 0])
+///     .row([1u32, 3, 5, 8])
+///     .row([11u32, 6, 9])
+///     .build()?;
+/// assert_eq!(ifa(&q)?.to_string(), "10,1,11,2,3,6,4,5,9,7,8,0");
+/// # Ok(())
+/// # }
+/// ```
+pub fn ifa(quadrant: &Quadrant) -> Result<Assignment, CoreError> {
+    let mut order: Vec<NetId> = Vec::with_capacity(quadrant.net_count());
+    let mut rows = quadrant.rows_top_down();
+
+    // Highest line: nets map directly onto the first finger slots.
+    let (_, top) = rows.next().expect("a quadrant has at least one row");
+    order.extend_from_slice(top);
+
+    let mut above: &[NetId] = top;
+    for (_, row) in rows {
+        let m = row.len();
+        for (i, &net) in row.iter().enumerate() {
+            let x = i + 1;
+            if x == 1 {
+                order.insert(0, net);
+            } else if x == m {
+                order.push(net);
+            } else if x <= above.len() {
+                let anchor = above[x - 1];
+                let at = position_of(&order, anchor);
+                order.insert(at, net);
+            } else {
+                // Row above is shorter than x: insert after its last net.
+                let anchor = *above.last().expect("rows are non-empty");
+                let at = position_of(&order, anchor) + 1 + (x - above.len() - 1);
+                order.insert(at.min(order.len()), net);
+            }
+        }
+        above = row;
+    }
+    Ok(Assignment::from_order(order))
+}
+
+fn position_of(order: &[NetId], net: NetId) -> usize {
+    order
+        .iter()
+        .position(|&n| n == net)
+        .expect("anchor was inserted in an earlier pass")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_route::is_monotonic;
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reproduces_the_papers_worked_example() {
+        // §3.1.1: "The final finger order is 10,1,11,2,3,6,4,5,9,7,8,0."
+        let a = ifa(&fig5()).unwrap();
+        assert_eq!(a.to_string(), "10,1,11,2,3,6,4,5,9,7,8,0");
+    }
+
+    #[test]
+    fn output_is_monotonic_legal() {
+        let q = fig5();
+        let a = ifa(&q).unwrap();
+        assert!(is_monotonic(&q, &a));
+    }
+
+    #[test]
+    fn single_row_is_identity() {
+        let q = Quadrant::builder().row([4u32, 5, 6]).build().unwrap();
+        assert_eq!(ifa(&q).unwrap().to_string(), "4,5,6");
+    }
+
+    #[test]
+    fn two_equal_rows_interleave() {
+        let q = Quadrant::builder()
+            .row([1u32, 2, 3])
+            .row([4u32, 5, 6])
+            .build()
+            .unwrap();
+        let a = ifa(&q).unwrap();
+        // Row 2 (top) is 4,5,6; row 1 inserts 1 at front, 2 before 5
+        // (ball 2 of the row above), 3 at the end.
+        assert_eq!(a.to_string(), "1,4,2,5,6,3");
+        assert!(is_monotonic(&q, &a));
+    }
+
+    #[test]
+    fn lower_row_wider_than_upper_is_handled() {
+        let q = Quadrant::builder()
+            .row([1u32, 2, 3, 4, 5])
+            .row([6u32])
+            .build()
+            .unwrap();
+        let a = ifa(&q).unwrap();
+        assert!(is_monotonic(&q, &a));
+        assert_eq!(a.net_count(), 6);
+    }
+
+    #[test]
+    fn upper_row_wider_than_lower_is_handled() {
+        let q = Quadrant::builder()
+            .row([9u32])
+            .row([1u32, 2, 3, 4, 5])
+            .build()
+            .unwrap();
+        let a = ifa(&q).unwrap();
+        assert!(is_monotonic(&q, &a));
+    }
+
+    #[test]
+    fn ifa_beats_typical_random_orders_on_density() {
+        use crate::random_assignment;
+        use copack_route::{density_map, DensityModel};
+        let q = fig5();
+        let a = ifa(&q).unwrap();
+        let d_ifa = density_map(&q, &a, DensityModel::Geometric)
+            .unwrap()
+            .max_density();
+        let mut worse = 0;
+        for seed in 0..20 {
+            let r = random_assignment(&q, seed).unwrap();
+            let d_r = density_map(&q, &r, DensityModel::Geometric)
+                .unwrap()
+                .max_density();
+            if d_r >= d_ifa {
+                worse += 1;
+            }
+        }
+        assert!(worse >= 15, "ifa only beat {worse}/20 random orders");
+    }
+}

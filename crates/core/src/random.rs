@@ -1,0 +1,121 @@
+//! The random monotonic baseline the paper compares against.
+
+use copack_geom::{Assignment, NetId, Quadrant};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::CoreError;
+
+/// Generates a uniformly random finger order that respects the monotonic
+/// rule — the paper's baseline: "the random method denotes that the
+/// assignment order conforms the monotonic rule and other factors are
+/// ignored" (§4).
+///
+/// The sampler draws uniformly over all legal orders: it shuffles a
+/// multiset of row labels (one per net) and fills each row's label slots
+/// with that row's nets in ball order. Every legal interleaving of the rows
+/// is produced with equal probability.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Errors
+///
+/// Currently infallible for a valid [`Quadrant`], but returns
+/// [`CoreError`] for interface consistency with the other assignment
+/// methods.
+pub fn random_assignment(quadrant: &Quadrant, seed: u64) -> Result<Assignment, CoreError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // One label per net: which row it comes from.
+    let mut labels: Vec<u32> = Vec::with_capacity(quadrant.net_count());
+    for (row, nets) in quadrant.rows_bottom_up() {
+        labels.extend(std::iter::repeat(row.get()).take(nets.len()));
+    }
+    labels.shuffle(&mut rng);
+
+    // Fill each row's labelled slots in ball order.
+    let mut cursors = vec![0usize; quadrant.row_count() + 1];
+    let mut order: Vec<NetId> = Vec::with_capacity(labels.len());
+    for label in labels {
+        let row = quadrant.row(label);
+        let c = &mut cursors[label as usize];
+        order.push(row[*c]);
+        *c += 1;
+    }
+    Ok(Assignment::from_order(order))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_route::is_monotonic;
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn random_orders_are_always_monotonic() {
+        let q = fig5();
+        for seed in 0..200 {
+            let a = random_assignment(&q, seed).unwrap();
+            assert!(is_monotonic(&q, &a), "seed {seed}");
+            assert_eq!(a.net_count(), 12);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let q = fig5();
+        let a = random_assignment(&q, 7).unwrap();
+        let b = random_assignment(&q, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let q = fig5();
+        let distinct: std::collections::HashSet<String> = (0..20)
+            .map(|s| random_assignment(&q, s).unwrap().to_string())
+            .collect();
+        assert!(distinct.len() > 10, "only {} distinct orders", distinct.len());
+    }
+
+    #[test]
+    fn every_net_appears_exactly_once() {
+        let q = fig5();
+        let a = random_assignment(&q, 3).unwrap();
+        let mut nets: Vec<u32> = a.order().iter().map(|n| n.raw()).collect();
+        nets.sort_unstable();
+        assert_eq!(nets, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn single_row_quadrant_has_only_one_order() {
+        let q = Quadrant::builder().row([5u32, 6, 7]).build().unwrap();
+        for seed in 0..10 {
+            let a = random_assignment(&q, seed).unwrap();
+            assert_eq!(a.to_string(), "5,6,7");
+        }
+    }
+
+    #[test]
+    fn interleavings_are_roughly_uniform() {
+        // Two rows of one net each: exactly two legal orders; a uniform
+        // sampler should produce both in ~half of the draws.
+        let q = Quadrant::builder().row([1u32]).row([2u32]).build().unwrap();
+        let mut first = 0;
+        let n = 400;
+        for seed in 0..n {
+            let a = random_assignment(&q, seed).unwrap();
+            if a.to_string() == "1,2" {
+                first += 1;
+            }
+        }
+        assert!((120..280).contains(&first), "{first}/{n} draws");
+    }
+}

@@ -1,0 +1,167 @@
+//! The increased-density metric `ID` (paper Eq. 2).
+//!
+//! After the congestion-driven assignment, the paper records how the nets
+//! are distributed over the sections delimited by the top-row nets ("if the
+//! recorded number is x, nets could be divided into x+1 sections"). During
+//! the exchange step every candidate order is scored by how much any
+//! section has *grown* relative to that baseline:
+//!
+//! ```text
+//! ID = max_c (I_c_new − I_c_ini),   1 ≤ c ≤ x + 1     (Eq. 2)
+//! ```
+//!
+//! Because monotonic routing concentrates wires on the highest line, a
+//! section that grows is a section whose top-line segment gets more
+//! crossing wires — so penalising `ID` suppresses density increases without
+//! re-routing anything.
+
+use copack_geom::{Assignment, Quadrant};
+use copack_route::estimate_congestion;
+
+use crate::CoreError;
+
+/// The section counts recorded right after the congestion-driven
+/// assignment — the `I_c^ini` of Eq. 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionBaseline {
+    initial: Vec<u32>,
+}
+
+impl SectionBaseline {
+    /// Records the baseline section counts of `assignment`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Route`] if the assignment is incomplete.
+    pub fn record(quadrant: &Quadrant, assignment: &Assignment) -> Result<Self, CoreError> {
+        let est = estimate_congestion(quadrant, assignment)?;
+        Ok(Self {
+            initial: est.sections,
+        })
+    }
+
+    /// The recorded `I_c^ini` values.
+    #[must_use]
+    pub fn initial(&self) -> &[u32] {
+        &self.initial
+    }
+
+    /// Computes `ID` (Eq. 2) for a candidate order against this baseline.
+    ///
+    /// Zero when no section grew; always ≥ 0 (the paper's maximum is taken
+    /// over signed differences, but since section counts sum to a constant,
+    /// any change makes the maximum positive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Route`] if the candidate is incomplete.
+    pub fn increased_density(
+        &self,
+        quadrant: &Quadrant,
+        candidate: &Assignment,
+    ) -> Result<u32, CoreError> {
+        let est = estimate_congestion(quadrant, candidate)?;
+        debug_assert_eq!(est.sections.len(), self.initial.len());
+        let id = est
+            .sections
+            .iter()
+            .zip(&self.initial)
+            .map(|(&new, &ini)| new.saturating_sub(ini))
+            .max()
+            .unwrap_or(0);
+        Ok(id)
+    }
+}
+
+/// One-shot convenience wrapper: `ID` of `candidate` relative to
+/// `baseline_assignment`.
+///
+/// # Errors
+///
+/// Propagates [`CoreError::Route`] for incomplete assignments.
+pub fn increased_density(
+    quadrant: &Quadrant,
+    baseline_assignment: &Assignment,
+    candidate: &Assignment,
+) -> Result<u32, CoreError> {
+    SectionBaseline::record(quadrant, baseline_assignment)?
+        .increased_density(quadrant, candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::FingerIdx;
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap()
+    }
+
+    fn dfa_order() -> Assignment {
+        Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0])
+    }
+
+    #[test]
+    fn identical_order_has_zero_id() {
+        let q = fig5();
+        let a = dfa_order();
+        assert_eq!(increased_density(&q, &a, &a).unwrap(), 0);
+    }
+
+    #[test]
+    fn crowding_a_section_raises_id() {
+        let q = fig5();
+        let base = dfa_order();
+        let baseline = SectionBaseline::record(&q, &base).unwrap();
+        // Move net 5 (F9) left past net 9 (F8): the section left of net 9
+        // gains a net. Swap slots 8 and 9.
+        let mut moved = base.clone();
+        moved.swap(FingerIdx::new(8), FingerIdx::new(9)).unwrap();
+        let id = baseline.increased_density(&q, &moved).unwrap();
+        assert_eq!(id, 1);
+    }
+
+    #[test]
+    fn moving_within_a_section_keeps_id_zero() {
+        let q = fig5();
+        let base = dfa_order();
+        let baseline = SectionBaseline::record(&q, &base).unwrap();
+        // Swap nets 3 and 4 (F6, F7): both live strictly between top-row
+        // nets 6 (F5) and 9 (F8) — same section before and after.
+        let mut moved = base.clone();
+        moved.swap(FingerIdx::new(6), FingerIdx::new(7)).unwrap();
+        assert_eq!(baseline.increased_density(&q, &moved).unwrap(), 0);
+    }
+
+    #[test]
+    fn baseline_matches_fig5_sections() {
+        let q = fig5();
+        let baseline = SectionBaseline::record(&q, &dfa_order()).unwrap();
+        assert_eq!(baseline.initial(), &[1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn big_migration_shows_up_proportionally() {
+        // Compare the clustered random order against the DFA baseline: the
+        // random order piles 5 nets into the outermost section (baseline 4)
+        // and 4 into the first (baseline 1) → ID = 3.
+        let q = fig5();
+        let random = Assignment::from_order([10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0]);
+        let id = increased_density(&q, &dfa_order(), &random).unwrap();
+        assert_eq!(id, 3);
+    }
+
+    #[test]
+    fn incomplete_candidate_is_an_error() {
+        let q = fig5();
+        let base = dfa_order();
+        let baseline = SectionBaseline::record(&q, &base).unwrap();
+        let partial = Assignment::from_order([10u32, 11, 9]);
+        assert!(baseline.increased_density(&q, &partial).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Incremental metric trackers for the annealer's inner loop.
+//!
+//! The exchange step proposes hundreds of thousands of adjacent swaps; the
+//! naive cost evaluation re-derives the top-line sections (`O(β log β)`)
+//! and ω (`O(β)`) from scratch each time. Because a single adjacent swap
+//! can only move one net across one section delimiter and can only touch
+//! two ω groups, both metrics admit `O(1)`-ish incremental updates. These
+//! trackers implement them; property tests pin them to the from-scratch
+//! definitions ([`crate::SectionBaseline`], [`crate::omega`]).
+
+use copack_geom::{Assignment, FingerIdx, NetId, Quadrant, TierId};
+
+use crate::{CoreError, SectionBaseline};
+
+/// Incrementally tracked top-line section counts (Eq. 2's `I_c`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionTracker {
+    /// `I_c^ini`, recorded at construction.
+    initial: Vec<u32>,
+    /// Current `I_c`.
+    counts: Vec<u32>,
+    /// Whether each net is a top-row (delimiter) net.
+    is_top: std::collections::BTreeMap<NetId, bool>,
+    /// Current section of each non-top net.
+    section_of: std::collections::BTreeMap<NetId, usize>,
+}
+
+impl SectionTracker {
+    /// Builds a tracker for `assignment` and records it as the Eq. 2
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::Route`] if the assignment is incomplete.
+    pub fn new(quadrant: &Quadrant, assignment: &Assignment) -> Result<Self, CoreError> {
+        let baseline = SectionBaseline::record(quadrant, assignment)?;
+        let top: Vec<NetId> = quadrant.row(quadrant.top_row()).to_vec();
+        let mut delim: Vec<usize> = top
+            .iter()
+            .map(|&n| {
+                assignment
+                    .position_of(n)
+                    .map(|f| f.zero_based())
+                    .ok_or(copack_route::RouteError::Unplaced { net: n })
+            })
+            .collect::<Result<_, _>>()?;
+        delim.sort_unstable();
+
+        let mut is_top = std::collections::BTreeMap::new();
+        for net in quadrant.nets() {
+            is_top.insert(net.id, top.contains(&net.id));
+        }
+        let mut section_of = std::collections::BTreeMap::new();
+        for (finger, net) in assignment.iter() {
+            if !is_top[&net] {
+                let s = delim.partition_point(|&d| d < finger.zero_based());
+                section_of.insert(net, s);
+            }
+        }
+        Ok(Self {
+            counts: baseline.initial().to_vec(),
+            initial: baseline.initial().to_vec(),
+            is_top,
+            section_of,
+        })
+    }
+
+    /// Applies an adjacent swap of the nets at `pos` and `pos + 1`
+    /// (called **before** the assignment itself is swapped; pass the nets
+    /// that currently sit left and right). Applying the same swap again
+    /// reverts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both nets are top-row nets (such swaps are monotonic-
+    /// illegal and must be filtered out by the caller) or if a net is
+    /// unknown.
+    pub fn apply_adjacent_swap(&mut self, left: NetId, right: NetId) {
+        let left_top = self.is_top[&left];
+        let right_top = self.is_top[&right];
+        assert!(
+            !(left_top && right_top),
+            "adjacent top-row nets cannot swap"
+        );
+        if left_top == right_top {
+            // Neither is a delimiter: both stay in the same section.
+            return;
+        }
+        // One delimiter, one ordinary net: the ordinary net crosses it.
+        let (mover, went_left) = if left_top { (right, true) } else { (left, false) };
+        let s = self.section_of[&mover];
+        let new_s = if went_left { s - 1 } else { s + 1 };
+        self.counts[s] -= 1;
+        self.counts[new_s] += 1;
+        self.section_of.insert(mover, new_s);
+    }
+
+    /// Current section counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Eq. 2's `ID` against the recorded baseline.
+    #[must_use]
+    pub fn increased_density(&self) -> u32 {
+        self.counts
+            .iter()
+            .zip(&self.initial)
+            .map(|(&new, &ini)| new.saturating_sub(ini))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Incrementally tracked ω (the stacking bonding-wire metric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OmegaTracker {
+    psi: u8,
+    /// Tier of the net in each slot (dense orders only).
+    tiers: Vec<TierId>,
+    /// Zero-bit count of each ψ-sized group.
+    group_zeros: Vec<u32>,
+    omega: u64,
+}
+
+impl OmegaTracker {
+    /// Builds a tracker for a **dense** assignment (every slot occupied).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Geom`] for unknown nets, or
+    /// [`CoreError::BadConfig`] if the assignment has empty slots (the
+    /// incremental update tracks slots, not nets).
+    pub fn new(quadrant: &Quadrant, assignment: &Assignment, psi: u8) -> Result<Self, CoreError> {
+        if assignment.net_count() != assignment.finger_count() {
+            return Err(CoreError::BadConfig {
+                parameter: "assignment (must be dense)",
+            });
+        }
+        let mut tiers = Vec::with_capacity(assignment.finger_count());
+        for (_, net) in assignment.iter() {
+            let n = quadrant
+                .net(net)
+                .ok_or(copack_geom::GeomError::UnknownNet { net })?;
+            tiers.push(n.tier);
+        }
+        let mut tracker = Self {
+            psi,
+            tiers,
+            group_zeros: Vec::new(),
+            omega: 0,
+        };
+        tracker.rebuild();
+        Ok(tracker)
+    }
+
+    fn rebuild(&mut self) {
+        let psi = self.psi as usize;
+        self.group_zeros = self
+            .tiers
+            .chunks(psi)
+            .map(|group| Self::zeros(group, self.psi))
+            .collect();
+        self.omega = self.group_zeros.iter().map(|&z| u64::from(z)).sum();
+    }
+
+    fn zeros(group: &[TierId], psi: u8) -> u32 {
+        let mask: u64 = if psi == 64 { u64::MAX } else { (1u64 << psi) - 1 };
+        let mut union = 0u64;
+        for t in group {
+            union |= t.one_hot();
+        }
+        u32::from(psi) - (union & mask).count_ones()
+    }
+
+    /// Applies an adjacent swap of slots `pos` and `pos + 1` (0-based).
+    /// Self-inverse, like the assignment swap it mirrors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos + 1` is out of range.
+    pub fn apply_adjacent_swap(&mut self, pos: FingerIdx) {
+        let i = pos.zero_based();
+        assert!(i + 1 < self.tiers.len(), "swap out of range");
+        self.tiers.swap(i, i + 1);
+        let psi = self.psi as usize;
+        let (ga, gb) = (i / psi, (i + 1) / psi);
+        if ga == gb {
+            return; // same group: union unchanged
+        }
+        for g in [ga, gb] {
+            let start = g * psi;
+            let end = (start + psi).min(self.tiers.len());
+            let new_zeros = Self::zeros(&self.tiers[start..end], self.psi);
+            self.omega -= u64::from(self.group_zeros[g]);
+            self.omega += u64::from(new_zeros);
+            self.group_zeros[g] = new_zeros;
+        }
+    }
+
+    /// Current ω.
+    #[must_use]
+    pub fn omega(&self) -> u64 {
+        self.omega
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dfa, omega_of_assignment, SectionBaseline};
+    use copack_geom::{Quadrant, TierId};
+    use rand::{Rng, SeedableRng};
+
+    fn quadrant() -> Quadrant {
+        let mut b = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9]);
+        for (i, n) in [10u32, 2, 4, 7, 0, 1, 3, 5, 8, 11, 6, 9].iter().enumerate() {
+            b = b.net_tier(*n, TierId::new((i % 3) as u8 + 1));
+        }
+        b.build().unwrap()
+    }
+
+    /// Drives both trackers through a random legal-swap walk and checks
+    /// them against the from-scratch definitions at every step.
+    #[test]
+    fn trackers_match_recompute_over_random_walks() {
+        let q = quadrant();
+        let initial = dfa(&q, 1).unwrap();
+        let baseline = SectionBaseline::record(&q, &initial).unwrap();
+        let mut sections = SectionTracker::new(&q, &initial).unwrap();
+        let mut omega_t = OmegaTracker::new(&q, &initial, 3).unwrap();
+        let mut a = initial.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let top: Vec<_> = q.row(q.top_row()).to_vec();
+
+        for step in 0..500 {
+            let p = rng.gen_range(1..=11u32);
+            let left = a.net_at(FingerIdx::new(p)).unwrap();
+            let right = a.net_at(FingerIdx::new(p + 1)).unwrap();
+            if top.contains(&left) && top.contains(&right) {
+                continue; // illegal for the section tracker, skip
+            }
+            sections.apply_adjacent_swap(left, right);
+            omega_t.apply_adjacent_swap(FingerIdx::new(p));
+            a.swap(FingerIdx::new(p), FingerIdx::new(p + 1)).unwrap();
+
+            let expected_id = baseline.increased_density(&q, &a).unwrap();
+            assert_eq!(sections.increased_density(), expected_id, "step {step}");
+            let expected_omega = omega_of_assignment(&q, &a, 3).unwrap();
+            assert_eq!(omega_t.omega(), expected_omega, "step {step}");
+        }
+    }
+
+    #[test]
+    fn swaps_are_self_inverse() {
+        let q = quadrant();
+        let a = dfa(&q, 1).unwrap();
+        let mut sections = SectionTracker::new(&q, &a).unwrap();
+        let mut omega_t = OmegaTracker::new(&q, &a, 3).unwrap();
+        let s0 = sections.clone();
+        let o0 = omega_t.clone();
+        let left = a.net_at(FingerIdx::new(4)).unwrap();
+        let right = a.net_at(FingerIdx::new(5)).unwrap();
+        sections.apply_adjacent_swap(left, right);
+        omega_t.apply_adjacent_swap(FingerIdx::new(4));
+        // Revert: note the nets' sides are now exchanged.
+        sections.apply_adjacent_swap(right, left);
+        omega_t.apply_adjacent_swap(FingerIdx::new(4));
+        assert_eq!(sections, s0);
+        assert_eq!(omega_t, o0);
+    }
+
+    #[test]
+    fn section_tracker_starts_at_zero_id() {
+        let q = quadrant();
+        let a = dfa(&q, 1).unwrap();
+        let t = SectionTracker::new(&q, &a).unwrap();
+        assert_eq!(t.increased_density(), 0);
+        assert_eq!(t.counts().iter().sum::<u32>() as usize, 9);
+    }
+
+    #[test]
+    fn omega_tracker_requires_dense_assignments() {
+        let q = quadrant();
+        let mut sparse = Assignment::empty(13);
+        for (i, net) in dfa(&q, 1).unwrap().order().into_iter().enumerate() {
+            sparse.place(net, FingerIdx::from_zero_based(i)).unwrap();
+        }
+        assert!(OmegaTracker::new(&q, &sparse, 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot swap")]
+    fn section_tracker_rejects_double_delimiters() {
+        let q = quadrant();
+        let a = dfa(&q, 1).unwrap();
+        let mut t = SectionTracker::new(&q, &a).unwrap();
+        // 11 and 6 are both top-row nets.
+        t.apply_adjacent_swap(NetId::new(11), NetId::new(6));
+    }
+}

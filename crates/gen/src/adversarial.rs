@@ -1,0 +1,183 @@
+//! Adversarial workloads: stress instances for the planning algorithms.
+//!
+//! The Table 1 circuits are benign (shuffled placements, balanced tiers);
+//! these generators produce the configurations each algorithm is *worst*
+//! at, for robustness testing and for measuring how much head-room the
+//! exchange step has.
+
+use copack_geom::{GeomError, NetKind, Quadrant, TierId};
+
+use crate::{row_sizes, Circuit};
+
+/// A circuit whose supply pads are all clustered on consecutive balls of
+/// the bottom row — the worst starting point for the IR-drop exchange
+/// (maximally uneven pad spacing after any congestion-driven assignment).
+///
+/// # Errors
+///
+/// Propagates [`GeomError`] from quadrant construction.
+pub fn clustered_supply(base: &Circuit) -> Result<Quadrant, GeomError> {
+    let q_nets = base.nets_per_quadrant();
+    let sizes = row_sizes(q_nets, base.rows);
+    let supply = ((q_nets as f64) * base.mix.power_fraction).round() as usize;
+    let mut builder = Quadrant::builder().geometry(base.geometry());
+    let mut id = 0u32;
+    for &size in &sizes {
+        let row: Vec<u32> = (0..size)
+            .map(|_| {
+                id += 1;
+                id
+            })
+            .collect();
+        builder = builder.row(row);
+    }
+    // Power pads on the first `supply` balls of the bottom row, ground on
+    // the next `supply`.
+    for n in 1..=supply as u32 {
+        builder = builder.net_kind(n, NetKind::Power);
+    }
+    for n in supply as u32 + 1..=(2 * supply) as u32 {
+        builder = builder.net_kind(n, NetKind::Ground);
+    }
+    builder.build()
+}
+
+/// A ψ-tier circuit whose tiers come in contiguous blocks (all tier-1 nets
+/// first, then all tier-2, …) — the worst case for the bonding-wire metric
+/// ω, where the exchange step has the most to reclaim.
+///
+/// # Errors
+///
+/// Propagates [`GeomError`] from quadrant construction.
+pub fn blocked_tiers(base: &Circuit, tiers: u8) -> Result<Quadrant, GeomError> {
+    let q_nets = base.nets_per_quadrant();
+    let sizes = row_sizes(q_nets, base.rows);
+    let mut builder = Quadrant::builder().geometry(base.geometry());
+    let mut id = 0u32;
+    for &size in &sizes {
+        let row: Vec<u32> = (0..size)
+            .map(|_| {
+                id += 1;
+                id
+            })
+            .collect();
+        builder = builder.row(row);
+    }
+    let per_tier = q_nets.div_ceil(tiers as usize);
+    for n in 1..=q_nets as u32 {
+        let tier = ((n as usize - 1) / per_tier) as u8 + 1;
+        builder = builder.net_tier(n, TierId::new(tier.min(tiers)));
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit;
+    use copack_geom::NetKind;
+
+    #[test]
+    fn clustered_supply_puts_pads_on_the_bottom_row() {
+        let q = clustered_supply(&circuit(1)).unwrap();
+        let bottom: Vec<_> = q.row(copack_geom::RowIdx::new(1)).to_vec();
+        let power: Vec<_> = q.nets_of_kind(NetKind::Power).collect();
+        assert!(!power.is_empty());
+        for p in &power {
+            assert!(bottom.contains(p), "{p} not on the bottom row");
+        }
+    }
+
+    #[test]
+    fn clustered_supply_is_worse_for_ir_than_the_shuffled_mix() {
+        use copack_core::{assign, evaluate_ir, AssignMethod};
+        use copack_power::GridSpec;
+        let base = circuit(1);
+        let shuffled = base.build_quadrant().unwrap();
+        let clustered = clustered_supply(&base).unwrap();
+        let grid = GridSpec::default_chip(16);
+        let ir = |q: &Quadrant| {
+            let a = assign(q, AssignMethod::dfa_default()).unwrap();
+            evaluate_ir(q, &a, &grid).unwrap().unwrap()
+        };
+        assert!(
+            ir(&clustered) > ir(&shuffled),
+            "clustered pads must start with worse IR-drop"
+        );
+    }
+
+    #[test]
+    fn blocked_tiers_maximise_omega() {
+        use copack_core::omega_of_assignment;
+        use copack_geom::Assignment;
+        let base = circuit(1);
+        let blocked = blocked_tiers(&base, 4).unwrap();
+        // Under the identity finger order, blocked tiers put whole groups
+        // on a single tier: omega hits its maximum, groups x (psi - 1).
+        let identity = Assignment::from_order(1..=24u32);
+        let om = omega_of_assignment(&blocked, &identity, 4).unwrap();
+        // Every group is single-tier except the ≤ tiers−1 groups straddling
+        // a block boundary: omega ≥ groups·(psi−1) − (tiers−1).
+        assert!(om >= 6 * 3 - 3, "omega {om}");
+        // The balanced deal of the standard generator scores far less.
+        let balanced = base.stacked(4).build_quadrant().unwrap();
+        let om_balanced = omega_of_assignment(&balanced, &identity, 4).unwrap();
+        assert!(om_balanced < om);
+    }
+
+    #[test]
+    fn ifa_is_near_perfect_on_two_level_grids() {
+        // Paper §3.1.2: "If IFA is applied to a two-level BGA package, the
+        // routing result is very good." On 2-row equal grids IFA's density
+        // must match DFA's (both near the balanced optimum).
+        use copack_core::{dfa, ifa};
+        use copack_route::{balanced_density_map, density_map, DensityModel};
+        for seed in 0..5u64 {
+            let c = Circuit {
+                name: format!("two-level-{seed}"),
+                finger_count: 96,
+                ball_pitch: 1.2,
+                finger_width: 0.02,
+                finger_height: 0.2,
+                finger_space: 0.02,
+                rows: 2,
+                mix: crate::NetMix {
+                    power_fraction: 0.0,
+                    ground_fraction: 0.0,
+                },
+                profile: crate::RowProfile::Equal,
+                tiers: 1,
+                seed,
+            };
+            let q = c.build_quadrant().unwrap();
+            let ifa_d = density_map(&q, &ifa(&q).unwrap(), DensityModel::Geometric)
+                .unwrap()
+                .max_density();
+            let dfa_d = density_map(&q, &dfa(&q, 1).unwrap(), DensityModel::Geometric)
+                .unwrap()
+                .max_density();
+            assert!(ifa_d <= dfa_d + 1, "seed {seed}: ifa {ifa_d} vs dfa {dfa_d}");
+            // And IFA sits within 1 of the balanced optimum of its own order.
+            let bal = balanced_density_map(&q, &ifa(&q).unwrap())
+                .unwrap()
+                .max_density();
+            assert!(ifa_d <= bal + 1, "seed {seed}: ifa {ifa_d} vs optimum {bal}");
+        }
+    }
+
+    #[test]
+    fn adversarial_instances_stay_plannable() {
+        use copack_core::{assign, AssignMethod};
+        use copack_route::is_monotonic;
+        let base = circuit(2);
+        for q in [
+            clustered_supply(&base).unwrap(),
+            blocked_tiers(&base, 4).unwrap(),
+        ] {
+            for method in [AssignMethod::Ifa, AssignMethod::dfa_default()] {
+                let a = assign(&q, method).unwrap();
+                assert!(is_monotonic(&q, &a));
+            }
+        }
+    }
+}

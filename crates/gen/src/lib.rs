@@ -1,0 +1,51 @@
+//! Synthetic test-circuit and workload generation.
+//!
+//! The paper evaluates on "five simplified industrial circuits" whose only
+//! published properties are the Table 1 parameters (finger/pad count, bump
+//! ball space, finger width/height/space) plus the fixed experimental setup
+//! (§4: four horizontal lines of bump balls per package side, four
+//! independently planned quadrants). Those circuits are proprietary, so
+//! this crate generates synthetic equivalents that match **every published
+//! parameter exactly** and fill in the rest deterministically from a seed:
+//!
+//! * the per-quadrant ball grid is a 4-row trapezoid (wider rows at the
+//!   bottom, like the paper's figures);
+//! * net-to-ball placement is a seeded shuffle (which net lands on which
+//!   ball is part of the problem instance, not of the algorithm);
+//! * a configurable fraction of nets are power/ground pads;
+//! * for stacking experiments, tiers are dealt round-robin through a seeded
+//!   shuffle so every tier gets an equal share.
+//!
+//! Only these quantities enter the paper's algorithms, so the synthetic
+//! circuits exercise exactly the same code paths as the originals (see the
+//! substitution table in `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use copack_gen::circuits;
+//!
+//! let all = circuits();
+//! assert_eq!(all.len(), 5);
+//! assert_eq!(all[0].finger_count, 96); // Table 1, circuit 1
+//! let q = all[2].build_quadrant().unwrap();
+//! assert_eq!(q.net_count(), 208 / 4);
+//! assert_eq!(q.row_count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversarial;
+mod circuit;
+mod netmix;
+mod rows;
+mod sweep;
+mod table1;
+
+pub use adversarial::{blocked_tiers, clustered_supply};
+pub use circuit::Circuit;
+pub use netmix::NetMix;
+pub use rows::{row_sizes, row_sizes_with, RowProfile};
+pub use sweep::{finger_count_sweep, row_depth_sweep};
+pub use table1::{circuit, circuits};

@@ -1,0 +1,89 @@
+//! Parameter sweeps for scaling studies beyond the paper's five circuits.
+
+use crate::{Circuit, NetMix};
+
+/// A sweep over total finger/pad counts at circuit-3 geometry, for scaling
+/// benchmarks (the paper's complexity claims: IFA `O(n²)`, DFA `O(n)`).
+///
+/// Counts are rounded up to multiples of 4 (one package = 4 quadrants) and
+/// to at least 16 (each quadrant needs one ball per row).
+#[must_use]
+pub fn finger_count_sweep(counts: &[usize]) -> Vec<Circuit> {
+    counts
+        .iter()
+        .map(|&raw| {
+            let fingers = raw.next_multiple_of(4).max(16);
+            Circuit {
+                name: format!("sweep-{fingers}"),
+                finger_count: fingers,
+                ball_pitch: 1.2,
+                finger_width: 0.006,
+                finger_height: 0.2,
+                finger_space: 0.007,
+                rows: 4,
+                mix: NetMix::default(),
+                profile: crate::RowProfile::default(),
+                tiers: 1,
+                seed: 0xA110 + fingers as u64,
+            }
+        })
+        .collect()
+}
+
+/// A sweep over ball-grid depth (rows per quadrant) at a fixed net count —
+/// the regime where DFA's whole-grid view beats IFA's two-line look-ahead
+/// (the paper's Fig. 13 argument).
+#[must_use]
+pub fn row_depth_sweep(fingers: usize, depths: &[usize]) -> Vec<Circuit> {
+    depths
+        .iter()
+        .map(|&rows| Circuit {
+            name: format!("depth-{rows}"),
+            finger_count: fingers,
+            ball_pitch: 1.2,
+            finger_width: 0.006,
+            finger_height: 0.2,
+            finger_space: 0.007,
+            rows,
+            mix: NetMix::default(),
+            profile: crate::RowProfile::default(),
+            tiers: 1,
+            seed: 0xDEE9 + rows as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finger_sweep_rounds_and_builds() {
+        let sweep = finger_count_sweep(&[10, 100, 250]);
+        assert_eq!(
+            sweep.iter().map(|c| c.finger_count).collect::<Vec<_>>(),
+            vec![16, 100, 252]
+        );
+        for c in &sweep {
+            assert!(c.build_quadrant().is_ok(), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn depth_sweep_varies_rows() {
+        let sweep = row_depth_sweep(96, &[2, 4, 6]);
+        for (c, &rows) in sweep.iter().zip(&[2usize, 4, 6]) {
+            assert_eq!(c.rows, rows);
+            let q = c.build_quadrant().unwrap();
+            assert_eq!(q.row_count(), rows);
+            assert_eq!(q.net_count(), 24);
+        }
+    }
+
+    #[test]
+    fn sweep_seeds_are_distinct() {
+        let sweep = finger_count_sweep(&[20, 40, 60]);
+        let seeds: std::collections::HashSet<u64> = sweep.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! The five test circuits of the paper's Table 1.
+
+use crate::{Circuit, NetMix};
+
+/// Base RNG seed; circuit `i` uses `BASE_SEED + i` so instances differ but
+/// every run of the harness sees identical circuits.
+const BASE_SEED: u64 = 0x5EED_2009;
+
+/// The five circuits of Table 1, with every published parameter verbatim.
+///
+/// | circuit | finger/pads | ball space | finger w | finger h | finger s |
+/// |---|---|---|---|---|---|
+/// | 1 | 96  | 2.0 | 0.025 | 0.4 | 0.025 |
+/// | 2 | 160 | 1.4 | 0.006 | 0.3 | 0.1   |
+/// | 3 | 208 | 1.2 | 0.006 | 0.2 | 0.007 |
+/// | 4 | 352 | 1.2 | 0.1   | 0.2 | 0.12  |
+/// | 5 | 448 | 1.2 | 0.1   | 0.2 | 0.12  |
+#[must_use]
+pub fn circuits() -> Vec<Circuit> {
+    let rows = [
+        ("circuit 1", 96, 2.0, 0.025, 0.4, 0.025),
+        ("circuit 2", 160, 1.4, 0.006, 0.3, 0.1),
+        ("circuit 3", 208, 1.2, 0.006, 0.2, 0.007),
+        ("circuit 4", 352, 1.2, 0.1, 0.2, 0.12),
+        ("circuit 5", 448, 1.2, 0.1, 0.2, 0.12),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(
+            |(i, &(name, fingers, pitch, fw, fh, fs))| Circuit {
+                name: name.to_owned(),
+                finger_count: fingers,
+                ball_pitch: pitch,
+                finger_width: fw,
+                finger_height: fh,
+                finger_space: fs,
+                rows: 4,
+                mix: NetMix::default(),
+                profile: crate::RowProfile::default(),
+                tiers: 1,
+                seed: BASE_SEED + i as u64,
+            },
+        )
+        .collect()
+}
+
+/// Table 1 circuit by 1-based index.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ index ≤ 5`.
+#[must_use]
+pub fn circuit(index: usize) -> Circuit {
+    assert!((1..=5).contains(&index), "Table 1 has circuits 1..=5");
+    circuits().swap_remove(index - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_published_parameters_match_table1() {
+        let all = circuits();
+        let expected = [
+            (96, 2.0, 0.025, 0.4, 0.025),
+            (160, 1.4, 0.006, 0.3, 0.1),
+            (208, 1.2, 0.006, 0.2, 0.007),
+            (352, 1.2, 0.1, 0.2, 0.12),
+            (448, 1.2, 0.1, 0.2, 0.12),
+        ];
+        for (c, &(fingers, pitch, fw, fh, fs)) in all.iter().zip(&expected) {
+            assert_eq!(c.finger_count, fingers);
+            assert_eq!(c.ball_pitch, pitch);
+            assert_eq!(c.finger_width, fw);
+            assert_eq!(c.finger_height, fh);
+            assert_eq!(c.finger_space, fs);
+            assert_eq!(c.rows, 4);
+            assert_eq!(c.tiers, 1);
+        }
+    }
+
+    #[test]
+    fn every_circuit_builds() {
+        for c in circuits() {
+            let q = c.build_quadrant().unwrap();
+            assert_eq!(q.net_count() * 4, c.finger_count);
+        }
+    }
+
+    #[test]
+    fn circuit_lookup_is_one_based() {
+        assert_eq!(circuit(1).finger_count, 96);
+        assert_eq!(circuit(5).finger_count, 448);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=5")]
+    fn circuit_zero_panics() {
+        let _ = circuit(0);
+    }
+
+    #[test]
+    fn seeds_differ_between_circuits() {
+        let all = circuits();
+        let seeds: std::collections::HashSet<u64> = all.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 5);
+    }
+}

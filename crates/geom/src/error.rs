@@ -1,0 +1,162 @@
+//! Error type for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::NetId;
+
+/// Errors raised while building or validating package-model structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// The same net id was placed on two bump balls.
+    DuplicateNet {
+        /// The offending net id.
+        net: NetId,
+    },
+    /// A net id was referenced that is not on any bump ball.
+    UnknownNet {
+        /// The missing net id.
+        net: NetId,
+    },
+    /// A quadrant was built with no ball rows.
+    NoRows,
+    /// A ball row was empty.
+    EmptyRow {
+        /// 1-based row number (bottom-up).
+        row: u32,
+    },
+    /// There are fewer finger slots than nets.
+    TooFewFingers {
+        /// Number of finger slots requested.
+        fingers: usize,
+        /// Number of nets that need a slot.
+        nets: usize,
+    },
+    /// A geometric parameter was non-positive or non-finite.
+    InvalidGeometry {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+    },
+    /// A stack was configured with an unusable tier count.
+    InvalidStack {
+        /// The requested tier count.
+        tiers: u8,
+    },
+    /// A net refers to a tier outside the configured stack.
+    TierOutOfRange {
+        /// The offending tier number.
+        tier: u8,
+        /// Number of tiers in the stack.
+        tiers: u8,
+    },
+    /// An assignment slot index was outside the quadrant's finger row.
+    SlotOutOfRange {
+        /// 0-based slot index.
+        slot: usize,
+        /// Number of finger slots.
+        fingers: usize,
+    },
+    /// Two nets were assigned to the same finger slot.
+    SlotOccupied {
+        /// 0-based slot index.
+        slot: usize,
+        /// Net already in the slot.
+        occupant: NetId,
+        /// Net that attempted to claim the slot.
+        incoming: NetId,
+    },
+    /// An assignment does not place every net of the quadrant.
+    IncompleteAssignment {
+        /// Number of nets placed.
+        placed: usize,
+        /// Number of nets in the quadrant.
+        nets: usize,
+    },
+    /// A package was built from a number of quadrants other than four.
+    WrongQuadrantCount {
+        /// Number of quadrants supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateNet { net } => write!(f, "net {net} placed on more than one bump ball"),
+            Self::UnknownNet { net } => write!(f, "net {net} is not on any bump ball"),
+            Self::NoRows => write!(f, "quadrant has no bump-ball rows"),
+            Self::EmptyRow { row } => write!(f, "bump-ball row y={row} is empty"),
+            Self::TooFewFingers { fingers, nets } => {
+                write!(f, "{fingers} finger slots cannot hold {nets} nets")
+            }
+            Self::InvalidGeometry { parameter } => {
+                write!(f, "geometric parameter `{parameter}` must be positive and finite")
+            }
+            Self::InvalidStack { tiers } => {
+                write!(f, "stack tier count {tiers} is outside 1..=64")
+            }
+            Self::TierOutOfRange { tier, tiers } => {
+                write!(f, "tier {tier} exceeds the stack's {tiers} tiers")
+            }
+            Self::SlotOutOfRange { slot, fingers } => {
+                write!(f, "finger slot {slot} is outside 0..{fingers}")
+            }
+            Self::SlotOccupied {
+                slot,
+                occupant,
+                incoming,
+            } => write!(
+                f,
+                "finger slot {slot} already holds {occupant}, cannot also place {incoming}"
+            ),
+            Self::IncompleteAssignment { placed, nets } => {
+                write!(f, "assignment places {placed} of {nets} nets")
+            }
+            Self::WrongQuadrantCount { got } => {
+                write!(f, "a package needs exactly 4 quadrants, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let cases: Vec<GeomError> = vec![
+            GeomError::DuplicateNet { net: NetId::new(1) },
+            GeomError::UnknownNet { net: NetId::new(2) },
+            GeomError::NoRows,
+            GeomError::EmptyRow { row: 3 },
+            GeomError::TooFewFingers { fingers: 1, nets: 2 },
+            GeomError::InvalidGeometry { parameter: "ball_pitch" },
+            GeomError::InvalidStack { tiers: 0 },
+            GeomError::TierOutOfRange { tier: 5, tiers: 4 },
+            GeomError::SlotOutOfRange { slot: 9, fingers: 4 },
+            GeomError::SlotOccupied {
+                slot: 0,
+                occupant: NetId::new(1),
+                incoming: NetId::new(2),
+            },
+            GeomError::IncompleteAssignment { placed: 3, nets: 4 },
+            GeomError::WrongQuadrantCount { got: 3 },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with(|c: char| c.is_numeric()));
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<GeomError>();
+    }
+}

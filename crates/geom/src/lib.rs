@@ -1,0 +1,80 @@
+//! Two-layer BGA package and problem model for chip-package co-design.
+//!
+//! This crate is the geometric and structural substrate for the `copack`
+//! workspace, which reproduces *"Package routability- and IR-drop-aware
+//! finger/pad assignment in chip-package co-design"* (Lu, Chen, Liu, Shih;
+//! DATE 2009, extended in INTEGRATION 2012).
+//!
+//! # Model
+//!
+//! The paper's package (its Fig. 2) is a two-layer ball-grid-array substrate:
+//!
+//! * the die sits on **Layer 1**, surrounded by a rectangular ring of
+//!   *fingers* (landing pads) that receive bonding wires from the die pads;
+//! * *bump balls* are uniformly distributed on **Layer 2** and connect to the
+//!   PCB;
+//! * each net runs finger → (Layer 1 wire) → via → (Layer 2 wire) → ball,
+//!   with **at most one via per net**, placed at the bottom-left corner of
+//!   the net's bump ball;
+//! * the package is cut into four triangular quadrants that are planned
+//!   independently.
+//!
+//! The central type is [`Quadrant`]: one triangle of the package, holding a
+//! finger row facing a grid of bump-ball rows. [`Package`] composes four
+//! quadrants and maps finger slots onto the die perimeter (needed by the
+//! IR-drop model). [`Assignment`] is a net → finger-slot mapping, the output
+//! of the planning algorithms in `copack-core`.
+//!
+//! # Coordinates
+//!
+//! Within a quadrant, `x` grows to the right and `y` grows **away from the
+//! ball grid towards the fingers**: ball row `1` is the lowest (farthest from
+//! the die), row `n` the highest (closest to the fingers), and the finger row
+//! sits above row `n`. This matches the paper's figures, where the
+//! "highest horizontal line" (`y = n`) is processed first by the assignment
+//! algorithms and carries the highest wire density.
+//!
+//! # Example
+//!
+//! ```
+//! use copack_geom::{NetKind, Quadrant};
+//!
+//! # fn main() -> Result<(), copack_geom::GeomError> {
+//! // The 12-net instance of the paper's Fig. 5: three ball rows of
+//! // 3, 4 and 5 balls (row 3 is the highest, listed last).
+//! let quadrant = Quadrant::builder()
+//!     .row([10, 2, 4, 7, 0])  // y = 1 (lowest)
+//!     .row([1, 3, 5, 8])      // y = 2
+//!     .row([11, 6, 9])        // y = 3 (highest)
+//!     .net_kind(0, NetKind::Power)
+//!     .build()?;
+//!
+//! assert_eq!(quadrant.net_count(), 12);
+//! assert_eq!(quadrant.row_count(), 3);
+//! assert_eq!(quadrant.row(3).len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod ball;
+mod error;
+mod ids;
+mod net;
+mod package;
+mod point;
+mod quadrant;
+mod tier;
+
+pub use assignment::Assignment;
+pub use ball::BallRef;
+pub use error::GeomError;
+pub use ids::{FingerIdx, NetId, QuadrantSide, RowIdx};
+pub use net::{Net, NetKind};
+pub use package::{Package, PackageBuilder, PerimeterSlot};
+pub use point::Point;
+pub use quadrant::{Quadrant, QuadrantBuilder, QuadrantGeometry};
+pub use tier::{StackConfig, TierId};

@@ -1,0 +1,245 @@
+//! The assignment text format.
+//!
+//! ```text
+//! assignment <circuit-name>
+//! order 10 11 1 2 6 3 4 9 5 7 8 0     # dense finger order, F1 leftmost
+//! slot 14 3                            # or sparse: net 3 at finger F14
+//! ```
+//!
+//! Dense `order` and sparse `slot` directives are mutually exclusive.
+
+use std::fmt::Write as _;
+
+use copack_geom::{Assignment, FingerIdx, NetId};
+
+use crate::error::{ParseError, ParseErrorKind};
+
+/// Parses an assignment file; returns the referenced circuit name and the
+/// assignment.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for any syntax violation
+/// or slot conflict.
+pub fn parse_assignment(text: &str) -> Result<(String, Assignment), ParseError> {
+    let mut name: Option<String> = None;
+    let mut order: Option<Vec<NetId>> = None;
+    let mut slots: Vec<(usize, u32, u32)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(i) => raw[..i].trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty");
+        let rest: Vec<&str> = tokens.collect();
+        match keyword {
+            "assignment" => {
+                if name.is_some() {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::Duplicate {
+                            keyword: "assignment",
+                        },
+                    ));
+                }
+                if rest.is_empty() {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::BadOperands {
+                            keyword: "assignment",
+                            expected: "a circuit name",
+                        },
+                    ));
+                }
+                name = Some(rest.join(" "));
+            }
+            "order" => {
+                if order.is_some() {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::Duplicate { keyword: "order" },
+                    ));
+                }
+                let ids: Vec<NetId> = rest
+                    .iter()
+                    .map(|t| parse_u32(line_no, t).map(NetId::new))
+                    .collect::<Result<_, _>>()?;
+                if ids.is_empty() {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::BadOperands {
+                            keyword: "order",
+                            expected: "at least one net id",
+                        },
+                    ));
+                }
+                order = Some(ids);
+            }
+            "slot" => {
+                if rest.len() != 2 {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::BadOperands {
+                            keyword: "slot",
+                            expected: "`<finger> <net>`",
+                        },
+                    ));
+                }
+                let finger = parse_u32(line_no, rest[0])?;
+                let net = parse_u32(line_no, rest[1])?;
+                if finger == 0 {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::BadNumber {
+                            token: rest[0].to_owned(),
+                        },
+                    ));
+                }
+                slots.push((line_no, finger, net));
+            }
+            other => {
+                return Err(ParseError::new(
+                    line_no,
+                    ParseErrorKind::UnknownDirective {
+                        keyword: other.to_owned(),
+                    },
+                ))
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| {
+        ParseError::new(
+            0,
+            ParseErrorKind::MissingHeader {
+                expected: "assignment",
+            },
+        )
+    })?;
+
+    let assignment = match (order, slots.is_empty()) {
+        (Some(ids), true) => Assignment::from_order(ids),
+        (Some(_), false) => {
+            let line = slots[0].0;
+            return Err(ParseError::new(
+                line,
+                ParseErrorKind::BadOperands {
+                    keyword: "slot",
+                    expected: "either `order` or `slot`s, not both",
+                },
+            ));
+        }
+        (None, false) => {
+            let fingers = slots.iter().map(|&(_, f, _)| f).max().expect("non-empty") as usize;
+            let mut a = Assignment::empty(fingers);
+            for (line_no, finger, net) in slots {
+                a.place(NetId::new(net), FingerIdx::new(finger))
+                    .map_err(|e| ParseError::new(line_no, ParseErrorKind::Model(e)))?;
+            }
+            a
+        }
+        (None, true) => {
+            return Err(ParseError::new(
+                0,
+                ParseErrorKind::BadOperands {
+                    keyword: "order",
+                    expected: "an `order` or at least one `slot`",
+                },
+            ))
+        }
+    };
+    Ok((name, assignment))
+}
+
+/// Writes an assignment (dense `order` form when full, sparse `slot` form
+/// otherwise).
+#[must_use]
+pub fn write_assignment(circuit: &str, assignment: &Assignment) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "assignment {circuit}");
+    if assignment.net_count() == assignment.finger_count() {
+        let ids: Vec<String> = assignment
+            .order()
+            .iter()
+            .map(|n| n.raw().to_string())
+            .collect();
+        let _ = writeln!(out, "order {}", ids.join(" "));
+    } else {
+        for (finger, net) in assignment.iter() {
+            let _ = writeln!(out, "slot {} {}", finger.get(), net.raw());
+        }
+    }
+    out
+}
+
+fn parse_u32(line: usize, token: &str) -> Result<u32, ParseError> {
+    token.parse().map_err(|_| {
+        ParseError::new(
+            line,
+            ParseErrorKind::BadNumber {
+                token: token.to_owned(),
+            },
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_order_round_trips() {
+        let text = "assignment fig5\norder 10 11 1 2 6 3 4 9 5 7 8 0\n";
+        let (name, a) = parse_assignment(text).unwrap();
+        assert_eq!(name, "fig5");
+        assert_eq!(a.to_string(), "10,11,1,2,6,3,4,9,5,7,8,0");
+        let (name2, a2) = parse_assignment(&write_assignment("fig5", &a)).unwrap();
+        assert_eq!((name2, a2), (name, a));
+    }
+
+    #[test]
+    fn sparse_slots_round_trip() {
+        let text = "assignment s\nslot 2 7\nslot 5 9\n";
+        let (_, a) = parse_assignment(text).unwrap();
+        assert_eq!(a.finger_count(), 5);
+        assert_eq!(a.net_count(), 2);
+        assert_eq!(a.position_of(NetId::new(9)).unwrap().get(), 5);
+        let (_, a2) = parse_assignment(&write_assignment("s", &a)).unwrap();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn mixing_order_and_slots_is_rejected() {
+        let err = parse_assignment("assignment x\norder 1 2\nslot 1 1\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadOperands { .. }));
+    }
+
+    #[test]
+    fn conflicting_slots_are_model_errors() {
+        let err = parse_assignment("assignment x\nslot 1 1\nslot 1 2\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, ParseErrorKind::Model(_)));
+    }
+
+    #[test]
+    fn empty_and_headerless_files_are_rejected() {
+        assert!(matches!(
+            parse_assignment("").unwrap_err().kind,
+            ParseErrorKind::MissingHeader { .. }
+        ));
+        assert!(parse_assignment("assignment x\n").is_err());
+        assert!(parse_assignment("order 1\n").is_err());
+    }
+
+    #[test]
+    fn zero_finger_slots_are_rejected() {
+        let err = parse_assignment("assignment x\nslot 0 1\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::BadNumber { .. }));
+    }
+}

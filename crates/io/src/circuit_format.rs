@@ -1,0 +1,362 @@
+//! The circuit (quadrant) text format.
+//!
+//! ```text
+//! # comment
+//! quadrant <name>
+//! geometry ball_pitch=1.2 finger_pitch=0.106 finger_width=0.1 \
+//!          finger_height=0.2 via_diameter=0.1 ball_diameter=0.2   # one line
+//! fingers 24                  # optional; default = net count
+//! row 10 2 4 7 0              # bottom row first (y = 1)
+//! row 1 3 5 8
+//! row 11 6 9
+//! net 10 power                # optional per-net overrides
+//! net 3 signal tier=2
+//! ```
+
+use std::fmt::Write as _;
+
+use copack_geom::{NetKind, Quadrant, QuadrantGeometry, TierId};
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::ParseError as E;
+
+/// Parses a quadrant file; returns the declared name and the quadrant.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for any syntax or model
+/// violation.
+pub fn parse_quadrant(text: &str) -> Result<(String, Quadrant), E> {
+    let mut name: Option<String> = None;
+    let mut geometry: Option<QuadrantGeometry> = None;
+    let mut fingers: Option<usize> = None;
+    let mut builder = Quadrant::builder();
+    let mut saw_row = false;
+    let mut overrides: Vec<(usize, u32, NetKind, Option<TierId>)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = tokens.collect();
+        match keyword {
+            "quadrant" => {
+                if name.is_some() {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::Duplicate { keyword: "quadrant" },
+                    ));
+                }
+                if rest.is_empty() {
+                    return Err(bad(line_no, "quadrant", "a name"));
+                }
+                name = Some(rest.join(" "));
+            }
+            "geometry" => {
+                if geometry.is_some() {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::Duplicate { keyword: "geometry" },
+                    ));
+                }
+                geometry = Some(parse_geometry(line_no, &rest)?);
+            }
+            "fingers" => {
+                if fingers.is_some() {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::Duplicate { keyword: "fingers" },
+                    ));
+                }
+                if rest.len() != 1 {
+                    return Err(bad(line_no, "fingers", "one count"));
+                }
+                fingers = Some(parse_num::<usize>(line_no, rest[0])?);
+            }
+            "row" => {
+                if rest.is_empty() {
+                    return Err(bad(line_no, "row", "at least one net id"));
+                }
+                let ids: Vec<u32> = rest
+                    .iter()
+                    .map(|t| parse_num::<u32>(line_no, t))
+                    .collect::<Result<_, _>>()?;
+                builder = builder.row(ids);
+                saw_row = true;
+            }
+            "net" => {
+                if rest.len() < 2 || rest.len() > 3 {
+                    return Err(bad(line_no, "net", "`<id> <kind> [tier=<d>]`"));
+                }
+                let id = parse_num::<u32>(line_no, rest[0])?;
+                let kind = match rest[1] {
+                    "signal" => NetKind::Signal,
+                    "power" => NetKind::Power,
+                    "ground" => NetKind::Ground,
+                    other => {
+                        return Err(ParseError::new(
+                            line_no,
+                            ParseErrorKind::BadNetKind {
+                                token: other.to_owned(),
+                            },
+                        ))
+                    }
+                };
+                let tier = match rest.get(2) {
+                    None => None,
+                    Some(attr) => {
+                        let (key, value) = split_attr(line_no, attr)?;
+                        if key != "tier" {
+                            return Err(ParseError::new(
+                                line_no,
+                                ParseErrorKind::UnknownAttribute { key: key.to_owned() },
+                            ));
+                        }
+                        let d = parse_num::<u8>(line_no, value)?;
+                        if d == 0 {
+                            return Err(ParseError::new(
+                                line_no,
+                                ParseErrorKind::BadNumber {
+                                    token: value.to_owned(),
+                                },
+                            ));
+                        }
+                        Some(TierId::new(d))
+                    }
+                };
+                overrides.push((line_no, id, kind, tier));
+            }
+            other => {
+                return Err(ParseError::new(
+                    line_no,
+                    ParseErrorKind::UnknownDirective {
+                        keyword: other.to_owned(),
+                    },
+                ))
+            }
+        }
+    }
+
+    let name = name.ok_or_else(|| {
+        ParseError::new(0, ParseErrorKind::MissingHeader { expected: "quadrant" })
+    })?;
+    if !saw_row {
+        return Err(ParseError::new(
+            0,
+            ParseErrorKind::Model(copack_geom::GeomError::NoRows),
+        ));
+    }
+    if let Some(g) = geometry {
+        builder = builder.geometry(g);
+    }
+    if let Some(f) = fingers {
+        builder = builder.fingers(f);
+    }
+    let mut last_override_line = 0;
+    for (line_no, id, kind, tier) in overrides {
+        last_override_line = line_no;
+        builder = builder.net_kind(id, kind);
+        if let Some(t) = tier {
+            builder = builder.net_tier(id, t);
+        }
+    }
+    let quadrant = builder
+        .build()
+        .map_err(|e| ParseError::new(last_override_line, ParseErrorKind::Model(e)))?;
+    Ok((name, quadrant))
+}
+
+/// Writes a quadrant in the circuit format (parsable by
+/// [`parse_quadrant`]).
+#[must_use]
+pub fn write_quadrant(name: &str, quadrant: &Quadrant) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "quadrant {name}");
+    let g = quadrant.geometry();
+    let _ = writeln!(
+        out,
+        "geometry ball_pitch={} finger_pitch={} finger_width={} finger_height={} \
+         via_diameter={} ball_diameter={}",
+        g.ball_pitch, g.finger_pitch, g.finger_width, g.finger_height, g.via_diameter,
+        g.ball_diameter
+    );
+    if quadrant.finger_count() != quadrant.net_count() {
+        let _ = writeln!(out, "fingers {}", quadrant.finger_count());
+    }
+    for (_, nets) in quadrant.rows_bottom_up() {
+        let ids: Vec<String> = nets.iter().map(|n| n.raw().to_string()).collect();
+        let _ = writeln!(out, "row {}", ids.join(" "));
+    }
+    for net in quadrant.nets() {
+        let needs_kind = net.kind != NetKind::Signal;
+        let needs_tier = net.tier != TierId::BASE;
+        if needs_kind || needs_tier {
+            let _ = write!(out, "net {} {}", net.id.raw(), net.kind);
+            if needs_tier {
+                let _ = write!(out, " tier={}", net.tier.get());
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
+}
+
+fn bad(line: usize, keyword: &'static str, expected: &'static str) -> E {
+    ParseError::new(line, ParseErrorKind::BadOperands { keyword, expected })
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, token: &str) -> Result<T, E> {
+    token.parse().map_err(|_| {
+        ParseError::new(
+            line,
+            ParseErrorKind::BadNumber {
+                token: token.to_owned(),
+            },
+        )
+    })
+}
+
+fn split_attr(line: usize, token: &str) -> Result<(&str, &str), E> {
+    token.split_once('=').ok_or_else(|| {
+        ParseError::new(
+            line,
+            ParseErrorKind::BadOperands {
+                keyword: "net",
+                expected: "`key=value` attributes",
+            },
+        )
+    })
+}
+
+fn parse_geometry(line: usize, tokens: &[&str]) -> Result<QuadrantGeometry, E> {
+    let mut g = QuadrantGeometry::default();
+    for token in tokens {
+        let (key, value) = split_attr(line, token)?;
+        let v: f64 = parse_num(line, value)?;
+        match key {
+            "ball_pitch" => g.ball_pitch = v,
+            "finger_pitch" => g.finger_pitch = v,
+            "finger_width" => g.finger_width = v,
+            "finger_height" => g.finger_height = v,
+            "via_diameter" => g.via_diameter = v,
+            "ball_diameter" => g.ball_diameter = v,
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    ParseErrorKind::UnknownAttribute {
+                        key: other.to_owned(),
+                    },
+                ))
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG5: &str = "\
+# the paper's Fig. 5 instance
+quadrant fig5
+row 10 2 4 7 0
+row 1 3 5 8
+row 11 6 9
+net 10 power
+net 0 ground tier=2
+";
+
+    #[test]
+    fn parses_the_fig5_file() {
+        let (name, q) = parse_quadrant(FIG5).unwrap();
+        assert_eq!(name, "fig5");
+        assert_eq!(q.net_count(), 12);
+        assert_eq!(q.row_count(), 3);
+        assert_eq!(q.net(10.into()).unwrap().kind, NetKind::Power);
+        assert_eq!(q.net(0.into()).unwrap().tier, TierId::new(2));
+    }
+
+    #[test]
+    fn round_trips() {
+        let (_, q) = parse_quadrant(FIG5).unwrap();
+        let (name, q2) = parse_quadrant(&write_quadrant("fig5", &q)).unwrap();
+        assert_eq!(name, "fig5");
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn geometry_and_fingers_round_trip() {
+        let text = "\
+quadrant g
+geometry ball_pitch=2 finger_pitch=0.5 finger_width=0.3 finger_height=0.4 via_diameter=0.1 ball_diameter=0.2
+fingers 6
+row 1 2 3
+";
+        let (_, q) = parse_quadrant(text).unwrap();
+        assert_eq!(q.geometry().ball_pitch, 2.0);
+        assert_eq!(q.finger_count(), 6);
+        let (_, q2) = parse_quadrant(&write_quadrant("g", &q)).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_quadrant("quadrant x\nrow 1\nbogus 3\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, ParseErrorKind::UnknownDirective { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_header_and_rows() {
+        let err = parse_quadrant("row 1 2\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::MissingHeader { .. }));
+        let err = parse_quadrant("quadrant x\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Model(_)));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        for (text, expect_line) in [
+            ("quadrant x\nrow 1 oops\n", 2),
+            ("quadrant x\nrow 1\nnet 1 mains\n", 3),
+            ("quadrant x\nrow 1\nnet 1 power tier=zero\n", 3),
+            ("quadrant x\nrow 1\nnet 1 power tier=0\n", 3),
+            ("quadrant x\nrow 1\nnet 1 power volt=2\n", 3),
+            ("quadrant x\ngeometry ball_pitch=abc\nrow 1\n", 2),
+            ("quadrant x\ngeometry warp=1\nrow 1\n", 2),
+        ] {
+            let err = parse_quadrant(text).unwrap_err();
+            assert_eq!(err.line, expect_line, "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates_and_model_violations() {
+        let err = parse_quadrant("quadrant a\nquadrant b\nrow 1\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Duplicate { .. }));
+        // Net 9 is not on any ball: a model error at the `net` line.
+        let err = parse_quadrant("quadrant a\nrow 1 2\nnet 9 power\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Model(_)));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n  # leading comment\nquadrant c  # trailing\n\nrow 1 2 # nets\n";
+        let (name, q) = parse_quadrant(text).unwrap();
+        assert_eq!(name, "c");
+        assert_eq!(q.net_count(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Parse errors with line information.
+
+use std::error::Error;
+use std::fmt;
+
+use copack_geom::GeomError;
+
+/// An error while parsing a circuit or assignment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error was detected on (0 = end of input).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The kinds of parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The file does not start with the expected header keyword.
+    MissingHeader {
+        /// The keyword that was expected (`quadrant` or `assignment`).
+        expected: &'static str,
+    },
+    /// An unknown directive keyword.
+    UnknownDirective {
+        /// The offending keyword.
+        keyword: String,
+    },
+    /// A directive had the wrong number or shape of operands.
+    BadOperands {
+        /// The directive.
+        keyword: &'static str,
+        /// Human-readable expectation.
+        expected: &'static str,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The unparsable token.
+        token: String,
+    },
+    /// An unknown net kind.
+    BadNetKind {
+        /// The offending token.
+        token: String,
+    },
+    /// A key=value attribute with an unknown key.
+    UnknownAttribute {
+        /// The offending key.
+        key: String,
+    },
+    /// The parsed structure failed model validation.
+    Model(GeomError),
+    /// A directive appeared more than once where only one is allowed.
+    Duplicate {
+        /// The directive.
+        keyword: &'static str,
+    },
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, kind: ParseErrorKind) -> Self {
+        Self { line, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseErrorKind::MissingHeader { expected } => {
+                write!(f, "expected a `{expected}` header")
+            }
+            ParseErrorKind::UnknownDirective { keyword } => {
+                write!(f, "unknown directive `{keyword}`")
+            }
+            ParseErrorKind::BadOperands { keyword, expected } => {
+                write!(f, "`{keyword}` expects {expected}")
+            }
+            ParseErrorKind::BadNumber { token } => write!(f, "`{token}` is not a number"),
+            ParseErrorKind::BadNetKind { token } => {
+                write!(f, "`{token}` is not a net kind (signal/power/ground)")
+            }
+            ParseErrorKind::UnknownAttribute { key } => {
+                write!(f, "unknown attribute `{key}`")
+            }
+            ParseErrorKind::Model(e) => write!(f, "invalid model: {e}"),
+            ParseErrorKind::Duplicate { keyword } => {
+                write!(f, "directive `{keyword}` given twice")
+            }
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            ParseErrorKind::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_line_numbers() {
+        let e = ParseError::new(
+            7,
+            ParseErrorKind::UnknownDirective {
+                keyword: "frobnicate".into(),
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("frobnicate"));
+    }
+
+    #[test]
+    fn model_errors_chain() {
+        let e = ParseError::new(1, ParseErrorKind::Model(GeomError::NoRows));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ParseError>();
+    }
+}

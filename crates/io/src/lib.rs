@@ -1,0 +1,49 @@
+//! Text formats for finger/pad planning: circuit netlists and assignments.
+//!
+//! Commercial pad-planning flows exchange problems and results as plain
+//! text; this crate defines the `copack` equivalents so quadrants and
+//! assignments can be stored, versioned, and fed to the CLI:
+//!
+//! * the **circuit format** (`.copack`) describes one quadrant: geometry,
+//!   ball rows (bottom-up), and per-net kind/tier overrides;
+//! * the **assignment format** stores a finger order for a named circuit.
+//!
+//! Both formats are line-based, `#`-commented, and round-trip exactly
+//! (`parse(write(x)) == x`, property-tested).
+//!
+//! # Example
+//!
+//! ```
+//! use copack_io::{parse_quadrant, write_quadrant};
+//! use copack_geom::{NetKind, Quadrant};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Fig. 5 instance:
+//! let text = "\
+//! quadrant fig5
+//! row 10 2 4 7 0
+//! row 1 3 5 8
+//! row 11 6 9
+//! net 10 power
+//! ";
+//! let (name, quadrant) = parse_quadrant(text)?;
+//! assert_eq!(name, "fig5");
+//! assert_eq!(quadrant.net_count(), 12);
+//! assert_eq!(quadrant.net(10.into()).unwrap().kind, NetKind::Power);
+//!
+//! let round_trip = parse_quadrant(&write_quadrant("fig5", &quadrant))?;
+//! assert_eq!(round_trip.1, quadrant);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment_format;
+mod circuit_format;
+mod error;
+
+pub use assignment_format::{parse_assignment, write_assignment};
+pub use circuit_format::{parse_quadrant, write_quadrant};
+pub use error::ParseError;

@@ -1,0 +1,88 @@
+//! Property tests: the text formats round-trip arbitrary valid models.
+
+use copack_geom::{Assignment, FingerIdx, NetKind, Quadrant, TierId};
+use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadrant};
+use proptest::prelude::*;
+
+fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
+    (
+        prop::collection::vec(1usize..=6, 1..=4),
+        any::<u64>(),
+        0u8..=3, // extra fingers beyond the net count
+    )
+        .prop_map(|(sizes, seed, extra)| {
+            let total: usize = sizes.iter().sum();
+            let mut ids: Vec<u32> = (1..=total as u32).collect();
+            let mut state = seed | 1;
+            let mut next = |bound: usize| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as usize % bound
+            };
+            for i in (1..ids.len()).rev() {
+                let j = next(i + 1);
+                ids.swap(i, j);
+            }
+            let mut builder = Quadrant::builder().fingers(total + extra as usize);
+            let mut cursor = 0;
+            for &s in &sizes {
+                builder = builder.row(ids[cursor..cursor + s].iter().copied());
+                cursor += s;
+            }
+            // Deterministic kind/tier sprinkling.
+            for &id in &ids {
+                match id % 5 {
+                    0 => builder = builder.net_kind(id, NetKind::Power),
+                    1 => builder = builder.net_kind(id, NetKind::Ground),
+                    _ => {}
+                }
+                if id % 3 == 0 {
+                    builder = builder.net_tier(id, TierId::new((id % 4) as u8 + 1));
+                }
+            }
+            builder.build().expect("generated quadrants are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quadrants_round_trip(q in quadrant_strategy(), name in "[a-z][a-z0-9 _-]{0,20}") {
+        let text = write_quadrant(&name, &q);
+        let (parsed_name, parsed) = parse_quadrant(&text).expect("own output parses");
+        // Names are whitespace-normalised by the tokenising parser.
+        let normalised: Vec<&str> = name.split_whitespace().collect();
+        prop_assert_eq!(parsed_name, normalised.join(" "));
+        prop_assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn dense_assignments_round_trip(q in quadrant_strategy()) {
+        // A dense order over the quadrant's nets.
+        let order: Vec<_> = q.nets().map(|n| n.id).collect();
+        let a = Assignment::from_order(order);
+        let (_, parsed) = parse_assignment(&write_assignment("c", &a)).expect("parses");
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn sparse_assignments_round_trip(
+        q in quadrant_strategy(),
+        stride in 2usize..4,
+    ) {
+        // Place every net `stride` slots apart: a sparse plan.
+        let nets: Vec<_> = q.nets().map(|n| n.id).collect();
+        let mut a = Assignment::empty(nets.len() * stride);
+        for (i, net) in nets.iter().enumerate() {
+            a.place(*net, FingerIdx::from_zero_based(i * stride)).expect("free slot");
+        }
+        let (_, parsed) = parse_assignment(&write_assignment("c", &a)).expect("parses");
+        // Slot-form trims trailing empty slots; compare the placements.
+        for net in &nets {
+            prop_assert_eq!(parsed.position_of(*net), a.position_of(*net));
+        }
+        prop_assert_eq!(parsed.net_count(), a.net_count());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for IR-drop analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by power-grid construction and solving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A grid parameter was non-positive, non-finite, or the grid too small.
+    BadSpec {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+    },
+    /// A pad ring was built with no pads (the grid would float).
+    NoPads,
+    /// A pad coordinate was outside `[0, 1)` or not finite.
+    BadPadPosition {
+        /// The offending coordinate.
+        t: f64,
+    },
+    /// The iterative solver did not reach the tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when giving up.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadSpec { parameter } => {
+                write!(f, "grid parameter `{parameter}` is invalid")
+            }
+            Self::NoPads => write!(f, "a pad ring needs at least one pad"),
+            Self::BadPadPosition { t } => {
+                write!(f, "pad position {t} is outside the perimeter range [0, 1)")
+            }
+            Self::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver stalled after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        for e in [
+            PowerError::BadSpec { parameter: "vdd" },
+            PowerError::NoPads,
+            PowerError::BadPadPosition { t: 1.5 },
+            PowerError::NoConvergence {
+                iterations: 10,
+                residual: 1e-3,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<PowerError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Compact finite-difference IR-drop model and power-grid solvers.
+//!
+//! This crate re-implements the IR-drop substrate the paper relies on: the
+//! compact physical model of Shakeri–Meindl (*"Compact physical IR-drop
+//! models for chip/package co-design of gigascale integration"*, IEEE TED
+//! 2005, the paper's reference \[17\]). The chip's power distribution grid is
+//! discretised on a uniform mesh; every node draws the same current
+//! (`J₀·Δx·Δy`, the paper's Eq. 1) and power pads on the die boundary act as
+//! ideal voltage sources. Solving the resulting linear system yields the
+//! IR-drop map; the maximum drop (`Vdd − min V`) is the paper's headline
+//! metric ("maximum value of IR-drop").
+//!
+//! Two solvers are provided and cross-validated against each other:
+//!
+//! * [`solve_sor`] — successive over-relaxation, the workhorse;
+//! * [`solve_cg`] — matrix-free conjugate gradient on the free nodes.
+//!
+//! Because a full solve per simulated-annealing move would dominate the
+//! exchange step's runtime, the paper optimises a *proxy* instead: it
+//! "compute\[s\] the variation of Δx and Δy" — i.e. how evenly the power pads
+//! are spread along the boundary. [`PadSpacingProxy`] implements that
+//! surrogate; `copack-core` uses it inside the annealer and this crate's
+//! full solver for the reported before/after numbers, exactly like the
+//! paper.
+//!
+//! # Example
+//!
+//! ```
+//! use copack_power::{GridSpec, PadRing, solve_sor};
+//!
+//! # fn main() -> Result<(), copack_power::PowerError> {
+//! let spec = GridSpec::default_chip(24);
+//! // Four pads spread uniformly around the die vs. four clustered pads.
+//! let uniform = PadRing::uniform(4);
+//! let clustered = PadRing::from_ts([0.0, 0.01, 0.02, 0.03])?;
+//! let good = solve_sor(&spec, &uniform)?;
+//! let bad = solve_sor(&spec, &clustered)?;
+//! assert!(good.max_drop() < bad.max_drop());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod cg;
+mod error;
+mod grid;
+mod irmap;
+mod pads;
+mod placement;
+mod proxy;
+mod sor;
+
+pub use analysis::{improvement_percent, solve, solve_plan, Solver};
+pub use cg::{solve_cg, solve_cg_nodes};
+pub use error::PowerError;
+pub use grid::{GridSpec, Hotspot};
+pub use irmap::IrMap;
+pub use pads::PadRing;
+pub use placement::{PadArray, PadPlan};
+pub use proxy::PadSpacingProxy;
+pub use sor::{solve_sor, solve_sor_nodes};

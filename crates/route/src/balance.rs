@@ -1,0 +1,330 @@
+//! Optimal crossing balancing: the router's freedom, quantified.
+//!
+//! The flyline model ([`crate::DensityModel::Geometric`]) charges each wire
+//! to the segment its straight route would use — the *naive* routing. The
+//! actual router of Kubo–Takahashi iteratively improves crossings to spread
+//! congestion. Within one horizontal line that freedom is exactly: choose
+//! one segment per wire, inside the wire's planarity-forced span, with the
+//! chosen segment indices non-decreasing in finger order (wires cannot
+//! cross), minimising the maximum per-segment load.
+//!
+//! [`balance_line`] solves that optimally (binary search on the load with
+//! a greedy left-most feasibility check, which is exact for monotone
+//! interval constraints), giving the best congestion *any* router could
+//! reach for a fixed assignment — a lower bound that separates "the
+//! assignment is bad" from "the route realisation is bad".
+
+use copack_geom::{Assignment, Point, Quadrant};
+
+use crate::{line_crossings, via_plan, DensityMap, NetPath, RouteError, RowDensity};
+
+/// Assigns each wire a segment index and returns `(choices, max_load)`.
+///
+/// `spans[i] = (s_lo, s_hi)` is the inclusive segment-index range wire `i`
+/// may use; wires are in planar (finger) order, so choices must be
+/// non-decreasing. `segments` is the number of segments on the line.
+///
+/// # Panics
+///
+/// Panics if a span is empty (`s_lo > s_hi`) or out of range — the spans
+/// produced by the crossing model never are.
+#[must_use]
+pub fn balance_line(spans: &[(usize, usize)], segments: usize) -> (Vec<usize>, u32) {
+    if spans.is_empty() {
+        return (Vec::new(), 0);
+    }
+    for &(lo, hi) in spans {
+        assert!(lo <= hi && hi < segments, "invalid span ({lo}, {hi})");
+    }
+    // Feasibility for a load cap: greedy left-most placement.
+    let feasible = |cap: u32| -> Option<Vec<usize>> {
+        let mut counts = vec![0u32; segments];
+        let mut prev = 0usize;
+        let mut choice = Vec::with_capacity(spans.len());
+        for &(lo, hi) in spans {
+            let mut s = prev.max(lo);
+            while s <= hi && counts[s] >= cap {
+                s += 1;
+            }
+            if s > hi {
+                return None;
+            }
+            counts[s] += 1;
+            choice.push(s);
+            prev = s;
+        }
+        Some(choice)
+    };
+    let (mut lo_cap, mut hi_cap) = (1u32, spans.len() as u32);
+    let mut best = feasible(hi_cap).expect("cap = wire count is always feasible");
+    while lo_cap < hi_cap {
+        let mid = lo_cap + (hi_cap - lo_cap) / 2;
+        match feasible(mid) {
+            Some(choice) => {
+                best = choice;
+                hi_cap = mid;
+            }
+            None => lo_cap = mid + 1,
+        }
+    }
+    (best, lo_cap)
+}
+
+/// The best-achievable density map for `assignment`: every line's crossings
+/// balanced optimally within their planarity-forced spans.
+///
+/// # Errors
+///
+/// Propagates legality errors from the crossing model.
+pub fn balanced_density_map(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+) -> Result<DensityMap, RouteError> {
+    let plan = via_plan(quadrant);
+    let lines = line_crossings(quadrant, assignment, &plan)?;
+    let mut rows = Vec::with_capacity(lines.len());
+    for line in &lines {
+        let boundaries = line.site_xs.clone();
+        let segments = boundaries.len() + 1;
+        let spans: Vec<(usize, usize)> = line
+            .crossings
+            .iter()
+            .map(|c| {
+                let s_lo = boundaries.partition_point(|&b| b <= c.span.0);
+                let s_hi = boundaries.partition_point(|&b| b < c.span.1);
+                (s_lo, s_hi.min(segments - 1))
+            })
+            .collect();
+        let (choices, _) = balance_line(&spans, segments);
+        let mut counts = vec![0u32; segments];
+        for s in choices {
+            counts[s] += 1;
+        }
+        rows.push(RowDensity {
+            row: line.row,
+            boundaries,
+            counts,
+        });
+    }
+    Ok(DensityMap { rows })
+}
+
+/// Realises the balanced routing as per-net polylines: like
+/// [`crate::extract_paths`], but each crossing sits in its *balanced*
+/// segment (wires sharing a segment are spread evenly inside it, in order).
+///
+/// # Errors
+///
+/// Propagates legality errors from the crossing model.
+pub fn balanced_paths(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+) -> Result<Vec<NetPath>, RouteError> {
+    let plan = via_plan(quadrant);
+    let lines = line_crossings(quadrant, assignment, &plan)?;
+    let pitch = quadrant.geometry().ball_pitch;
+
+    // Balanced crossing x per (line, net).
+    let mut crossing_x: std::collections::BTreeMap<(u32, copack_geom::NetId), f64> =
+        std::collections::BTreeMap::new();
+    for line in &lines {
+        let boundaries = &line.site_xs;
+        let segments = boundaries.len() + 1;
+        let spans: Vec<(usize, usize)> = line
+            .crossings
+            .iter()
+            .map(|c| {
+                let s_lo = boundaries.partition_point(|&b| b <= c.span.0);
+                let s_hi = boundaries.partition_point(|&b| b < c.span.1);
+                (s_lo, s_hi.min(segments - 1))
+            })
+            .collect();
+        let (choices, _) = balance_line(&spans, segments);
+        // Spread same-segment wires evenly inside their segment, keeping
+        // order (choices are non-decreasing, so grouping preserves it).
+        let mut i = 0;
+        while i < choices.len() {
+            let s = choices[i];
+            let mut j = i;
+            while j < choices.len() && choices[j] == s {
+                j += 1;
+            }
+            let (lo, hi) = segment_extent(boundaries, s, pitch);
+            let k = (j - i) as f64;
+            for (slot, c) in line.crossings[i..j].iter().enumerate() {
+                let t = (slot as f64 + 1.0) / (k + 1.0);
+                crossing_x.insert((line.row.get(), c.net), lo + (hi - lo) * t);
+            }
+            i = j;
+        }
+    }
+
+    let mut paths = Vec::with_capacity(assignment.net_count());
+    for (finger, net) in assignment.iter() {
+        let via = plan.via(net)?;
+        let ball = quadrant
+            .ball_of(net)
+            .ok_or(copack_geom::GeomError::UnknownNet { net })?;
+        let mut layer1 = vec![quadrant.finger_center(finger)];
+        for line in &lines {
+            if line.row <= via.row {
+                break;
+            }
+            if let Some(&x) = crossing_x.get(&(line.row.get(), net)) {
+                layer1.push(Point::new(x, line.line_y));
+            }
+        }
+        layer1.push(via.pos);
+        paths.push(NetPath {
+            net,
+            layer1,
+            via: via.pos,
+            ball: quadrant.ball_center(ball.row, ball.col),
+        });
+    }
+    Ok(paths)
+}
+
+/// Finite extent of segment `s` (the flank segments get one pitch of room).
+fn segment_extent(boundaries: &[f64], s: usize, pitch: f64) -> (f64, f64) {
+    let lo = if s == 0 {
+        boundaries.first().copied().unwrap_or(0.0) - pitch
+    } else {
+        boundaries[s - 1]
+    };
+    let hi = if s >= boundaries.len() {
+        boundaries.last().copied().unwrap_or(0.0) + pitch
+    } else {
+        boundaries[s]
+    };
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{density_map, DensityModel};
+    use copack_geom::{Assignment, Quadrant, QuadrantGeometry};
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .geometry(QuadrantGeometry {
+                ball_pitch: 1.0,
+                finger_pitch: 0.5,
+                finger_width: 0.3,
+                finger_height: 0.4,
+                via_diameter: 0.1,
+                ball_diameter: 0.2,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn balance_spreads_free_wires_evenly() {
+        // 6 wires, all free over 3 segments: perfect 2/2/2.
+        let spans = vec![(0, 2); 6];
+        let (choices, max) = balance_line(&spans, 3);
+        assert_eq!(max, 2);
+        let mut counts = [0; 3];
+        for c in choices {
+            counts[c] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2]);
+    }
+
+    #[test]
+    fn balance_respects_monotone_order() {
+        let spans = vec![(0, 1), (0, 2), (1, 2), (2, 2)];
+        let (choices, _) = balance_line(&spans, 3);
+        for w in choices.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn forced_pile_up_is_reported() {
+        // 4 wires all pinned to segment 1: max load must be 4.
+        let spans = vec![(1, 1); 4];
+        let (_, max) = balance_line(&spans, 3);
+        assert_eq!(max, 4);
+    }
+
+    #[test]
+    fn empty_line_is_trivial() {
+        let (choices, max) = balance_line(&[], 5);
+        assert!(choices.is_empty());
+        assert_eq!(max, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid span")]
+    fn bad_spans_are_rejected() {
+        let _ = balance_line(&[(2, 1)], 3);
+    }
+
+    #[test]
+    fn balanced_never_exceeds_flyline() {
+        let q = fig5();
+        for order in [
+            vec![10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0], // Fig. 5(A)
+            vec![10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0], // Fig. 12 DFA
+            vec![10u32, 1, 11, 2, 3, 6, 4, 5, 9, 7, 8, 0], // Fig. 10 IFA
+        ] {
+            let a = Assignment::from_order(order);
+            let naive = density_map(&q, &a, DensityModel::Geometric).unwrap();
+            let balanced = balanced_density_map(&q, &a).unwrap();
+            assert!(balanced.max_density() <= naive.max_density());
+            // Crossing counts are conserved per line.
+            for (b, n) in balanced.rows.iter().zip(&naive.rows) {
+                assert_eq!(
+                    b.counts.iter().sum::<u32>(),
+                    n.counts.iter().sum::<u32>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_paths_are_monotonic_and_ordered() {
+        let q = fig5();
+        for order in [
+            vec![10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0],
+            vec![10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0],
+        ] {
+            let a = Assignment::from_order(order);
+            let paths = balanced_paths(&q, &a).unwrap();
+            assert_eq!(paths.len(), 12);
+            for p in &paths {
+                assert!(p.is_monotonic(), "{:?}", p.net);
+            }
+            // Planarity: wire order per depth is preserved.
+            let max_len = paths.iter().map(|p| p.layer1.len()).max().unwrap();
+            for depth in 0..max_len - 1 {
+                let mut present: Vec<(f64, f64)> = paths
+                    .iter()
+                    .filter(|p| p.layer1.len() > depth + 1)
+                    .map(|p| (p.layer1[depth].x, p.layer1[depth + 1].x))
+                    .collect();
+                present.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                for w in present.windows(2) {
+                    assert!(w[0].1 <= w[1].1 + 1e-9, "crossing at depth {depth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn good_assignments_leave_little_to_balance() {
+        // DFA's order is already near the balanced optimum on Fig. 5 —
+        // the router cannot improve it further, unlike the random order.
+        let q = fig5();
+        let dfa = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        let naive = density_map(&q, &dfa, DensityModel::Geometric).unwrap();
+        let balanced = balanced_density_map(&q, &dfa).unwrap();
+        assert_eq!(balanced.max_density(), naive.max_density());
+    }
+}

@@ -1,0 +1,177 @@
+//! Monotonic-rule legality checking and exchange ranges.
+
+use copack_geom::{Assignment, FingerIdx, NetId, Quadrant};
+
+use crate::RouteError;
+
+/// Checks the monotonic via rule (paper §3.1): within every ball row, nets
+/// must appear on the fingers in the same left-to-right order as their
+/// balls. If the rule holds, a legal monotonic routing exists.
+///
+/// # Errors
+///
+/// * [`RouteError::Unplaced`] if a net of the quadrant has no finger slot.
+/// * [`RouteError::NonMonotonic`] naming the first violating pair.
+pub fn check_monotonic(quadrant: &Quadrant, assignment: &Assignment) -> Result<(), RouteError> {
+    for (row, nets) in quadrant.rows_bottom_up() {
+        let mut prev: Option<(NetId, FingerIdx)> = None;
+        for &net in nets {
+            let pos = assignment
+                .position_of(net)
+                .ok_or(RouteError::Unplaced { net })?;
+            if let Some((prev_net, prev_pos)) = prev {
+                if prev_pos >= pos {
+                    return Err(RouteError::NonMonotonic {
+                        row: row.get(),
+                        left_ball: prev_net,
+                        right_ball: net,
+                    });
+                }
+            }
+            prev = Some((net, pos));
+        }
+    }
+    Ok(())
+}
+
+/// Convenience predicate form of [`check_monotonic`].
+#[must_use]
+pub fn is_monotonic(quadrant: &Quadrant, assignment: &Assignment) -> bool {
+    check_monotonic(quadrant, assignment).is_ok()
+}
+
+/// The legal finger range a net may move to without breaking the monotonic
+/// rule: strictly between its same-row neighbours' current positions.
+///
+/// This is the paper's exchange-range constraint (§3.2): "net 6 is assigned
+/// at F5, and the exchange range of net 6 is between F3 and F7" when its row
+/// neighbours sit at F2 and F8. Returns an inclusive `(lo, hi)` slot range.
+///
+/// # Errors
+///
+/// * [`RouteError::Unplaced`] if the net or a row neighbour has no slot.
+/// * [`RouteError::Geom`] if the net is not in the quadrant.
+pub fn exchange_range(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+    net: NetId,
+) -> Result<(FingerIdx, FingerIdx), RouteError> {
+    let ball = quadrant
+        .ball_of(net)
+        .ok_or(copack_geom::GeomError::UnknownNet { net })?;
+    let row = quadrant.row(ball.row);
+    let i = ball.col_zero_based();
+    let lo = if i == 0 {
+        FingerIdx::new(1)
+    } else {
+        let left = row[i - 1];
+        let p = assignment
+            .position_of(left)
+            .ok_or(RouteError::Unplaced { net: left })?;
+        FingerIdx::new(p.get() + 1)
+    };
+    let hi = if i + 1 == row.len() {
+        FingerIdx::new(u32::try_from(assignment.finger_count()).expect("finger count fits u32"))
+    } else {
+        let right = row[i + 1];
+        let p = assignment
+            .position_of(right)
+            .ok_or(RouteError::Unplaced { net: right })?;
+        FingerIdx::new(p.get().saturating_sub(1).max(1))
+    };
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::{Assignment, Quadrant};
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_orders_are_monotonic() {
+        let q = fig5();
+        for order in [
+            vec![10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0], // Fig. 5(A) random
+            vec![10u32, 1, 11, 2, 3, 6, 4, 5, 9, 7, 8, 0], // Fig. 10 IFA
+            vec![10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0], // Fig. 12 DFA
+        ] {
+            let a = Assignment::from_order(order);
+            assert!(is_monotonic(&q, &a));
+        }
+    }
+
+    #[test]
+    fn swapped_same_row_nets_are_illegal() {
+        let q = fig5();
+        // Swap nets 6 and 9 (both on row 3) relative to the DFA order.
+        let a = Assignment::from_order([10u32, 11, 1, 2, 9, 3, 4, 6, 5, 7, 8, 0]);
+        let err = check_monotonic(&q, &a).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::NonMonotonic {
+                row: 3,
+                left_ball: NetId::new(6),
+                right_ball: NetId::new(9),
+            }
+        );
+    }
+
+    #[test]
+    fn unplaced_net_is_reported() {
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11]);
+        assert!(matches!(
+            check_monotonic(&q, &a),
+            Err(RouteError::Unplaced { .. })
+        ));
+    }
+
+    #[test]
+    fn exchange_range_matches_paper_example() {
+        // Paper §3.2: in Fig. 5(B), net 6 at F5 may move within F3..F7,
+        // because its row-3 neighbours 11 and 9 sit at F2 and F8.
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        let (lo, hi) = exchange_range(&q, &a, NetId::new(6)).unwrap();
+        assert_eq!((lo.get(), hi.get()), (3, 7));
+    }
+
+    #[test]
+    fn edge_nets_range_to_the_quadrant_ends() {
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        // Net 11 is the leftmost ball of row 3: range starts at F1.
+        let (lo, _) = exchange_range(&q, &a, NetId::new(11)).unwrap();
+        assert_eq!(lo.get(), 1);
+        // Net 9 is the rightmost ball of row 3: range ends at F12.
+        let (_, hi) = exchange_range(&q, &a, NetId::new(9)).unwrap();
+        assert_eq!(hi.get(), 12);
+    }
+
+    #[test]
+    fn exchange_range_requires_known_net() {
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        assert!(exchange_range(&q, &a, NetId::new(77)).is_err());
+    }
+
+    #[test]
+    fn moves_within_range_stay_monotonic() {
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        // Swap net 6 (F5) with its right neighbour (F6, net 3 — a different
+        // row), staying inside net 6's range F3..F7: still monotonic.
+        let mut b = a.clone();
+        b.swap(FingerIdx::new(5), FingerIdx::new(6)).unwrap();
+        assert!(is_monotonic(&q, &b));
+    }
+}

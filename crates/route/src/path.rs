@@ -1,0 +1,181 @@
+//! Full routing-path extraction (for visualisation and detailed checks).
+
+use copack_geom::{Assignment, NetId, Point, Quadrant};
+
+use crate::{line_crossings, via_plan, RouteError};
+
+/// The realised route of one net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPath {
+    /// The routed net.
+    pub net: NetId,
+    /// Layer-1 polyline: finger centre, one crossing point per intermediate
+    /// horizontal line, then the via.
+    pub layer1: Vec<Point>,
+    /// Via location (last point of `layer1`).
+    pub via: Point,
+    /// Layer-2 endpoint: the bump-ball centre.
+    pub ball: Point,
+}
+
+impl NetPath {
+    /// Length of the Layer-1 polyline.
+    #[must_use]
+    pub fn layer1_length(&self) -> f64 {
+        self.layer1
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+
+    /// Length of the Layer-2 flyline (via → ball).
+    #[must_use]
+    pub fn layer2_length(&self) -> f64 {
+        self.via.distance(self.ball)
+    }
+
+    /// Total realised length.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.layer1_length() + self.layer2_length()
+    }
+
+    /// Whether the Layer-1 polyline is monotonic in y (strictly decreasing),
+    /// i.e. the route crosses each horizontal line exactly once.
+    #[must_use]
+    pub fn is_monotonic(&self) -> bool {
+        self.layer1.windows(2).all(|w| w[1].y < w[0].y)
+    }
+}
+
+/// Extracts the realised monotonic route of every net, in finger order.
+///
+/// Crossing points come from the planar crossing model, so paths of a legal
+/// assignment never cross each other between two adjacent lines (wire order
+/// along every line equals finger order).
+///
+/// # Errors
+///
+/// Propagates legality errors from the crossing model.
+pub fn extract_paths(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+) -> Result<Vec<NetPath>, RouteError> {
+    let plan = via_plan(quadrant);
+    let lines = line_crossings(quadrant, assignment, &plan)?;
+
+    let mut paths = Vec::with_capacity(assignment.net_count());
+    for (finger, net) in assignment.iter() {
+        let via = plan.via(net)?;
+        let ball = quadrant
+            .ball_of(net)
+            .ok_or(copack_geom::GeomError::UnknownNet { net })?;
+        let mut layer1 = vec![quadrant.finger_center(finger)];
+        // Crossing points on every line above the via's row, top-down.
+        for line in &lines {
+            if line.row <= via.row {
+                break;
+            }
+            if let Some(c) = line.crossings.iter().find(|c| c.net == net) {
+                layer1.push(Point::new(c.x, line.line_y));
+            }
+        }
+        layer1.push(via.pos);
+        paths.push(NetPath {
+            net,
+            layer1,
+            via: via.pos,
+            ball: quadrant.ball_center(ball.row, ball.col),
+        });
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::{Assignment, Quadrant};
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap()
+    }
+
+    fn dfa() -> Assignment {
+        Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0])
+    }
+
+    #[test]
+    fn every_net_gets_a_path() {
+        let q = fig5();
+        let paths = extract_paths(&q, &dfa()).unwrap();
+        assert_eq!(paths.len(), 12);
+    }
+
+    #[test]
+    fn paths_are_monotonic() {
+        let q = fig5();
+        for p in extract_paths(&q, &dfa()).unwrap() {
+            assert!(p.is_monotonic(), "{:?}", p.net);
+        }
+    }
+
+    #[test]
+    fn path_point_count_matches_rows_crossed() {
+        let q = fig5();
+        let paths = extract_paths(&q, &dfa()).unwrap();
+        for p in &paths {
+            let ball = q.ball_of(p.net).unwrap();
+            // finger + one crossing per line strictly above the ball row + via
+            let expected = 1 + (q.row_count() - ball.row.get() as usize) + 1;
+            assert_eq!(p.layer1.len(), expected, "net {}", p.net);
+        }
+    }
+
+    #[test]
+    fn realised_length_at_least_flyline_length() {
+        let q = fig5();
+        let a = dfa();
+        let plan = crate::via_plan(&q);
+        for p in extract_paths(&q, &a).unwrap() {
+            let fly = crate::net_wirelength(&q, &a, &plan, p.net).unwrap();
+            assert!(p.length() + 1e-12 >= fly);
+        }
+    }
+
+    #[test]
+    fn paths_do_not_cross_between_adjacent_lines() {
+        // Planarity: for every pair of consecutive lines, the x-order of
+        // wires present on both is identical.
+        let q = fig5();
+        let paths = extract_paths(&q, &dfa()).unwrap();
+        let max_len = paths.iter().map(|p| p.layer1.len()).max().unwrap();
+        for depth in 0..max_len - 1 {
+            let mut present: Vec<(f64, f64)> = paths
+                .iter()
+                .filter(|p| p.layer1.len() > depth + 1)
+                .map(|p| (p.layer1[depth].x, p.layer1[depth + 1].x))
+                .collect();
+            present.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in present.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].1 + 1e-9,
+                    "wires cross between lines at depth {depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ball_is_right_of_via() {
+        let q = fig5();
+        for p in extract_paths(&q, &dfa()).unwrap() {
+            assert!(p.ball.x > p.via.x);
+            assert!(p.layer2_length() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Terminal renderings for quick inspection.
+
+use std::fmt::Write as _;
+
+use copack_geom::{Assignment, Quadrant};
+use copack_route::{density_map, DensityModel, RouteError};
+
+/// Renders an assignment as text: the finger order on top, then each ball
+/// row (top row first), mimicking the layout of the paper's Fig. 5.
+///
+/// # Errors
+///
+/// Never fails today; `Result` mirrors the SVG renderers.
+pub fn routing_ascii(quadrant: &Quadrant, assignment: &Assignment) -> Result<String, RouteError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "fingers: {assignment}");
+    for (row, nets) in quadrant.rows_top_down() {
+        let cells: Vec<String> = nets.iter().map(|n| n.raw().to_string()).collect();
+        let _ = writeln!(out, "balls y={}: {}", row.get(), cells.join(" "));
+    }
+    Ok(out)
+}
+
+/// Renders the per-line segment densities as a text bar chart: one row per
+/// horizontal line, one `#` per wire in the line's worst segment, with the
+/// full segment counts appended.
+///
+/// # Errors
+///
+/// Propagates [`RouteError`] from the density analysis.
+pub fn density_histogram(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+    model: DensityModel,
+) -> Result<String, RouteError> {
+    let map = density_map(quadrant, assignment, model)?;
+    let mut out = String::new();
+    for row in &map.rows {
+        let _ = writeln!(
+            out,
+            "y={:<2} max {:>3} |{}| {:?}",
+            row.row.get(),
+            row.max(),
+            "#".repeat(row.max() as usize),
+            row.counts
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::Assignment;
+
+    fn fig5() -> (Quadrant, Assignment) {
+        let q = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        (q, a)
+    }
+
+    #[test]
+    fn ascii_lists_fingers_and_rows() {
+        let (q, a) = fig5();
+        let s = routing_ascii(&q, &a).unwrap();
+        assert!(s.contains("fingers: 10,11,1,2,6,3,4,9,5,7,8,0"));
+        assert!(s.contains("balls y=3: 11 6 9"));
+        assert!(s.contains("balls y=1: 10 2 4 7 0"));
+    }
+
+    #[test]
+    fn histogram_has_one_line_per_row() {
+        let (q, a) = fig5();
+        let s = density_histogram(&q, &a, DensityModel::Geometric).unwrap();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("y=3"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn histogram_rejects_illegal_orders() {
+        let (q, _) = fig5();
+        let bad = Assignment::from_order([10u32, 11, 1, 2, 9, 3, 4, 6, 5, 7, 8, 0]);
+        assert!(density_histogram(&q, &bad, DensityModel::Geometric).is_err());
+    }
+}

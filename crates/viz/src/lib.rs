@@ -1,0 +1,47 @@
+//! SVG and ASCII visualisation of package routing and IR-drop maps.
+//!
+//! Regenerates the paper's visual artefacts:
+//!
+//! * [`routing_svg`] — quadrant routing plots in the style of Fig. 15
+//!   (fingers, balls, vias, and the monotonic Layer-1/Layer-2 routes);
+//! * [`irmap_svg`] — IR-drop heat maps in the style of Fig. 6;
+//! * [`routing_ascii`] — a quick terminal rendering of an assignment;
+//! * [`density_histogram`] — per-line segment loads as a text bar chart.
+//!
+//! All output is plain [`String`]s; callers decide where to write them.
+//!
+//! # Example
+//!
+//! ```
+//! use copack_geom::{Assignment, Quadrant};
+//! use copack_viz::routing_svg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let q = Quadrant::builder()
+//!     .row([10u32, 2, 4, 7, 0])
+//!     .row([1u32, 3, 5, 8])
+//!     .row([11u32, 6, 9])
+//!     .build()?;
+//! let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+//! let svg = routing_svg(&q, &a)?;
+//! assert!(svg.starts_with("<svg"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod irmap;
+mod package_view;
+mod palette;
+mod routing;
+mod svg;
+
+pub use ascii::{density_histogram, routing_ascii};
+pub use irmap::irmap_svg;
+pub use package_view::package_svg;
+pub use palette::{heat_color, wire_color};
+pub use routing::{routing_svg, routing_svg_balanced};
+pub use svg::SvgCanvas;

@@ -1,0 +1,111 @@
+//! Whole-package rendering: four quadrants around the die.
+
+use copack_geom::{Assignment, Package, Point, QuadrantSide};
+use copack_route::{extract_paths, RouteError};
+
+use crate::{wire_color, SvgCanvas};
+
+/// Renders a full four-quadrant package: each side's routing is drawn in
+/// its physical orientation around the central die (bottom as-is, right
+/// rotated 90°, top 180°, left 270°), so the diagonal cut-lines and the
+/// flank wires that crowd them are visible.
+///
+/// # Errors
+///
+/// Propagates [`RouteError`] if any side's assignment is incomplete or
+/// illegal.
+pub fn package_svg(package: &Package, assignments: &[Assignment; 4]) -> Result<String, RouteError> {
+    // Extent: the largest quadrant decides the die-centred radius.
+    let mut radius: f64 = 0.0;
+    for (_, q) in package.quadrants() {
+        radius = radius.max(q.finger_line_y() + q.geometry().ball_pitch);
+        let widest = q.row(copack_geom::RowIdx::new(1)).len() as f64;
+        radius = radius.max((widest / 2.0 + 1.0) * q.geometry().ball_pitch);
+    }
+    let mut canvas = SvgCanvas::new(-radius, -radius, radius, radius);
+
+    // Die outline (the fingers of each quadrant sit just outside it).
+    let die = package
+        .quadrants()
+        .map(|(_, q)| radius - q.finger_line_y())
+        .fold(f64::INFINITY, f64::min)
+        .max(radius * 0.05);
+    canvas.rect(-die, -die, 2.0 * die, 2.0 * die, "#f2f2f2");
+
+    // Diagonal cut-lines.
+    let pen = radius * 0.004;
+    canvas.line(-radius, -radius, radius, radius, "#eecccc", pen);
+    canvas.line(-radius, radius, radius, -radius, "#eecccc", pen);
+
+    for (side, quadrant) in package.quadrants() {
+        let assignment = &assignments[side.index()];
+        let paths = extract_paths(quadrant, assignment)?;
+        // Quadrant-local coordinates grow from the fingers (y high, near
+        // the die) to the bottom row (y low, near the edge). Map local
+        // (x, y) to package space: the fingers line lands at the die edge.
+        let fy = quadrant.finger_line_y();
+        let place = |p: Point| -> (f64, f64) {
+            let (lx, ly) = (p.x, radius - (fy - p.y) - die);
+            // ly grows outward from (just inside) the die edge; now rotate
+            // the "bottom" frame into the side's orientation.
+            let out = -ly; // distance from centre towards this side's edge
+            match side {
+                QuadrantSide::Bottom => (lx, -out),
+                QuadrantSide::Right => (-out, lx),
+                QuadrantSide::Top => (-lx, out),
+                QuadrantSide::Left => (out, -lx),
+            }
+        };
+        let pitch = quadrant.geometry().ball_pitch;
+        for (i, p) in paths.iter().enumerate() {
+            let pts: Vec<(f64, f64)> = p.layer1.iter().map(|&q| place(q)).collect();
+            canvas.polyline(&pts, wire_color(i), pitch * 0.04);
+            let (bx, by) = place(p.ball);
+            canvas.circle(bx, by, pitch * 0.15, "#444444");
+        }
+    }
+    Ok(canvas.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::Quadrant;
+
+    fn package() -> (Package, [Assignment; 4]) {
+        let q = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        (Package::uniform(q), [a.clone(), a.clone(), a.clone(), a])
+    }
+
+    #[test]
+    fn renders_all_four_sides() {
+        let (p, a) = package();
+        let svg = package_svg(&p, &a).unwrap();
+        assert!(svg.starts_with("<svg"));
+        // 12 wires per side.
+        assert_eq!(svg.matches("<polyline").count(), 48);
+        // 12 balls per side.
+        assert_eq!(svg.matches("<circle").count(), 48);
+    }
+
+    #[test]
+    fn illegal_side_is_rejected() {
+        let (p, mut a) = package();
+        a[1] = Assignment::from_order([10u32, 11, 1, 2, 9, 3, 4, 6, 5, 7, 8, 0]);
+        assert!(package_svg(&p, &a).is_err());
+    }
+
+    #[test]
+    fn different_orders_change_the_picture() {
+        let (p, a) = package();
+        let mut b = a.clone();
+        b[0] = Assignment::from_order([10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0]);
+        assert_ne!(package_svg(&p, &a).unwrap(), package_svg(&p, &b).unwrap());
+    }
+}

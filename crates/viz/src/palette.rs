@@ -1,0 +1,57 @@
+//! Colour helpers for the renderers.
+
+/// A categorical colour for wire `i` (cycles through a colour-blind-safe
+/// eight-colour palette).
+#[must_use]
+pub fn wire_color(i: usize) -> &'static str {
+    const PALETTE: [&str; 8] = [
+        "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#56b4e9", "#e69f00", "#000000", "#999999",
+    ];
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Maps a normalised severity `t ∈ [0, 1]` to a white→yellow→red heat
+/// colour (the usual IR-drop sign-off palette: red = worst drop).
+///
+/// Values outside `[0, 1]` are clamped.
+#[must_use]
+pub fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // 0 → white (255,255,255); 0.5 → yellow (255,220,0); 1 → red (200,0,0).
+    let (r, g, b) = if t < 0.5 {
+        let u = t * 2.0;
+        (255.0, 255.0 - 35.0 * u, 255.0 * (1.0 - u))
+    } else {
+        let u = (t - 0.5) * 2.0;
+        (255.0 - 55.0 * u, 220.0 * (1.0 - u), 0.0)
+    };
+    format!("#{:02x}{:02x}{:02x}", r as u8, g as u8, b as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_colors_cycle() {
+        assert_eq!(wire_color(0), wire_color(8));
+        assert_ne!(wire_color(0), wire_color(1));
+    }
+
+    #[test]
+    fn heat_endpoints() {
+        assert_eq!(heat_color(0.0), "#ffffff");
+        assert_eq!(heat_color(1.0), "#c80000");
+        assert_eq!(heat_color(-1.0), heat_color(0.0));
+        assert_eq!(heat_color(2.0), heat_color(1.0));
+    }
+
+    #[test]
+    fn heat_is_monotone_in_redness() {
+        // Green channel decreases as severity grows.
+        let g = |t: f64| u8::from_str_radix(&heat_color(t)[3..5], 16).unwrap();
+        assert!(g(0.0) >= g(0.3));
+        assert!(g(0.3) >= g(0.7));
+        assert!(g(0.7) >= g(1.0));
+    }
+}

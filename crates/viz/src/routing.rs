@@ -1,0 +1,148 @@
+//! Quadrant routing plots in the style of the paper's Fig. 15.
+
+use copack_geom::{Assignment, Quadrant};
+use copack_route::{balanced_paths, extract_paths, NetPath, RouteError};
+
+use crate::{wire_color, SvgCanvas};
+
+/// Renders the monotonic routing of `assignment` on `quadrant` as SVG:
+/// fingers along the top, bump balls and vias on their grid lines, Layer-1
+/// routes as coloured polylines and Layer-2 stubs as dashed-free thin
+/// lines.
+///
+/// # Errors
+///
+/// Propagates [`RouteError`] if the assignment is incomplete or breaks the
+/// monotonic rule.
+pub fn routing_svg(quadrant: &Quadrant, assignment: &Assignment) -> Result<String, RouteError> {
+    let paths = extract_paths(quadrant, assignment)?;
+    render_paths(quadrant, assignment, &paths)
+}
+
+/// Like [`routing_svg`], but with the crossings placed by the optimal
+/// balancer ([`copack_route::balanced_paths`]) — the router-improved
+/// picture rather than the naive flyline one.
+///
+/// # Errors
+///
+/// Propagates [`RouteError`] if the assignment is incomplete or breaks the
+/// monotonic rule.
+pub fn routing_svg_balanced(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+) -> Result<String, RouteError> {
+    let paths = balanced_paths(quadrant, assignment)?;
+    render_paths(quadrant, assignment, &paths)
+}
+
+fn render_paths(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+    paths: &[NetPath],
+) -> Result<String, RouteError> {
+
+    // Model-space extent.
+    let pitch = quadrant.geometry().ball_pitch;
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    for p in paths {
+        for pt in p.layer1.iter().chain([&p.ball]) {
+            min_x = min_x.min(pt.x);
+            max_x = max_x.max(pt.x);
+        }
+    }
+    let fy = quadrant.finger_line_y();
+    let mut canvas = SvgCanvas::new(
+        min_x - pitch,
+        -pitch,
+        max_x + pitch,
+        fy + pitch,
+    );
+
+    // Grid lines.
+    for (row, _) in quadrant.rows_bottom_up() {
+        let y = quadrant.line_y(row);
+        canvas.line(min_x - pitch, y, max_x + pitch, y, "#dddddd", pitch * 0.02);
+    }
+
+    // Wires first (under the pads).
+    let wire_w = pitch * 0.04;
+    for (i, p) in paths.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = p.layer1.iter().map(|q| (q.x, q.y)).collect();
+        canvas.polyline(&pts, wire_color(i), wire_w);
+        // Layer-2 stub via → ball.
+        canvas.line(p.via.x, p.via.y, p.ball.x, p.ball.y, "#aaaaaa", wire_w * 0.8);
+    }
+
+    // Balls, vias, fingers.
+    for (row, nets) in quadrant.rows_bottom_up() {
+        for (j, _net) in nets.iter().enumerate() {
+            let b = quadrant.ball_center(row, j as u32 + 1);
+            canvas.circle(b.x, b.y, pitch * 0.18, "#444444");
+        }
+        for s in 1..=quadrant.via_site_count(row) as u32 {
+            let x = quadrant.via_site_x(row, s);
+            canvas.circle(x, quadrant.line_y(row), pitch * 0.07, "#888888");
+        }
+    }
+    for (finger, net) in assignment.iter() {
+        let f = quadrant.finger_center(finger);
+        let w = quadrant.geometry().finger_pitch * 0.6;
+        canvas.rect(f.x - w / 2.0, f.y - pitch * 0.1, w, pitch * 0.2, "#333333");
+        canvas.text(f.x, f.y + pitch * 0.25, pitch * 0.3, &net.raw().to_string());
+    }
+    Ok(canvas.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::Assignment;
+
+    fn fig5() -> (Quadrant, Assignment) {
+        let q = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        (q, a)
+    }
+
+    #[test]
+    fn svg_contains_all_nets() {
+        let (q, a) = fig5();
+        let svg = routing_svg(&q, &a).unwrap();
+        assert!(svg.starts_with("<svg"));
+        // One polyline per net.
+        assert_eq!(svg.matches("<polyline").count(), 12);
+        // Finger labels present.
+        assert!(svg.contains(">11<"));
+        assert!(svg.contains(">0<"));
+    }
+
+    #[test]
+    fn illegal_assignment_is_rejected() {
+        let (q, _) = fig5();
+        let bad = Assignment::from_order([10u32, 11, 1, 2, 9, 3, 4, 6, 5, 7, 8, 0]);
+        assert!(routing_svg(&q, &bad).is_err());
+    }
+
+    #[test]
+    fn balanced_rendering_differs_from_flyline_for_bad_orders() {
+        let (q, _) = fig5();
+        let random = Assignment::from_order([10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0]);
+        let fly = routing_svg(&q, &random).unwrap();
+        let bal = routing_svg_balanced(&q, &random).unwrap();
+        assert_ne!(fly, bal);
+        assert_eq!(bal.matches("<polyline").count(), 12);
+    }
+
+    #[test]
+    fn different_orders_render_differently() {
+        let (q, a) = fig5();
+        let b = Assignment::from_order([10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0]);
+        assert_ne!(routing_svg(&q, &a).unwrap(), routing_svg(&q, &b).unwrap());
+    }
+}

@@ -1,0 +1,174 @@
+//! A minimal SVG canvas (kept dependency-free on purpose).
+
+use std::fmt::Write as _;
+
+/// An append-only SVG document builder with a user-space viewbox.
+///
+/// Coordinates are given in model space; the canvas flips the y-axis so
+/// model "up" renders upwards (SVG's y grows downwards).
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    min_x: f64,
+    max_y: f64,
+    body: String,
+    width: f64,
+    height: f64,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas covering the model-space rectangle
+    /// `[min_x, max_x] × [min_y, max_y]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is degenerate or not finite.
+    #[must_use]
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(
+            min_x.is_finite() && max_x.is_finite() && min_y.is_finite() && max_y.is_finite(),
+            "canvas bounds must be finite"
+        );
+        assert!(max_x > min_x && max_y > min_y, "canvas must have area");
+        Self {
+            min_x,
+            max_y,
+            body: String::new(),
+            width: max_x - min_x,
+            height: max_y - min_y,
+        }
+    }
+
+    fn tx(&self, x: f64) -> f64 {
+        x - self.min_x
+    }
+
+    fn ty(&self, y: f64) -> f64 {
+        self.max_y - y
+    }
+
+    /// Draws a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{:.3}" y1="{:.3}" x2="{:.3}" y2="{:.3}" stroke="{stroke}" stroke-width="{width}"/>"#,
+            self.tx(x1),
+            self.ty(y1),
+            self.tx(x2),
+            self.ty(y2)
+        );
+    }
+
+    /// Draws a polyline through the given model-space points.
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64) {
+        if pts.len() < 2 {
+            return;
+        }
+        let mut coords = String::new();
+        for &(x, y) in pts {
+            let _ = write!(coords, "{:.3},{:.3} ", self.tx(x), self.ty(y));
+        }
+        let _ = write!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            coords.trim_end()
+        );
+    }
+
+    /// Draws a circle.
+    pub fn circle(&mut self, x: f64, y: f64, r: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{:.3}" cy="{:.3}" r="{r}" fill="{fill}"/>"#,
+            self.tx(x),
+            self.ty(y)
+        );
+    }
+
+    /// Draws an axis-aligned rectangle (model-space corner + size).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{:.3}" y="{:.3}" width="{:.3}" height="{:.3}" fill="{fill}"/>"#,
+            self.tx(x),
+            self.ty(y + h),
+            w,
+            h
+        );
+    }
+
+    /// Draws text anchored at its centre.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = write!(
+            self.body,
+            r#"<text x="{:.3}" y="{:.3}" font-size="{size}" text-anchor="middle" font-family="sans-serif">{escaped}</text>"#,
+            self.tx(x),
+            self.ty(y)
+        );
+    }
+
+    /// Finalises the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!(
+            concat!(
+                r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w:.3} {h:.3}" "#,
+                r#"width="{pw:.0}" height="{ph:.0}">"#,
+                r#"<rect width="100%" height="100%" fill="white"/>{body}</svg>"#
+            ),
+            w = self.width,
+            h = self.height,
+            pw = 800.0,
+            ph = 800.0 * self.height / self.width,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canvas_produces_wellformed_svg() {
+        let mut c = SvgCanvas::new(-1.0, -1.0, 1.0, 1.0);
+        c.line(-1.0, 0.0, 1.0, 0.0, "black", 0.01);
+        c.circle(0.0, 0.0, 0.1, "red");
+        c.rect(-0.5, -0.5, 1.0, 0.2, "#eee");
+        c.text(0.0, 0.5, 0.1, "a<b&c");
+        c.polyline(&[(0.0, 0.0), (0.5, 0.5), (1.0, 0.0)], "blue", 0.02);
+        let svg = c.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("a&lt;b&amp;c"), "text is escaped");
+        // Balanced tags (crude well-formedness check).
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut c = SvgCanvas::new(0.0, 0.0, 10.0, 10.0);
+        c.circle(0.0, 10.0, 1.0, "red"); // model top-left
+        let svg = c.finish();
+        assert!(svg.contains(r#"cx="0.000" cy="0.000""#));
+    }
+
+    #[test]
+    fn short_polylines_are_ignored() {
+        let mut c = SvgCanvas::new(0.0, 0.0, 1.0, 1.0);
+        c.polyline(&[(0.5, 0.5)], "red", 0.1);
+        assert!(!c.finish().contains("polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "area")]
+    fn degenerate_canvas_panics() {
+        let _ = SvgCanvas::new(0.0, 0.0, 0.0, 1.0);
+    }
+}

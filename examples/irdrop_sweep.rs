@@ -1,0 +1,69 @@
+//! IR-drop design-space sweep: how pad count, pad plan and hotspots shape
+//! the core's worst-case supply noise.
+//!
+//! Sweeps the finite-difference model (paper ref. [17], Eq. 1) over pad
+//! budgets and pad plans — the trade-off a chip-package co-designer
+//! explores before committing to a pad ring.
+//!
+//! Run with `cargo run --release --example irdrop_sweep`.
+
+use copack::power::{solve_sor, GridSpec, Hotspot, PadRing, PadSpacingProxy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = GridSpec {
+        current_density: 4.6e-7,
+        ..GridSpec::default_chip(48)
+    };
+
+    println!("pad-budget sweep (uniform ring, 48x48 grid):");
+    println!("{:>6} {:>14}", "pads", "max drop (mV)");
+    for pads in [2usize, 4, 8, 16, 32, 64] {
+        let map = solve_sor(&grid, &PadRing::uniform(pads))?;
+        println!("{pads:>6} {:>14.2}", map.max_drop() * 1000.0);
+    }
+
+    println!("\npad-plan sweep (12 pads):");
+    let plans: [(&str, Vec<f64>); 4] = [
+        ("uniform", (0..12).map(|i| (f64::from(i) + 0.5) / 12.0).collect()),
+        (
+            "two sides only",
+            (0..12).map(|i| (f64::from(i) + 0.5) / 24.0).collect(),
+        ),
+        (
+            "one corner",
+            (0..12).map(|i| f64::from(i) * 0.02).collect(),
+        ),
+        (
+            "paired",
+            (0..12)
+                .map(|i| (f64::from(i / 2) + 0.5) / 6.0 + f64::from(i % 2) * 0.01)
+                .collect(),
+        ),
+    ];
+    println!("{:>16} {:>14} {:>12}", "plan", "max drop (mV)", "delta_IR");
+    for (name, ts) in plans {
+        let proxy = PadSpacingProxy::new(&ts)?.delta_ir();
+        let map = solve_sor(&grid, &PadRing::from_ts(ts)?)?;
+        println!("{name:>16} {:>14.2} {proxy:>12.5}", map.max_drop() * 1000.0);
+    }
+
+    println!("\nhotspot sweep (12 uniform pads, one hotspot of growing intensity):");
+    println!("{:>12} {:>14}", "multiplier", "max drop (mV)");
+    for mult in [1.0, 2.0, 4.0, 8.0] {
+        let spec = GridSpec {
+            hotspots: vec![Hotspot {
+                cx: 0.5,
+                cy: 0.5,
+                radius: 0.2,
+                multiplier: mult,
+            }],
+            ..grid.clone()
+        };
+        let map = solve_sor(&spec, &PadRing::uniform(12))?;
+        println!("{mult:>12.1} {:>14.2}", map.max_drop() * 1000.0);
+    }
+
+    println!("\nThe delta_IR proxy column tracks the solved drops — that agreement is");
+    println!("what lets the exchange step anneal on the proxy instead of Eq. 1.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Whole-package co-design: plan all four quadrants, evaluate the true
+//! package-level IR-drop and the cut-line congestion, and render the
+//! package.
+//!
+//! Run with `cargo run --release --example package_codesign`.
+
+use copack::core::{plan_package, Codesign};
+use copack::gen::circuit;
+use copack::power::GridSpec;
+use copack::viz::package_svg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c = circuit(2);
+    let package = c.build_package()?;
+    println!(
+        "package: {} ({} finger/pads over 4 quadrants)",
+        c.name,
+        package.total_nets()
+    );
+
+    let config = Codesign {
+        grid: GridSpec::default_chip(32),
+        ..Codesign::default()
+    };
+    let report = plan_package(&package, &config)?;
+
+    println!("\nper-side routing after exchange:");
+    for (side, routing) in copack::geom::QuadrantSide::ALL.iter().zip(&report.routing) {
+        println!("  {side:>6}: {routing}");
+    }
+    println!("worst side density: {}", report.max_density());
+
+    if let (Some(b), Some(a)) = (report.ir_before, report.ir_after) {
+        println!(
+            "\npackage IR-drop: {:.3} mV -> {:.3} mV",
+            b * 1000.0,
+            a * 1000.0
+        );
+    }
+
+    println!("\ncut-line congestion (shared between adjacent quadrants):");
+    for (k, load) in report.cutlines.boundaries.iter().enumerate() {
+        println!("  boundary {k}: {load}");
+    }
+    println!("worst cut-line: {}", report.cutlines.max());
+
+    let svg = package_svg(&package, &report.assignments)?;
+    std::fs::write("target/package_codesign.svg", svg)?;
+    println!("\npackage view -> target/package_codesign.svg");
+    Ok(())
+}

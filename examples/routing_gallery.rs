@@ -1,0 +1,48 @@
+//! Routing gallery: render every Table 1 circuit under every assignment
+//! method to SVG, plus terminal density histograms.
+//!
+//! Writes `target/gallery_<circuit>_<method>.svg` for all fifteen
+//! combinations — a quick visual regression gallery for the router and
+//! the assignment algorithms.
+//!
+//! Run with `cargo run --release --example routing_gallery`.
+
+use std::fs;
+
+use copack::core::{assign, AssignMethod};
+use copack::gen::circuits;
+use copack::route::{analyze, DensityModel};
+use copack::viz::{density_histogram, routing_svg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let methods = [
+        ("random", AssignMethod::Random { seed: 11 }),
+        ("ifa", AssignMethod::Ifa),
+        ("dfa", AssignMethod::dfa_default()),
+    ];
+    for circuit in circuits() {
+        let quadrant = circuit.build_quadrant()?;
+        println!("== {} ({} nets/quadrant) ==", circuit.name, quadrant.net_count());
+        for (name, method) in methods {
+            let assignment = assign(&quadrant, method)?;
+            let report = analyze(&quadrant, &assignment, DensityModel::Geometric)?;
+            let slug = circuit.name.replace(' ', "");
+            let path = format!("target/gallery_{slug}_{name}.svg");
+            fs::write(&path, routing_svg(&quadrant, &assignment)?)?;
+            println!(
+                "  {name:<7} density {:>2} (interior {:>2})  wl {:>8.2} um  -> {path}",
+                report.max_density, report.max_density_interior, report.total_wirelength
+            );
+        }
+        // A terminal histogram for the DFA plan of the smallest circuit.
+        if circuit.finger_count == 96 {
+            let dfa = assign(&quadrant, AssignMethod::dfa_default())?;
+            println!("\n  DFA per-line densities:");
+            for line in density_histogram(&quadrant, &dfa, DensityModel::Geometric)?.lines() {
+                println!("  {line}");
+            }
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Stacking-IC co-design: plan a four-tier SiP-style design.
+//!
+//! Builds circuit 3 of the paper's Table 1 as a ψ = 4 stacking IC, runs
+//! the two-step flow, and reports the bonding-wire and IR-drop effects of
+//! the exchange step (the scenario of the paper's Table 3, right half).
+//!
+//! Run with `cargo run --release --example stacking_codesign`.
+
+use copack::core::{total_bondwire, Codesign};
+use copack::gen::circuit;
+use copack::power::GridSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stacked = circuit(3).stacked(4);
+    let quadrant = stacked.build_quadrant()?;
+    let stack = stacked.stack()?;
+
+    println!("design: {} ({} nets/quadrant, psi = {})", stacked.name, quadrant.net_count(), stack.tiers);
+
+    let flow = Codesign {
+        stack,
+        grid: GridSpec::default_chip(32),
+        ..Codesign::default()
+    };
+    let report = flow.run(&quadrant)?;
+
+    println!("\nrouting:");
+    println!("  after DFA     : {}", report.routing_before);
+    println!("  after exchange: {}", report.routing_after);
+
+    println!("\nbonding wires:");
+    println!(
+        "  omega (zero-bit count): {} -> {}  ({:+.2}% of capacity reclaimed)",
+        report.omega_before,
+        report.omega_after,
+        report.omega_improvement_percent.unwrap_or(0.0)
+    );
+    let before = total_bondwire(&quadrant, &report.initial, &stack)?;
+    let after = total_bondwire(&quadrant, &report.final_assignment, &stack)?;
+    println!(
+        "  physical length       : {before:.2} um -> {after:.2} um ({:+.2}%)",
+        report.bondwire_improvement_percent()
+    );
+
+    if let (Some(b), Some(a)) = (report.ir_before, report.ir_after) {
+        println!(
+            "\nIR-drop: {:.3} mV -> {:.3} mV ({:+.2}%)",
+            b * 1000.0,
+            a * 1000.0,
+            report.ir_improvement_percent.unwrap_or(0.0)
+        );
+    }
+
+    println!(
+        "\nannealer: {} proposed, {} accepted ({} uphill), {} blocked by the range constraint",
+        report.exchange.proposed,
+        report.exchange.accepted,
+        report.exchange.uphill_accepted,
+        report.exchange.constraint_rejected
+    );
+    Ok(())
+}

@@ -1,0 +1,381 @@
+//! The `copack` command-line interface.
+//!
+//! The binary in `src/bin/copack.rs` is a thin wrapper around [`run`]; the
+//! logic lives here so integration tests can drive it without spawning
+//! processes.
+//!
+//! ```text
+//! copack gen <1..=5>                       write a Table 1 circuit file
+//! copack plan <circuit> [options]          assign (and optionally exchange)
+//! copack route <circuit> <assignment>      analyse a routing
+//! copack ir <circuit> <assignment>         solve the IR-drop map
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use copack_core::{assign, exchange, AssignMethod, ExchangeConfig};
+use copack_gen::circuit;
+use copack_geom::StackConfig;
+use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadrant};
+use copack_power::GridSpec;
+use copack_route::{analyze, balanced_density_map, DensityModel};
+use copack_viz::{density_histogram, routing_ascii, routing_svg};
+
+/// Usage text printed for `--help` or argument errors.
+pub const USAGE: &str = "\
+copack - package routability- and IR-drop-aware finger/pad planning
+
+USAGE:
+  copack gen <1..=5> [--out FILE]
+      Write circuit N of the paper's Table 1 in the circuit format.
+
+  copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
+              [--slack N] [--exchange] [--psi N] [--out FILE] [--svg FILE]
+      Run the congestion-driven assignment (default: dfa) and optionally
+      the IR-drop-aware exchange step; print the routing report.
+
+  copack route <circuit-file> <assignment-file> [--svg FILE]
+      Check legality and print density/wirelength analysis.
+
+  copack ir <circuit-file> <assignment-file> [--grid N]
+      Solve the finite-difference IR-drop model for the power pads.
+";
+
+/// Runs the CLI on pre-split arguments (without the program name) and
+/// returns the text to print.
+///
+/// # Errors
+///
+/// Returns a human-readable message (file, parse, or model error) suitable
+/// for printing to stderr with a non-zero exit code.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("ir") => cmd_ir(&args[1..]),
+        Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+struct Options {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// Flags that take a value; everything else `--x` is boolean.
+const VALUED: [&str; 7] = [
+    "--out", "--svg", "--method", "--seed", "--slack", "--psi", "--grid",
+];
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(flag) = arg.strip_prefix("--") {
+            if VALUED.contains(&arg.as_str()) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{flag} needs a value"))?;
+                flags.push((flag.to_owned(), Some(value.clone())));
+            } else {
+                flags.push((flag.to_owned(), None));
+            }
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    Ok(Options { positional, flags })
+}
+
+impl Options {
+    fn flag(&self, name: &str) -> Option<&Option<String>> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flag(name).and_then(|v| v.as_deref())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+fn load_quadrant(path: &str) -> Result<(String, copack_geom::Quadrant), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_quadrant(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_assignment(path: &str) -> Result<copack_geom::Assignment, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(parse_assignment(&text).map_err(|e| format!("{path}: {e}"))?.1)
+}
+
+fn maybe_write(path: Option<&str>, content: &str, out: &mut String) -> Result<(), String> {
+    if let Some(path) = path {
+        fs::write(path, content).map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [index] = opts.positional.as_slice() else {
+        return Err(format!("gen expects one circuit index\n\n{USAGE}"));
+    };
+    let n: usize = index
+        .parse()
+        .map_err(|_| format!("`{index}` is not a circuit index"))?;
+    if !(1..=5).contains(&n) {
+        return Err("Table 1 has circuits 1..=5".to_owned());
+    }
+    let c = circuit(n);
+    let q = c.build_quadrant().map_err(|e| e.to_string())?;
+    let name = c.name.replace(' ', "");
+    let text = write_quadrant(&name, &q);
+    let mut out = String::new();
+    match opts.value("out") {
+        Some(_) => maybe_write(opts.value("out"), &text, &mut out)?,
+        None => out = text,
+    }
+    Ok(out)
+}
+
+fn cmd_plan(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(format!("plan expects one circuit file\n\n{USAGE}"));
+    };
+    let (name, quadrant) = load_quadrant(path)?;
+
+    let seed = opts.num("seed", 42u64)?;
+    let slack = opts.num("slack", 1u32)?;
+    let method = match opts.value("method").unwrap_or("dfa") {
+        "dfa" => AssignMethod::Dfa { slack },
+        "ifa" => AssignMethod::Ifa,
+        "random" => AssignMethod::Random { seed },
+        other => return Err(format!("unknown method `{other}` (dfa|ifa|random)")),
+    };
+
+    let mut assignment = assign(&quadrant, method).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let report = analyze(&quadrant, &assignment, DensityModel::Geometric)
+        .map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "{name}: {method} -> {report}");
+
+    if opts.flag("exchange").is_some() {
+        let psi = opts.num("psi", 1u8)?;
+        let stack = if psi <= 1 {
+            StackConfig::planar()
+        } else {
+            StackConfig::stacked(psi).map_err(|e| e.to_string())?
+        };
+        let result = exchange(&quadrant, &assignment, &stack, &ExchangeConfig::default())
+            .map_err(|e| e.to_string())?;
+        assignment = result.assignment;
+        let report = analyze(&quadrant, &assignment, DensityModel::Geometric)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "{name}: after exchange (cost {:.4} -> {:.4}) -> {report}",
+            result.stats.initial_cost, result.stats.final_cost
+        );
+    }
+
+    let _ = writeln!(out, "order: {assignment}");
+    maybe_write(
+        opts.value("out"),
+        &write_assignment(&name, &assignment),
+        &mut out,
+    )?;
+    if let Some(svg_path) = opts.value("svg") {
+        let svg = routing_svg(&quadrant, &assignment).map_err(|e| e.to_string())?;
+        maybe_write(Some(svg_path), &svg, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn cmd_route(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [circuit_path, assignment_path] = opts.positional.as_slice() else {
+        return Err(format!("route expects a circuit and an assignment\n\n{USAGE}"));
+    };
+    let (name, quadrant) = load_quadrant(circuit_path)?;
+    let assignment = load_assignment(assignment_path)?;
+    let report = analyze(&quadrant, &assignment, DensityModel::Geometric)
+        .map_err(|e| e.to_string())?;
+    let balanced = balanced_density_map(&quadrant, &assignment)
+        .map_err(|e| e.to_string())?
+        .max_density();
+    let mut out = String::new();
+    let _ = writeln!(out, "{name}: {report}");
+    let _ = writeln!(
+        out,
+        "{name}: best-achievable (balanced) max density {balanced}"
+    );
+    let _ = write!(
+        out,
+        "{}",
+        routing_ascii(&quadrant, &assignment).map_err(|e| e.to_string())?
+    );
+    let _ = write!(
+        out,
+        "{}",
+        density_histogram(&quadrant, &assignment, DensityModel::Geometric)
+            .map_err(|e| e.to_string())?
+    );
+    if let Some(svg_path) = opts.value("svg") {
+        let svg = routing_svg(&quadrant, &assignment).map_err(|e| e.to_string())?;
+        maybe_write(Some(svg_path), &svg, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn cmd_ir(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [circuit_path, assignment_path] = opts.positional.as_slice() else {
+        return Err(format!("ir expects a circuit and an assignment\n\n{USAGE}"));
+    };
+    let (name, quadrant) = load_quadrant(circuit_path)?;
+    let assignment = load_assignment(assignment_path)?;
+    let n = opts.num("grid", 48usize)?;
+    let grid = GridSpec::default_chip(n);
+    let drop = copack_core::evaluate_ir(&quadrant, &assignment, &grid)
+        .map_err(|e| e.to_string())?;
+    match drop {
+        Some(v) => Ok(format!(
+            "{name}: max IR-drop {:.3} mV ({n}x{n} grid, pads replicated on 4 sides)\n",
+            v * 1000.0
+        )),
+        None => Ok(format!("{name}: no power nets, nothing to solve\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&s(&["--help"])).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&s(&["frob"])).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_emits_a_parsable_circuit() {
+        let text = run(&s(&["gen", "2"])).unwrap();
+        let (name, q) = copack_io::parse_quadrant(&text).unwrap();
+        assert_eq!(name, "circuit2");
+        assert_eq!(q.net_count(), 40);
+    }
+
+    #[test]
+    fn gen_validates_the_index() {
+        assert!(run(&s(&["gen", "0"])).is_err());
+        assert!(run(&s(&["gen", "9"])).is_err());
+        assert!(run(&s(&["gen", "two"])).is_err());
+        assert!(run(&s(&["gen"])).is_err());
+    }
+
+    #[test]
+    fn plan_route_ir_round_trip_through_files() {
+        let dir = std::env::temp_dir().join("copack_cli_test");
+        fs::create_dir_all(&dir).unwrap();
+        let circuit_path = dir.join("c1.copack");
+        let assignment_path = dir.join("c1.order");
+
+        let text = run(&s(&["gen", "1"])).unwrap();
+        fs::write(&circuit_path, text).unwrap();
+
+        let out = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--method",
+            "dfa",
+            "--out",
+            assignment_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("dfa"), "{out}");
+        assert!(out.contains("max density"));
+
+        let out = run(&s(&[
+            "route",
+            circuit_path.to_str().unwrap(),
+            assignment_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("fingers:"));
+        assert!(out.contains("balanced"));
+
+        let out = run(&s(&[
+            "ir",
+            circuit_path.to_str().unwrap(),
+            assignment_path.to_str().unwrap(),
+            "--grid",
+            "12",
+        ]))
+        .unwrap();
+        assert!(out.contains("mV"), "{out}");
+    }
+
+    #[test]
+    fn plan_supports_exchange_and_methods() {
+        let dir = std::env::temp_dir().join("copack_cli_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let circuit_path = dir.join("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        for method in ["ifa", "random"] {
+            let out = run(&s(&[
+                "plan",
+                circuit_path.to_str().unwrap(),
+                "--method",
+                method,
+            ]))
+            .unwrap();
+            assert!(out.contains("max density"), "{method}: {out}");
+        }
+        let out = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+        ]))
+        .unwrap();
+        assert!(out.contains("after exchange"), "{out}");
+        assert!(run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--method",
+            "magic"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run(&s(&["plan", "/nonexistent/file.copack"])).unwrap_err();
+        assert!(err.contains("/nonexistent/file.copack"));
+    }
+
+    #[test]
+    fn valued_flags_require_values() {
+        let err = run(&s(&["gen", "1", "--out"])).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+}

@@ -1,0 +1,55 @@
+//! `copack` — package routability- and IR-drop-aware finger/pad planning
+//! for single-chip and stacking IC designs.
+//!
+//! This is the facade crate of the workspace: it re-exports every
+//! subsystem so applications can depend on one crate. It reproduces
+//! *"Package routability- and IR-drop-aware finger/pad assignment in
+//! chip-package co-design"* (Lu, Chen, Liu, Shih; DATE 2009, extended in
+//! INTEGRATION 2012) end to end:
+//!
+//! * [`geom`] — the two-layer BGA package model (quadrants, fingers, bump
+//!   balls, assignments, stacking tiers);
+//! * [`route`] — the monotonic package router: legality, wire density,
+//!   wirelength, paths;
+//! * [`power`] — the compact finite-difference IR-drop model and solvers;
+//! * [`core`] — the paper's algorithms: IFA, DFA, the random baseline,
+//!   and the simulated-annealing finger/pad exchange;
+//! * [`gen`] — synthetic test circuits (including the paper's Table 1
+//!   five);
+//! * [`viz`] — SVG/ASCII rendering of routings and IR maps.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use copack::core::{Codesign, ExchangeConfig, Schedule};
+//! use copack::gen::circuit;
+//! use copack::power::GridSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let quadrant = circuit(1).build_quadrant()?;
+//! let flow = Codesign {
+//!     grid: GridSpec::default_chip(16),
+//!     exchange: ExchangeConfig {
+//!         schedule: Schedule { moves_per_temp_per_finger: 1, ..Schedule::default() },
+//!         ..ExchangeConfig::default()
+//!     },
+//!     ..Codesign::default()
+//! };
+//! let report = flow.run(&quadrant)?;
+//! assert!(report.routing_after.max_density > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use copack_core as core;
+pub use copack_io as io;
+pub use copack_gen as gen;
+pub use copack_geom as geom;
+pub use copack_power as power;
+pub use copack_route as route;
+pub use copack_viz as viz;

@@ -1,0 +1,68 @@
+//! End-to-end tests of the compiled `copack` binary (not just the library
+//! entry point): real process, real files, real exit codes.
+
+use std::process::Command;
+
+fn copack(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_copack"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = copack(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_stderr() {
+    let out = copack(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let dir = std::env::temp_dir().join("copack_bin_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let circuit = dir.join("c1.copack");
+    let order = dir.join("c1.order");
+
+    let out = copack(&["gen", "1", "--out", circuit.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = copack(&[
+        "plan",
+        circuit.to_str().unwrap(),
+        "--out",
+        order.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("max density"));
+
+    let out = copack(&["route", circuit.to_str().unwrap(), order.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("balanced"));
+
+    let out = copack(&[
+        "ir",
+        circuit.to_str().unwrap(),
+        order.to_str().unwrap(),
+        "--grid",
+        "12",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mV"));
+}
+
+#[test]
+fn missing_file_exits_nonzero() {
+    let out = copack(&["plan", "/definitely/not/a/file.copack"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("file.copack"));
+}

@@ -1,0 +1,145 @@
+//! End-to-end integration tests: the paper's experimental shape on the
+//! Table 1 circuits, across all crates.
+
+use copack::core::{assign, AssignMethod, Codesign, ExchangeConfig, Schedule};
+use copack::gen::{circuit, circuits};
+use copack::power::GridSpec;
+use copack::route::{analyze, is_monotonic, DensityModel};
+
+fn fast_flow() -> Codesign {
+    Codesign {
+        grid: GridSpec::default_chip(16),
+        exchange: ExchangeConfig {
+            schedule: Schedule {
+                moves_per_temp_per_finger: 1,
+                final_temp_ratio: 1e-2,
+                cooling: 0.85,
+                ..Schedule::default()
+            },
+            ..ExchangeConfig::default()
+        },
+        ..Codesign::default()
+    }
+}
+
+#[test]
+fn table2_shape_dfa_beats_ifa_beats_random() {
+    // The core claim of Table 2, on every circuit.
+    for c in circuits() {
+        let q = c.build_quadrant().expect("builds");
+        let density = |method| {
+            let a = assign(&q, method).expect("assigns");
+            analyze(&q, &a, DensityModel::Geometric)
+                .expect("legal")
+                .max_density
+        };
+        let random = density(AssignMethod::Random { seed: 11 });
+        let ifa = density(AssignMethod::Ifa);
+        let dfa = density(AssignMethod::dfa_default());
+        assert!(
+            dfa <= ifa && ifa <= random,
+            "{}: dfa {dfa}, ifa {ifa}, random {random}",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn every_method_yields_routable_orders_on_every_circuit() {
+    for c in circuits() {
+        let q = c.build_quadrant().expect("builds");
+        for method in [
+            AssignMethod::Random { seed: 3 },
+            AssignMethod::Ifa,
+            AssignMethod::Dfa { slack: 1 },
+            AssignMethod::Dfa { slack: 3 },
+        ] {
+            let a = assign(&q, method).expect("assigns");
+            assert!(is_monotonic(&q, &a), "{} under {method}", c.name);
+            assert_eq!(a.net_count(), q.net_count());
+        }
+    }
+}
+
+#[test]
+fn exchange_reduces_the_cost_and_stays_legal_2d() {
+    let q = circuit(2).build_quadrant().expect("builds");
+    let report = fast_flow().run(&q).expect("pipeline");
+    assert!(report.exchange.final_cost <= report.exchange.initial_cost + 1e-9);
+    assert!(is_monotonic(&q, &report.final_assignment));
+    // The exchange step may trade some density (the paper's Table 3 shows
+    // +2..3); it must not explode.
+    assert!(
+        report.routing_after.max_density <= report.routing_before.max_density + 4,
+        "{} -> {}",
+        report.routing_before.max_density,
+        report.routing_after.max_density
+    );
+}
+
+#[test]
+fn exchange_improves_ir_on_every_circuit() {
+    for c in circuits() {
+        let q = c.build_quadrant().expect("builds");
+        let report = fast_flow().run(&q).expect("pipeline");
+        let improvement = report.ir_improvement_percent.expect("power nets exist");
+        assert!(
+            improvement > -2.0,
+            "{}: IR-drop regressed by {improvement:.2}%",
+            c.name
+        );
+    }
+}
+
+#[test]
+fn stacking_pipeline_improves_bonding_wires() {
+    let stacked = circuit(1).stacked(4);
+    let q = stacked.build_quadrant().expect("builds");
+    let mut flow = Codesign {
+        stack: stacked.stack().expect("stack"),
+        ..fast_flow()
+    };
+    // Weight the bonding-wire term up: with the short test schedule the
+    // default IR-heavy weights may trade a unit of omega away.
+    flow.exchange.weights = copack::core::CostWeights {
+        lambda: 100.0,
+        rho: 1.0,
+        phi: 2.0,
+    };
+    let report = flow.run(&q).expect("pipeline");
+    assert!(
+        report.omega_after <= report.omega_before,
+        "omega {} -> {}",
+        report.omega_before,
+        report.omega_after
+    );
+    assert!(is_monotonic(&q, &report.final_assignment));
+    assert!(report.omega_improvement_percent.is_some());
+}
+
+#[test]
+fn packages_expose_power_pads_for_all_four_sides() {
+    use copack::geom::NetKind;
+    let c = circuit(1);
+    let q = c.build_quadrant().expect("builds");
+    let package = c.build_package().expect("package");
+    let a = assign(&q, AssignMethod::dfa_default()).expect("dfa");
+    let assignments = [a.clone(), a.clone(), a.clone(), a];
+    let pads = package
+        .pads_of_kind(&assignments, NetKind::Power)
+        .expect("pads");
+    let per_side = q.nets_of_kind(NetKind::Power).count();
+    assert_eq!(pads.len(), per_side * 4);
+    for (_, slot) in &pads {
+        assert!((0.0..1.0).contains(&slot.t));
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let q = circuit(1).build_quadrant().expect("builds");
+    let a = fast_flow().run(&q).expect("pipeline");
+    let b = fast_flow().run(&q).expect("pipeline");
+    assert_eq!(a.final_assignment, b.final_assignment);
+    assert_eq!(a.ir_after, b.ir_after);
+}

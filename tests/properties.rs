@@ -1,0 +1,153 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use copack::core::{
+    dfa, exchange, ifa, omega_of_assignment, random_assignment, ExchangeConfig, Schedule,
+};
+use copack::geom::{NetKind, Quadrant, StackConfig};
+use copack::power::{solve_cg, solve_sor, GridSpec, PadRing, PadSpacingProxy};
+use copack::route::{
+    density_map, exchange_range, extract_paths, is_monotonic, DensityModel,
+};
+use proptest::prelude::*;
+
+/// Strategy: a quadrant with 1..=5 rows of 1..=8 balls, net ids shuffled,
+/// every third net a power pad.
+fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
+    (prop::collection::vec(1usize..=8, 1..=5), any::<u64>()).prop_map(|(sizes, seed)| {
+        let total: usize = sizes.iter().sum();
+        // Deterministic Fisher–Yates from the seed, no external RNG needed.
+        let mut ids: Vec<u32> = (1..=total as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..ids.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            ids.swap(i, j);
+        }
+        let mut builder = Quadrant::builder();
+        let mut cursor = 0;
+        for &s in &sizes {
+            builder = builder.row(ids[cursor..cursor + s].iter().copied());
+            cursor += s;
+        }
+        for id in 1..=total as u32 {
+            if id % 3 == 0 {
+                builder = builder.net_kind(id, NetKind::Power);
+            }
+        }
+        builder.build().expect("generated quadrants are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_assignment_methods_are_monotonic_legal(q in quadrant_strategy(), seed in any::<u64>()) {
+        for a in [
+            random_assignment(&q, seed).expect("random"),
+            ifa(&q).expect("ifa"),
+            dfa(&q, 1).expect("dfa"),
+            dfa(&q, 3).expect("dfa slack 3"),
+        ] {
+            prop_assert!(is_monotonic(&q, &a));
+            prop_assert_eq!(a.net_count(), q.net_count());
+            prop_assert!(a.validate_complete(&q).is_ok());
+        }
+    }
+
+    #[test]
+    fn density_counts_conserve_crossings(q in quadrant_strategy(), seed in any::<u64>()) {
+        let a = random_assignment(&q, seed).expect("random");
+        for model in [DensityModel::Geometric, DensityModel::OrderOnly] {
+            let map = density_map(&q, &a, model).expect("legal");
+            // Wires crossing line y = nets whose ball row is strictly below y.
+            for row_density in &map.rows {
+                let y = row_density.row.get();
+                let expected: usize = (1..y)
+                    .map(|lower| q.row(lower).len())
+                    .sum();
+                let counted: u32 = row_density.counts.iter().sum();
+                prop_assert_eq!(counted as usize, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_ranges_contain_current_positions(q in quadrant_strategy(), seed in any::<u64>()) {
+        let a = random_assignment(&q, seed).expect("random");
+        for net in q.nets() {
+            let pos = a.position_of(net.id).expect("placed");
+            let (lo, hi) = exchange_range(&q, &a, net.id).expect("range");
+            prop_assert!(lo <= pos && pos <= hi, "{}: {pos:?} not in [{lo:?}, {hi:?}]", net.id);
+        }
+    }
+
+    #[test]
+    fn paths_are_monotonic_and_cover_all_nets(q in quadrant_strategy(), seed in any::<u64>()) {
+        let a = random_assignment(&q, seed).expect("random");
+        let paths = extract_paths(&q, &a).expect("legal");
+        prop_assert_eq!(paths.len(), q.net_count());
+        for p in &paths {
+            prop_assert!(p.is_monotonic());
+            prop_assert!(p.length() > 0.0);
+        }
+    }
+
+    #[test]
+    fn planar_omega_is_always_zero(q in quadrant_strategy(), seed in any::<u64>()) {
+        let a = random_assignment(&q, seed).expect("random");
+        prop_assert_eq!(omega_of_assignment(&q, &a, 1).expect("omega"), 0);
+    }
+
+    #[test]
+    fn proxy_gaps_always_sum_to_one(ts in prop::collection::vec(0.0f64..1.0, 1..20)) {
+        let proxy = PadSpacingProxy::new(&ts).expect("valid positions");
+        let sum: f64 = proxy.gaps().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(proxy.delta_ir() >= 0.0);
+        prop_assert!(proxy.max_gap() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn sor_and_cg_agree_on_random_rings(
+        ts in prop::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let spec = GridSpec::default_chip(10);
+        let ring = PadRing::from_ts(ts).expect("valid ring");
+        let a = solve_sor(&spec, &ring).expect("sor");
+        let b = solve_cg(&spec, &ring).expect("cg");
+        prop_assert!((a.max_drop() - b.max_drop()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exchange_preserves_legality_and_cost_on_arbitrary_instances(
+        q in quadrant_strategy(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(q.nets_of_kind(NetKind::Power).next().is_some());
+        let initial = dfa(&q, 1).expect("dfa");
+        let cfg = ExchangeConfig {
+            schedule: Schedule {
+                moves_per_temp_per_finger: 1,
+                final_temp_ratio: 0.2,
+                cooling: 0.5,
+                ..Schedule::default()
+            },
+            seed,
+            ..ExchangeConfig::default()
+        };
+        let r = exchange(&q, &initial, &StackConfig::planar(), &cfg).expect("runs");
+        prop_assert!(is_monotonic(&q, &r.assignment));
+        prop_assert!(r.assignment.validate_complete(&q).is_ok());
+        prop_assert!(r.stats.final_cost <= r.stats.initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn random_assignment_is_a_permutation(q in quadrant_strategy(), seed in any::<u64>()) {
+        let a = random_assignment(&q, seed).expect("random");
+        let mut ids: Vec<u32> = a.order().iter().map(|n| n.raw()).collect();
+        ids.sort_unstable();
+        let expected: Vec<u32> = (1..=q.net_count() as u32).collect();
+        prop_assert_eq!(ids, expected);
+    }
+}
