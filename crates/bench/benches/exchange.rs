@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use copack_core::{dfa, exchange, ExchangeConfig, Schedule, SectionBaseline};
+use copack_core::{dfa, exchange, exchange_reference, ExchangeConfig, Schedule, SectionBaseline};
 use copack_gen::{circuit, circuits};
 use copack_geom::StackConfig;
 
@@ -32,13 +32,8 @@ fn bench_exchange(c: &mut Criterion) {
             &(&q2, &initial2),
             |b, (q, a)| {
                 b.iter(|| {
-                    exchange(
-                        black_box(q),
-                        black_box(a),
-                        &StackConfig::planar(),
-                        &config,
-                    )
-                    .expect("runs")
+                    exchange(black_box(q), black_box(a), &StackConfig::planar(), &config)
+                        .expect("runs")
                 });
             },
         );
@@ -58,6 +53,46 @@ fn bench_exchange(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernel_vs_reference(c: &mut Criterion) {
+    // The headline of the O(1)-per-move rework: the incremental kernel vs
+    // the from-scratch reference on the largest circuit, same seed, same
+    // trajectory (they are bit-identical under the proxy objective).
+    let mut group = c.benchmark_group("exchange_kernel");
+    group.sample_size(10);
+    let config = ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 1,
+            final_temp_ratio: 1e-1,
+            cooling: 0.8,
+            ..Schedule::default()
+        },
+        ..ExchangeConfig::default()
+    };
+    let circuit = circuit(5);
+    let q = circuit.build_quadrant().expect("builds");
+    let initial = dfa(&q, 1).expect("dfa");
+    group.bench_with_input(
+        BenchmarkId::new("incremental", "circuit5"),
+        &(&q, &initial),
+        |b, (q, a)| {
+            b.iter(|| {
+                exchange(black_box(q), black_box(a), &StackConfig::planar(), &config).expect("runs")
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("reference", "circuit5"),
+        &(&q, &initial),
+        |b, (q, a)| {
+            b.iter(|| {
+                exchange_reference(black_box(q), black_box(a), &StackConfig::planar(), &config)
+                    .expect("runs")
+            });
+        },
+    );
+    group.finish();
+}
+
 fn bench_move_cost(c: &mut Criterion) {
     // The ID metric recomputation is the hot inner loop of the annealer.
     let q = circuit(5).build_quadrant().expect("builds");
@@ -72,5 +107,10 @@ fn bench_move_cost(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_exchange, bench_move_cost);
+criterion_group!(
+    benches,
+    bench_exchange,
+    bench_kernel_vs_reference,
+    bench_move_cost
+);
 criterion_main!(benches);

@@ -22,16 +22,16 @@
 //!
 //! Run with `cargo run --release -p copack-bench --bin ablation`.
 
-use copack_bench::{f2, TextTable};
+use copack_bench::{f2, par_map, TextTable};
 use copack_core::{
     assign, dfa, exchange, Acceptance, AssignMethod, Codesign, CostWeights, ExchangeConfig,
     IrObjective, Schedule,
 };
 use copack_gen::{circuit, circuits};
+use copack_geom::{Assignment, Package};
 use copack_power::{
     solve_plan, solve_sor, GridSpec, PadArray, PadPlan, PadRing, PadSpacingProxy, Solver,
 };
-use copack_geom::{Assignment, Package};
 use copack_route::{
     analyze, balanced_density_map, cutline_congestion, density_map, density_map_with_plan,
     via_plan_with, DensityModel, ViaRule,
@@ -104,7 +104,7 @@ fn dfa_slack() {
         "n=2 cutline",
         "n=3 cutline",
     ]);
-    for c in circuits() {
+    for cells in par_map(&circuits(), 0, |c| {
         let q = c.build_quadrant().expect("builds");
         let package = Package::uniform(q.clone());
         let mut cells = vec![c.name.clone()];
@@ -116,12 +116,14 @@ fn dfa_slack() {
             cells.push(r.max_density.to_string());
             interior.push(r.max_density_interior.to_string());
             let sides: [Assignment; 4] = [a.clone(), a.clone(), a.clone(), a];
-            let cut = cutline_congestion(&package, &sides, DensityModel::Geometric)
-                .expect("routable");
+            let cut =
+                cutline_congestion(&package, &sides, DensityModel::Geometric).expect("routable");
             cutline.push(cut.max().to_string());
         }
         cells.extend(interior);
         cells.extend(cutline);
+        cells
+    }) {
         table.row(cells);
     }
     println!("A2: DFA cut-line slack sweep");
@@ -224,8 +226,12 @@ fn flipchip_vs_wirebond() {
     let mut table = TextTable::new(["pads", "wire-bond (mV)", "flip-chip (mV)", "ratio"]);
     for side in [2usize, 4, 8] {
         let pads = side * side;
-        let wb = solve_plan(&grid, &PadPlan::WireBond(PadRing::uniform(pads)), Solver::Sor)
-            .expect("solves");
+        let wb = solve_plan(
+            &grid,
+            &PadPlan::WireBond(PadRing::uniform(pads)),
+            Solver::Sor,
+        )
+        .expect("solves");
         let fc = solve_plan(
             &grid,
             &PadPlan::FlipChip(PadArray::new(side, side).expect("array")),
@@ -253,19 +259,21 @@ fn via_rule() {
         "interior (BL)",
         "interior (BR)",
     ]);
-    for c in circuits() {
+    for cells in par_map(&circuits(), 0, |c| {
         let q = c.build_quadrant().expect("builds");
         let a = assign(&q, AssignMethod::dfa_default()).expect("dfa");
         let mut cells = vec![c.name.clone()];
         let mut interior = Vec::new();
         for rule in [ViaRule::BottomLeft, ViaRule::BottomRight] {
             let plan = via_plan_with(&q, rule);
-            let map = density_map_with_plan(&q, &a, DensityModel::Geometric, &plan)
-                .expect("routable");
+            let map =
+                density_map_with_plan(&q, &a, DensityModel::Geometric, &plan).expect("routable");
             cells.push(map.max_density().to_string());
             interior.push(map.max_density_interior().to_string());
         }
         cells.extend(interior);
+        cells
+    }) {
         table.row(cells);
     }
     println!("A5: via-corner rule (bottom-left = the paper's, vs bottom-right)");
@@ -284,7 +292,7 @@ fn balanced_router() {
         "dfa fly",
         "dfa bal",
     ]);
-    for c in circuits() {
+    for cells in par_map(&circuits(), 0, |c| {
         let q = c.build_quadrant().expect("builds");
         let mut cells = vec![c.name.clone()];
         for method in [
@@ -296,12 +304,16 @@ fn balanced_router() {
             let fly = density_map(&q, &a, DensityModel::Geometric)
                 .expect("routable")
                 .max_density();
-            let bal = balanced_density_map(&q, &a).expect("routable").max_density();
+            let bal = balanced_density_map(&q, &a)
+                .expect("routable")
+                .max_density();
             assert!(bal <= fly);
             cells.push(fly.to_string());
             cells.push(bal.to_string());
         }
         // Reorder: flys then bals were interleaved per method; fine as-is.
+        cells
+    }) {
         table.row(cells);
     }
     println!("A6: flyline vs balanced (best-achievable) max density");
@@ -321,7 +333,7 @@ fn psi_sweep() {
         "dens exch",
         "IR impr %",
     ]);
-    for psi in [2u8, 3, 4, 6] {
+    for cells in par_map(&[2u8, 3, 4, 6], 0, |&psi| {
         let circuit = circuit(3).stacked(psi);
         let q = circuit.build_quadrant().expect("builds");
         let cfg = Codesign {
@@ -330,7 +342,7 @@ fn psi_sweep() {
             ..Codesign::default()
         };
         let r = cfg.run(&q).expect("pipeline");
-        table.row([
+        [
             psi.to_string(),
             r.omega_before.to_string(),
             r.omega_after.to_string(),
@@ -338,7 +350,9 @@ fn psi_sweep() {
             r.routing_before.max_density.to_string(),
             r.routing_after.max_density.to_string(),
             f2(r.ir_improvement_percent.unwrap_or(0.0)),
-        ]);
+        ]
+    }) {
+        table.row(cells);
     }
     println!("A7: stacking-depth sweep (circuit 3)");
     println!("{}", table.render());

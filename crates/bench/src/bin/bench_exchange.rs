@@ -1,0 +1,129 @@
+//! Machine-readable exchange-kernel benchmark: runs the incremental
+//! [`exchange`] and the from-scratch [`exchange_reference`] on every
+//! Table 1 circuit (ψ = 1 and ψ = 4), checks they produce identical
+//! results, and writes wall time and moves/second per configuration to
+//! `BENCH_exchange.json` for tracking across commits.
+//!
+//! The runs are strictly serial — concurrent timing on a shared machine
+//! would corrupt the numbers.
+//!
+//! Run with `cargo run --release -p copack-bench --bin bench_exchange`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use copack_core::{dfa, exchange, exchange_reference, ExchangeConfig, ExchangeResult, Schedule};
+use copack_gen::circuits;
+use copack_geom::{Assignment, Quadrant, StackConfig};
+
+/// One timed run: wall seconds and the proposed-move count.
+struct Timing {
+    seconds: f64,
+    moves: usize,
+}
+
+fn time_runs<F>(runs: usize, f: F) -> (Timing, ExchangeResult)
+where
+    F: Fn() -> ExchangeResult,
+{
+    // One warm-up, then the timed repetitions.
+    let mut result = f();
+    let start = Instant::now();
+    for _ in 0..runs {
+        result = f();
+    }
+    let seconds = start.elapsed().as_secs_f64() / runs as f64;
+    let moves = result.stats.proposed;
+    (Timing { seconds, moves }, result)
+}
+
+fn json_timing(out: &mut String, key: &str, t: &Timing) {
+    let _ = write!(
+        out,
+        "\"{key}\": {{\"seconds\": {:.6}, \"moves\": {}, \"moves_per_sec\": {:.1}}}",
+        t.seconds,
+        t.moves,
+        t.moves as f64 / t.seconds.max(1e-12)
+    );
+}
+
+fn bench_pair(
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+    runs: usize,
+) -> (Timing, Timing) {
+    let (inc, inc_result) = time_runs(runs, || {
+        exchange(quadrant, initial, stack, config).expect("kernel runs")
+    });
+    let (reference, ref_result) = time_runs(runs, || {
+        exchange_reference(quadrant, initial, stack, config).expect("reference runs")
+    });
+    // The benchmark doubles as an end-to-end equivalence check on real
+    // circuit sizes: same seed, same trajectory, same result.
+    assert_eq!(
+        inc_result, ref_result,
+        "kernel diverged from the reference implementation"
+    );
+    (inc, reference)
+}
+
+fn main() {
+    // Long enough to amortise the O(P) per-run setup (tracker and cache
+    // construction, journal replay) so the numbers measure the per-move
+    // inner loop, yet short enough to finish in seconds.
+    let config = ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 2,
+            final_temp_ratio: 1e-2,
+            cooling: 0.85,
+            ..Schedule::default()
+        },
+        ..ExchangeConfig::default()
+    };
+    let runs = 3;
+
+    let mut entries: Vec<String> = Vec::new();
+    for circuit in circuits() {
+        for psi in [1u8, 4] {
+            let (c, stack) = if psi == 1 {
+                (circuit.clone(), StackConfig::planar())
+            } else {
+                let stacked = circuit.stacked(psi);
+                let stack = stacked.stack().expect("valid stack");
+                (stacked, stack)
+            };
+            let quadrant = c.build_quadrant().expect("circuit builds");
+            let initial = dfa(&quadrant, 1).expect("dfa");
+            let (inc, reference) = bench_pair(&quadrant, &initial, &stack, &config, runs);
+            let speedup = reference.seconds / inc.seconds.max(1e-12);
+
+            let mut entry = String::new();
+            let _ = write!(
+                entry,
+                "    {{\"name\": \"{}\", \"psi\": {psi}, \"nets\": {}, ",
+                circuit.name,
+                quadrant.net_count()
+            );
+            json_timing(&mut entry, "incremental", &inc);
+            entry.push_str(", ");
+            json_timing(&mut entry, "reference", &reference);
+            let _ = write!(entry, ", \"speedup\": {speedup:.2}}}");
+            println!(
+                "{} psi={psi}: incremental {:.1} moves/s, reference {:.1} moves/s ({speedup:.2}x)",
+                circuit.name,
+                inc.moves as f64 / inc.seconds.max(1e-12),
+                reference.moves as f64 / reference.seconds.max(1e-12),
+            );
+            entries.push(entry);
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"exchange\",\n  \"runs_per_config\": {runs},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
+    println!("wrote BENCH_exchange.json");
+}

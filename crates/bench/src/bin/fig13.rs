@@ -45,11 +45,7 @@ fn main() {
         let dfa_d = analyze(&q, &dfa(&q, 1).expect("dfa"), DensityModel::Geometric)
             .expect("routable")
             .max_density;
-        table.row([
-            circuit.name.clone(),
-            ifa_d.to_string(),
-            dfa_d.to_string(),
-        ]);
+        table.row([circuit.name.clone(), ifa_d.to_string(), dfa_d.to_string()]);
         ifa_total += ifa_d;
         dfa_total += dfa_d;
         if dfa_d < ifa_d {

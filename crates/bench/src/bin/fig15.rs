@@ -33,8 +33,7 @@ fn main() {
         let path = format!("target/fig15_{name}.svg");
         fs::write(&path, svg).expect("svg written");
         let balanced = routing_svg_balanced(&q, &a).expect("renders");
-        fs::write(format!("target/fig15_{name}_balanced.svg"), balanced)
-            .expect("svg written");
+        fs::write(format!("target/fig15_{name}_balanced.svg"), balanced).expect("svg written");
         println!(
             "  {name:<7} max density {:>2}, wirelength {:>8.2} um  -> {path}",
             report.max_density, report.total_wirelength

@@ -39,8 +39,7 @@ fn main() {
     ];
 
     for (name, assignment, paper_density) in cases {
-        let report =
-            analyze(&q, &assignment, DensityModel::Geometric).expect("orders are legal");
+        let report = analyze(&q, &assignment, DensityModel::Geometric).expect("orders are legal");
         println!("== {name} ==");
         print!("{}", routing_ascii(&q, &assignment).expect("renders"));
         print!(

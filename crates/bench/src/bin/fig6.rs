@@ -69,10 +69,7 @@ fn main() {
         },
     ];
 
-    let pads = quadrant
-        .nets_of_kind(copack_geom::NetKind::Power)
-        .count()
-        * 4;
+    let pads = quadrant.nets_of_kind(copack_geom::NetKind::Power).count() * 4;
 
     for (label, g, paper) in [
         ("uniform load", &grid, Some((117.4, 77.3, 55.2))),
@@ -120,17 +117,15 @@ fn main() {
         let ours = solve_sor(g, &PadRing::from_ts(ours_ts).expect("ring")).expect("solves");
 
         let scale = random.max_drop() * 1000.0;
-        let suffix = if label.starts_with("hotspot") { "_hot" } else { "" };
-        let paper_mv = paper.map_or([None, None, None], |(a, b, c)| {
-            [Some(a), Some(b), Some(c)]
-        });
-        for ((name, map), paper_mv) in [
-            ("random", &random),
-            ("regular", &regular),
-            ("ours", &ours),
-        ]
-        .into_iter()
-        .zip(paper_mv)
+        let suffix = if label.starts_with("hotspot") {
+            "_hot"
+        } else {
+            ""
+        };
+        let paper_mv = paper.map_or([None, None, None], |(a, b, c)| [Some(a), Some(b), Some(c)]);
+        for ((name, map), paper_mv) in [("random", &random), ("regular", &regular), ("ours", &ours)]
+            .into_iter()
+            .zip(paper_mv)
         {
             let mv = map.max_drop() * 1000.0;
             match paper_mv {
@@ -148,6 +143,8 @@ fn main() {
             ours.max_drop() <= regular.max_drop() * 1.05,
             "the co-design plan must be competitive with the regular plan"
         );
-        println!("  ordering random > regular >= ours reproduced; maps -> target/fig6_*{suffix}.svg\n");
+        println!(
+            "  ordering random > regular >= ours reproduced; maps -> target/fig6_*{suffix}.svg\n"
+        );
     }
 }

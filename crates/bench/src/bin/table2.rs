@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p copack-bench --bin table2`.
 
-use copack_bench::{f2, thousands, TextTable};
+use copack_bench::{f2, par_map, thousands, TextTable};
 use copack_core::{assign, AssignMethod};
 use copack_gen::circuits;
 use copack_route::{analyze, balanced_density_map, DensityModel};
@@ -32,10 +32,10 @@ fn main() {
         "WL DFA",
     ]);
 
-    // ratio sums: balanced ifa, dfa; flyline ifa, dfa; wl ifa, dfa
-    let mut ratio_sums = [0.0f64; 6];
+    // The five circuits are independent; measure them concurrently and
+    // aggregate in input order (the output is thread-count invariant).
     let circuits = circuits();
-    for circuit in &circuits {
+    let rows = par_map(&circuits, 0, |circuit| {
         let quadrant = circuit.build_quadrant().expect("circuit builds");
 
         let mut rand_density = 0.0;
@@ -45,8 +45,11 @@ fn main() {
             let a = assign(&quadrant, AssignMethod::Random { seed }).expect("random");
             let r = analyze(&quadrant, &a, DensityModel::Geometric).expect("routable");
             rand_density += f64::from(r.max_density);
-            rand_balanced +=
-                f64::from(balanced_density_map(&quadrant, &a).expect("routable").max_density());
+            rand_balanced += f64::from(
+                balanced_density_map(&quadrant, &a)
+                    .expect("routable")
+                    .max_density(),
+            );
             rand_wl += r.total_wirelength;
         }
         rand_density /= RANDOM_SEEDS.len() as f64;
@@ -67,7 +70,7 @@ fn main() {
         // The paper reports whole-package numbers (4 identical quadrants):
         // density is per-quadrant, wirelength sums over the package.
         let wl_scale = 4.0;
-        table.row([
+        let cells = [
             circuit.name.clone(),
             f2(rand_balanced),
             ifa_bal.to_string(),
@@ -78,14 +81,25 @@ fn main() {
             thousands(rand_wl * wl_scale),
             thousands(ifa_r.total_wirelength * wl_scale),
             thousands(dfa_r.total_wirelength * wl_scale),
-        ]);
+        ];
+        // ratios: balanced ifa, dfa; flyline ifa, dfa; wl ifa, dfa
+        let ratios = [
+            f64::from(ifa_bal) / rand_balanced,
+            f64::from(dfa_bal) / rand_balanced,
+            f64::from(ifa_r.max_density) / rand_density,
+            f64::from(dfa_r.max_density) / rand_density,
+            ifa_r.total_wirelength / rand_wl,
+            dfa_r.total_wirelength / rand_wl,
+        ];
+        (cells, ratios)
+    });
 
-        ratio_sums[0] += f64::from(ifa_bal) / rand_balanced;
-        ratio_sums[1] += f64::from(dfa_bal) / rand_balanced;
-        ratio_sums[2] += f64::from(ifa_r.max_density) / rand_density;
-        ratio_sums[3] += f64::from(dfa_r.max_density) / rand_density;
-        ratio_sums[4] += ifa_r.total_wirelength / rand_wl;
-        ratio_sums[5] += dfa_r.total_wirelength / rand_wl;
+    let mut ratio_sums = [0.0f64; 6];
+    for (cells, ratios) in rows {
+        table.row(cells);
+        for (sum, r) in ratio_sums.iter_mut().zip(ratios) {
+            *sum += r;
+        }
     }
 
     let n = circuits.len() as f64;

@@ -10,7 +10,7 @@
 //!
 //! Run with `cargo run --release -p copack-bench --bin table3`.
 
-use copack_bench::{f2, TextTable};
+use copack_bench::{f2, par_map, TextTable};
 use copack_core::{Codesign, CodesignReport};
 use copack_gen::circuits;
 use copack_geom::Quadrant;
@@ -63,9 +63,10 @@ fn main() {
         "4T bondwire impr %",
     ]);
 
-    let mut sums = [0.0f64; 3];
+    // Each circuit's 2-D and stacked runs are independent of every other
+    // circuit; fan them out and aggregate in input order.
     let circuits = circuits();
-    for circuit in &circuits {
+    let rows = par_map(&circuits, 0, |circuit| {
         // 2-D run.
         let q2 = circuit.build_quadrant().expect("circuit builds");
         let (r2, ir2, _, dens2) = averaged(&base, &q2);
@@ -78,11 +79,8 @@ fn main() {
             ..base.clone()
         };
         let (r4, ir4, bw4, dens4) = averaged(&cfg4, &q4);
-        sums[0] += ir2;
-        sums[1] += ir4;
-        sums[2] += bw4;
 
-        table.row([
+        let cells = [
             circuit.name.clone(),
             r2.routing_before.max_density.to_string(),
             f2(dens2),
@@ -91,7 +89,16 @@ fn main() {
             f2(dens4),
             f2(ir4),
             f2(bw4),
-        ]);
+        ];
+        (cells, [ir2, ir4, bw4])
+    });
+
+    let mut sums = [0.0f64; 3];
+    for (cells, improvements) in rows {
+        table.row(cells);
+        for (sum, v) in sums.iter_mut().zip(improvements) {
+            *sum += v;
+        }
     }
 
     let n = circuits.len() as f64;

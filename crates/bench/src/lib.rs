@@ -73,6 +73,50 @@ impl TextTable {
     }
 }
 
+/// Maps `f` over `items` on up to `threads` OS threads (`0` = the
+/// machine's available parallelism), returning results in input order.
+///
+/// The harness binaries use this to process the five Table 1 circuits
+/// concurrently: each item's work is independent, so the output — and any
+/// aggregate computed from it — is identical for every thread count.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+    .min(items.len())
+    .max(1);
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    if workers == 1 {
+        for (slot, item) in results.iter_mut().zip(items) {
+            *slot = Some(f(item));
+        }
+    } else {
+        // Contiguous chunks keep each worker's output slots disjoint.
+        let chunk = items.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (work, out) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (item, slot) in work.iter().zip(out.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every item mapped"))
+        .collect()
+}
+
 /// Formats a float with 2 decimal places (the paper's table style).
 #[must_use]
 pub fn f2(v: f64) -> String {
@@ -124,5 +168,20 @@ mod tests {
     fn f2_rounds_to_two_places() {
         assert_eq!(f2(10.619), "10.62");
         assert_eq!(f2(1.0), "1.00");
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..13).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0usize, 1, 2, 5, 32] {
+            assert_eq!(
+                par_map(&items, threads, |x| x * x),
+                expected,
+                "threads = {threads}"
+            );
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map(&empty, 4, |x| x + 1).is_empty());
     }
 }

@@ -154,7 +154,9 @@ mod tests {
         // Same order, more tiers stacked: wires to tier 3 are longer than
         // the same horizontal offsets to tier 1.
         let mut b = Quadrant::builder().row([1u32, 2]);
-        b = b.net_tier(1u32, TierId::new(1)).net_tier(2u32, TierId::new(3));
+        b = b
+            .net_tier(1u32, TierId::new(1))
+            .net_tier(2u32, TierId::new(3));
         let q = b.build().unwrap();
         let a = Assignment::from_order([1u32, 2]);
         let stack = StackConfig::stacked(3).unwrap();

@@ -133,7 +133,7 @@ impl FreeSlots {
             step >>= 1;
         }
         let slot = pos; // 0-based: prefix `pos` holds rank frees, slot pos+1 is it
-        // Mark occupied.
+                        // Mark occupied.
         let mut i = slot + 1;
         while i <= self.len {
             self.tree[i] -= 1;
@@ -247,10 +247,12 @@ mod tests {
         let mut id = 0u32;
         let mut rows: Vec<Vec<u32>> = Vec::new();
         for w in (1..=6).rev() {
-            let row: Vec<u32> = (0..w + 2).map(|_| {
-                id += 1;
-                id
-            }).collect();
+            let row: Vec<u32> = (0..w + 2)
+                .map(|_| {
+                    id += 1;
+                    id
+                })
+                .collect();
             rows.push(row);
         }
         for r in &rows {

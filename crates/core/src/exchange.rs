@@ -1,15 +1,38 @@
 //! The finger/pad exchange step (paper Fig. 14): simulated annealing over
 //! adjacent swaps under the monotonicity-preserving range constraint.
+//!
+//! Two implementations share the contract:
+//!
+//! * [`exchange`] — the production kernel. Each proposal touches only
+//!   fixed-size incremental state: positions live in flat arrays instead
+//!   of the assignment's `BTreeMap`, exchange ranges come from a
+//!   [`RangeCache`], the Δ_IR term from a
+//!   [`crate::DeltaIrTracker`], and the best-seen state is a **move
+//!   journal** (accepted swaps + a prefix length) rematerialised once at
+//!   the end instead of a full clone per improvement. With the `Proxy`
+//!   objective the inner loop allocates nothing.
+//! * [`exchange_reference`] — the original straight-line implementation
+//!   that re-derives ranges and rebuilds the pad-spacing proxy every move.
+//!   Kept as the executable specification: with the `Proxy` objective the
+//!   two produce **bit-identical** [`ExchangeResult`]s for any seed
+//!   (equivalence is property- and integration-tested), and the benches
+//!   measure the kernel against it.
+//!
+//! With [`IrObjective::FullSolve`] the kernel additionally warm-starts
+//! each grid solve from the last *accepted* solution
+//! ([`copack_power::solve_sor_warm`]); the solve converges to the same
+//! tolerance but not bit-for-bit, so equivalence guarantees are restricted
+//! to the `Proxy` objective.
 
 use copack_geom::{Assignment, FingerIdx, NetId, NetKind, Quadrant, StackConfig};
-use copack_power::PadSpacingProxy;
-use copack_route::{check_monotonic, exchange_range};
+use copack_power::{GridSpec, PadRing, PadSpacingProxy};
+use copack_route::{check_monotonic, exchange_range, RangeCache};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate_ir, omega_of_assignment, CoreError, ExchangeConfig, IrObjective, OmegaTracker,
-    SectionTracker,
+    evaluate_ir, omega_of_assignment, CoreError, DeltaIrTracker, ExchangeConfig, IrObjective,
+    OmegaTracker, SectionTracker,
 };
 
 /// Outcome of the exchange step.
@@ -40,6 +63,110 @@ pub struct ExchangeStats {
     pub temperature_steps: usize,
 }
 
+/// The movable-net set of a run: power pads only for 2-D designs
+/// (Fig. 14 line 7), every pad for stacking designs (line 5).
+fn movable_nets(quadrant: &Quadrant, psi: u8) -> Vec<NetId> {
+    if psi == 1 {
+        quadrant.nets_of_kind(NetKind::Power).collect()
+    } else {
+        quadrant.nets().map(|n| n.id).collect()
+    }
+}
+
+/// Incremental state of the Eq. 3 Δ_IR term.
+enum IrEval {
+    /// λ = 0: the term never contributes.
+    Off,
+    /// The paper's pad-spacing proxy, tracked incrementally.
+    Proxy(DeltaIrTracker),
+    /// Full grid solves, warm-started from the last accepted solution.
+    Full {
+        grid: GridSpec,
+        /// Dense indices of the power nets, in net-id order (the order the
+        /// naive path iterates them).
+        power_idx: Vec<usize>,
+        alpha: f64,
+        /// Voltages of the last *accepted* solve, the next warm start.
+        warm: Option<Vec<f64>>,
+        /// Voltages of the most recent solve, promoted to `warm` on accept.
+        pending: Option<Vec<f64>>,
+    },
+}
+
+impl IrEval {
+    /// λ-weighted Δ_IR contribution of the current state.
+    fn cost_term(&mut self, lambda: f64, pos1: &[u32]) -> Result<f64, CoreError> {
+        match self {
+            Self::Off => Ok(0.0),
+            Self::Proxy(tracker) => {
+                if tracker.power_pad_count() == 0 {
+                    Ok(0.0)
+                } else {
+                    Ok(lambda * tracker.delta_ir())
+                }
+            }
+            Self::Full {
+                grid,
+                power_idx,
+                alpha,
+                warm,
+                pending,
+            } => {
+                // Replicates `evaluate_ir`'s pad construction: each power
+                // pad appears once per package side.
+                let mut ts = Vec::with_capacity(power_idx.len() * 4);
+                for &i in power_idx.iter() {
+                    let frac = (f64::from(pos1[i]) - 0.5) / *alpha;
+                    for side in 0..4u32 {
+                        ts.push((f64::from(side) + frac) / 4.0);
+                    }
+                }
+                if ts.is_empty() {
+                    return Ok(0.0);
+                }
+                let ring = PadRing::from_ts(ts)?;
+                let map = copack_power::solve_sor_warm(grid, &ring, warm.as_deref())?;
+                let drop = map.max_drop();
+                *pending = Some(map.voltages().to_vec());
+                Ok(lambda * drop)
+            }
+        }
+    }
+
+    /// Marks the last-evaluated state as accepted (its solution becomes
+    /// the next warm start).
+    fn commit(&mut self) {
+        if let Self::Full { warm, pending, .. } = self {
+            if let Some(v) = pending.take() {
+                *warm = Some(v);
+            }
+        }
+    }
+
+    /// Discards the last evaluation after a rejected move.
+    fn discard(&mut self) {
+        if let Self::Full { pending, .. } = self {
+            *pending = None;
+        }
+    }
+
+    /// Mirrors an adjacent swap of `left_slot` and `left_slot + 1`.
+    ///
+    /// Returns `true` iff the swap can change the Δ_IR term, so callers
+    /// may cache the term's value and only call [`IrEval::cost_term`]
+    /// again when it does. For the proxy this is exact (the tracker
+    /// reports whether a pad coordinate moved — two power pads or two
+    /// non-power nets trading places leave the spacing untouched); a full
+    /// solve is conservatively always treated as changed.
+    fn apply_adjacent_swap(&mut self, left_slot: FingerIdx) -> bool {
+        match self {
+            Self::Off => false,
+            Self::Proxy(tracker) => tracker.apply_adjacent_swap(left_slot),
+            Self::Full { .. } => true,
+        }
+    }
+}
+
 /// Runs the power-supply-noise-driven exchange (Fig. 14) on an initial
 /// order.
 ///
@@ -51,13 +178,18 @@ pub struct ExchangeStats {
 ///
 /// Every proposed swap must keep both involved nets inside their exchange
 /// ranges (strictly between their same-row neighbours), so the result is
-/// always monotonic-legal and hence routable.
+/// always monotonic-legal and hence routable; the final order is verified
+/// before it is returned.
+///
+/// This is the incremental kernel (see the module docs); it matches
+/// [`exchange_reference`] bit for bit under the `Proxy` objective.
 ///
 /// # Errors
 ///
 /// * [`CoreError::BadConfig`] for invalid weights or schedule.
 /// * [`CoreError::NoMovablePads`] for a 2-D design without power nets.
-/// * [`CoreError::Route`] if `initial` is incomplete or illegal.
+/// * [`CoreError::Route`] if `initial` is incomplete or illegal, or —
+///   defensively — if the final order fails the monotonicity re-check.
 pub fn exchange(
     quadrant: &Quadrant,
     initial: &Assignment,
@@ -78,22 +210,332 @@ pub fn exchange(
     initial.validate_complete(quadrant)?;
 
     let psi = stack.tiers;
-    let movable: Vec<NetId> = if psi == 1 {
-        quadrant.nets_of_kind(NetKind::Power).collect()
-    } else {
-        quadrant.nets().map(|n| n.id).collect()
-    };
+    let movable = movable_nets(quadrant, psi);
     if movable.is_empty() {
         return Err(CoreError::NoMovablePads);
     }
 
     let alpha = initial.finger_count();
+
+    // Dense net indexing (quadrant id order) and flat position state: the
+    // inner loop never touches the assignment's `BTreeMap`.
+    let mut cache = RangeCache::new(quadrant, initial)?;
+    let ids: Vec<NetId> = quadrant.nets().map(|n| n.id).collect();
+    let movable_idx: Vec<usize> = movable
+        .iter()
+        .map(|&n| cache.index_of(n).expect("movable net is in the quadrant"))
+        .collect();
+    let mut pos1: Vec<u32> = vec![0; ids.len()];
+    let mut slot_net: Vec<Option<usize>> = vec![None; alpha];
+    for (i, &id) in ids.iter().enumerate() {
+        let p = initial
+            .position_of(id)
+            .expect("assignment validated complete");
+        pos1[i] = p.get();
+        slot_net[p.zero_based()] = Some(i);
+    }
+
     // Incremental trackers: an adjacent swap moves one net across at most
-    // one section delimiter and touches at most two omega groups, so the
-    // ID and omega terms update in O(1) instead of O(beta) per move (see
+    // one section delimiter, touches at most two omega groups and moves at
+    // most one power pad, so every Eq. 3 term updates in O(1) (see
     // `tracker.rs`; equivalence to the from-scratch definitions is
     // property-tested there). Omega falls back to recomputation for
     // sparse assignments, which the tracker does not model.
+    let mut sections = SectionTracker::new(quadrant, initial)?;
+    // ID bookkeeping: the value is an integer (no float-ordering hazard),
+    // and it only changes when a net crosses a section delimiter — which
+    // requires one of the swapped nets to be a top-row net. Pre-resolving
+    // delimiter-ness lets the hot loop skip the tracker entirely for the
+    // common within-section swap, and `id_value` caches the O(sections)
+    // metric between crossings.
+    let is_delim: Vec<bool> = ids.iter().map(|&id| sections.is_delimiter(id)).collect();
+    let mut id_value = sections.increased_density();
+    let dense = initial.net_count() == alpha;
+    let mut omega_tracker = if psi > 1 && dense {
+        Some(OmegaTracker::new(quadrant, initial, psi)?)
+    } else {
+        None
+    };
+    // The omega fallback is the one consumer that still needs a live
+    // assignment per move; everything else runs on the flat arrays.
+    let mut live: Option<Assignment> =
+        if psi > 1 && config.weights.phi > 0.0 && omega_tracker.is_none() {
+            Some(initial.clone())
+        } else {
+            None
+        };
+    let mut ir = if config.weights.lambda > 0.0 {
+        match &config.ir_objective {
+            IrObjective::Proxy => IrEval::Proxy(DeltaIrTracker::new(quadrant, initial)?),
+            IrObjective::FullSolve { grid } => IrEval::Full {
+                grid: grid.clone(),
+                power_idx: quadrant
+                    .nets_of_kind(NetKind::Power)
+                    .map(|n| cache.index_of(n).expect("power net is in the quadrant"))
+                    .collect(),
+                alpha: alpha as f64,
+                warm: None,
+                pending: None,
+            },
+        }
+    } else {
+        IrEval::Off
+    };
+
+    // Eq. 3, term by term in the reference order (the additions must
+    // associate identically for bit-equal costs). The λ·Δ_IR term comes
+    // in pre-computed: it is the only float-valued term, and it is cached
+    // across moves that leave the pad coordinates untouched — reusing the
+    // identical f64 instead of re-deriving it keeps bit-equality trivially
+    // intact.
+    let eval_cost = |ir_term: f64,
+                     id: u32,
+                     omega_tracker: &Option<OmegaTracker>,
+                     live: &Option<Assignment>|
+     -> Result<f64, CoreError> {
+        let mut cost = 0.0;
+        if config.weights.lambda > 0.0 {
+            cost += ir_term;
+        }
+        if config.weights.rho > 0.0 {
+            cost += config.weights.rho * f64::from(id);
+        }
+        if config.weights.phi > 0.0 && psi > 1 {
+            let omega = match omega_tracker {
+                Some(tracker) => tracker.omega(),
+                None => {
+                    let a = live.as_ref().expect("fallback keeps a live assignment");
+                    omega_of_assignment(quadrant, a, psi)?
+                }
+            };
+            cost += config.weights.phi * omega as f64;
+        }
+        Ok(cost)
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut ir_term = if config.weights.lambda > 0.0 {
+        ir.cost_term(config.weights.lambda, &pos1)?
+    } else {
+        0.0
+    };
+    let initial_cost = eval_cost(ir_term, id_value, &omega_tracker, &live)?;
+    ir.commit(); // the initial state is accepted by definition
+    let mut current_cost = initial_cost;
+
+    // Temperature scale: tied to the IR/ID part of the cost only. The
+    // omega term's magnitude grows with the finger count and would
+    // otherwise over-heat stacking runs relative to 2-D ones.
+    let omega_part = match (&omega_tracker, psi > 1 && config.weights.phi > 0.0) {
+        (Some(tracker), true) => config.weights.phi * tracker.omega() as f64,
+        (None, true) => config.weights.phi * omega_of_assignment(quadrant, initial, psi)? as f64,
+        _ => 0.0,
+    };
+    let temp_base = (initial_cost - omega_part).max(0.0);
+    let mut temperature = config.schedule.initial_temp_factor * (temp_base + 1.0);
+    let final_temp = temperature * config.schedule.final_temp_ratio;
+    let moves_per_temp = config.schedule.moves_per_temp_per_finger * alpha;
+
+    let mut stats = ExchangeStats {
+        initial_cost,
+        final_cost: initial_cost,
+        proposed: 0,
+        accepted: 0,
+        uphill_accepted: 0,
+        constraint_rejected: 0,
+        temperature_steps: 0,
+    };
+
+    // The annealer walks uphill by design; the journal records every
+    // accepted swap, and `best_len` marks the prefix that produced the
+    // best cost seen. The best state is rematerialised once at the end —
+    // no clone per improvement.
+    let mut journal: Vec<(u32, u32)> = Vec::new();
+    let mut best_len = 0usize;
+    let mut best_cost = current_cost;
+
+    while temperature > final_temp {
+        for _ in 0..moves_per_temp {
+            stats.proposed += 1;
+            let mi = movable_idx[rng.gen_range(0..movable_idx.len())];
+            let pos = pos1[mi];
+            let right = rng.gen_bool(0.5);
+            let target = if right {
+                if pos as usize >= alpha {
+                    stats.constraint_rejected += 1;
+                    continue;
+                }
+                pos + 1
+            } else {
+                if pos == 1 {
+                    stats.constraint_rejected += 1;
+                    continue;
+                }
+                pos - 1
+            };
+
+            // Range constraint: the moved net must stay inside its span,
+            // and the displaced neighbour (if any) inside its own.
+            let (lo, hi) = cache.range(mi);
+            if target < lo.get() || target > hi.get() {
+                stats.constraint_rejected += 1;
+                continue;
+            }
+            let neighbour = slot_net[(target - 1) as usize];
+            if let Some(ni) = neighbour {
+                let (nlo, nhi) = cache.range(ni);
+                if pos < nlo.get() || pos > nhi.get() {
+                    stats.constraint_rejected += 1;
+                    continue;
+                }
+            }
+
+            // Apply the swap to the trackers (self-inverse on revert).
+            let left_slot = pos.min(target);
+            let left_net = slot_net[(left_slot - 1) as usize];
+            let right_net = slot_net[left_slot as usize];
+            // The section counts only change when exactly one of the two
+            // nets is a delimiter; skip the tracker (and the cached ID
+            // refresh) for the common within-section swap.
+            let crosses = match (left_net, right_net) {
+                (Some(l), Some(r)) => is_delim[l] != is_delim[r],
+                _ => false,
+            };
+            let id_before = id_value;
+            if crosses {
+                let (l, r) = (left_net.expect("both set"), right_net.expect("both set"));
+                sections.apply_adjacent_swap(ids[l], ids[r]);
+                id_value = sections.increased_density();
+            }
+            if let Some(tracker) = &mut omega_tracker {
+                tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
+            }
+            let ir_changed = ir.apply_adjacent_swap(FingerIdx::new(left_slot));
+            slot_net.swap((pos - 1) as usize, (target - 1) as usize);
+            if let Some(i) = slot_net[(target - 1) as usize] {
+                pos1[i] = target;
+            }
+            if let Some(i) = slot_net[(pos - 1) as usize] {
+                pos1[i] = pos;
+            }
+            if let Some(a) = &mut live {
+                a.swap(FingerIdx::new(pos), FingerIdx::new(target))?;
+            }
+
+            let ir_term_before = ir_term;
+            if ir_changed {
+                ir_term = ir.cost_term(config.weights.lambda, &pos1)?;
+            }
+            let new_cost = eval_cost(ir_term, id_value, &omega_tracker, &live)?;
+            let delta = new_cost - current_cost;
+            let accept = if delta <= 0.0 {
+                true
+            } else {
+                config
+                    .acceptance
+                    .accepts(delta, temperature, rng.gen::<f64>())
+            };
+            if accept {
+                stats.accepted += 1;
+                if delta > 0.0 {
+                    stats.uphill_accepted += 1;
+                }
+                current_cost = new_cost;
+                ir.commit();
+                // Only the moved nets' row-neighbours see stale ranges.
+                cache.note_moved(mi, &pos1);
+                if let Some(ni) = neighbour {
+                    cache.note_moved(ni, &pos1);
+                }
+                journal.push((pos, target));
+                if current_cost < best_cost {
+                    best_cost = current_cost;
+                    best_len = journal.len();
+                }
+            } else {
+                ir.discard();
+                ir_term = ir_term_before;
+                slot_net.swap((pos - 1) as usize, (target - 1) as usize); // revert
+                if let Some(i) = slot_net[(pos - 1) as usize] {
+                    pos1[i] = pos;
+                }
+                if let Some(i) = slot_net[(target - 1) as usize] {
+                    pos1[i] = target;
+                }
+                if let Some(a) = &mut live {
+                    a.swap(FingerIdx::new(pos), FingerIdx::new(target))?;
+                }
+                if crosses {
+                    let (l, r) = (left_net.expect("both set"), right_net.expect("both set"));
+                    sections.apply_adjacent_swap(ids[r], ids[l]);
+                    id_value = id_before;
+                }
+                if let Some(tracker) = &mut omega_tracker {
+                    tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
+                }
+                ir.apply_adjacent_swap(FingerIdx::new(left_slot));
+            }
+        }
+        temperature *= config.schedule.cooling;
+        stats.temperature_steps += 1;
+    }
+
+    // Rematerialise the best state: replay the accepted-move prefix onto
+    // the initial order.
+    let mut best = initial.clone();
+    for &(a, b) in &journal[..best_len] {
+        best.swap(FingerIdx::new(a), FingerIdx::new(b))?;
+    }
+    // The range constraint guarantees legality move by move; re-check the
+    // final order for real (not just in debug builds) so a tracker or
+    // journal defect can never escape as an unroutable "result".
+    check_monotonic(quadrant, &best)?;
+    stats.final_cost = best_cost;
+    Ok(ExchangeResult {
+        assignment: best,
+        stats,
+    })
+}
+
+/// The original from-scratch exchange implementation, kept as the
+/// executable specification for [`exchange`].
+///
+/// Each move re-derives both exchange ranges, re-collects the power-pad
+/// coordinates and rebuilds the [`PadSpacingProxy`] — `O(β)`-ish work per
+/// proposal — and clones the whole assignment on every improvement. Use it
+/// to cross-check the kernel (they are bit-identical under
+/// [`IrObjective::Proxy`]) and as the baseline in the benches; use
+/// [`exchange`] everywhere else.
+///
+/// # Errors
+///
+/// As [`exchange`].
+pub fn exchange_reference(
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+) -> Result<ExchangeResult, CoreError> {
+    if !config.weights.is_valid() {
+        return Err(CoreError::BadConfig {
+            parameter: "weights",
+        });
+    }
+    if !config.schedule.is_valid() {
+        return Err(CoreError::BadConfig {
+            parameter: "schedule",
+        });
+    }
+    check_monotonic(quadrant, initial)?;
+    initial.validate_complete(quadrant)?;
+
+    let psi = stack.tiers;
+    let movable = movable_nets(quadrant, psi);
+    if movable.is_empty() {
+        return Err(CoreError::NoMovablePads);
+    }
+
+    let alpha = initial.finger_count();
     let mut sections = SectionTracker::new(quadrant, initial)?;
     let dense = initial.net_count() == alpha;
     let mut omega_tracker = if psi > 1 && dense {
@@ -143,9 +585,6 @@ pub fn exchange(
     let initial_cost = cost_of(&current, &sections, &omega_tracker)?;
     let mut current_cost = initial_cost;
 
-    // Temperature scale: tied to the IR/ID part of the cost only. The
-    // omega term's magnitude grows with the finger count and would
-    // otherwise over-heat stacking runs relative to 2-D ones.
     let omega_part = match (&omega_tracker, psi > 1 && config.weights.phi > 0.0) {
         (Some(tracker), true) => config.weights.phi * tracker.omega() as f64,
         (None, true) => config.weights.phi * omega_of_assignment(quadrant, initial, psi)? as f64,
@@ -166,8 +605,6 @@ pub fn exchange(
         temperature_steps: 0,
     };
 
-    // The annealer walks uphill by design; keep the best state seen so the
-    // result can never be worse than the input.
     let mut best = current.clone();
     let mut best_cost = current_cost;
 
@@ -191,8 +628,6 @@ pub fn exchange(
                 FingerIdx::new(pos.get() - 1)
             };
 
-            // Range constraint: the moved net must stay inside its span,
-            // and the displaced neighbour (if any) inside its own.
             let (lo, hi) = exchange_range(quadrant, &current, net)?;
             if target < lo || target > hi {
                 stats.constraint_rejected += 1;
@@ -206,7 +641,6 @@ pub fn exchange(
                 }
             }
 
-            // Apply the swap to the trackers (self-inverse on revert).
             let left_slot = if pos < target { pos } else { target };
             let left_net = current.net_at(left_slot);
             let right_net = current.net_at(FingerIdx::new(left_slot.get() + 1));
@@ -250,7 +684,7 @@ pub fn exchange(
         stats.temperature_steps += 1;
     }
 
-    debug_assert!(check_monotonic(quadrant, &best).is_ok());
+    check_monotonic(quadrant, &best)?;
     stats.final_cost = best_cost;
     Ok(ExchangeResult {
         assignment: best,
@@ -325,6 +759,54 @@ mod tests {
     }
 
     #[test]
+    fn kernel_matches_reference_bit_for_bit() {
+        // The heart of the optimisation's correctness argument: with the
+        // Proxy objective, the incremental kernel and the from-scratch
+        // reference walk the same trajectory and return equal results —
+        // assignment AND statistics — for planar and stacked runs alike.
+        let planar = quadrant_2d();
+        let stacked = quadrant_stacked();
+        for seed in 0..8 {
+            let cfg = fast_config(seed);
+            let i = dfa(&planar, 1).unwrap();
+            let a = exchange(&planar, &i, &StackConfig::planar(), &cfg).unwrap();
+            let b = exchange_reference(&planar, &i, &StackConfig::planar(), &cfg).unwrap();
+            assert_eq!(a, b, "planar seed {seed}");
+
+            let i = dfa(&stacked, 1).unwrap();
+            let stack = StackConfig::stacked(2).unwrap();
+            let a = exchange(&stacked, &i, &stack, &cfg).unwrap();
+            let b = exchange_reference(&stacked, &i, &stack, &cfg).unwrap();
+            assert_eq!(a, b, "stacked seed {seed}");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_reference_on_sparse_instances() {
+        // Sparse + stacked exercises the omega fallback and empty-slot
+        // swaps in the same run.
+        let mut b = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .net_kind(10u32, NetKind::Power)
+            .net_kind(5u32, NetKind::Power)
+            .fingers(15);
+        for n in [10u32, 2, 4, 1, 3, 11] {
+            b = b.net_tier(n, TierId::new(2));
+        }
+        let q = b.build().unwrap();
+        let initial = dfa(&q, 1).unwrap();
+        let stack = StackConfig::stacked(2).unwrap();
+        for seed in 0..4 {
+            let cfg = fast_config(seed);
+            let a = exchange(&q, &initial, &stack, &cfg).unwrap();
+            let b = exchange_reference(&q, &initial, &stack, &cfg).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn two_d_exchange_moves_only_power_pads() {
         let q = quadrant_2d();
         let initial = dfa(&q, 1).unwrap();
@@ -394,35 +876,41 @@ mod tests {
     fn no_power_pads_in_2d_is_an_error() {
         let q = Quadrant::builder().row([1u32, 2]).build().unwrap();
         let initial = Assignment::from_order([1u32, 2]);
-        assert!(matches!(
-            exchange(&q, &initial, &StackConfig::planar(), &fast_config(0)),
-            Err(CoreError::NoMovablePads)
-        ));
+        for f in [exchange, exchange_reference] {
+            assert!(matches!(
+                f(&q, &initial, &StackConfig::planar(), &fast_config(0)),
+                Err(CoreError::NoMovablePads)
+            ));
+        }
     }
 
     #[test]
     fn bad_configs_are_rejected() {
         let q = quadrant_2d();
         let initial = dfa(&q, 1).unwrap();
-        let mut bad = fast_config(0);
-        bad.weights = CostWeights {
-            lambda: -1.0,
-            ..CostWeights::default()
-        };
-        assert!(matches!(
-            exchange(&q, &initial, &StackConfig::planar(), &bad),
-            Err(CoreError::BadConfig { .. })
-        ));
-        let mut bad = fast_config(0);
-        bad.schedule.cooling = 2.0;
-        assert!(exchange(&q, &initial, &StackConfig::planar(), &bad).is_err());
+        for f in [exchange, exchange_reference] {
+            let mut bad = fast_config(0);
+            bad.weights = CostWeights {
+                lambda: -1.0,
+                ..CostWeights::default()
+            };
+            assert!(matches!(
+                f(&q, &initial, &StackConfig::planar(), &bad),
+                Err(CoreError::BadConfig { .. })
+            ));
+            let mut bad = fast_config(0);
+            bad.schedule.cooling = 2.0;
+            assert!(f(&q, &initial, &StackConfig::planar(), &bad).is_err());
+        }
     }
 
     #[test]
     fn illegal_initial_order_is_rejected() {
         let q = quadrant_2d();
         let bad = Assignment::from_order([10u32, 11, 1, 2, 9, 3, 4, 6, 5, 7, 8, 0]);
-        assert!(exchange(&q, &bad, &StackConfig::planar(), &fast_config(0)).is_err());
+        for f in [exchange, exchange_reference] {
+            assert!(f(&q, &bad, &StackConfig::planar(), &fast_config(0)).is_err());
+        }
     }
 
     #[test]
@@ -432,7 +920,11 @@ mod tests {
         use crate::Acceptance;
         let q = quadrant_2d();
         let initial = dfa(&q, 1).unwrap();
-        for acceptance in [Acceptance::Metropolis, Acceptance::AsWritten, Acceptance::Greedy] {
+        for acceptance in [
+            Acceptance::Metropolis,
+            Acceptance::AsWritten,
+            Acceptance::Greedy,
+        ] {
             let mut cfg = fast_config(11);
             cfg.acceptance = acceptance;
             let r = exchange(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
@@ -483,6 +975,28 @@ mod tests {
         let r = exchange(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
         assert!(is_monotonic(&q, &r.assignment));
         assert!(r.stats.final_cost <= r.stats.initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn full_solve_warm_start_tracks_the_cold_reference_closely() {
+        // Warm-started solves converge to the same fixed point within the
+        // solver tolerance, so the kernel's FullSolve trajectory must land
+        // on the same assignment as the cold-start reference for a short
+        // schedule (identical up to ~1e-9 cost noise, far below any
+        // accept/reject threshold this schedule produces).
+        use crate::IrObjective;
+        use copack_power::GridSpec;
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let mut cfg = fast_config(6);
+        cfg.schedule.final_temp_ratio = 0.5;
+        cfg.ir_objective = IrObjective::FullSolve {
+            grid: GridSpec::default_chip(8),
+        };
+        let warm = exchange(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
+        let cold = exchange_reference(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
+        assert_eq!(warm.assignment, cold.assignment);
+        assert!((warm.stats.final_cost - cold.stats.final_cost).abs() < 1e-6);
     }
 
     #[test]

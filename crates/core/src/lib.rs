@@ -77,11 +77,14 @@ pub use bondwire::{bondwire_lengths, total_bondwire};
 pub use config::{AssignMethod, CostWeights, ExchangeConfig, IrObjective};
 pub use dfa::dfa;
 pub use error::CoreError;
-pub use exchange::{exchange, ExchangeResult, ExchangeStats};
+pub use exchange::{exchange, exchange_reference, ExchangeResult, ExchangeStats};
 pub use ifa::ifa;
 pub use omega::{omega, omega_of_assignment};
 pub use package_plan::{evaluate_package_ir, plan_package, PackageReport};
-pub use pipeline::{assign, evaluate_ir, evaluate_supply_noise, Codesign, CodesignReport, SupplyNoise};
+pub use pipeline::{
+    assign, evaluate_ir, evaluate_ir_map, evaluate_supply_noise, Codesign, CodesignReport,
+    SupplyNoise,
+};
 pub use random::random_assignment;
 pub use sections::{increased_density, SectionBaseline};
-pub use tracker::{OmegaTracker, SectionTracker};
+pub use tracker::{DeltaIrTracker, OmegaTracker, SectionTracker};

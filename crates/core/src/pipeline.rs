@@ -2,7 +2,7 @@
 //! by the IR-drop-aware exchange, evaluated like the paper's §4.
 
 use copack_geom::{Assignment, NetKind, Quadrant, StackConfig};
-use copack_power::{improvement_percent, solve_sor, GridSpec, PadRing};
+use copack_power::{improvement_percent, solve_sor, solve_sor_warm, GridSpec, IrMap, PadRing};
 use copack_route::{analyze, DensityModel, RoutingReport};
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +41,27 @@ pub fn evaluate_ir(
     assignment: &Assignment,
     grid: &GridSpec,
 ) -> Result<Option<f64>, CoreError> {
+    Ok(evaluate_ir_map(quadrant, assignment, grid, None)?.map(|map| map.max_drop()))
+}
+
+/// [`evaluate_ir`] returning the whole voltage map, with an optional
+/// warm-start guess for the solver.
+///
+/// The annealer's `FullSolve` objective uses this to chain solves: each
+/// accepted move's solution seeds the next solve
+/// ([`copack_power::solve_sor_warm`]), which converges in a fraction of the
+/// sweeps when only one pad moved. Pass `None` for a cold solve — then the
+/// result is exactly [`solve_sor`]'s.
+///
+/// # Errors
+///
+/// As [`evaluate_ir`].
+pub fn evaluate_ir_map(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+    grid: &GridSpec,
+    warm: Option<&[f64]>,
+) -> Result<Option<IrMap>, CoreError> {
     let alpha = assignment.finger_count() as f64;
     let mut ts = Vec::new();
     for net in quadrant.nets_of_kind(NetKind::Power) {
@@ -56,7 +77,7 @@ pub fn evaluate_ir(
         return Ok(None);
     }
     let ring = PadRing::from_ts(ts)?;
-    Ok(Some(solve_sor(grid, &ring)?.max_drop()))
+    Ok(Some(solve_sor_warm(grid, &ring, warm)?))
 }
 
 /// Worst-case supply noise of a full Vdd + ground rail pair.
@@ -106,8 +127,7 @@ pub fn evaluate_supply_noise(
         }
         Ok(Some(PadRing::from_ts(ts)?))
     };
-    let (Some(power), Some(ground)) = (ring_of(NetKind::Power)?, ring_of(NetKind::Ground)?)
-    else {
+    let (Some(power), Some(ground)) = (ring_of(NetKind::Power)?, ring_of(NetKind::Ground)?) else {
         return Ok(None);
     };
     let vdd_map = solve_sor(grid, &power)?;
@@ -138,6 +158,13 @@ pub struct Codesign {
     pub grid: GridSpec,
     /// Density model for the routing reports.
     pub density_model: DensityModel,
+    /// Worker threads for whole-package planning
+    /// ([`crate::plan_package`] anneals the four quadrants concurrently).
+    /// `0` means "use the machine's available parallelism"; `1` forces the
+    /// serial path. Results are bit-identical for every thread count: each
+    /// side's annealing seed depends only on the side, never on the
+    /// schedule.
+    pub threads: usize,
 }
 
 impl Default for Codesign {
@@ -148,6 +175,7 @@ impl Default for Codesign {
             stack: StackConfig::planar(),
             grid: GridSpec::default_chip(48),
             density_model: DensityModel::Geometric,
+            threads: 0,
         }
     }
 }
@@ -290,11 +318,15 @@ mod tests {
             "10,1,11,2,3,6,4,5,9,7,8,0"
         );
         assert_eq!(
-            assign(&q, AssignMethod::Dfa { slack: 1 }).unwrap().to_string(),
+            assign(&q, AssignMethod::Dfa { slack: 1 })
+                .unwrap()
+                .to_string(),
             "10,11,1,2,6,3,4,9,5,7,8,0"
         );
         assert_eq!(
-            assign(&q, AssignMethod::Random { seed: 1 }).unwrap().net_count(),
+            assign(&q, AssignMethod::Random { seed: 1 })
+                .unwrap()
+                .net_count(),
             12
         );
     }

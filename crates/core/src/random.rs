@@ -82,7 +82,11 @@ mod tests {
         let distinct: std::collections::HashSet<String> = (0..20)
             .map(|s| random_assignment(&q, s).unwrap().to_string())
             .collect();
-        assert!(distinct.len() > 10, "only {} distinct orders", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct orders",
+            distinct.len()
+        );
     }
 
     #[test]

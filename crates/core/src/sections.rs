@@ -84,8 +84,7 @@ pub fn increased_density(
     baseline_assignment: &Assignment,
     candidate: &Assignment,
 ) -> Result<u32, CoreError> {
-    SectionBaseline::record(quadrant, baseline_assignment)?
-        .increased_density(quadrant, candidate)
+    SectionBaseline::record(quadrant, baseline_assignment)?.increased_density(quadrant, candidate)
 }
 
 #[cfg(test)]

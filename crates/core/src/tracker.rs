@@ -8,7 +8,7 @@
 //! trackers implement them; property tests pin them to the from-scratch
 //! definitions ([`crate::SectionBaseline`], [`crate::omega`]).
 
-use copack_geom::{Assignment, FingerIdx, NetId, Quadrant, TierId};
+use copack_geom::{Assignment, FingerIdx, NetId, NetKind, Quadrant, TierId};
 
 use crate::{CoreError, SectionBaseline};
 
@@ -70,12 +70,16 @@ impl SectionTracker {
     /// that currently sit left and right). Applying the same swap again
     /// reverts it.
     ///
+    /// Returns `true` iff the section counts changed (a net crossed a
+    /// delimiter) — callers may cache [`SectionTracker::increased_density`]
+    /// and only refresh it on `true`.
+    ///
     /// # Panics
     ///
     /// Panics if both nets are top-row nets (such swaps are monotonic-
     /// illegal and must be filtered out by the caller) or if a net is
     /// unknown.
-    pub fn apply_adjacent_swap(&mut self, left: NetId, right: NetId) {
+    pub fn apply_adjacent_swap(&mut self, left: NetId, right: NetId) -> bool {
         let left_top = self.is_top[&left];
         let right_top = self.is_top[&right];
         assert!(
@@ -84,15 +88,32 @@ impl SectionTracker {
         );
         if left_top == right_top {
             // Neither is a delimiter: both stay in the same section.
-            return;
+            return false;
         }
         // One delimiter, one ordinary net: the ordinary net crosses it.
-        let (mover, went_left) = if left_top { (right, true) } else { (left, false) };
+        let (mover, went_left) = if left_top {
+            (right, true)
+        } else {
+            (left, false)
+        };
         let s = self.section_of[&mover];
         let new_s = if went_left { s - 1 } else { s + 1 };
         self.counts[s] -= 1;
         self.counts[new_s] += 1;
         self.section_of.insert(mover, new_s);
+        true
+    }
+
+    /// Whether `net` sits on the quadrant's top row (i.e. is a section
+    /// delimiter). Swaps of two non-delimiter nets never change the
+    /// counts, so hot loops can pre-resolve this and skip the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is unknown.
+    #[must_use]
+    pub fn is_delimiter(&self, net: NetId) -> bool {
+        self.is_top[&net]
     }
 
     /// Current section counts.
@@ -166,7 +187,11 @@ impl OmegaTracker {
     }
 
     fn zeros(group: &[TierId], psi: u8) -> u32 {
-        let mask: u64 = if psi == 64 { u64::MAX } else { (1u64 << psi) - 1 };
+        let mask: u64 = if psi == 64 {
+            u64::MAX
+        } else {
+            (1u64 << psi) - 1
+        };
         let mut union = 0u64;
         for t in group {
             union |= t.one_hot();
@@ -206,6 +231,136 @@ impl OmegaTracker {
     }
 }
 
+/// Incrementally tracked Δ_IR pad-spacing proxy (Eq. 3's first term).
+///
+/// The naive evaluation collects every power pad's perimeter coordinate
+/// into a fresh `Vec` and rebuilds a [`copack_power::PadSpacingProxy`] per
+/// move — `O(k log k)` work and two allocations for a swap that moves at
+/// most **one** power pad by one slot. This tracker keeps the power-pad
+/// coordinates in sorted order across adjacent swaps with an `O(1)`,
+/// allocation-free update, exploiting two facts:
+///
+/// * swapping two power pads permutes nets but leaves the occupied *slots*
+///   unchanged, so the coordinate multiset is untouched;
+/// * a power pad moving one slot into a non-power slot cannot jump past
+///   another power pad (that pad would have been the swap partner), so its
+///   sorted rank is stable and only its value changes.
+///
+/// [`DeltaIrTracker::delta_ir`] then sums the squared gap deviations in
+/// exactly the order `PadSpacingProxy::delta_ir` does (windows left to
+/// right, wrap gap last), so the score is **bit-identical** to the
+/// from-scratch rebuild — the annealer's accept/reject trajectory cannot
+/// diverge. The read is `O(k)` in the power-pad count, which the cost
+/// model treats as `O(1)`: `k` is a small constant fraction of the design
+/// and no allocation or sort happens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaIrTracker {
+    /// Finger count as `f64`, the coordinate denominator.
+    alpha: f64,
+    /// Power-pad perimeter coordinates, sorted ascending.
+    ts: Vec<f64>,
+    /// Rank in `ts` of the power pad occupying each 0-based slot.
+    rank_of_slot: Vec<Option<usize>>,
+}
+
+impl DeltaIrTracker {
+    /// Builds a tracker over `assignment`'s power pads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Route`] if a power net is unplaced.
+    pub fn new(quadrant: &Quadrant, assignment: &Assignment) -> Result<Self, CoreError> {
+        let alpha = assignment.finger_count();
+        let mut slots: Vec<usize> = Vec::new();
+        for net in quadrant.nets_of_kind(NetKind::Power) {
+            let pos = assignment
+                .position_of(net)
+                .ok_or(copack_route::RouteError::Unplaced { net })?;
+            slots.push(pos.zero_based());
+        }
+        // Sorting the slots sorts the coordinates: t is monotone in the slot.
+        slots.sort_unstable();
+        let mut rank_of_slot = vec![None; alpha];
+        let mut ts = Vec::with_capacity(slots.len());
+        for (rank, &slot) in slots.iter().enumerate() {
+            rank_of_slot[slot] = Some(rank);
+            ts.push(Self::coordinate(slot, alpha as f64));
+        }
+        Ok(Self {
+            alpha: alpha as f64,
+            ts,
+            rank_of_slot,
+        })
+    }
+
+    /// The perimeter coordinate of a 0-based slot — the exact expression
+    /// the naive path feeds to `PadSpacingProxy`.
+    fn coordinate(slot_zero_based: usize, alpha: f64) -> f64 {
+        ((slot_zero_based + 1) as f64 - 0.5) / alpha
+    }
+
+    /// Number of tracked power pads.
+    #[must_use]
+    pub fn power_pad_count(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Applies an adjacent swap of slots `pos` and `pos + 1`. Self-inverse,
+    /// like the assignment swap it mirrors; callable before or after the
+    /// assignment itself is swapped (it reads no assignment state).
+    ///
+    /// Returns `true` iff a coordinate changed — i.e. the swap moved a
+    /// power pad into a non-power slot. Callers may cache
+    /// [`DeltaIrTracker::delta_ir`] and only refresh it on `true`: the
+    /// score is a pure function of `ts`, so an unchanged `ts` reproduces
+    /// the cached value bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos + 1` is out of range.
+    pub fn apply_adjacent_swap(&mut self, pos: FingerIdx) -> bool {
+        let i = pos.zero_based();
+        assert!(i + 1 < self.rank_of_slot.len(), "swap out of range");
+        match (self.rank_of_slot[i], self.rank_of_slot[i + 1]) {
+            // Two power pads exchange nets: the occupied slots — and hence
+            // the coordinates — are unchanged.
+            (Some(_), Some(_)) | (None, None) => false,
+            (Some(rank), None) => {
+                self.rank_of_slot[i] = None;
+                self.rank_of_slot[i + 1] = Some(rank);
+                self.ts[rank] = Self::coordinate(i + 1, self.alpha);
+                true
+            }
+            (None, Some(rank)) => {
+                self.rank_of_slot[i + 1] = None;
+                self.rank_of_slot[i] = Some(rank);
+                self.ts[rank] = Self::coordinate(i, self.alpha);
+                true
+            }
+        }
+    }
+
+    /// The pad-spacing score, bit-identical to
+    /// `PadSpacingProxy::new(&ts)?.delta_ir()` over the same pads: gaps are
+    /// visited in the proxy's order (sorted windows, then the wrap-around
+    /// gap) and summed left to right. Returns `0.0` with no power pads —
+    /// callers guard that case like the naive path guards an empty `ts`.
+    #[must_use]
+    pub fn delta_ir(&self) -> f64 {
+        let k = self.ts.len();
+        if k == 0 {
+            return 0.0;
+        }
+        let ideal = 1.0 / k as f64;
+        let mut sum = 0.0;
+        for w in self.ts.windows(2) {
+            sum += (w[1] - w[0] - ideal).powi(2);
+        }
+        sum += (1.0 - self.ts[k - 1] + self.ts[0] - ideal).powi(2);
+        sum
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,11 +372,28 @@ mod tests {
         let mut b = Quadrant::builder()
             .row([10u32, 2, 4, 7, 0])
             .row([1u32, 3, 5, 8])
-            .row([11u32, 6, 9]);
+            .row([11u32, 6, 9])
+            .net_kind(10u32, copack_geom::NetKind::Power)
+            .net_kind(5u32, copack_geom::NetKind::Power)
+            .net_kind(9u32, copack_geom::NetKind::Power);
         for (i, n) in [10u32, 2, 4, 7, 0, 1, 3, 5, 8, 11, 6, 9].iter().enumerate() {
             b = b.net_tier(*n, TierId::new((i % 3) as u8 + 1));
         }
         b.build().unwrap()
+    }
+
+    /// The naive Δ_IR evaluation the tracker replaces, verbatim.
+    fn delta_ir_from_scratch(q: &Quadrant, a: &Assignment) -> f64 {
+        let alpha = a.finger_count();
+        let ts: Vec<f64> = q
+            .nets_of_kind(copack_geom::NetKind::Power)
+            .filter_map(|n| a.position_of(n))
+            .map(|f| (f.get() as f64 - 0.5) / alpha as f64)
+            .collect();
+        if ts.is_empty() {
+            return 0.0;
+        }
+        copack_power::PadSpacingProxy::new(&ts).unwrap().delta_ir()
     }
 
     /// Drives both trackers through a random legal-swap walk and checks
@@ -233,6 +405,7 @@ mod tests {
         let baseline = SectionBaseline::record(&q, &initial).unwrap();
         let mut sections = SectionTracker::new(&q, &initial).unwrap();
         let mut omega_t = OmegaTracker::new(&q, &initial, 3).unwrap();
+        let mut ir = DeltaIrTracker::new(&q, &initial).unwrap();
         let mut a = initial.clone();
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         let top: Vec<_> = q.row(q.top_row()).to_vec();
@@ -246,12 +419,16 @@ mod tests {
             }
             sections.apply_adjacent_swap(left, right);
             omega_t.apply_adjacent_swap(FingerIdx::new(p));
+            ir.apply_adjacent_swap(FingerIdx::new(p));
             a.swap(FingerIdx::new(p), FingerIdx::new(p + 1)).unwrap();
 
             let expected_id = baseline.increased_density(&q, &a).unwrap();
             assert_eq!(sections.increased_density(), expected_id, "step {step}");
             let expected_omega = omega_of_assignment(&q, &a, 3).unwrap();
             assert_eq!(omega_t.omega(), expected_omega, "step {step}");
+            // Bit-identical, not approximately equal: the annealer's
+            // accept/reject decisions hinge on exact cost comparisons.
+            assert_eq!(ir.delta_ir(), delta_ir_from_scratch(&q, &a), "step {step}");
         }
     }
 
@@ -261,17 +438,66 @@ mod tests {
         let a = dfa(&q, 1).unwrap();
         let mut sections = SectionTracker::new(&q, &a).unwrap();
         let mut omega_t = OmegaTracker::new(&q, &a, 3).unwrap();
+        let mut ir = DeltaIrTracker::new(&q, &a).unwrap();
         let s0 = sections.clone();
         let o0 = omega_t.clone();
+        let i0 = ir.clone();
         let left = a.net_at(FingerIdx::new(4)).unwrap();
         let right = a.net_at(FingerIdx::new(5)).unwrap();
         sections.apply_adjacent_swap(left, right);
         omega_t.apply_adjacent_swap(FingerIdx::new(4));
+        ir.apply_adjacent_swap(FingerIdx::new(4));
         // Revert: note the nets' sides are now exchanged.
         sections.apply_adjacent_swap(right, left);
         omega_t.apply_adjacent_swap(FingerIdx::new(4));
+        ir.apply_adjacent_swap(FingerIdx::new(4));
         assert_eq!(sections, s0);
         assert_eq!(omega_t, o0);
+        assert_eq!(ir, i0);
+    }
+
+    #[test]
+    fn delta_ir_tracker_matches_proxy_at_construction() {
+        let q = quadrant();
+        let a = dfa(&q, 1).unwrap();
+        let ir = DeltaIrTracker::new(&q, &a).unwrap();
+        assert_eq!(ir.power_pad_count(), 3);
+        assert_eq!(ir.delta_ir(), delta_ir_from_scratch(&q, &a));
+    }
+
+    #[test]
+    fn delta_ir_tracker_handles_powerless_quadrants() {
+        let q = Quadrant::builder().row([1u32, 2]).build().unwrap();
+        let a = Assignment::from_order([1u32, 2]);
+        let ir = DeltaIrTracker::new(&q, &a).unwrap();
+        assert_eq!(ir.power_pad_count(), 0);
+        assert_eq!(ir.delta_ir(), 0.0);
+    }
+
+    #[test]
+    fn delta_ir_tracker_tracks_sparse_assignments() {
+        // More fingers than nets: power pads can move into empty slots.
+        let mut b = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .net_kind(10u32, copack_geom::NetKind::Power)
+            .net_kind(5u32, copack_geom::NetKind::Power)
+            .fingers(15);
+        for (i, n) in [10u32, 2, 4, 7, 0, 1, 3, 5, 8, 11, 6, 9].iter().enumerate() {
+            b = b.net_tier(*n, TierId::new((i % 3) as u8 + 1));
+        }
+        let q = b.build().unwrap();
+        let initial = dfa(&q, 1).unwrap();
+        let mut ir = DeltaIrTracker::new(&q, &initial).unwrap();
+        let mut a = initial.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for step in 0..300 {
+            let p = rng.gen_range(1..=14u32);
+            ir.apply_adjacent_swap(FingerIdx::new(p));
+            a.swap(FingerIdx::new(p), FingerIdx::new(p + 1)).unwrap();
+            assert_eq!(ir.delta_ir(), delta_ir_from_scratch(&q, &a), "step {step}");
+        }
     }
 
     #[test]

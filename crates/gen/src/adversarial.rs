@@ -156,12 +156,18 @@ mod tests {
             let dfa_d = density_map(&q, &dfa(&q, 1).unwrap(), DensityModel::Geometric)
                 .unwrap()
                 .max_density();
-            assert!(ifa_d <= dfa_d + 1, "seed {seed}: ifa {ifa_d} vs dfa {dfa_d}");
+            assert!(
+                ifa_d <= dfa_d + 1,
+                "seed {seed}: ifa {ifa_d} vs dfa {dfa_d}"
+            );
             // And IFA sits within 1 of the balanced optimum of its own order.
             let bal = balanced_density_map(&q, &ifa(&q).unwrap())
                 .unwrap()
                 .max_density();
-            assert!(ifa_d <= bal + 1, "seed {seed}: ifa {ifa_d} vs optimum {bal}");
+            assert!(
+                ifa_d <= bal + 1,
+                "seed {seed}: ifa {ifa_d} vs optimum {bal}"
+            );
         }
     }
 

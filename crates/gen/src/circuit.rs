@@ -1,8 +1,6 @@
 //! Circuit specifications and instance construction.
 
-use copack_geom::{
-    GeomError, NetKind, Package, Quadrant, QuadrantGeometry, StackConfig, TierId,
-};
+use copack_geom::{GeomError, NetKind, Package, Quadrant, QuadrantGeometry, StackConfig, TierId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -116,7 +114,9 @@ impl Circuit {
         kinds.shuffle(&mut rng);
 
         // Which tier each net's die pad is on (balanced deal).
-        let mut tier_deal: Vec<u8> = (0..q_nets).map(|i| (i % self.tiers as usize) as u8 + 1).collect();
+        let mut tier_deal: Vec<u8> = (0..q_nets)
+            .map(|i| (i % self.tiers as usize) as u8 + 1)
+            .collect();
         tier_deal.shuffle(&mut rng);
 
         let sizes = row_sizes_with(q_nets, self.rows, self.profile);
@@ -185,7 +185,10 @@ mod tests {
     fn construction_is_deterministic() {
         let c = sample();
         assert_eq!(c.build_quadrant().unwrap(), c.build_quadrant().unwrap());
-        let other = Circuit { seed: 2, ..sample() };
+        let other = Circuit {
+            seed: 2,
+            ..sample()
+        };
         assert_ne!(c.build_quadrant().unwrap(), other.build_quadrant().unwrap());
     }
 

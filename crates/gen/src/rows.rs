@@ -37,9 +37,7 @@ pub fn row_sizes_with(nets: usize, rows: usize, profile: RowProfile) -> Vec<usiz
         .expect("step 0 always fits");
     let base = (nets - step * tri) / rows;
     let mut remainder = nets - step * tri - base * rows;
-    let mut sizes: Vec<usize> = (0..rows)
-        .map(|r| base + step * (rows - 1 - r))
-        .collect();
+    let mut sizes: Vec<usize> = (0..rows).map(|r| base + step * (rows - 1 - r)).collect();
     let mut r = 0;
     while remainder > 0 {
         sizes[r] += 1;

@@ -26,21 +26,19 @@ pub fn circuits() -> Vec<Circuit> {
     ];
     rows.iter()
         .enumerate()
-        .map(
-            |(i, &(name, fingers, pitch, fw, fh, fs))| Circuit {
-                name: name.to_owned(),
-                finger_count: fingers,
-                ball_pitch: pitch,
-                finger_width: fw,
-                finger_height: fh,
-                finger_space: fs,
-                rows: 4,
-                mix: NetMix::default(),
-                profile: crate::RowProfile::default(),
-                tiers: 1,
-                seed: BASE_SEED + i as u64,
-            },
-        )
+        .map(|(i, &(name, fingers, pitch, fw, fh, fs))| Circuit {
+            name: name.to_owned(),
+            finger_count: fingers,
+            ball_pitch: pitch,
+            finger_width: fw,
+            finger_height: fh,
+            finger_space: fs,
+            rows: 4,
+            mix: NetMix::default(),
+            profile: crate::RowProfile::default(),
+            tiers: 1,
+            seed: BASE_SEED + i as u64,
+        })
         .collect()
 }
 

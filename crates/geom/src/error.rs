@@ -91,7 +91,10 @@ impl fmt::Display for GeomError {
                 write!(f, "{fingers} finger slots cannot hold {nets} nets")
             }
             Self::InvalidGeometry { parameter } => {
-                write!(f, "geometric parameter `{parameter}` must be positive and finite")
+                write!(
+                    f,
+                    "geometric parameter `{parameter}` must be positive and finite"
+                )
             }
             Self::InvalidStack { tiers } => {
                 write!(f, "stack tier count {tiers} is outside 1..=64")
@@ -133,11 +136,19 @@ mod tests {
             GeomError::UnknownNet { net: NetId::new(2) },
             GeomError::NoRows,
             GeomError::EmptyRow { row: 3 },
-            GeomError::TooFewFingers { fingers: 1, nets: 2 },
-            GeomError::InvalidGeometry { parameter: "ball_pitch" },
+            GeomError::TooFewFingers {
+                fingers: 1,
+                nets: 2,
+            },
+            GeomError::InvalidGeometry {
+                parameter: "ball_pitch",
+            },
             GeomError::InvalidStack { tiers: 0 },
             GeomError::TierOutOfRange { tier: 5, tiers: 4 },
-            GeomError::SlotOutOfRange { slot: 9, fingers: 4 },
+            GeomError::SlotOutOfRange {
+                slot: 9,
+                fingers: 4,
+            },
             GeomError::SlotOccupied {
                 slot: 0,
                 occupant: NetId::new(1),
@@ -149,7 +160,10 @@ mod tests {
         for e in cases {
             let msg = e.to_string();
             assert!(!msg.is_empty());
-            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with(|c: char| c.is_numeric()));
+            assert!(
+                msg.chars().next().unwrap().is_lowercase()
+                    || msg.starts_with(|c: char| c.is_numeric())
+            );
             assert!(!msg.ends_with('.'));
         }
     }

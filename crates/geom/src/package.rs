@@ -62,7 +62,12 @@ impl Package {
     #[must_use]
     pub fn uniform(quadrant: Quadrant) -> Self {
         Self {
-            quadrants: vec![quadrant.clone(), quadrant.clone(), quadrant.clone(), quadrant],
+            quadrants: vec![
+                quadrant.clone(),
+                quadrant.clone(),
+                quadrant.clone(),
+                quadrant,
+            ],
         }
     }
 
@@ -80,10 +85,7 @@ impl Package {
 
     /// Iterates `(side, quadrant)` pairs in perimeter order.
     pub fn quadrants(&self) -> impl Iterator<Item = (QuadrantSide, &Quadrant)> {
-        QuadrantSide::ALL
-            .iter()
-            .copied()
-            .zip(self.quadrants.iter())
+        QuadrantSide::ALL.iter().copied().zip(self.quadrants.iter())
     }
 
     /// Total net count over all four quadrants (the paper's finger/pad
@@ -129,9 +131,7 @@ impl Package {
             let assignment = &assignments[side.index()];
             assignment.validate_complete(quadrant)?;
             for (finger, net) in assignment.iter() {
-                let n = quadrant
-                    .net(net)
-                    .ok_or(GeomError::UnknownNet { net })?;
+                let n = quadrant.net(net).ok_or(GeomError::UnknownNet { net })?;
                 if n.kind == kind {
                     out.push((
                         net,

@@ -255,10 +255,7 @@ impl Quadrant {
     /// Panics if `a` exceeds [`Quadrant::finger_count`].
     #[must_use]
     pub fn finger_center(&self, a: FingerIdx) -> Point {
-        assert!(
-            a.zero_based() < self.fingers,
-            "finger index out of range"
-        );
+        assert!(a.zero_based() < self.fingers, "finger index out of range");
         let alpha = self.fingers as f64;
         Point::new(
             (f64::from(a.get()) - (alpha + 1.0) / 2.0) * self.geometry.finger_pitch,

@@ -48,7 +48,9 @@ pub fn parse_quadrant(text: &str) -> Result<(String, Quadrant), E> {
                 if name.is_some() {
                     return Err(ParseError::new(
                         line_no,
-                        ParseErrorKind::Duplicate { keyword: "quadrant" },
+                        ParseErrorKind::Duplicate {
+                            keyword: "quadrant",
+                        },
                     ));
                 }
                 if rest.is_empty() {
@@ -60,7 +62,9 @@ pub fn parse_quadrant(text: &str) -> Result<(String, Quadrant), E> {
                 if geometry.is_some() {
                     return Err(ParseError::new(
                         line_no,
-                        ParseErrorKind::Duplicate { keyword: "geometry" },
+                        ParseErrorKind::Duplicate {
+                            keyword: "geometry",
+                        },
                     ));
                 }
                 geometry = Some(parse_geometry(line_no, &rest)?);
@@ -113,7 +117,9 @@ pub fn parse_quadrant(text: &str) -> Result<(String, Quadrant), E> {
                         if key != "tier" {
                             return Err(ParseError::new(
                                 line_no,
-                                ParseErrorKind::UnknownAttribute { key: key.to_owned() },
+                                ParseErrorKind::UnknownAttribute {
+                                    key: key.to_owned(),
+                                },
                             ));
                         }
                         let d = parse_num::<u8>(line_no, value)?;
@@ -142,7 +148,12 @@ pub fn parse_quadrant(text: &str) -> Result<(String, Quadrant), E> {
     }
 
     let name = name.ok_or_else(|| {
-        ParseError::new(0, ParseErrorKind::MissingHeader { expected: "quadrant" })
+        ParseError::new(
+            0,
+            ParseErrorKind::MissingHeader {
+                expected: "quadrant",
+            },
+        )
     })?;
     if !saw_row {
         return Err(ParseError::new(
@@ -181,7 +192,11 @@ pub fn write_quadrant(name: &str, quadrant: &Quadrant) -> String {
         out,
         "geometry ball_pitch={} finger_pitch={} finger_width={} finger_height={} \
          via_diameter={} ball_diameter={}",
-        g.ball_pitch, g.finger_pitch, g.finger_width, g.finger_height, g.via_diameter,
+        g.ball_pitch,
+        g.finger_pitch,
+        g.finger_width,
+        g.finger_height,
+        g.via_diameter,
         g.ball_diameter
     );
     if quadrant.finger_count() != quadrant.net_count() {

@@ -5,7 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    cg::solve_cg_nodes, sor::solve_sor_nodes, solve_cg, solve_sor, GridSpec, IrMap, PadPlan,
+    cg::solve_cg_nodes, solve_cg, solve_sor, sor::solve_sor_nodes, GridSpec, IrMap, PadPlan,
     PadRing, PowerError,
 };
 

@@ -23,10 +23,7 @@ pub fn solve_cg(spec: &GridSpec, pads: &PadRing) -> Result<IrMap, PowerError> {
 /// # Errors
 ///
 /// As [`solve_cg`].
-pub fn solve_cg_nodes(
-    spec: &GridSpec,
-    clamp: &[(usize, usize)],
-) -> Result<IrMap, PowerError> {
+pub fn solve_cg_nodes(spec: &GridSpec, clamp: &[(usize, usize)]) -> Result<IrMap, PowerError> {
     spec.validate()?;
     let (nx, ny) = (spec.nx, spec.ny);
     let n = spec.node_count();

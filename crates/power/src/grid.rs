@@ -95,13 +95,19 @@ impl GridSpec {
         for h in &self.hotspots {
             let in_unit = |v: f64| v.is_finite() && (0.0..=1.0).contains(&v);
             if !(in_unit(h.cx) && in_unit(h.cy)) {
-                return Err(PowerError::BadSpec { parameter: "hotspot centre" });
+                return Err(PowerError::BadSpec {
+                    parameter: "hotspot centre",
+                });
             }
             if !(h.radius.is_finite() && h.radius > 0.0) {
-                return Err(PowerError::BadSpec { parameter: "hotspot radius" });
+                return Err(PowerError::BadSpec {
+                    parameter: "hotspot radius",
+                });
             }
             if !(h.multiplier.is_finite() && h.multiplier >= 0.0) {
-                return Err(PowerError::BadSpec { parameter: "hotspot multiplier" });
+                return Err(PowerError::BadSpec {
+                    parameter: "hotspot multiplier",
+                });
             }
         }
         Ok(())
@@ -202,9 +208,18 @@ mod tests {
     fn validation_catches_each_parameter() {
         let base = GridSpec::default_chip(8);
         let cases = [
-            GridSpec { nx: 1, ..base.clone() },
-            GridSpec { ny: 0, ..base.clone() },
-            GridSpec { pitch: 0.0, ..base.clone() },
+            GridSpec {
+                nx: 1,
+                ..base.clone()
+            },
+            GridSpec {
+                ny: 0,
+                ..base.clone()
+            },
+            GridSpec {
+                pitch: 0.0,
+                ..base.clone()
+            },
             GridSpec {
                 r_sheet_x: -1.0,
                 ..base.clone()
@@ -290,9 +305,24 @@ mod tests {
     #[test]
     fn bad_hotspots_are_rejected() {
         for h in [
-            Hotspot { cx: 1.5, cy: 0.5, radius: 0.1, multiplier: 2.0 },
-            Hotspot { cx: 0.5, cy: 0.5, radius: 0.0, multiplier: 2.0 },
-            Hotspot { cx: 0.5, cy: 0.5, radius: 0.1, multiplier: -1.0 },
+            Hotspot {
+                cx: 1.5,
+                cy: 0.5,
+                radius: 0.1,
+                multiplier: 2.0,
+            },
+            Hotspot {
+                cx: 0.5,
+                cy: 0.5,
+                radius: 0.0,
+                multiplier: 2.0,
+            },
+            Hotspot {
+                cx: 0.5,
+                cy: 0.5,
+                radius: 0.1,
+                multiplier: -1.0,
+            },
         ] {
             let mut spec = GridSpec::default_chip(8);
             spec.hotspots.push(h);

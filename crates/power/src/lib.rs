@@ -61,4 +61,4 @@ pub use irmap::IrMap;
 pub use pads::PadRing;
 pub use placement::{PadArray, PadPlan};
 pub use proxy::PadSpacingProxy;
-pub use sor::{solve_sor, solve_sor_nodes};
+pub use sor::{solve_sor, solve_sor_nodes, solve_sor_nodes_warm, solve_sor_warm};

@@ -91,7 +91,9 @@ impl PadPlan {
             Self::Explicit(nodes) => {
                 for &(i, j) in nodes {
                     if i >= spec.nx || j >= spec.ny {
-                        return Err(PowerError::BadSpec { parameter: "pad node" });
+                        return Err(PowerError::BadSpec {
+                            parameter: "pad node",
+                        });
                     }
                 }
                 let mut nodes = nodes.clone();

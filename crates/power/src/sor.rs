@@ -24,14 +24,49 @@ pub fn solve_sor(spec: &GridSpec, pads: &PadRing) -> Result<IrMap, PowerError> {
     solve_sor_nodes(spec, &pads.clamp_nodes(spec))
 }
 
+/// [`solve_sor`] warm-started from a previous solution's voltages.
+///
+/// When the pad ring changes only slightly between solves — the annealer's
+/// FullSolve objective moves one pad per accepted move — the previous
+/// fixed point is an excellent initial iterate and SOR converges in a
+/// fraction of the sweeps. The result satisfies the same `1e-12`
+/// convergence tolerance as a cold solve but is **not** bit-identical to
+/// one (the iteration path differs).
+///
+/// A `guess` of the wrong length (e.g. from a different grid) is ignored
+/// and the solve falls back to the cold start. Clamp nodes in the guess
+/// are reset to `Vdd`.
+///
+/// # Errors
+///
+/// As [`solve_sor`].
+pub fn solve_sor_warm(
+    spec: &GridSpec,
+    pads: &PadRing,
+    guess: Option<&[f64]>,
+) -> Result<IrMap, PowerError> {
+    solve_sor_nodes_warm(spec, &pads.clamp_nodes(spec), guess)
+}
+
 /// [`solve_sor`] for an explicit clamp-node list (any [`crate::PadPlan`]).
 ///
 /// # Errors
 ///
 /// As [`solve_sor`].
-pub fn solve_sor_nodes(
+pub fn solve_sor_nodes(spec: &GridSpec, clamp: &[(usize, usize)]) -> Result<IrMap, PowerError> {
+    solve_sor_nodes_warm(spec, clamp, None)
+}
+
+/// [`solve_sor_nodes`] with an optional warm-start guess (see
+/// [`solve_sor_warm`]).
+///
+/// # Errors
+///
+/// As [`solve_sor`].
+pub fn solve_sor_nodes_warm(
     spec: &GridSpec,
     clamp: &[(usize, usize)],
+    guess: Option<&[f64]>,
 ) -> Result<IrMap, PowerError> {
     spec.validate()?;
     let (nx, ny) = (spec.nx, spec.ny);
@@ -48,7 +83,19 @@ pub fn solve_sor_nodes(
         .collect();
     let omega = 2.0 / (1.0 + (std::f64::consts::PI / nx.max(ny) as f64).sin());
 
-    let mut v = vec![spec.vdd; n];
+    let mut v = match guess {
+        Some(g) if g.len() == n => {
+            let mut v = g.to_vec();
+            // The clamp set may differ from the guess's solve; re-pin pads.
+            for (p, &is_clamped) in clamped.iter().enumerate() {
+                if is_clamped {
+                    v[p] = spec.vdd;
+                }
+            }
+            v
+        }
+        _ => vec![spec.vdd; n],
+    };
     for sweep in 0..MAX_SWEEPS {
         let mut max_delta: f64 = 0.0;
         for j in 0..ny {
@@ -131,9 +178,11 @@ mod tests {
         // worse than regularly spread pads.
         let spec = GridSpec::default_chip(16);
         let uniform = solve_sor(&spec, &PadRing::uniform(6)).unwrap();
-        let clustered =
-            solve_sor(&spec, &PadRing::from_ts([0.0, 0.02, 0.04, 0.06, 0.08, 0.10]).unwrap())
-                .unwrap();
+        let clustered = solve_sor(
+            &spec,
+            &PadRing::from_ts([0.0, 0.02, 0.04, 0.06, 0.08, 0.10]).unwrap(),
+        )
+        .unwrap();
         assert!(uniform.max_drop() < clustered.max_drop());
     }
 
@@ -161,6 +210,33 @@ mod tests {
         let map = solve_sor(&spec, &PadRing::from_ts([0.0]).unwrap()).unwrap();
         let (i, j) = map.worst_node();
         assert!(i + j > spec.nx / 2, "worst node ({i},{j}) too close to pad");
+    }
+
+    #[test]
+    fn warm_start_reaches_the_cold_fixed_point() {
+        let spec = GridSpec::default_chip(16);
+        let a = PadRing::from_ts([0.1, 0.35, 0.6, 0.85]).unwrap();
+        let b = PadRing::from_ts([0.12, 0.35, 0.6, 0.85]).unwrap(); // one pad nudged
+        let cold_a = solve_sor(&spec, &a).unwrap();
+        let cold_b = solve_sor(&spec, &b).unwrap();
+        let warm_b = solve_sor_warm(&spec, &b, Some(cold_a.voltages())).unwrap();
+        for (w, c) in warm_b.voltages().iter().zip(cold_b.voltages()) {
+            assert!((w - c).abs() < 1e-9, "{w} vs {c}");
+        }
+        // Clamp nodes stay pinned even when the guess had them free.
+        for (i, j) in b.clamp_nodes(&spec) {
+            assert_eq!(warm_b.voltage(i, j), spec.vdd);
+        }
+    }
+
+    #[test]
+    fn mismatched_guess_falls_back_to_cold_start() {
+        let spec = GridSpec::default_chip(12);
+        let ring = PadRing::uniform(4);
+        let cold = solve_sor(&spec, &ring).unwrap();
+        let short_guess = vec![spec.vdd; 7];
+        let warm = solve_sor_warm(&spec, &ring, Some(&short_guess)).unwrap();
+        assert_eq!(warm.voltages(), cold.voltages());
     }
 
     #[test]

@@ -280,10 +280,7 @@ mod tests {
             assert!(balanced.max_density() <= naive.max_density());
             // Crossing counts are conserved per line.
             for (b, n) in balanced.rows.iter().zip(&naive.rows) {
-                assert_eq!(
-                    b.counts.iter().sum::<u32>(),
-                    n.counts.iter().sum::<u32>()
-                );
+                assert_eq!(b.counts.iter().sum::<u32>(), n.counts.iter().sum::<u32>());
             }
         }
     }

@@ -73,12 +73,7 @@ pub fn line_crossings(
         half_w = half_w.max(quadrant.via_site_x(row, 1).abs());
     }
     let alpha = quadrant.finger_count() as u32;
-    half_w = half_w.max(
-        quadrant
-            .finger_center(FingerIdx::new(alpha))
-            .x
-            .abs(),
-    );
+    half_w = half_w.max(quadrant.finger_center(FingerIdx::new(alpha)).x.abs());
     let bound = half_w + pitch;
 
     let finger_y = quadrant.finger_line_y();
@@ -86,9 +81,7 @@ pub fn line_crossings(
     for (row, nets) in quadrant.rows_top_down() {
         let line_y = quadrant.line_y(row);
         let m = nets.len() as u32;
-        let site_xs: Vec<f64> = (1..=m + 1)
-            .map(|s| quadrant.via_site_x(row, s))
-            .collect();
+        let site_xs: Vec<f64> = (1..=m + 1).map(|s| quadrant.via_site_x(row, s)).collect();
 
         // Terminating nets, in ball order (= finger order by legality).
         let terminating: Vec<(NetId, f64)> = nets

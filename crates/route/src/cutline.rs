@@ -84,10 +84,7 @@ mod tests {
             .build()
             .unwrap();
         let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
-        (
-            Package::uniform(q),
-            [a.clone(), a.clone(), a.clone(), a],
-        )
+        (Package::uniform(q), [a.clone(), a.clone(), a.clone(), a])
     }
 
     #[test]
@@ -135,8 +132,7 @@ mod tests {
         let assignments = [dfa.clone(), random, dfa.clone(), dfa];
         let report = cutline_congestion(&p, &assignments, DensityModel::Geometric).unwrap();
         // The random side's flanks differ from the DFA sides'.
-        let loads: std::collections::HashSet<u32> =
-            report.boundaries.iter().copied().collect();
+        let loads: std::collections::HashSet<u32> = report.boundaries.iter().copied().collect();
         assert!(loads.len() > 1, "{report:?}");
     }
 

@@ -101,10 +101,7 @@ impl DensityMap {
     #[must_use]
     pub fn max_density_row(&self) -> Option<RowIdx> {
         let max = self.max_density();
-        self.rows
-            .iter()
-            .find(|r| r.max() == max)
-            .map(|r| r.row)
+        self.rows.iter().find(|r| r.max() == max).map(|r| r.row)
     }
 
     /// Density of a specific line.

@@ -70,6 +70,7 @@ mod error;
 mod estimator;
 mod monotonic;
 mod path;
+mod range_cache;
 mod report;
 mod via_assign;
 mod wirelength;
@@ -83,6 +84,7 @@ pub use error::RouteError;
 pub use estimator::{estimate_congestion, CongestionEstimate};
 pub use monotonic::{check_monotonic, exchange_range, is_monotonic};
 pub use path::{extract_paths, NetPath};
+pub use range_cache::RangeCache;
 pub use report::{analyze, RoutingReport};
 pub use via_assign::{via_plan, via_plan_with, ViaPlan, ViaRef, ViaRule};
 pub use wirelength::{net_wirelength, total_wirelength};

@@ -22,10 +22,7 @@ impl NetPath {
     /// Length of the Layer-1 polyline.
     #[must_use]
     pub fn layer1_length(&self) -> f64 {
-        self.layer1
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.layer1.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// Length of the Layer-2 flyline (via → ball).

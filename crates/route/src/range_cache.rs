@@ -1,0 +1,202 @@
+//! Cached exchange ranges for the annealer's inner loop.
+//!
+//! [`exchange_range`] re-derives a net's legal span from scratch: a ball
+//! lookup, a row scan and up to two position lookups in the assignment's
+//! `BTreeMap` — twice per proposed move. A net's span depends only on the
+//! *positions of its same-row neighbours*, so an adjacent swap invalidates
+//! at most four cached entries (the row-neighbours of the two nets that
+//! moved). [`RangeCache`] exploits that: range reads become two array
+//! loads, and accepted swaps trigger a constant-size refresh.
+
+use std::collections::BTreeMap;
+
+use copack_geom::{Assignment, FingerIdx, NetId, Quadrant};
+
+use crate::{exchange_range, RouteError};
+
+/// Per-net cached `(lo, hi)` exchange ranges with `O(1)` reads and
+/// constant-size invalidation on adjacent swaps.
+///
+/// Nets are addressed by a **dense index** in the quadrant's id order
+/// (`Quadrant::nets`); resolve ids once with [`RangeCache::index_of`] and
+/// use indices in the hot loop. After a swap is applied, report every net
+/// whose *position changed* via [`RangeCache::note_moved`] with the
+/// current 1-based positions (indexed the same way); the cache refreshes
+/// the affected neighbours' entries.
+///
+/// Cached ranges are guaranteed to equal [`exchange_range`] on the live
+/// assignment (property-tested in this crate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeCache {
+    index_of: BTreeMap<NetId, usize>,
+    /// Same-row left/right neighbour of each net, as dense indices.
+    left: Vec<Option<usize>>,
+    right: Vec<Option<usize>>,
+    lo: Vec<u32>,
+    hi: Vec<u32>,
+    finger_count: u32,
+}
+
+impl RangeCache {
+    /// Builds the cache for `assignment`, priming every net's range.
+    ///
+    /// # Errors
+    ///
+    /// As [`exchange_range`]: every net and row-neighbour must be placed.
+    pub fn new(quadrant: &Quadrant, assignment: &Assignment) -> Result<Self, RouteError> {
+        let index_of: BTreeMap<NetId, usize> = quadrant
+            .nets()
+            .enumerate()
+            .map(|(i, n)| (n.id, i))
+            .collect();
+        let count = index_of.len();
+        let mut left = vec![None; count];
+        let mut right = vec![None; count];
+        for (_, nets) in quadrant.rows_bottom_up() {
+            for w in nets.windows(2) {
+                let (a, b) = (index_of[&w[0]], index_of[&w[1]]);
+                right[a] = Some(b);
+                left[b] = Some(a);
+            }
+        }
+        let mut lo = vec![0u32; count];
+        let mut hi = vec![0u32; count];
+        for (&net, &i) in &index_of {
+            let (l, h) = exchange_range(quadrant, assignment, net)?;
+            lo[i] = l.get();
+            hi[i] = h.get();
+        }
+        Ok(Self {
+            index_of,
+            left,
+            right,
+            lo,
+            hi,
+            finger_count: u32::try_from(assignment.finger_count()).expect("finger count fits u32"),
+        })
+    }
+
+    /// Dense index of `net`, or `None` for a net outside the quadrant.
+    #[must_use]
+    pub fn index_of(&self, net: NetId) -> Option<usize> {
+        self.index_of.get(&net).copied()
+    }
+
+    /// Number of cached nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Cached inclusive range of the net at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn range(&self, idx: usize) -> (FingerIdx, FingerIdx) {
+        (FingerIdx::new(self.lo[idx]), FingerIdx::new(self.hi[idx]))
+    }
+
+    /// Refreshes the entries invalidated by the net at `idx` having moved:
+    /// its right neighbour's `lo` and its left neighbour's `hi`. (Its own
+    /// range does not depend on its own position.)
+    ///
+    /// `positions[i]` must be the *current* 1-based slot of the net at
+    /// dense index `i`, reflecting the already-applied swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` or a neighbour index exceeds `positions`.
+    pub fn note_moved(&mut self, idx: usize, positions: &[u32]) {
+        if let Some(r) = self.right[idx] {
+            self.lo[r] = positions[idx] + 1;
+        }
+        if let Some(l) = self.left[idx] {
+            self.hi[l] = positions[idx].saturating_sub(1).max(1);
+        }
+    }
+
+    /// The quadrant's finger count (the `hi` of every row-rightmost net).
+    #[must_use]
+    pub fn finger_count(&self) -> u32 {
+        self.finger_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::Quadrant;
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap()
+    }
+
+    fn positions(q: &Quadrant, a: &Assignment) -> Vec<u32> {
+        q.nets()
+            .map(|n| a.position_of(n.id).unwrap().get())
+            .collect()
+    }
+
+    fn assert_matches_recompute(cache: &RangeCache, q: &Quadrant, a: &Assignment) {
+        for net in q.nets() {
+            let i = cache.index_of(net.id).unwrap();
+            let cached = cache.range(i);
+            let fresh = exchange_range(q, a, net.id).unwrap();
+            assert_eq!(cached, fresh, "net {}", net.id.raw());
+        }
+    }
+
+    #[test]
+    fn primed_cache_matches_exchange_range() {
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        let cache = RangeCache::new(&q, &a).unwrap();
+        assert_eq!(cache.net_count(), 12);
+        assert_eq!(cache.finger_count(), 12);
+        assert_matches_recompute(&cache, &q, &a);
+        // The paper's worked example: net 6 ranges over F3..F7.
+        let i = cache.index_of(NetId::new(6)).unwrap();
+        let (lo, hi) = cache.range(i);
+        assert_eq!((lo.get(), hi.get()), (3, 7));
+    }
+
+    #[test]
+    fn note_moved_tracks_adjacent_swaps() {
+        let q = fig5();
+        let mut a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        let mut cache = RangeCache::new(&q, &a).unwrap();
+        // Walk a fixed sequence of legal adjacent swaps, refreshing after
+        // each, and compare every entry against the from-scratch ranges.
+        for &(p, t) in &[(5u32, 6u32), (6, 7), (2, 3), (7, 6), (9, 10), (3, 2)] {
+            let na = a.net_at(FingerIdx::new(p)).unwrap();
+            let nb = a.net_at(FingerIdx::new(t)).unwrap();
+            a.swap(FingerIdx::new(p), FingerIdx::new(t)).unwrap();
+            let pos = positions(&q, &a);
+            cache.note_moved(cache.index_of(na).unwrap(), &pos);
+            cache.note_moved(cache.index_of(nb).unwrap(), &pos);
+            assert_matches_recompute(&cache, &q, &a);
+        }
+    }
+
+    #[test]
+    fn unknown_nets_have_no_index() {
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11, 1, 2, 6, 3, 4, 9, 5, 7, 8, 0]);
+        let cache = RangeCache::new(&q, &a).unwrap();
+        assert_eq!(cache.index_of(NetId::new(77)), None);
+    }
+
+    #[test]
+    fn unplaced_nets_fail_construction() {
+        let q = fig5();
+        let a = Assignment::from_order([10u32, 11]);
+        assert!(RangeCache::new(&q, &a).is_err());
+    }
+}

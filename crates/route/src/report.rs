@@ -57,7 +57,11 @@ pub fn analyze(
         max_density: density.max_density(),
         max_density_interior: density.max_density_interior(),
         max_density_row: density.max_density_row().map_or(0, |r| r.get()),
-        per_row_max: density.rows.iter().map(|r| (r.row.get(), r.max())).collect(),
+        per_row_max: density
+            .rows
+            .iter()
+            .map(|r| (r.row.get(), r.max()))
+            .collect(),
         total_wirelength: wirelength,
         nets: assignment.net_count(),
         model,

@@ -177,7 +177,10 @@ mod tests {
             assert_eq!(r.site, l.site + 1);
             assert!(r.pos.x > l.pos.x);
             let ball = q.ball_of(net.id).unwrap();
-            assert!(r.pos.x > q.ball_center(ball.row, ball.col).x, "right of ball");
+            assert!(
+                r.pos.x > q.ball_center(ball.row, ball.col).x,
+                "right of ball"
+            );
         }
     }
 

@@ -20,13 +20,7 @@ pub fn irmap_svg(map: &IrMap, scale_mv: f64) -> String {
     for j in 0..ny {
         for i in 0..nx {
             let drop_mv = map.drop_at(i, j) * 1000.0;
-            canvas.rect(
-                i as f64,
-                j as f64,
-                1.0,
-                1.0,
-                &heat_color(drop_mv / scale),
-            );
+            canvas.rect(i as f64, j as f64, 1.0, 1.0, &heat_color(drop_mv / scale));
         }
     }
     canvas.text(

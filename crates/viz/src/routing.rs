@@ -40,7 +40,6 @@ fn render_paths(
     assignment: &Assignment,
     paths: &[NetPath],
 ) -> Result<String, RouteError> {
-
     // Model-space extent.
     let pitch = quadrant.geometry().ball_pitch;
     let mut min_x = f64::INFINITY;
@@ -52,12 +51,7 @@ fn render_paths(
         }
     }
     let fy = quadrant.finger_line_y();
-    let mut canvas = SvgCanvas::new(
-        min_x - pitch,
-        -pitch,
-        max_x + pitch,
-        fy + pitch,
-    );
+    let mut canvas = SvgCanvas::new(min_x - pitch, -pitch, max_x + pitch, fy + pitch);
 
     // Grid lines.
     for (row, _) in quadrant.rows_bottom_up() {
@@ -71,7 +65,14 @@ fn render_paths(
         let pts: Vec<(f64, f64)> = p.layer1.iter().map(|q| (q.x, q.y)).collect();
         canvas.polyline(&pts, wire_color(i), wire_w);
         // Layer-2 stub via → ball.
-        canvas.line(p.via.x, p.via.y, p.ball.x, p.ball.y, "#aaaaaa", wire_w * 0.8);
+        canvas.line(
+            p.via.x,
+            p.via.y,
+            p.ball.x,
+            p.ball.y,
+            "#aaaaaa",
+            wire_w * 0.8,
+        );
     }
 
     // Balls, vias, fingers.

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for side in [2usize, 3, 4, 6, 8] {
         let pads = side * side;
-        let wb = solve_plan(&grid, &PadPlan::WireBond(PadRing::uniform(pads)), Solver::Sor)?;
+        let wb = solve_plan(
+            &grid,
+            &PadPlan::WireBond(PadRing::uniform(pads)),
+            Solver::Sor,
+        )?;
         let fc = solve_plan(
             &grid,
             &PadPlan::FlipChip(PadArray::new(side, side)?),

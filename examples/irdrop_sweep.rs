@@ -24,15 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\npad-plan sweep (12 pads):");
     let plans: [(&str, Vec<f64>); 4] = [
-        ("uniform", (0..12).map(|i| (f64::from(i) + 0.5) / 12.0).collect()),
+        (
+            "uniform",
+            (0..12).map(|i| (f64::from(i) + 0.5) / 12.0).collect(),
+        ),
         (
             "two sides only",
             (0..12).map(|i| (f64::from(i) + 0.5) / 24.0).collect(),
         ),
-        (
-            "one corner",
-            (0..12).map(|i| f64::from(i) * 0.02).collect(),
-        ),
+        ("one corner", (0..12).map(|i| f64::from(i) * 0.02).collect()),
         (
             "paired",
             (0..12)

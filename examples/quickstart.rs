@@ -59,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.ir_improvement_percent.unwrap_or(0.0)
         );
     }
-    println!("\nfinal plan:\n{}", routing_ascii(&quadrant, &report.final_assignment)?);
+    println!(
+        "\nfinal plan:\n{}",
+        routing_ascii(&quadrant, &report.final_assignment)?
+    );
     Ok(())
 }

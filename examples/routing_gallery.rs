@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for circuit in circuits() {
         let quadrant = circuit.build_quadrant()?;
-        println!("== {} ({} nets/quadrant) ==", circuit.name, quadrant.net_count());
+        println!(
+            "== {} ({} nets/quadrant) ==",
+            circuit.name,
+            quadrant.net_count()
+        );
         for (name, method) in methods {
             let assignment = assign(&quadrant, method)?;
             let report = analyze(&quadrant, &assignment, DensityModel::Geometric)?;

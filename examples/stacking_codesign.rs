@@ -15,7 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quadrant = stacked.build_quadrant()?;
     let stack = stacked.stack()?;
 
-    println!("design: {} ({} nets/quadrant, psi = {})", stacked.name, quadrant.net_count(), stack.tiers);
+    println!(
+        "design: {} ({} nets/quadrant, psi = {})",
+        stacked.name,
+        quadrant.net_count(),
+        stack.tiers
+    );
 
     let flow = Codesign {
         stack,

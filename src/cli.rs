@@ -14,9 +14,9 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use copack_core::{assign, exchange, AssignMethod, ExchangeConfig};
+use copack_core::{assign, exchange, plan_package, AssignMethod, Codesign, ExchangeConfig};
 use copack_gen::circuit;
-use copack_geom::StackConfig;
+use copack_geom::{Package, StackConfig};
 use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadrant};
 use copack_power::GridSpec;
 use copack_route::{analyze, balanced_density_map, DensityModel};
@@ -32,8 +32,13 @@ USAGE:
 
   copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
               [--slack N] [--exchange] [--psi N] [--out FILE] [--svg FILE]
+              [--package] [--threads N]
       Run the congestion-driven assignment (default: dfa) and optionally
       the IR-drop-aware exchange step; print the routing report.
+      With --package, plan all four quadrants of a uniform package and
+      report the package-level IR-drop and cut-line congestion; --threads
+      caps the worker threads (0 = available parallelism, 1 = serial;
+      the result is identical for every thread count).
 
   copack route <circuit-file> <assignment-file> [--svg FILE]
       Check legality and print density/wirelength analysis.
@@ -67,8 +72,15 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 7] = [
-    "--out", "--svg", "--method", "--seed", "--slack", "--psi", "--grid",
+const VALUED: [&str; 8] = [
+    "--out",
+    "--svg",
+    "--method",
+    "--seed",
+    "--slack",
+    "--psi",
+    "--grid",
+    "--threads",
 ];
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -118,7 +130,9 @@ fn load_quadrant(path: &str) -> Result<(String, copack_geom::Quadrant), String> 
 
 fn load_assignment(path: &str) -> Result<copack_geom::Assignment, String> {
     let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    Ok(parse_assignment(&text).map_err(|e| format!("{path}: {e}"))?.1)
+    Ok(parse_assignment(&text)
+        .map_err(|e| format!("{path}: {e}"))?
+        .1)
 }
 
 fn maybe_write(path: Option<&str>, content: &str, out: &mut String) -> Result<(), String> {
@@ -168,10 +182,50 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         other => return Err(format!("unknown method `{other}` (dfa|ifa|random)")),
     };
 
+    if opts.flag("package").is_some() {
+        let psi = opts.num("psi", 1u8)?;
+        let stack = if psi <= 1 {
+            StackConfig::planar()
+        } else {
+            StackConfig::stacked(psi).map_err(|e| e.to_string())?
+        };
+        let threads = opts.num("threads", 0usize)?;
+        let config = Codesign {
+            method,
+            stack,
+            threads,
+            ..Codesign::default()
+        };
+        let package = Package::uniform(quadrant);
+        let report = plan_package(&package, &config).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{name}: package plan ({method})");
+        for (i, r) in report.routing.iter().enumerate() {
+            let _ = writeln!(out, "  side {i}: {r}");
+        }
+        if let (Some(before), Some(after)) = (report.ir_before, report.ir_after) {
+            let _ = writeln!(
+                out,
+                "  package IR-drop: {:.3} mV -> {:.3} mV",
+                before * 1000.0,
+                after * 1000.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  worst cut-line congestion: {}",
+            report.cutlines.max()
+        );
+        for (i, a) in report.assignments.iter().enumerate() {
+            let _ = writeln!(out, "  order[{i}]: {a}");
+        }
+        return Ok(out);
+    }
+
     let mut assignment = assign(&quadrant, method).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let report = analyze(&quadrant, &assignment, DensityModel::Geometric)
-        .map_err(|e| e.to_string())?;
+    let report =
+        analyze(&quadrant, &assignment, DensityModel::Geometric).map_err(|e| e.to_string())?;
     let _ = writeln!(out, "{name}: {method} -> {report}");
 
     if opts.flag("exchange").is_some() {
@@ -184,8 +238,8 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         let result = exchange(&quadrant, &assignment, &stack, &ExchangeConfig::default())
             .map_err(|e| e.to_string())?;
         assignment = result.assignment;
-        let report = analyze(&quadrant, &assignment, DensityModel::Geometric)
-            .map_err(|e| e.to_string())?;
+        let report =
+            analyze(&quadrant, &assignment, DensityModel::Geometric).map_err(|e| e.to_string())?;
         let _ = writeln!(
             out,
             "{name}: after exchange (cost {:.4} -> {:.4}) -> {report}",
@@ -209,12 +263,14 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
 fn cmd_route(args: &[String]) -> Result<String, String> {
     let opts = parse_options(args)?;
     let [circuit_path, assignment_path] = opts.positional.as_slice() else {
-        return Err(format!("route expects a circuit and an assignment\n\n{USAGE}"));
+        return Err(format!(
+            "route expects a circuit and an assignment\n\n{USAGE}"
+        ));
     };
     let (name, quadrant) = load_quadrant(circuit_path)?;
     let assignment = load_assignment(assignment_path)?;
-    let report = analyze(&quadrant, &assignment, DensityModel::Geometric)
-        .map_err(|e| e.to_string())?;
+    let report =
+        analyze(&quadrant, &assignment, DensityModel::Geometric).map_err(|e| e.to_string())?;
     let balanced = balanced_density_map(&quadrant, &assignment)
         .map_err(|e| e.to_string())?
         .max_density();
@@ -251,8 +307,8 @@ fn cmd_ir(args: &[String]) -> Result<String, String> {
     let assignment = load_assignment(assignment_path)?;
     let n = opts.num("grid", 48usize)?;
     let grid = GridSpec::default_chip(n);
-    let drop = copack_core::evaluate_ir(&quadrant, &assignment, &grid)
-        .map_err(|e| e.to_string())?;
+    let drop =
+        copack_core::evaluate_ir(&quadrant, &assignment, &grid).map_err(|e| e.to_string())?;
     match drop {
         Some(v) => Ok(format!(
             "{name}: max IR-drop {:.3} mV ({n}x{n} grid, pads replicated on 4 sides)\n",
@@ -351,12 +407,7 @@ mod tests {
             .unwrap();
             assert!(out.contains("max density"), "{method}: {out}");
         }
-        let out = run(&s(&[
-            "plan",
-            circuit_path.to_str().unwrap(),
-            "--exchange",
-        ]))
-        .unwrap();
+        let out = run(&s(&["plan", circuit_path.to_str().unwrap(), "--exchange"])).unwrap();
         assert!(out.contains("after exchange"), "{out}");
         assert!(run(&s(&[
             "plan",
@@ -365,6 +416,31 @@ mod tests {
             "magic"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn package_planning_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join("copack_cli_test3");
+        fs::create_dir_all(&dir).unwrap();
+        let circuit_path = dir.join("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let plan_with = |threads: &str| {
+            run(&s(&[
+                "plan",
+                circuit_path.to_str().unwrap(),
+                "--package",
+                "--threads",
+                threads,
+            ]))
+            .unwrap()
+        };
+        let serial = plan_with("1");
+        assert!(serial.contains("package plan"), "{serial}");
+        assert!(serial.contains("package IR-drop"), "{serial}");
+        assert!(serial.contains("order[3]"), "{serial}");
+        for threads in ["0", "4"] {
+            assert_eq!(serial, plan_with(threads), "--threads {threads}");
+        }
     }
 
     #[test]

@@ -6,9 +6,7 @@ use copack::core::{assign, evaluate_supply_noise, AssignMethod};
 use copack::gen::circuit;
 use copack::geom::{Assignment, Package};
 use copack::io::{parse_assignment, parse_quadrant, write_assignment, write_quadrant};
-use copack::power::{
-    solve_plan, GridSpec, Hotspot, PadArray, PadPlan, PadRing, Solver,
-};
+use copack::power::{solve_plan, GridSpec, Hotspot, PadArray, PadPlan, PadRing, Solver};
 use copack::route::{
     cutline_congestion, density_map, density_map_with_plan, via_plan_with, DensityModel, ViaRule,
 };
@@ -52,7 +50,9 @@ fn via_rules_give_similar_densities() {
             &via_plan_with(&q, ViaRule::BottomRight),
         )
         .expect("routable");
-        let d = bl.max_density_interior().abs_diff(br.max_density_interior());
+        let d = bl
+            .max_density_interior()
+            .abs_diff(br.max_density_interior());
         assert!(d <= 1, "circuit {idx}: interior density differs by {d}");
         // The default plan equals the bottom-left plan.
         let default = density_map(&q, &a, DensityModel::Geometric).expect("routable");
@@ -65,8 +65,12 @@ fn flip_chip_always_beats_the_ring() {
     let grid = GridSpec::default_chip(20);
     for side in [2usize, 3, 4] {
         let pads = side * side;
-        let wb = solve_plan(&grid, &PadPlan::WireBond(PadRing::uniform(pads)), Solver::Sor)
-            .expect("solves");
+        let wb = solve_plan(
+            &grid,
+            &PadPlan::WireBond(PadRing::uniform(pads)),
+            Solver::Sor,
+        )
+        .expect("solves");
         let fc = solve_plan(
             &grid,
             &PadPlan::FlipChip(PadArray::new(side, side).expect("array")),
@@ -95,7 +99,10 @@ fn hotspots_worsen_the_drop_and_move_the_worst_node() {
     assert!(heated.max_drop() > flat.max_drop());
     // The worst node migrates towards the hotspot corner.
     let (i, j) = heated.worst_node();
-    assert!(i < 12 && j < 12, "worst node ({i},{j}) not near the hotspot");
+    assert!(
+        i < 12 && j < 12,
+        "worst node ({i},{j}) not near the hotspot"
+    );
 }
 
 #[test]
@@ -145,8 +152,7 @@ fn parsed_circuits_flow_through_the_whole_stack() {
     let q_text = write_quadrant("t", &circuit(1).build_quadrant().expect("builds"));
     let (_, q) = parse_quadrant(&q_text).expect("parses");
     let a = assign(&q, AssignMethod::Ifa).expect("ifa");
-    let report =
-        copack::route::analyze(&q, &a, DensityModel::Geometric).expect("routable");
+    let report = copack::route::analyze(&q, &a, DensityModel::Geometric).expect("routable");
     assert!(report.max_density > 0);
     let (_, a2) = parse_assignment(&write_assignment("t", &a)).expect("parses");
     assert_eq!(
@@ -162,10 +168,11 @@ fn mixed_assignment_packages_report_asymmetric_cutlines() {
     let q = circuit(1).build_quadrant().expect("builds");
     let package = Package::uniform(q.clone());
     let dfa = assign(&q, AssignMethod::dfa_default()).expect("dfa");
-    let random = assign(&q, AssignMethod::Random { seed: 5 }).expect("random");
+    // Seed chosen so the shuffled side visibly differs from its DFA
+    // neighbours at the cutlines under the workspace RNG stream.
+    let random = assign(&q, AssignMethod::Random { seed: 9 }).expect("random");
     let sides: [Assignment; 4] = [dfa.clone(), random, dfa.clone(), dfa];
-    let report =
-        cutline_congestion(&package, &sides, DensityModel::Geometric).expect("routable");
+    let report = cutline_congestion(&package, &sides, DensityModel::Geometric).expect("routable");
     let distinct: std::collections::HashSet<u32> = report.boundaries.iter().copied().collect();
     assert!(distinct.len() > 1);
 }

@@ -2,9 +2,7 @@
 //! malformed input rather than panic or produce garbage.
 
 use copack::core::{dfa, exchange, CoreError, ExchangeConfig};
-use copack::geom::{
-    Assignment, GeomError, NetKind, Quadrant, QuadrantGeometry, StackConfig,
-};
+use copack::geom::{Assignment, GeomError, NetKind, Quadrant, QuadrantGeometry, StackConfig};
 use copack::io::parse_quadrant;
 use copack::power::{GridSpec, PadRing, PowerError};
 use copack::route::{analyze, DensityModel, RouteError};
@@ -38,7 +36,10 @@ fn routing_rejects_foreign_and_missing_nets() {
     // the known nets stay monotonic.
     let foreign = Assignment::from_order([1u32, 2, 99]);
     let err = analyze(&q, &foreign, DensityModel::Geometric).unwrap_err();
-    assert!(matches!(err, RouteError::Unplaced { .. } | RouteError::Geom(_)));
+    assert!(matches!(
+        err,
+        RouteError::Unplaced { .. } | RouteError::Geom(_)
+    ));
 }
 
 #[test]
@@ -52,7 +53,10 @@ fn exchange_propagates_illegal_inputs() {
     // Non-monotonic initial order: nets 1 and 2 share a row.
     let bad = Assignment::from_order([2u32, 3, 1]);
     let err = exchange(&q, &bad, &StackConfig::planar(), &ExchangeConfig::default()).unwrap_err();
-    assert!(matches!(err, CoreError::Route(RouteError::NonMonotonic { .. })));
+    assert!(matches!(
+        err,
+        CoreError::Route(RouteError::NonMonotonic { .. })
+    ));
 }
 
 #[test]

@@ -1,0 +1,86 @@
+//! Integration check of the acceptance criterion for the incremental
+//! exchange kernel: on the Fig. 5 instance and all five Table 1 circuits,
+//! for ψ = 1 and ψ = 4 under the default `Proxy` objective, [`exchange`]
+//! and [`exchange_reference`] must return **bit-identical**
+//! [`copack::core::ExchangeResult`]s from identical seeds.
+
+use copack::core::{dfa, exchange, exchange_reference, ExchangeConfig, Schedule};
+use copack::gen::circuits;
+use copack::geom::{NetKind, Quadrant, StackConfig};
+
+/// The Fig. 5 instance, with a few nets marked as power pads so the
+/// Δ_IR term is live at ψ = 1.
+fn fig5_with_power() -> Quadrant {
+    Quadrant::builder()
+        .row([10u32, 2, 4, 7, 0])
+        .row([1u32, 3, 5, 8])
+        .row([11u32, 6, 9])
+        .net_kind(3u32, NetKind::Power)
+        .net_kind(6u32, NetKind::Power)
+        .net_kind(9u32, NetKind::Power)
+        .build()
+        .expect("the Fig. 5 instance builds")
+}
+
+fn config(seed: u64) -> ExchangeConfig {
+    ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 2,
+            final_temp_ratio: 1e-2,
+            cooling: 0.7,
+            ..Schedule::default()
+        },
+        seed,
+        ..ExchangeConfig::default()
+    }
+}
+
+fn assert_bit_identical(quadrant: &Quadrant, stack: &StackConfig, label: &str) {
+    let initial = dfa(quadrant, 1).expect("dfa");
+    for seed in [0u64, 7, 2009] {
+        let cfg = config(seed);
+        let fast = exchange(quadrant, &initial, stack, &cfg).expect("kernel runs");
+        let slow = exchange_reference(quadrant, &initial, stack, &cfg).expect("reference runs");
+        assert_eq!(fast, slow, "{label}, seed {seed}");
+        // "Bit-identical" includes the float-valued costs; `PartialEq` on
+        // f64 compares values, so pin the exact representations too.
+        assert_eq!(
+            fast.stats.final_cost.to_bits(),
+            slow.stats.final_cost.to_bits(),
+            "{label}, seed {seed}: final cost bits"
+        );
+        assert_eq!(
+            fast.stats.initial_cost.to_bits(),
+            slow.stats.initial_cost.to_bits(),
+            "{label}, seed {seed}: initial cost bits"
+        );
+    }
+}
+
+#[test]
+fn fig5_kernel_matches_reference() {
+    let q = fig5_with_power();
+    assert_bit_identical(&q, &StackConfig::planar(), "fig5 psi=1");
+}
+
+#[test]
+fn table1_circuits_kernel_matches_reference_planar() {
+    for circuit in circuits() {
+        let q = circuit.build_quadrant().expect("circuit builds");
+        assert_bit_identical(
+            &q,
+            &StackConfig::planar(),
+            &format!("{} psi=1", circuit.name),
+        );
+    }
+}
+
+#[test]
+fn table1_circuits_kernel_matches_reference_stacked4() {
+    for circuit in circuits() {
+        let stacked = circuit.stacked(4);
+        let q = stacked.build_quadrant().expect("circuit builds");
+        let stack = stacked.stack().expect("valid stack");
+        assert_bit_identical(&q, &stack, &format!("{} psi=4", circuit.name));
+    }
+}

@@ -1,25 +1,30 @@
 //! Property-based tests of the core invariants, spanning crates.
 
 use copack::core::{
-    dfa, exchange, ifa, omega_of_assignment, random_assignment, ExchangeConfig, Schedule,
+    dfa, exchange, exchange_reference, ifa, omega_of_assignment, random_assignment, DeltaIrTracker,
+    ExchangeConfig, Schedule,
 };
-use copack::geom::{NetKind, Quadrant, StackConfig};
+use copack::geom::{FingerIdx, NetKind, Quadrant, StackConfig, TierId};
 use copack::power::{solve_cg, solve_sor, GridSpec, PadRing, PadSpacingProxy};
 use copack::route::{
-    density_map, exchange_range, extract_paths, is_monotonic, DensityModel,
+    density_map, exchange_range, extract_paths, is_monotonic, DensityModel, RangeCache,
 };
 use proptest::prelude::*;
 
 /// Strategy: a quadrant with 1..=5 rows of 1..=8 balls, net ids shuffled,
-/// every third net a power pad.
-fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
-    (prop::collection::vec(1usize..=8, 1..=5), any::<u64>()).prop_map(|(sizes, seed)| {
+/// every third net a power pad. With `tiers > 1` the nets are striped
+/// across that many tiers (ω asserts `tier ≤ ψ`, so planar tests must use
+/// `tiers = 1`, the default tier of every net).
+fn quadrant_strategy_tiered(tiers: u8) -> impl Strategy<Value = Quadrant> {
+    (prop::collection::vec(1usize..=8, 1..=5), any::<u64>()).prop_map(move |(sizes, seed)| {
         let total: usize = sizes.iter().sum();
         // Deterministic Fisher–Yates from the seed, no external RNG needed.
         let mut ids: Vec<u32> = (1..=total as u32).collect();
         let mut state = seed | 1;
         for i in (1..ids.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (state >> 33) as usize % (i + 1);
             ids.swap(i, j);
         }
@@ -33,9 +38,17 @@ fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
             if id % 3 == 0 {
                 builder = builder.net_kind(id, NetKind::Power);
             }
+            if tiers > 1 {
+                builder =
+                    builder.net_tier(id, TierId::new(((id - 1) % u32::from(tiers) + 1) as u8));
+            }
         }
         builder.build().expect("generated quadrants are valid")
     })
+}
+
+fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
+    quadrant_strategy_tiered(1)
 }
 
 proptest! {
@@ -149,5 +162,130 @@ proptest! {
         ids.sort_unstable();
         let expected: Vec<u32> = (1..=q.net_count() as u32).collect();
         prop_assert_eq!(ids, expected);
+    }
+
+    /// The incremental kernel and the from-scratch reference must agree on
+    /// the full [`copack::core::ExchangeResult`] — assignment, every
+    /// statistic, both costs — for any quadrant and seed, at ψ = 1 and on
+    /// a stacking design. This exercises the Δ_IR tracker, the range
+    /// cache and the journal-rematerialised best all at once: a drifted
+    /// float, a stale range or a mis-replayed journal each break equality.
+    #[test]
+    fn kernel_and_reference_exchanges_are_bit_identical_planar(
+        q in quadrant_strategy(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(q.nets_of_kind(NetKind::Power).next().is_some());
+        let initial = dfa(&q, 1).expect("dfa");
+        let cfg = ExchangeConfig {
+            schedule: Schedule {
+                moves_per_temp_per_finger: 2,
+                final_temp_ratio: 0.1,
+                cooling: 0.6,
+                ..Schedule::default()
+            },
+            seed,
+            ..ExchangeConfig::default()
+        };
+        let fast = exchange(&q, &initial, &StackConfig::planar(), &cfg).expect("kernel runs");
+        let slow =
+            exchange_reference(&q, &initial, &StackConfig::planar(), &cfg).expect("reference runs");
+        prop_assert_eq!(&fast, &slow);
+    }
+
+    #[test]
+    fn kernel_and_reference_exchanges_are_bit_identical_stacked(
+        q in quadrant_strategy_tiered(3),
+        seed in any::<u64>(),
+    ) {
+        let initial = dfa(&q, 1).expect("dfa");
+        let cfg = ExchangeConfig {
+            schedule: Schedule {
+                moves_per_temp_per_finger: 2,
+                final_temp_ratio: 0.1,
+                cooling: 0.6,
+                ..Schedule::default()
+            },
+            seed,
+            ..ExchangeConfig::default()
+        };
+        let stack = StackConfig::stacked(3).expect("valid stack");
+        let fast = exchange(&q, &initial, &stack, &cfg).expect("kernel runs");
+        let slow = exchange_reference(&q, &initial, &stack, &cfg).expect("reference runs");
+        prop_assert_eq!(&fast, &slow);
+    }
+
+    /// Replaying an arbitrary accepted/rejected move sequence through the
+    /// Δ_IR tracker reproduces the from-scratch pad-spacing proxy **bit
+    /// for bit** after every step (a rejected move is a swap immediately
+    /// re-applied, exactly as the annealer reverts).
+    #[test]
+    fn delta_ir_tracker_replays_match_the_proxy(
+        q in quadrant_strategy(),
+        moves in prop::collection::vec((any::<u64>(), any::<bool>()), 1..40),
+    ) {
+        prop_assume!(q.nets_of_kind(NetKind::Power).next().is_some());
+        let mut a = dfa(&q, 1).expect("dfa");
+        let alpha = a.finger_count();
+        prop_assume!(alpha >= 2);
+        let mut tracker = DeltaIrTracker::new(&q, &a).expect("tracker");
+        for (pick, accepted) in moves {
+            let left = 1 + (pick % (alpha as u64 - 1)) as u32;
+            tracker.apply_adjacent_swap(FingerIdx::new(left));
+            a.swap(FingerIdx::new(left), FingerIdx::new(left + 1)).expect("swap");
+            if !accepted {
+                tracker.apply_adjacent_swap(FingerIdx::new(left));
+                a.swap(FingerIdx::new(left), FingerIdx::new(left + 1)).expect("swap");
+            }
+            let ts: Vec<f64> = q
+                .nets_of_kind(NetKind::Power)
+                .filter_map(|n| a.position_of(n))
+                .map(|f| (f.get() as f64 - 0.5) / alpha as f64)
+                .collect();
+            let fresh = PadSpacingProxy::new(&ts).expect("proxy").delta_ir();
+            prop_assert_eq!(tracker.delta_ir().to_bits(), fresh.to_bits());
+        }
+    }
+
+    /// A [`RangeCache`] refreshed only via `note_moved` on accepted moves
+    /// (rejected ones revert without notification, as in the annealer)
+    /// always matches [`exchange_range`] recomputed on the live assignment.
+    #[test]
+    fn range_cache_replays_match_recomputation(
+        q in quadrant_strategy(),
+        seed in any::<u64>(),
+        moves in prop::collection::vec((any::<u64>(), any::<bool>()), 1..60),
+    ) {
+        let mut a = random_assignment(&q, seed).expect("random");
+        let alpha = a.finger_count();
+        prop_assume!(alpha >= 2);
+        let mut cache = RangeCache::new(&q, &a).expect("cache");
+        for (pick, accepted) in moves {
+            let p = FingerIdx::new(1 + (pick % (alpha as u64 - 1)) as u32);
+            let t = FingerIdx::new(p.get() + 1);
+            let (Some(na), Some(nb)) = (a.net_at(p), a.net_at(t)) else { continue };
+            // Only monotonicity-preserving swaps, as the annealer proposes.
+            let (alo, ahi) = exchange_range(&q, &a, na).expect("range");
+            let (blo, bhi) = exchange_range(&q, &a, nb).expect("range");
+            if t < alo || t > ahi || p < blo || p > bhi {
+                continue;
+            }
+            a.swap(p, t).expect("swap");
+            if accepted {
+                let pos: Vec<u32> = q
+                    .nets()
+                    .map(|n| a.position_of(n.id).expect("dense").get())
+                    .collect();
+                cache.note_moved(cache.index_of(na).expect("known"), &pos);
+                cache.note_moved(cache.index_of(nb).expect("known"), &pos);
+            } else {
+                a.swap(p, t).expect("revert");
+            }
+            for net in q.nets() {
+                let i = cache.index_of(net.id).expect("known");
+                let fresh = exchange_range(&q, &a, net.id).expect("range");
+                prop_assert_eq!(cache.range(i), fresh, "net {}", net.id.raw());
+            }
+        }
     }
 }

@@ -1,0 +1,248 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the harness surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Criterion::bench_function`], [`BenchmarkId`], [`Bencher::iter`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — over a plain
+//! wall-clock measurement loop. There is no statistical analysis, outlier
+//! rejection or HTML report; each benchmark prints its mean and best
+//! iteration time to stdout.
+//!
+//! Measurement: each benchmark runs a short warm-up, then `sample_size`
+//! samples (default 100). A sample times a batch of iterations sized so
+//! the batch takes at least ~1ms, to keep timer overhead out of the
+//! per-iteration figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus an
+/// optional parameter rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for groups whose name already says what runs.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by [`Bencher::iter`]; read by the caller for reporting.
+    result: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    best: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow the batch until it runs ≥ ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        let mut iterations = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed / u32::try_from(batch.min(u64::from(u32::MAX))).unwrap_or(1));
+            iterations += batch;
+        }
+        self.result = Some(Measurement {
+            mean: total / u32::try_from(iterations.min(u64::from(u32::MAX))).unwrap_or(1),
+            best,
+            iterations,
+        });
+    }
+}
+
+fn run_one(id: &str, body: impl FnOnce(&mut Bencher), sample_size: usize) {
+    let mut bencher = Bencher {
+        sample_size,
+        result: None,
+    };
+    body(&mut bencher);
+    match bencher.result {
+        Some(m) => println!(
+            "bench {id:<48} mean {:>12?}  best {:>12?}  ({} iters)",
+            m.mean, m.best, m.iterations
+        ),
+        None => println!("bench {id:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: R,
+    ) -> &mut Self
+    where
+        R: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            |b| routine(b, input),
+            self.sample_size,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` with no external input.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), routine, self.sample_size);
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    fn new() -> Self {
+        Self { sample_size: 100 }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<R: FnOnce(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        run_one(id, routine, self.sample_size);
+        self
+    }
+
+    /// Entry point used by [`criterion_main!`]; not public API upstream,
+    /// but harmless to expose from the stub.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn default_for_main() -> Self {
+        Self::new()
+    }
+}
+
+/// Mirrors `criterion::black_box` (re-export of the std hint).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default_for_main();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &n| {
+            b.iter(|| n + 1);
+        });
+        group.finish();
+        c.bench_function("stub/free", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("sor", 64).to_string(), "sor/64");
+        assert_eq!(BenchmarkId::from_parameter(112).to_string(), "112");
+    }
+}

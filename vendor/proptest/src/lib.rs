@@ -1,0 +1,693 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`strategy::Strategy`] trait over numeric ranges, tuples,
+//! collections and regex-like string patterns, plus the [`proptest!`],
+//! [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   debug representation instead of a minimised counterexample.
+//! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   the test function's name, so failures reproduce across runs without a
+//!   `proptest-regressions` file (existing regression files are ignored).
+//! * **Regex strategies** support the subset `[...]` classes (with `a-z`
+//!   ranges), literals, and `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case plumbing: configuration, RNG and case-level errors.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Run configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// A `prop_assert!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure error.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Builds a rejection error.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// The deterministic per-test RNG.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Seeds from a stable FNV-1a hash of the test name, so every run
+        /// of a given test sees the same case sequence.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self(StdRng::seed_from_u64(h))
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy is just a deterministic sampler over a [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates with `self`, then with the strategy `f` returns.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// String strategy from a regex-like pattern (see the crate docs for
+    /// the supported subset).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::pattern::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait behind [`crate::prelude::any`].
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for `Self`.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-domain strategy for primitives.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct AnyPrimitive<T>(core::marker::PhantomData<T>);
+
+    impl<T> AnyPrimitive<T> {
+        /// Creates the strategy.
+        #[must_use]
+        pub fn new() -> Self {
+            Self(core::marker::PhantomData)
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for AnyPrimitive<$t> {
+                type Value = $t;
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen::<u64>(rng) as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = AnyPrimitive<$t>;
+                fn arbitrary() -> Self::Strategy { AnyPrimitive::new() }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrimitive<bool> {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rand::Rng::gen::<bool>(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyPrimitive<bool>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive::new()
+        }
+    }
+
+    impl Strategy for AnyPrimitive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rand::Rng::gen::<f64>(rng)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        type Strategy = AnyPrimitive<f64>;
+
+        fn arbitrary() -> Self::Strategy {
+            AnyPrimitive::new()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Sizes a generated collection: a fixed count or a range of counts.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+pub(crate) mod pattern {
+    //! Tiny regex-subset generator backing string strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    enum Piece {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    struct Quantified {
+        piece: Piece,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Quantified> {
+        let mut chars = pattern.chars().peekable();
+        let mut out = Vec::new();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(c) = chars.next() else {
+                            panic!("unterminated character class in pattern {pattern:?}");
+                        };
+                        match c {
+                            ']' => break,
+                            '-' => {
+                                // A range if between two chars, else literal.
+                                match (prev, chars.peek()) {
+                                    (Some(lo), Some(&hi)) if hi != ']' => {
+                                        chars.next();
+                                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                                        for v in (lo as u32 + 1)..=(hi as u32) {
+                                            set.push(char::from_u32(v).expect("valid scalar"));
+                                        }
+                                        prev = None;
+                                    }
+                                    _ => {
+                                        set.push('-');
+                                        prev = Some('-');
+                                    }
+                                }
+                            }
+                            c => {
+                                set.push(c);
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                    Piece::Class(set)
+                }
+                '\\' => Piece::Literal(chars.next().expect("dangling escape")),
+                c => Piece::Literal(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        body.push(c);
+                    }
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} bound"),
+                            hi.trim().parse().expect("bad {m,n} bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad {n} bound");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            out.push(Quantified { piece, min, max });
+        }
+        out
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for q in parse(pattern) {
+            let count = rng.gen_range(q.min..=q.max);
+            for _ in 0..count {
+                match &q.piece {
+                    Piece::Literal(c) => out.push(*c),
+                    Piece::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from upstream.
+
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The canonical strategy for `T` (`any::<u64>()` and friends).
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Declares deterministic property tests. See the crate docs for the
+/// differences from upstream `proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(1000);
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest: too many rejected cases ({} of {} attempts)",
+                        attempts - passed,
+                        attempts,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                        $(&$arg),+
+                    );
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    match result {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case #{} failed: {}\ninputs:{}",
+                                passed + 1,
+                                msg,
+                                inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `{}` keeps stringified conditions containing braces out of the
+        // format-string position.
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b,
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+        );
+    }};
+}
+
+/// Rejects the current case (retried without counting towards the total).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1usize..=8, y in 0.0f64..1.0, z in any::<u64>()) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            let _ = z;
+        }
+
+        #[test]
+        fn vec_strategy_honours_size(v in prop::collection::vec(0u8..=9, 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b <= 9));
+        }
+
+        #[test]
+        fn tuple_and_map_compose(p in (1u32..=4, 1u32..=4).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..=16).contains(&p));
+        }
+
+        #[test]
+        fn string_pattern_generates_matching_text(s in "[a-z][a-z0-9 _-]{0,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 21);
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            prop_assert!(first.is_ascii_lowercase());
+            prop_assert!(chars.all(|c| {
+                c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' ' || c == '_' || c == '-'
+            }));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_stable_per_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        let s = 0u64..=u64::MAX;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types so
+//! that a future JSON/TOML surface can light up without touching every
+//! struct, but no code path in the repository performs serialisation yet
+//! and the build environment cannot reach crates.io. This stub keeps the
+//! derive attribute (and its `#[serde(...)]` helper attributes) compiling
+//! as inert markers: the derive macros expand to nothing.
+//!
+//! When real serialisation lands, swap this vendored crate for the
+//! upstream one in `[workspace.dependencies]` — call sites need no change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stub: they accept the `#[serde(...)]` helper attributes and expand to
+//! nothing, keeping the workspace's derive annotations compiling without
+//! crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; registered so `#[serde(...)]` helpers stay inert.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; registered so `#[serde(...)]` helpers stay inert.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
