@@ -12,9 +12,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use copack_core::{dfa, exchange, exchange_reference, ExchangeConfig, ExchangeResult, Schedule};
+use copack_core::{
+    dfa, exchange, exchange_reference, exchange_traced, ExchangeConfig, ExchangeResult, Schedule,
+};
 use copack_gen::circuits;
 use copack_geom::{Assignment, Quadrant, StackConfig};
+use copack_obs::{replay_final_cost, split_runs, JsonlSink, TraceBuffer};
 
 /// One timed run: wall seconds and the proposed-move count.
 struct Timing {
@@ -120,10 +123,126 @@ fn main() {
         }
     }
 
+    let telemetry = bench_telemetry(&config, runs);
+
     let json = format!(
-        "{{\n  \"benchmark\": \"exchange\",\n  \"runs_per_config\": {runs},\n  \"circuits\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"exchange\",\n  \"runs_per_config\": {runs},\n  \"circuits\": [\n{}\n  ],\n{telemetry}}}\n",
         entries.join(",\n")
     );
     std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
     println!("wrote BENCH_exchange.json");
+}
+
+/// Measures the telemetry overhead on the largest circuit (Table 1
+/// circuit 5, planar): the kernel annealing with a live [`JsonlSink`]
+/// versus the untraced kernel, plus the exact-replay check — the trace's
+/// accepted moves must replay bit-for-bit to the kernel's final cost.
+///
+/// The sink stages events in memory during the run and serialises them
+/// at `finish`, so the annealing time (what moves/sec is computed over)
+/// and the drain time are measured separately — the drain is reporting
+/// I/O, not kernel work.
+fn bench_telemetry(config: &ExchangeConfig, runs: usize) -> String {
+    let all = circuits();
+    let circuit = all.last().expect("Table 1 has circuits");
+    let quadrant = circuit.build_quadrant().expect("circuit builds");
+    let initial = dfa(&quadrant, 1).expect("dfa");
+    let stack = StackConfig::planar();
+
+    // The runs are short (a few ms), so scheduler jitter would swamp a
+    // back-to-back comparison. Interleave baseline/traced pairs over
+    // many repetitions so drift cancels, and take well more repetitions
+    // than the table benchmarks do.
+    let reps = (runs * 10).max(20);
+    let trace_path = std::env::temp_dir().join("bench_exchange_trace.jsonl");
+    let mut baseline_result = None;
+    let mut traced_result = None;
+    let mut baseline_seconds = 0.0;
+    let mut anneal_seconds = 0.0;
+    let mut drain_seconds = 0.0;
+    for timed in 0..=reps {
+        let start = Instant::now();
+        let base = exchange(&quadrant, &initial, &stack, config).expect("kernel runs");
+        let base_elapsed = start.elapsed().as_secs_f64();
+
+        let mut sink = JsonlSink::create(&trace_path).expect("temp trace file");
+        let start = Instant::now();
+        let result =
+            exchange_traced(&quadrant, &initial, &stack, config, &mut sink).expect("kernel runs");
+        let anneal = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        sink.finish().expect("trace flush");
+        // The zeroth pair is warm-up (matching `time_runs`).
+        if timed > 0 {
+            baseline_seconds += base_elapsed;
+            anneal_seconds += anneal;
+            drain_seconds += start.elapsed().as_secs_f64();
+        }
+        baseline_result = Some(base);
+        traced_result = Some(result);
+    }
+    baseline_seconds /= reps as f64;
+    anneal_seconds /= reps as f64;
+    drain_seconds /= reps as f64;
+    assert_eq!(
+        baseline_result, traced_result,
+        "telemetry perturbed the kernel's result"
+    );
+    let moves = baseline_result.expect("ran at least once").stats.proposed;
+    let baseline = Timing {
+        seconds: baseline_seconds,
+        moves,
+    };
+    let traced = Timing {
+        seconds: anneal_seconds,
+        moves,
+    };
+    let _ = std::fs::remove_file(&trace_path);
+
+    // Exact replay: capture the same run in memory and fold the accepted
+    // moves back to the final cost.
+    let mut buffer = TraceBuffer::new();
+    let result =
+        exchange_traced(&quadrant, &initial, &stack, config, &mut buffer).expect("kernel runs");
+    let events = buffer.into_events();
+    let replayed = split_runs(&events)
+        .first()
+        .and_then(|run| replay_final_cost(run))
+        .expect("trace has a run");
+    assert_eq!(
+        replayed.to_bits(),
+        result.stats.final_cost.to_bits(),
+        "trace replay diverged from the kernel's final cost"
+    );
+
+    let base_rate = baseline.moves as f64 / baseline.seconds.max(1e-12);
+    let traced_rate = traced.moves as f64 / traced.seconds.max(1e-12);
+    let overhead_percent = 100.0 * (base_rate / traced_rate.max(1e-12) - 1.0);
+    println!(
+        "telemetry ({} psi=1): untraced {base_rate:.1} moves/s, jsonl {traced_rate:.1} moves/s \
+         ({overhead_percent:.1}% overhead, drain {:.1} ms), replay exact over {} events",
+        circuit.name,
+        drain_seconds * 1e3,
+        events.len()
+    );
+    if overhead_percent >= 10.0 {
+        eprintln!("warning: telemetry overhead {overhead_percent:.1}% exceeds the 10% budget");
+    }
+
+    let mut block = String::new();
+    let _ = write!(
+        block,
+        "  \"telemetry\": {{\"circuit\": \"{}\", \"psi\": 1, ",
+        circuit.name
+    );
+    json_timing(&mut block, "untraced", &baseline);
+    block.push_str(", ");
+    json_timing(&mut block, "jsonl", &traced);
+    let _ = writeln!(
+        block,
+        ", \"overhead_percent\": {overhead_percent:.2}, \"drain_seconds\": {drain_seconds:.6}, \
+         \"events\": {}, \"replay_exact\": true}}",
+        events.len()
+    );
+    block
 }

@@ -1,59 +1,8 @@
-//! Regenerates the paper's **Fig. 5 / Fig. 10 / Fig. 12** worked example:
-//! the 12-net, 3-row quadrant under the random order (density 4), the IFA
-//! order (density 2) and the DFA order (density 2), printed with the same
-//! finger orders the paper lists.
+//! Regenerates the paper's **Fig. 5 / Fig. 10 / Fig. 12** worked example
+//! (see [`copack_bench::fig5_report`] for the experiment description).
 //!
 //! Run with `cargo run --release -p copack-bench --bin fig5`.
 
-use copack_core::{dfa, ifa};
-use copack_geom::{Assignment, Quadrant, QuadrantGeometry};
-use copack_route::{analyze, DensityModel};
-use copack_viz::{density_histogram, routing_ascii};
-
 fn main() {
-    // Figure-style geometry: fingers span the ball grid, as drawn.
-    let geometry = QuadrantGeometry {
-        ball_pitch: 1.0,
-        finger_pitch: 0.5,
-        finger_width: 0.3,
-        finger_height: 0.4,
-        via_diameter: 0.1,
-        ball_diameter: 0.2,
-    };
-    let q = Quadrant::builder()
-        .row([10u32, 2, 4, 7, 0])
-        .row([1u32, 3, 5, 8])
-        .row([11u32, 6, 9])
-        .geometry(geometry)
-        .build()
-        .expect("the Fig. 5 instance builds");
-
-    let cases = [
-        (
-            "Fig. 5(A) random order",
-            Assignment::from_order([10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0]),
-            4u32,
-        ),
-        ("Fig. 10 IFA", ifa(&q).expect("ifa runs"), 2),
-        ("Fig. 12 DFA", dfa(&q, 1).expect("dfa runs"), 2),
-    ];
-
-    for (name, assignment, paper_density) in cases {
-        let report = analyze(&q, &assignment, DensityModel::Geometric).expect("orders are legal");
-        println!("== {name} ==");
-        print!("{}", routing_ascii(&q, &assignment).expect("renders"));
-        print!(
-            "{}",
-            density_histogram(&q, &assignment, DensityModel::Geometric).expect("renders")
-        );
-        println!(
-            "max density {} (paper: {paper_density}), wirelength {:.2} um\n",
-            report.max_density, report.total_wirelength
-        );
-        assert_eq!(
-            report.max_density, paper_density,
-            "{name}: model disagrees with the paper"
-        );
-    }
-    println!("All three worked examples match the paper exactly.");
+    print!("{}", copack_bench::fig5_report());
 }

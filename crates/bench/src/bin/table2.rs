@@ -1,128 +1,8 @@
-//! Regenerates the paper's **Table 2**: maximum package density and total
-//! wirelength of the Random / IFA / DFA assignments on the five Table 1
-//! circuits, plus the normalised average row.
-//!
-//! Paper reference values: average density ratios 1 / 0.63 / 0.36 and
-//! average wirelength ratios 1 / 0.88 / 0.82; every circuit satisfies
-//! Random > IFA > DFA on density.
+//! Regenerates the paper's **Table 2** (see
+//! [`copack_bench::table2_report`] for the experiment description).
 //!
 //! Run with `cargo run --release -p copack-bench --bin table2`.
 
-use copack_bench::{f2, par_map, thousands, TextTable};
-use copack_core::{assign, AssignMethod};
-use copack_gen::circuits;
-use copack_route::{analyze, balanced_density_map, DensityModel};
-
 fn main() {
-    // The random baseline averages a few seeds so one unlucky draw does not
-    // skew the ratios (the paper's random column is a single sample of an
-    // unspecified seed).
-    const RANDOM_SEEDS: [u64; 5] = [11, 23, 37, 51, 73];
-
-    let mut table = TextTable::new([
-        "Input case",
-        "Bal Random",
-        "Bal IFA",
-        "Bal DFA",
-        "Fly Random",
-        "Fly IFA",
-        "Fly DFA",
-        "WL Random",
-        "WL IFA",
-        "WL DFA",
-    ]);
-
-    // The five circuits are independent; measure them concurrently and
-    // aggregate in input order (the output is thread-count invariant).
-    let circuits = circuits();
-    let rows = par_map(&circuits, 0, |circuit| {
-        let quadrant = circuit.build_quadrant().expect("circuit builds");
-
-        let mut rand_density = 0.0;
-        let mut rand_balanced = 0.0;
-        let mut rand_wl = 0.0;
-        for &seed in &RANDOM_SEEDS {
-            let a = assign(&quadrant, AssignMethod::Random { seed }).expect("random");
-            let r = analyze(&quadrant, &a, DensityModel::Geometric).expect("routable");
-            rand_density += f64::from(r.max_density);
-            rand_balanced += f64::from(
-                balanced_density_map(&quadrant, &a)
-                    .expect("routable")
-                    .max_density(),
-            );
-            rand_wl += r.total_wirelength;
-        }
-        rand_density /= RANDOM_SEEDS.len() as f64;
-        rand_balanced /= RANDOM_SEEDS.len() as f64;
-        rand_wl /= RANDOM_SEEDS.len() as f64;
-
-        let ifa_a = assign(&quadrant, AssignMethod::Ifa).expect("ifa");
-        let ifa_r = analyze(&quadrant, &ifa_a, DensityModel::Geometric).expect("routable");
-        let ifa_bal = balanced_density_map(&quadrant, &ifa_a)
-            .expect("routable")
-            .max_density();
-        let dfa_a = assign(&quadrant, AssignMethod::dfa_default()).expect("dfa");
-        let dfa_r = analyze(&quadrant, &dfa_a, DensityModel::Geometric).expect("routable");
-        let dfa_bal = balanced_density_map(&quadrant, &dfa_a)
-            .expect("routable")
-            .max_density();
-
-        // The paper reports whole-package numbers (4 identical quadrants):
-        // density is per-quadrant, wirelength sums over the package.
-        let wl_scale = 4.0;
-        let cells = [
-            circuit.name.clone(),
-            f2(rand_balanced),
-            ifa_bal.to_string(),
-            dfa_bal.to_string(),
-            f2(rand_density),
-            ifa_r.max_density.to_string(),
-            dfa_r.max_density.to_string(),
-            thousands(rand_wl * wl_scale),
-            thousands(ifa_r.total_wirelength * wl_scale),
-            thousands(dfa_r.total_wirelength * wl_scale),
-        ];
-        // ratios: balanced ifa, dfa; flyline ifa, dfa; wl ifa, dfa
-        let ratios = [
-            f64::from(ifa_bal) / rand_balanced,
-            f64::from(dfa_bal) / rand_balanced,
-            f64::from(ifa_r.max_density) / rand_density,
-            f64::from(dfa_r.max_density) / rand_density,
-            ifa_r.total_wirelength / rand_wl,
-            dfa_r.total_wirelength / rand_wl,
-        ];
-        (cells, ratios)
-    });
-
-    let mut ratio_sums = [0.0f64; 6];
-    for (cells, ratios) in rows {
-        table.row(cells);
-        for (sum, r) in ratio_sums.iter_mut().zip(ratios) {
-            *sum += r;
-        }
-    }
-
-    let n = circuits.len() as f64;
-    table.row([
-        "Average".to_owned(),
-        "1.00".to_owned(),
-        f2(ratio_sums[0] / n),
-        f2(ratio_sums[1] / n),
-        "1.00".to_owned(),
-        f2(ratio_sums[2] / n),
-        f2(ratio_sums[3] / n),
-        "1.00".to_owned(),
-        f2(ratio_sums[4] / n),
-        f2(ratio_sums[5] / n),
-    ]);
-
-    println!(
-        "Table 2: maximum density and total wirelength (random avg of {} seeds)",
-        RANDOM_SEEDS.len()
-    );
-    println!("{}", table.render());
-    println!("'Bal' = crossings balanced by the router (the paper routes with [10]'s");
-    println!("iterative improvement, so its numbers are post-balancing); 'Fly' = naive");
-    println!("flyline crossings.");
-    println!("Paper averages: density 1 / 0.63 / 0.36, wirelength 1 / 0.88 / 0.82");
+    print!("{}", copack_bench::table2_report());
 }

@@ -1,123 +1,8 @@
-//! Regenerates the paper's **Table 3**: the effect of the finger/pad
-//! exchange step after DFA, for 2-D (ψ = 1) and 4-tier stacking (ψ = 4)
-//! versions of the five circuits — max density before/after, IR-drop
-//! improvement, and (for stacking) the bonding-wire improvement.
-//!
-//! Paper reference values: 2-D IR-drop improvement avg 10.61%; stacking
-//! (ψ = 4) IR-drop improvement avg 4.58% and bonding-wire improvement avg
-//! 15.66%; density after exchanging grows by a couple of units (the cost
-//! of the IR/bond-wire gains).
+//! Regenerates the paper's **Table 3** (see
+//! [`copack_bench::table3_report`] for the experiment description).
 //!
 //! Run with `cargo run --release -p copack-bench --bin table3`.
 
-use copack_bench::{f2, par_map, TextTable};
-use copack_core::{Codesign, CodesignReport};
-use copack_gen::circuits;
-use copack_geom::Quadrant;
-use copack_power::GridSpec;
-
-/// Exchange seeds averaged per configuration (the annealer is stochastic;
-/// the paper reports single runs of an unspecified seed).
-const SEEDS: [u64; 3] = [0xC0DE, 0xBEEF, 0xF00D];
-
-/// Runs the flow once per seed and returns the last report plus the
-/// seed-averaged IR improvement, bonding-wire improvement, and
-/// after-exchange max density.
-fn averaged(base: &Codesign, quadrant: &Quadrant) -> (CodesignReport, f64, f64, f64) {
-    let mut ir_sum = 0.0;
-    let mut bw_sum = 0.0;
-    let mut dens_sum = 0.0;
-    let mut last = None;
-    for &seed in &SEEDS {
-        let mut cfg = base.clone();
-        cfg.exchange.seed = seed;
-        let report = cfg.run(quadrant).expect("pipeline runs");
-        ir_sum += report.ir_improvement_percent.unwrap_or(0.0);
-        bw_sum += report.omega_improvement_percent.unwrap_or(0.0);
-        dens_sum += f64::from(report.routing_after.max_density);
-        last = Some(report);
-    }
-    let n = SEEDS.len() as f64;
-    (
-        last.expect("at least one seed"),
-        ir_sum / n,
-        bw_sum / n,
-        dens_sum / n,
-    )
-}
-
 fn main() {
-    let base = Codesign {
-        grid: GridSpec::default_chip(48),
-        ..Codesign::default()
-    };
-
-    let mut table = TextTable::new([
-        "Input case",
-        "2D dens DFA",
-        "2D dens exch",
-        "2D IR impr %",
-        "4T dens DFA",
-        "4T dens exch",
-        "4T IR impr %",
-        "4T bondwire impr %",
-    ]);
-
-    // Each circuit's 2-D and stacked runs are independent of every other
-    // circuit; fan them out and aggregate in input order.
-    let circuits = circuits();
-    let rows = par_map(&circuits, 0, |circuit| {
-        // 2-D run.
-        let q2 = circuit.build_quadrant().expect("circuit builds");
-        let (r2, ir2, _, dens2) = averaged(&base, &q2);
-
-        // 4-tier stacking run.
-        let stacked = circuit.stacked(4);
-        let q4 = stacked.build_quadrant().expect("stacked circuit builds");
-        let cfg4 = Codesign {
-            stack: stacked.stack().expect("valid stack"),
-            ..base.clone()
-        };
-        let (r4, ir4, bw4, dens4) = averaged(&cfg4, &q4);
-
-        let cells = [
-            circuit.name.clone(),
-            r2.routing_before.max_density.to_string(),
-            f2(dens2),
-            f2(ir2),
-            r4.routing_before.max_density.to_string(),
-            f2(dens4),
-            f2(ir4),
-            f2(bw4),
-        ];
-        (cells, [ir2, ir4, bw4])
-    });
-
-    let mut sums = [0.0f64; 3];
-    for (cells, improvements) in rows {
-        table.row(cells);
-        for (sum, v) in sums.iter_mut().zip(improvements) {
-            *sum += v;
-        }
-    }
-
-    let n = circuits.len() as f64;
-    table.row([
-        "Average improvement".to_owned(),
-        String::new(),
-        String::new(),
-        f2(sums[0] / n),
-        String::new(),
-        String::new(),
-        f2(sums[1] / n),
-        f2(sums[2] / n),
-    ]);
-
-    println!(
-        "Table 3: finger/pad exchange on 2-D (psi=1) and stacking (psi=4) ICs \
-         (improvements averaged over {} seeds)",
-        SEEDS.len()
-    );
-    println!("{}", table.render());
-    println!("Paper averages: 2-D IR 10.61%, stacking IR 4.58%, bonding wire 15.66%");
+    print!("{}", copack_bench::table3_report());
 }

@@ -7,6 +7,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod reports;
+
+pub use reports::{fig5_report, table2_report, table3_report};
+
 use std::fmt::Write as _;
 
 /// A plain-text table printer that mimics the paper's layout: a header row,

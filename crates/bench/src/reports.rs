@@ -1,0 +1,336 @@
+//! The paper-artefact generators as pure functions.
+//!
+//! Each function renders one table or figure of the paper to the exact
+//! text its `src/bin/` wrapper prints — the binaries stay the command-line
+//! entry points, while `tests/golden_outputs.rs` pins the bytes against
+//! the checked-in goldens in `tests/golden/` (the no-op-recorder
+//! bit-identity guarantee).
+
+use std::fmt::Write as _;
+
+use copack_core::{assign, dfa, ifa, AssignMethod, Codesign, CodesignReport};
+use copack_gen::circuits;
+use copack_geom::{Assignment, Quadrant, QuadrantGeometry};
+use copack_power::GridSpec;
+use copack_route::{analyze, balanced_density_map, DensityModel};
+use copack_viz::{density_histogram, routing_ascii};
+
+use crate::{f2, par_map, thousands, TextTable};
+
+/// Renders the paper's **Table 2**: maximum package density and total
+/// wirelength of the Random / IFA / DFA assignments on the five Table 1
+/// circuits, plus the normalised average row.
+///
+/// Paper reference values: average density ratios 1 / 0.63 / 0.36 and
+/// average wirelength ratios 1 / 0.88 / 0.82; every circuit satisfies
+/// Random > IFA > DFA on density.
+#[must_use]
+pub fn table2_report() -> String {
+    // The random baseline averages a few seeds so one unlucky draw does not
+    // skew the ratios (the paper's random column is a single sample of an
+    // unspecified seed).
+    const RANDOM_SEEDS: [u64; 5] = [11, 23, 37, 51, 73];
+
+    let mut table = TextTable::new([
+        "Input case",
+        "Bal Random",
+        "Bal IFA",
+        "Bal DFA",
+        "Fly Random",
+        "Fly IFA",
+        "Fly DFA",
+        "WL Random",
+        "WL IFA",
+        "WL DFA",
+    ]);
+
+    // The five circuits are independent; measure them concurrently and
+    // aggregate in input order (the output is thread-count invariant).
+    let circuits = circuits();
+    let rows = par_map(&circuits, 0, |circuit| {
+        let quadrant = circuit.build_quadrant().expect("circuit builds");
+
+        let mut rand_density = 0.0;
+        let mut rand_balanced = 0.0;
+        let mut rand_wl = 0.0;
+        for &seed in &RANDOM_SEEDS {
+            let a = assign(&quadrant, AssignMethod::Random { seed }).expect("random");
+            let r = analyze(&quadrant, &a, DensityModel::Geometric).expect("routable");
+            rand_density += f64::from(r.max_density);
+            rand_balanced += f64::from(
+                balanced_density_map(&quadrant, &a)
+                    .expect("routable")
+                    .max_density(),
+            );
+            rand_wl += r.total_wirelength;
+        }
+        rand_density /= RANDOM_SEEDS.len() as f64;
+        rand_balanced /= RANDOM_SEEDS.len() as f64;
+        rand_wl /= RANDOM_SEEDS.len() as f64;
+
+        let ifa_a = assign(&quadrant, AssignMethod::Ifa).expect("ifa");
+        let ifa_r = analyze(&quadrant, &ifa_a, DensityModel::Geometric).expect("routable");
+        let ifa_bal = balanced_density_map(&quadrant, &ifa_a)
+            .expect("routable")
+            .max_density();
+        let dfa_a = assign(&quadrant, AssignMethod::dfa_default()).expect("dfa");
+        let dfa_r = analyze(&quadrant, &dfa_a, DensityModel::Geometric).expect("routable");
+        let dfa_bal = balanced_density_map(&quadrant, &dfa_a)
+            .expect("routable")
+            .max_density();
+
+        // The paper reports whole-package numbers (4 identical quadrants):
+        // density is per-quadrant, wirelength sums over the package.
+        let wl_scale = 4.0;
+        let cells = [
+            circuit.name.clone(),
+            f2(rand_balanced),
+            ifa_bal.to_string(),
+            dfa_bal.to_string(),
+            f2(rand_density),
+            ifa_r.max_density.to_string(),
+            dfa_r.max_density.to_string(),
+            thousands(rand_wl * wl_scale),
+            thousands(ifa_r.total_wirelength * wl_scale),
+            thousands(dfa_r.total_wirelength * wl_scale),
+        ];
+        // ratios: balanced ifa, dfa; flyline ifa, dfa; wl ifa, dfa
+        let ratios = [
+            f64::from(ifa_bal) / rand_balanced,
+            f64::from(dfa_bal) / rand_balanced,
+            f64::from(ifa_r.max_density) / rand_density,
+            f64::from(dfa_r.max_density) / rand_density,
+            ifa_r.total_wirelength / rand_wl,
+            dfa_r.total_wirelength / rand_wl,
+        ];
+        (cells, ratios)
+    });
+
+    let mut ratio_sums = [0.0f64; 6];
+    for (cells, ratios) in rows {
+        table.row(cells);
+        for (sum, r) in ratio_sums.iter_mut().zip(ratios) {
+            *sum += r;
+        }
+    }
+
+    let n = circuits.len() as f64;
+    table.row([
+        "Average".to_owned(),
+        "1.00".to_owned(),
+        f2(ratio_sums[0] / n),
+        f2(ratio_sums[1] / n),
+        "1.00".to_owned(),
+        f2(ratio_sums[2] / n),
+        f2(ratio_sums[3] / n),
+        "1.00".to_owned(),
+        f2(ratio_sums[4] / n),
+        f2(ratio_sums[5] / n),
+    ]);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2: maximum density and total wirelength (random avg of {} seeds)",
+        RANDOM_SEEDS.len()
+    );
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "'Bal' = crossings balanced by the router (the paper routes with [10]'s"
+    );
+    let _ = writeln!(
+        out,
+        "iterative improvement, so its numbers are post-balancing); 'Fly' = naive"
+    );
+    let _ = writeln!(out, "flyline crossings.");
+    let _ = writeln!(
+        out,
+        "Paper averages: density 1 / 0.63 / 0.36, wirelength 1 / 0.88 / 0.82"
+    );
+    out
+}
+
+/// Exchange seeds averaged per configuration (the annealer is stochastic;
+/// the paper reports single runs of an unspecified seed).
+const TABLE3_SEEDS: [u64; 3] = [0xC0DE, 0xBEEF, 0xF00D];
+
+/// Runs the flow once per seed and returns the last report plus the
+/// seed-averaged IR improvement, bonding-wire improvement, and
+/// after-exchange max density.
+fn averaged(base: &Codesign, quadrant: &Quadrant) -> (CodesignReport, f64, f64, f64) {
+    let mut ir_sum = 0.0;
+    let mut bw_sum = 0.0;
+    let mut dens_sum = 0.0;
+    let mut last = None;
+    for &seed in &TABLE3_SEEDS {
+        let mut cfg = base.clone();
+        cfg.exchange.seed = seed;
+        let report = cfg.run(quadrant).expect("pipeline runs");
+        ir_sum += report.ir_improvement_percent.unwrap_or(0.0);
+        bw_sum += report.omega_improvement_percent.unwrap_or(0.0);
+        dens_sum += f64::from(report.routing_after.max_density);
+        last = Some(report);
+    }
+    let n = TABLE3_SEEDS.len() as f64;
+    (
+        last.expect("at least one seed"),
+        ir_sum / n,
+        bw_sum / n,
+        dens_sum / n,
+    )
+}
+
+/// Renders the paper's **Table 3**: the effect of the finger/pad exchange
+/// step after DFA, for 2-D (ψ = 1) and 4-tier stacking (ψ = 4) versions of
+/// the five circuits — max density before/after, IR-drop improvement, and
+/// (for stacking) the bonding-wire improvement.
+///
+/// Paper reference values: 2-D IR-drop improvement avg 10.61%; stacking
+/// (ψ = 4) IR-drop improvement avg 4.58% and bonding-wire improvement avg
+/// 15.66%; density after exchanging grows by a couple of units (the cost
+/// of the IR/bond-wire gains).
+#[must_use]
+pub fn table3_report() -> String {
+    let base = Codesign {
+        grid: GridSpec::default_chip(48),
+        ..Codesign::default()
+    };
+
+    let mut table = TextTable::new([
+        "Input case",
+        "2D dens DFA",
+        "2D dens exch",
+        "2D IR impr %",
+        "4T dens DFA",
+        "4T dens exch",
+        "4T IR impr %",
+        "4T bondwire impr %",
+    ]);
+
+    // Each circuit's 2-D and stacked runs are independent of every other
+    // circuit; fan them out and aggregate in input order.
+    let circuits = circuits();
+    let rows = par_map(&circuits, 0, |circuit| {
+        // 2-D run.
+        let q2 = circuit.build_quadrant().expect("circuit builds");
+        let (r2, ir2, _, dens2) = averaged(&base, &q2);
+
+        // 4-tier stacking run.
+        let stacked = circuit.stacked(4);
+        let q4 = stacked.build_quadrant().expect("stacked circuit builds");
+        let cfg4 = Codesign {
+            stack: stacked.stack().expect("valid stack"),
+            ..base.clone()
+        };
+        let (r4, ir4, bw4, dens4) = averaged(&cfg4, &q4);
+
+        let cells = [
+            circuit.name.clone(),
+            r2.routing_before.max_density.to_string(),
+            f2(dens2),
+            f2(ir2),
+            r4.routing_before.max_density.to_string(),
+            f2(dens4),
+            f2(ir4),
+            f2(bw4),
+        ];
+        (cells, [ir2, ir4, bw4])
+    });
+
+    let mut sums = [0.0f64; 3];
+    for (cells, improvements) in rows {
+        table.row(cells);
+        for (sum, v) in sums.iter_mut().zip(improvements) {
+            *sum += v;
+        }
+    }
+
+    let n = circuits.len() as f64;
+    table.row([
+        "Average improvement".to_owned(),
+        String::new(),
+        String::new(),
+        f2(sums[0] / n),
+        String::new(),
+        String::new(),
+        f2(sums[1] / n),
+        f2(sums[2] / n),
+    ]);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3: finger/pad exchange on 2-D (psi=1) and stacking (psi=4) ICs \
+         (improvements averaged over {} seeds)",
+        TABLE3_SEEDS.len()
+    );
+    let _ = writeln!(out, "{}", table.render());
+    let _ = writeln!(
+        out,
+        "Paper averages: 2-D IR 10.61%, stacking IR 4.58%, bonding wire 15.66%"
+    );
+    out
+}
+
+/// Renders the paper's **Fig. 5 / Fig. 10 / Fig. 12** worked example: the
+/// 12-net, 3-row quadrant under the random order (density 4), the IFA
+/// order (density 2) and the DFA order (density 2), printed with the same
+/// finger orders the paper lists.
+///
+/// # Panics
+///
+/// Panics if the routability model disagrees with the paper's densities —
+/// the worked example doubles as a correctness check.
+#[must_use]
+pub fn fig5_report() -> String {
+    // Figure-style geometry: fingers span the ball grid, as drawn.
+    let geometry = QuadrantGeometry {
+        ball_pitch: 1.0,
+        finger_pitch: 0.5,
+        finger_width: 0.3,
+        finger_height: 0.4,
+        via_diameter: 0.1,
+        ball_diameter: 0.2,
+    };
+    let q = Quadrant::builder()
+        .row([10u32, 2, 4, 7, 0])
+        .row([1u32, 3, 5, 8])
+        .row([11u32, 6, 9])
+        .geometry(geometry)
+        .build()
+        .expect("the Fig. 5 instance builds");
+
+    let cases = [
+        (
+            "Fig. 5(A) random order",
+            Assignment::from_order([10u32, 1, 2, 3, 11, 6, 9, 4, 5, 8, 7, 0]),
+            4u32,
+        ),
+        ("Fig. 10 IFA", ifa(&q).expect("ifa runs"), 2),
+        ("Fig. 12 DFA", dfa(&q, 1).expect("dfa runs"), 2),
+    ];
+
+    let mut out = String::new();
+    for (name, assignment, paper_density) in cases {
+        let report = analyze(&q, &assignment, DensityModel::Geometric).expect("orders are legal");
+        let _ = writeln!(out, "== {name} ==");
+        let _ = write!(out, "{}", routing_ascii(&q, &assignment).expect("renders"));
+        let _ = write!(
+            out,
+            "{}",
+            density_histogram(&q, &assignment, DensityModel::Geometric).expect("renders")
+        );
+        let _ = writeln!(
+            out,
+            "max density {} (paper: {paper_density}), wirelength {:.2} um\n",
+            report.max_density, report.total_wirelength
+        );
+        assert_eq!(
+            report.max_density, paper_density,
+            "{name}: model disagrees with the paper"
+        );
+    }
+    let _ = writeln!(out, "All three worked examples match the paper exactly.");
+    out
+}

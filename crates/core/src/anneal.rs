@@ -31,6 +31,19 @@ impl Acceptance {
             Self::Greedy => false,
         }
     }
+
+    /// Probability that a move with positive cost delta is accepted over a
+    /// uniform draw — the closed form the trace-based Metropolis test
+    /// compares empirical acceptance rates against.
+    #[must_use]
+    pub fn probability(self, delta: f64, temperature: f64) -> f64 {
+        let p = (-delta / temperature.max(f64::MIN_POSITIVE)).exp();
+        match self {
+            Self::Metropolis => p.min(1.0),
+            Self::AsWritten => 1.0 - p.min(1.0),
+            Self::Greedy => 0.0,
+        }
+    }
 }
 
 /// Geometric cooling schedule (the paper's Fig. 14: start temperature,

@@ -25,6 +25,7 @@
 //! to the `Proxy` objective.
 
 use copack_geom::{Assignment, FingerIdx, NetId, NetKind, Quadrant, StackConfig};
+use copack_obs::{Event, NoopRecorder, Recorder};
 use copack_power::{GridSpec, PadRing, PadSpacingProxy};
 use copack_route::{check_monotonic, exchange_range, RangeCache};
 use rand::{Rng, SeedableRng};
@@ -196,6 +197,30 @@ pub fn exchange(
     stack: &StackConfig,
     config: &ExchangeConfig,
 ) -> Result<ExchangeResult, CoreError> {
+    exchange_traced(quadrant, initial, stack, config, &mut NoopRecorder)
+}
+
+/// [`exchange`] with telemetry: emits `RunStart`, per-move
+/// `MoveAccepted`/`MoveRejected`, per-step `TempStep` and a final
+/// `RunEnd` into `recorder`.
+///
+/// The recorder's [`Recorder::enabled`]/[`Recorder::wants_rejected`]
+/// flags are cached once at startup; with a disabled recorder the run is
+/// bit-identical to [`exchange`] (it *is* `exchange` — the plain entry
+/// point delegates here with a [`NoopRecorder`]). Recording only reads
+/// values the run already computed, so an enabled recorder observes, and
+/// never perturbs, the trajectory.
+///
+/// # Errors
+///
+/// As [`exchange`].
+pub fn exchange_traced(
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+    recorder: &mut dyn Recorder,
+) -> Result<ExchangeResult, CoreError> {
     if !config.weights.is_valid() {
         return Err(CoreError::BadConfig {
             parameter: "weights",
@@ -346,6 +371,22 @@ pub fn exchange(
         temperature_steps: 0,
     };
 
+    // Telemetry flags, cached once: with a disabled recorder every event
+    // site below is a never-taken branch and the run stays bit-identical.
+    let rec_on = recorder.enabled();
+    let rec_rejected = rec_on && recorder.wants_rejected();
+    if rec_on {
+        recorder.record(&Event::RunStart {
+            initial_cost,
+            ir_term,
+            initial_temperature: temperature,
+            final_temperature: final_temp,
+            cooling: config.schedule.cooling,
+            moves_per_temp: moves_per_temp as u64,
+            movable_nets: movable_idx.len() as u64,
+        });
+    }
+
     // The annealer walks uphill by design; the journal records every
     // accepted swap, and `best_len` marks the prefix that produced the
     // best cost seen. The best state is rematerialised once at the end —
@@ -355,6 +396,8 @@ pub fn exchange(
     let mut best_cost = current_cost;
 
     while temperature > final_temp {
+        let step_start = stats;
+        let mut step_ir_noop: u64 = 0;
         for _ in 0..moves_per_temp {
             stats.proposed += 1;
             let mi = movable_idx[rng.gen_range(0..movable_idx.len())];
@@ -411,6 +454,9 @@ pub fn exchange(
                 tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
             }
             let ir_changed = ir.apply_adjacent_swap(FingerIdx::new(left_slot));
+            if rec_on && !ir_changed {
+                step_ir_noop += 1;
+            }
             slot_net.swap((pos - 1) as usize, (target - 1) as usize);
             if let Some(i) = slot_net[(target - 1) as usize] {
                 pos1[i] = target;
@@ -452,7 +498,25 @@ pub fn exchange(
                     best_cost = current_cost;
                     best_len = journal.len();
                 }
+                if rec_on {
+                    recorder.record(&Event::MoveAccepted {
+                        step: stats.temperature_steps as u32,
+                        left_slot,
+                        delta,
+                        cost: new_cost,
+                        ir_term,
+                        ir_changed,
+                        uphill: delta > 0.0,
+                    });
+                }
             } else {
+                if rec_rejected {
+                    recorder.record(&Event::MoveRejected {
+                        step: stats.temperature_steps as u32,
+                        left_slot,
+                        delta,
+                    });
+                }
                 ir.discard();
                 ir_term = ir_term_before;
                 slot_net.swap((pos - 1) as usize, (target - 1) as usize); // revert
@@ -476,6 +540,19 @@ pub fn exchange(
                 ir.apply_adjacent_swap(FingerIdx::new(left_slot));
             }
         }
+        if rec_on {
+            recorder.record(&Event::TempStep {
+                step: stats.temperature_steps as u32,
+                temperature,
+                proposed: (stats.proposed - step_start.proposed) as u64,
+                accepted: (stats.accepted - step_start.accepted) as u64,
+                uphill_accepted: (stats.uphill_accepted - step_start.uphill_accepted) as u64,
+                constraint_rejected: (stats.constraint_rejected - step_start.constraint_rejected)
+                    as u64,
+                ir_noop_applied: step_ir_noop,
+                cost: current_cost,
+            });
+        }
         temperature *= config.schedule.cooling;
         stats.temperature_steps += 1;
     }
@@ -491,6 +568,16 @@ pub fn exchange(
     // journal defect can never escape as an unroutable "result".
     check_monotonic(quadrant, &best)?;
     stats.final_cost = best_cost;
+    if rec_on {
+        recorder.record(&Event::RunEnd {
+            final_cost: best_cost,
+            proposed: stats.proposed as u64,
+            accepted: stats.accepted as u64,
+            uphill_accepted: stats.uphill_accepted as u64,
+            constraint_rejected: stats.constraint_rejected as u64,
+            temperature_steps: stats.temperature_steps as u64,
+        });
+    }
     Ok(ExchangeResult {
         assignment: best,
         stats,
@@ -515,6 +602,29 @@ pub fn exchange_reference(
     initial: &Assignment,
     stack: &StackConfig,
     config: &ExchangeConfig,
+) -> Result<ExchangeResult, CoreError> {
+    exchange_reference_traced(quadrant, initial, stack, config, &mut NoopRecorder)
+}
+
+/// [`exchange_reference`] with telemetry, emitting the same event
+/// vocabulary as [`exchange_traced`].
+///
+/// Under the `Proxy` objective the two record **equal** event streams
+/// for any seed (the full-trajectory equivalence property): the
+/// reference derives `ir_changed` from the swapped nets' kinds — exactly
+/// one of the two slots holds a power pad, an empty slot counting as
+/// non-power — which is the same predicate the kernel's
+/// [`crate::DeltaIrTracker`] answers from its slot ranks.
+///
+/// # Errors
+///
+/// As [`exchange`].
+pub fn exchange_reference_traced(
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+    recorder: &mut dyn Recorder,
 ) -> Result<ExchangeResult, CoreError> {
     if !config.weights.is_valid() {
         return Err(CoreError::BadConfig {
@@ -543,11 +653,16 @@ pub fn exchange_reference(
     } else {
         None
     };
+    // Returns `(cost, ir_term)`: the λ-weighted Δ_IR term is split out so
+    // telemetry can report it per accepted move, exactly as the kernel's
+    // cached term. The additions associate as before, so costs stay
+    // bit-identical.
     let cost_of = |a: &Assignment,
                    sections: &SectionTracker,
                    omega_tracker: &Option<OmegaTracker>|
-     -> Result<f64, CoreError> {
+     -> Result<(f64, f64), CoreError> {
         let mut cost = 0.0;
+        let mut ir_term = 0.0;
         if config.weights.lambda > 0.0 {
             match &config.ir_objective {
                 IrObjective::Proxy => {
@@ -557,12 +672,14 @@ pub fn exchange_reference(
                         .map(|f| (f.get() as f64 - 0.5) / alpha as f64)
                         .collect();
                     if !ts.is_empty() {
-                        cost += config.weights.lambda * PadSpacingProxy::new(&ts)?.delta_ir();
+                        ir_term = config.weights.lambda * PadSpacingProxy::new(&ts)?.delta_ir();
+                        cost += ir_term;
                     }
                 }
                 IrObjective::FullSolve { grid } => {
                     if let Some(drop) = evaluate_ir(quadrant, a, grid)? {
-                        cost += config.weights.lambda * drop;
+                        ir_term = config.weights.lambda * drop;
+                        cost += ir_term;
                     }
                 }
             }
@@ -577,12 +694,18 @@ pub fn exchange_reference(
             };
             cost += config.weights.phi * omega as f64;
         }
-        Ok(cost)
+        Ok((cost, ir_term))
+    };
+    // The kernel's `DeltaIrTracker` reports whether a swap moved a power
+    // pad's coordinate; the reference answers the same question from the
+    // swapped slots' net kinds (an empty slot counts as non-power).
+    let slot_is_power = |n: Option<NetId>| -> bool {
+        n.is_some_and(|id| quadrant.net(id).map(|net| net.kind) == Some(NetKind::Power))
     };
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let mut current = initial.clone();
-    let initial_cost = cost_of(&current, &sections, &omega_tracker)?;
+    let (initial_cost, initial_ir_term) = cost_of(&current, &sections, &omega_tracker)?;
     let mut current_cost = initial_cost;
 
     let omega_part = match (&omega_tracker, psi > 1 && config.weights.phi > 0.0) {
@@ -605,10 +728,26 @@ pub fn exchange_reference(
         temperature_steps: 0,
     };
 
+    let rec_on = recorder.enabled();
+    let rec_rejected = rec_on && recorder.wants_rejected();
+    if rec_on {
+        recorder.record(&Event::RunStart {
+            initial_cost,
+            ir_term: initial_ir_term,
+            initial_temperature: temperature,
+            final_temperature: final_temp,
+            cooling: config.schedule.cooling,
+            moves_per_temp: moves_per_temp as u64,
+            movable_nets: movable.len() as u64,
+        });
+    }
+
     let mut best = current.clone();
     let mut best_cost = current_cost;
 
     while temperature > final_temp {
+        let step_start = stats;
+        let mut step_ir_noop: u64 = 0;
         for _ in 0..moves_per_temp {
             stats.proposed += 1;
             let net = movable[rng.gen_range(0..movable.len())];
@@ -650,8 +789,19 @@ pub fn exchange_reference(
             if let Some(tracker) = &mut omega_tracker {
                 tracker.apply_adjacent_swap(left_slot);
             }
+            // Same predicate the kernel's tracker answers in O(1): the
+            // Δ_IR term moves iff exactly one swapped slot holds a power
+            // pad (`FullSolve` is conservatively always "changed").
+            let ir_changed = config.weights.lambda > 0.0
+                && match &config.ir_objective {
+                    IrObjective::Proxy => slot_is_power(left_net) != slot_is_power(right_net),
+                    IrObjective::FullSolve { .. } => true,
+                };
+            if rec_on && !ir_changed {
+                step_ir_noop += 1;
+            }
             current.swap(pos, target)?;
-            let new_cost = cost_of(&current, &sections, &omega_tracker)?;
+            let (new_cost, new_ir_term) = cost_of(&current, &sections, &omega_tracker)?;
             let delta = new_cost - current_cost;
             let accept = if delta <= 0.0 {
                 true
@@ -670,7 +820,25 @@ pub fn exchange_reference(
                     best_cost = current_cost;
                     best = current.clone();
                 }
+                if rec_on {
+                    recorder.record(&Event::MoveAccepted {
+                        step: stats.temperature_steps as u32,
+                        left_slot: left_slot.get(),
+                        delta,
+                        cost: new_cost,
+                        ir_term: new_ir_term,
+                        ir_changed,
+                        uphill: delta > 0.0,
+                    });
+                }
             } else {
+                if rec_rejected {
+                    recorder.record(&Event::MoveRejected {
+                        step: stats.temperature_steps as u32,
+                        left_slot: left_slot.get(),
+                        delta,
+                    });
+                }
                 current.swap(pos, target)?; // revert
                 if let (Some(l), Some(r)) = (left_net, right_net) {
                     sections.apply_adjacent_swap(r, l);
@@ -680,12 +848,35 @@ pub fn exchange_reference(
                 }
             }
         }
+        if rec_on {
+            recorder.record(&Event::TempStep {
+                step: stats.temperature_steps as u32,
+                temperature,
+                proposed: (stats.proposed - step_start.proposed) as u64,
+                accepted: (stats.accepted - step_start.accepted) as u64,
+                uphill_accepted: (stats.uphill_accepted - step_start.uphill_accepted) as u64,
+                constraint_rejected: (stats.constraint_rejected - step_start.constraint_rejected)
+                    as u64,
+                ir_noop_applied: step_ir_noop,
+                cost: current_cost,
+            });
+        }
         temperature *= config.schedule.cooling;
         stats.temperature_steps += 1;
     }
 
     check_monotonic(quadrant, &best)?;
     stats.final_cost = best_cost;
+    if rec_on {
+        recorder.record(&Event::RunEnd {
+            final_cost: best_cost,
+            proposed: stats.proposed as u64,
+            accepted: stats.accepted as u64,
+            uphill_accepted: stats.uphill_accepted as u64,
+            constraint_rejected: stats.constraint_rejected as u64,
+            temperature_steps: stats.temperature_steps as u64,
+        });
+    }
     Ok(ExchangeResult {
         assignment: best,
         stats,

@@ -77,13 +77,19 @@ pub use bondwire::{bondwire_lengths, total_bondwire};
 pub use config::{AssignMethod, CostWeights, ExchangeConfig, IrObjective};
 pub use dfa::dfa;
 pub use error::CoreError;
-pub use exchange::{exchange, exchange_reference, ExchangeResult, ExchangeStats};
+pub use exchange::{
+    exchange, exchange_reference, exchange_reference_traced, exchange_traced, ExchangeResult,
+    ExchangeStats,
+};
 pub use ifa::ifa;
 pub use omega::{omega, omega_of_assignment};
-pub use package_plan::{evaluate_package_ir, plan_package, PackageReport};
+pub use package_plan::{
+    evaluate_package_ir, evaluate_package_ir_traced, plan_package, plan_package_traced,
+    PackageReport,
+};
 pub use pipeline::{
-    assign, evaluate_ir, evaluate_ir_map, evaluate_supply_noise, Codesign, CodesignReport,
-    SupplyNoise,
+    assign, evaluate_ir, evaluate_ir_map, evaluate_ir_map_traced, evaluate_supply_noise, Codesign,
+    CodesignReport, SupplyNoise,
 };
 pub use random::random_assignment;
 pub use sections::{increased_density, SectionBaseline};

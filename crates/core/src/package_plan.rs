@@ -8,10 +8,11 @@
 //! shared cut-line congestion across quadrant boundaries.
 
 use copack_geom::{Assignment, NetKind, Package, Quadrant, QuadrantSide};
-use copack_power::{solve_sor, GridSpec, PadRing};
+use copack_obs::{Event, NoopRecorder, Recorder, TraceBuffer};
+use copack_power::{solve_sor_warm_traced, GridSpec, PadRing};
 use copack_route::{analyze, cutline_congestion, CutlineReport, RoutingReport};
 
-use crate::{assign, exchange, Codesign, CoreError, ExchangeResult};
+use crate::{assign, exchange_traced, Codesign, CoreError, ExchangeResult};
 
 /// The outcome of planning a whole package.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,29 +53,54 @@ pub fn evaluate_package_ir(
     assignments: &[Assignment; 4],
     grid: &GridSpec,
 ) -> Result<Option<f64>, CoreError> {
+    evaluate_package_ir_traced(package, assignments, grid, &mut NoopRecorder)
+}
+
+/// [`evaluate_package_ir`] with telemetry: the grid solve streams its
+/// per-sweep residuals into `recorder`.
+///
+/// # Errors
+///
+/// As [`evaluate_package_ir`].
+pub fn evaluate_package_ir_traced(
+    package: &Package,
+    assignments: &[Assignment; 4],
+    grid: &GridSpec,
+    recorder: &mut dyn Recorder,
+) -> Result<Option<f64>, CoreError> {
     let pads = package.pads_of_kind(assignments, NetKind::Power)?;
     if pads.is_empty() {
         return Ok(None);
     }
     let ring = PadRing::from_ts(pads.iter().map(|(_, slot)| slot.t))?;
-    Ok(Some(solve_sor(grid, &ring)?.max_drop()))
+    Ok(Some(
+        solve_sor_warm_traced(grid, &ring, None, recorder)?.max_drop(),
+    ))
 }
 
 /// Anneals and analyses one side; the unit of work the package planner
-/// fans out across threads.
+/// fans out across threads. The recorder receives the side's exchange
+/// events plus one `RoutingEvaluated` for the post-exchange analysis.
 fn plan_side(
     side: QuadrantSide,
     quadrant: &Quadrant,
     initial: &Assignment,
     config: &Codesign,
+    recorder: &mut dyn Recorder,
 ) -> Result<(Assignment, RoutingReport), CoreError> {
     let mut side_config = config.exchange.clone();
     // The derived seed depends only on the side, so the outcome is the
     // same whether the sides run serially or concurrently.
     side_config.seed = config.exchange.seed.wrapping_add(side.index() as u64 + 1);
     let ExchangeResult { assignment, .. } =
-        exchange(quadrant, initial, &config.stack, &side_config)?;
+        exchange_traced(quadrant, initial, &config.stack, &side_config, recorder)?;
     let report = analyze(quadrant, &assignment, config.density_model)?;
+    if recorder.enabled() {
+        recorder.record(&Event::RoutingEvaluated {
+            max_density: report.max_density,
+            total_wirelength: report.total_wirelength,
+        });
+    }
     Ok((assignment, report))
 }
 
@@ -103,40 +129,108 @@ fn effective_threads(threads: usize) -> usize {
 /// Propagates errors from any side's assignment or exchange, or from the
 /// package-level evaluation.
 pub fn plan_package(package: &Package, config: &Codesign) -> Result<PackageReport, CoreError> {
+    plan_package_traced(package, config, &mut NoopRecorder)
+}
+
+/// [`plan_package`] with telemetry.
+///
+/// Each worker thread records its side into a private
+/// [`TraceBuffer`] (recorders are `&mut`-threaded, never shared); the
+/// buffers are then replayed into `recorder` in [`QuadrantSide::ALL`]
+/// order, bracketed by `SideBegin`/`SideEnd` markers, regardless of
+/// which thread finished first. The merged trace is therefore identical
+/// for every thread count except for the wall-clock `seconds` field of
+/// `SideEnd` — the CI determinism check strips exactly that field.
+///
+/// # Errors
+///
+/// As [`plan_package`].
+pub fn plan_package_traced(
+    package: &Package,
+    config: &Codesign,
+    recorder: &mut dyn Recorder,
+) -> Result<PackageReport, CoreError> {
+    let rec_on = recorder.enabled();
+    let rec_rejected = rec_on && recorder.wants_rejected();
+    let side_buffer = || {
+        if rec_rejected {
+            TraceBuffer::with_rejected()
+        } else {
+            TraceBuffer::new()
+        }
+    };
     let mut initials: Vec<Assignment> = Vec::with_capacity(4);
     for (_, quadrant) in package.quadrants() {
         initials.push(assign(quadrant, config.method)?);
     }
     let initials: [Assignment; 4] = initials.try_into().expect("four quadrants");
-    let ir_before = evaluate_package_ir(package, &initials, &config.grid)?;
+    let ir_before = evaluate_package_ir_traced(package, &initials, &config.grid, recorder)?;
 
     let sides: Vec<(QuadrantSide, &Quadrant)> = package.quadrants().collect();
     let workers = effective_threads(config.threads).min(sides.len()).max(1);
     let mut planned: Vec<Option<Result<(Assignment, RoutingReport), CoreError>>> =
         (0..sides.len()).map(|_| None).collect();
+    // One `(trace, wall seconds)` slot per side, filled by whichever
+    // worker plans it, merged below in side order.
+    let mut traces: Vec<Option<(TraceBuffer, f64)>> = (0..sides.len()).map(|_| None).collect();
+    let plan_one = |side: QuadrantSide,
+                    quadrant: &Quadrant,
+                    initial: &Assignment,
+                    trace_slot: &mut Option<(TraceBuffer, f64)>|
+     -> Result<(Assignment, RoutingReport), CoreError> {
+        if rec_on {
+            let mut buf = side_buffer();
+            let start = std::time::Instant::now();
+            let planned = plan_side(side, quadrant, initial, config, &mut buf);
+            *trace_slot = Some((buf, start.elapsed().as_secs_f64()));
+            planned
+        } else {
+            plan_side(side, quadrant, initial, config, &mut NoopRecorder)
+        }
+    };
     if workers == 1 {
         for (slot, (side, quadrant)) in sides.iter().enumerate() {
-            planned[slot] = Some(plan_side(*side, quadrant, &initials[slot], config));
+            planned[slot] = Some(plan_one(
+                *side,
+                quadrant,
+                &initials[slot],
+                &mut traces[slot],
+            ));
         }
     } else {
         // Contiguous chunks keep the output slots disjoint per worker, so
         // each scoped thread owns its slice of the result vector.
         let chunk = sides.len().div_ceil(workers);
         std::thread::scope(|scope| {
-            for ((work, init), out) in sides
+            for (((work, init), out), trace_out) in sides
                 .chunks(chunk)
                 .zip(initials.chunks(chunk))
                 .zip(planned.chunks_mut(chunk))
+                .zip(traces.chunks_mut(chunk))
             {
+                let plan_one = &plan_one;
                 scope.spawn(move || {
-                    for (((side, quadrant), initial), slot) in
-                        work.iter().zip(init).zip(out.iter_mut())
+                    for ((((side, quadrant), initial), slot), trace_slot) in
+                        work.iter().zip(init).zip(out.iter_mut()).zip(trace_out)
                     {
-                        *slot = Some(plan_side(*side, quadrant, initial, config));
+                        *slot = Some(plan_one(*side, quadrant, initial, trace_slot));
                     }
                 });
             }
         });
+    }
+    if rec_on {
+        for (slot, trace) in traces.into_iter().enumerate() {
+            let (buf, seconds) = trace.expect("every side traced");
+            recorder.record(&Event::SideBegin { side: slot as u8 });
+            for event in buf.events() {
+                recorder.record(event);
+            }
+            recorder.record(&Event::SideEnd {
+                side: slot as u8,
+                seconds,
+            });
+        }
     }
     let mut finals: Vec<Assignment> = Vec::with_capacity(4);
     let mut routing: Vec<RoutingReport> = Vec::with_capacity(4);
@@ -146,7 +240,7 @@ pub fn plan_package(package: &Package, config: &Codesign) -> Result<PackageRepor
         routing.push(report);
     }
     let finals: [Assignment; 4] = finals.try_into().expect("four quadrants");
-    let ir_after = evaluate_package_ir(package, &finals, &config.grid)?;
+    let ir_after = evaluate_package_ir_traced(package, &finals, &config.grid, recorder)?;
     let cutlines = cutline_congestion(package, &finals, config.density_model)?;
 
     let _ = QuadrantSide::ALL; // order contract documented above

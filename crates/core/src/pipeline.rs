@@ -2,13 +2,16 @@
 //! by the IR-drop-aware exchange, evaluated like the paper's §4.
 
 use copack_geom::{Assignment, NetKind, Quadrant, StackConfig};
-use copack_power::{improvement_percent, solve_sor, solve_sor_warm, GridSpec, IrMap, PadRing};
+use copack_obs::{Event, NoopRecorder, Recorder};
+use copack_power::{
+    improvement_percent, solve_sor, solve_sor_warm_traced, GridSpec, IrMap, PadRing,
+};
 use copack_route::{analyze, DensityModel, RoutingReport};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    dfa, exchange, ifa, omega_of_assignment, random_assignment, total_bondwire, AssignMethod,
-    CoreError, ExchangeConfig, ExchangeResult, ExchangeStats,
+    dfa, exchange_traced, ifa, omega_of_assignment, random_assignment, total_bondwire,
+    AssignMethod, CoreError, ExchangeConfig, ExchangeResult, ExchangeStats,
 };
 
 /// Runs the chosen congestion-driven assignment method.
@@ -62,6 +65,23 @@ pub fn evaluate_ir_map(
     grid: &GridSpec,
     warm: Option<&[f64]>,
 ) -> Result<Option<IrMap>, CoreError> {
+    evaluate_ir_map_traced(quadrant, assignment, grid, warm, &mut NoopRecorder)
+}
+
+/// [`evaluate_ir_map`] with telemetry: the SOR solve streams per-sweep
+/// residuals into `recorder` (see
+/// [`copack_power::solve_sor_warm_traced`]).
+///
+/// # Errors
+///
+/// As [`evaluate_ir`].
+pub fn evaluate_ir_map_traced(
+    quadrant: &Quadrant,
+    assignment: &Assignment,
+    grid: &GridSpec,
+    warm: Option<&[f64]>,
+    recorder: &mut dyn Recorder,
+) -> Result<Option<IrMap>, CoreError> {
     let alpha = assignment.finger_count() as f64;
     let mut ts = Vec::new();
     for net in quadrant.nets_of_kind(NetKind::Power) {
@@ -77,7 +97,7 @@ pub fn evaluate_ir_map(
         return Ok(None);
     }
     let ring = PadRing::from_ts(ts)?;
-    Ok(Some(solve_sor_warm(grid, &ring, warm)?))
+    Ok(Some(solve_sor_warm_traced(grid, &ring, warm, recorder)?))
 }
 
 /// Worst-case supply noise of a full Vdd + ground rail pair.
@@ -189,18 +209,50 @@ impl Codesign {
     /// Propagates errors from any stage; see [`exchange`] for the
     /// exchange-step conditions.
     pub fn run(&self, quadrant: &Quadrant) -> Result<CodesignReport, CoreError> {
+        self.run_traced(quadrant, &mut NoopRecorder)
+    }
+
+    /// [`run`](Self::run) with telemetry: the exchange step streams its
+    /// SA events, the IR evaluations their solver residuals, and each
+    /// routing analysis one [`Event::RoutingEvaluated`] into `recorder`.
+    /// With a disabled recorder this *is* `run` (the plain entry point
+    /// delegates here) and results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_traced(
+        &self,
+        quadrant: &Quadrant,
+        recorder: &mut dyn Recorder,
+    ) -> Result<CodesignReport, CoreError> {
+        fn record_routing(recorder: &mut dyn Recorder, r: &RoutingReport) {
+            recorder.record(&Event::RoutingEvaluated {
+                max_density: r.max_density,
+                total_wirelength: r.total_wirelength,
+            });
+        }
+        let rec_on = recorder.enabled();
         let initial = assign(quadrant, self.method)?;
         let routing_before = analyze(quadrant, &initial, self.density_model)?;
-        let ir_before = evaluate_ir(quadrant, &initial, &self.grid)?;
+        if rec_on {
+            record_routing(recorder, &routing_before);
+        }
+        let ir_before = evaluate_ir_map_traced(quadrant, &initial, &self.grid, None, recorder)?
+            .map(|map| map.max_drop());
         let psi = self.stack.tiers;
         let omega_before = omega_of_assignment(quadrant, &initial, psi)?;
         let bondwire_before = total_bondwire(quadrant, &initial, &self.stack)?;
 
         let ExchangeResult { assignment, stats } =
-            exchange(quadrant, &initial, &self.stack, &self.exchange)?;
+            exchange_traced(quadrant, &initial, &self.stack, &self.exchange, recorder)?;
 
         let routing_after = analyze(quadrant, &assignment, self.density_model)?;
-        let ir_after = evaluate_ir(quadrant, &assignment, &self.grid)?;
+        if rec_on {
+            record_routing(recorder, &routing_after);
+        }
+        let ir_after = evaluate_ir_map_traced(quadrant, &assignment, &self.grid, None, recorder)?
+            .map(|map| map.max_drop());
         let omega_after = omega_of_assignment(quadrant, &assignment, psi)?;
         let bondwire_after = total_bondwire(quadrant, &assignment, &self.stack)?;
 

@@ -1,0 +1,125 @@
+//! The [`Recorder`] trait and its trivial implementations.
+
+use crate::event::Event;
+
+/// A sink for telemetry [`Event`]s.
+///
+/// Instrumented code holds a `&mut dyn Recorder` and calls
+/// [`record`](Self::record) at each event site. Hot loops are expected to
+/// cache [`enabled`](Self::enabled) (and, for per-proposal events,
+/// [`wants_rejected`](Self::wants_rejected)) in a local `bool` once at
+/// startup, so a disabled recorder costs one never-taken branch per
+/// event site — nothing allocates, nothing formats.
+///
+/// Recorders are `&mut`-threaded, never shared: parallel code gives each
+/// worker its own recorder (usually a [`TraceBuffer`](crate::TraceBuffer))
+/// and merges the buffers deterministically afterwards.
+pub trait Recorder {
+    /// Whether this recorder wants events at all. Callers may skip event
+    /// construction entirely when this is `false`; the value must stay
+    /// constant for the lifetime of a run.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Whether this recorder wants high-volume [`Event::MoveRejected`]
+    /// events in addition to the per-step aggregates. Defaults to `false`
+    /// because rejected proposals dominate event volume at low
+    /// temperature. Must stay constant for the lifetime of a run.
+    fn wants_rejected(&self) -> bool {
+        false
+    }
+
+    /// Consumes one event. Implementations must not panic on I/O errors;
+    /// sinks that can fail store the first error and go inert (see
+    /// [`JsonlSink`](crate::JsonlSink)).
+    fn record(&mut self, event: &Event);
+}
+
+/// The default recorder: drops everything, reports itself disabled.
+///
+/// With this recorder every instrumented path is bit-identical to the
+/// uninstrumented code — asserted by the golden-output tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Duplicates every event to two recorders (e.g. a [`TraceBuffer`]
+/// for in-process summaries and a [`JsonlSink`] for the `--trace` file).
+///
+/// [`TraceBuffer`]: crate::TraceBuffer
+/// [`JsonlSink`]: crate::JsonlSink
+pub struct FanoutRecorder<'a> {
+    first: &'a mut dyn Recorder,
+    second: &'a mut dyn Recorder,
+}
+
+impl<'a> FanoutRecorder<'a> {
+    /// Fans events out to `first` then `second`, in that order.
+    pub fn new(first: &'a mut dyn Recorder, second: &'a mut dyn Recorder) -> Self {
+        Self { first, second }
+    }
+}
+
+impl Recorder for FanoutRecorder<'_> {
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+
+    fn wants_rejected(&self) -> bool {
+        self.first.wants_rejected() || self.second.wants_rejected()
+    }
+
+    fn record(&mut self, event: &Event) {
+        if self.first.enabled() {
+            self.first.record(event);
+        }
+        if self.second.enabled() {
+            self.second.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuffer;
+
+    #[test]
+    fn noop_is_disabled() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        assert!(!r.wants_rejected());
+    }
+
+    #[test]
+    fn fanout_combines_flags_and_duplicates() {
+        let mut a = TraceBuffer::new();
+        let mut b = TraceBuffer::with_rejected();
+        let mut fan = FanoutRecorder::new(&mut a, &mut b);
+        assert!(fan.enabled());
+        assert!(fan.wants_rejected());
+        fan.record(&Event::SideBegin { side: 1 });
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn fanout_skips_disabled_arm() {
+        let mut a = NoopRecorder;
+        let mut b = TraceBuffer::new();
+        let mut fan = FanoutRecorder::new(&mut a, &mut b);
+        assert!(fan.enabled());
+        assert!(!fan.wants_rejected());
+        fan.record(&Event::SideBegin { side: 0 });
+        assert_eq!(b.events().len(), 1);
+    }
+}

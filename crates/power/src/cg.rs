@@ -1,5 +1,7 @@
 //! Matrix-free conjugate-gradient solver, used to cross-validate SOR.
 
+use copack_obs::{Event, NoopRecorder, Recorder, Solver};
+
 use crate::{GridSpec, IrMap, PadRing, PowerError};
 
 /// Relative residual tolerance.
@@ -18,12 +20,41 @@ pub fn solve_cg(spec: &GridSpec, pads: &PadRing) -> Result<IrMap, PowerError> {
     solve_cg_nodes(spec, &pads.clamp_nodes(spec))
 }
 
+/// [`solve_cg`] with telemetry: one [`Event::SolverSweep`] per CG
+/// iteration (the residual is the relative residual norm) and a final
+/// [`Event::SolverDone`]. A disabled recorder costs nothing and the
+/// solve is bit-identical to the untraced entry points.
+///
+/// # Errors
+///
+/// As [`solve_cg`].
+pub fn solve_cg_traced(
+    spec: &GridSpec,
+    pads: &PadRing,
+    recorder: &mut dyn Recorder,
+) -> Result<IrMap, PowerError> {
+    solve_cg_nodes_traced(spec, &pads.clamp_nodes(spec), recorder)
+}
+
 /// [`solve_cg`] for an explicit clamp-node list (any [`crate::PadPlan`]).
 ///
 /// # Errors
 ///
 /// As [`solve_cg`].
 pub fn solve_cg_nodes(spec: &GridSpec, clamp: &[(usize, usize)]) -> Result<IrMap, PowerError> {
+    solve_cg_nodes_traced(spec, clamp, &mut NoopRecorder)
+}
+
+/// [`solve_cg_nodes`] with telemetry (see [`solve_cg_traced`]).
+///
+/// # Errors
+///
+/// As [`solve_cg`].
+pub fn solve_cg_nodes_traced(
+    spec: &GridSpec,
+    clamp: &[(usize, usize)],
+    recorder: &mut dyn Recorder,
+) -> Result<IrMap, PowerError> {
     spec.validate()?;
     let (nx, ny) = (spec.nx, spec.ny);
     let n = spec.node_count();
@@ -115,8 +146,10 @@ pub fn solve_cg_nodes(spec: &GridSpec, clamp: &[(usize, usize)]) -> Result<IrMap
     let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
     let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
 
+    let rec_on = recorder.enabled();
     let max_iters = 10 * nf + 100;
     let mut ap = vec![0.0; nf];
+    let mut iters: usize = 0;
     for _ in 0..max_iters {
         if rs_old.sqrt() / b_norm < TOL {
             break;
@@ -134,11 +167,29 @@ pub fn solve_cg_nodes(spec: &GridSpec, clamp: &[(usize, usize)]) -> Result<IrMap
             p[f] = r[f] + beta * p[f];
         }
         rs_old = rs_new;
+        if rec_on {
+            recorder.record(&Event::SolverSweep {
+                solver: Solver::Cg,
+                sweep: iters as u32,
+                residual: rs_old.sqrt() / b_norm,
+            });
+        }
+        iters += 1;
     }
-    if rs_old.sqrt() / b_norm >= TOL * 10.0 {
+    let residual = rs_old.sqrt() / b_norm;
+    let converged = residual < TOL * 10.0;
+    if rec_on {
+        recorder.record(&Event::SolverDone {
+            solver: Solver::Cg,
+            sweeps: iters as u32,
+            residual,
+            converged,
+        });
+    }
+    if !converged {
         return Err(PowerError::NoConvergence {
             iterations: max_iters,
-            residual: rs_old.sqrt() / b_norm,
+            residual,
         });
     }
 

@@ -1,5 +1,7 @@
 //! Successive over-relaxation solver for the power grid.
 
+use copack_obs::{Event, NoopRecorder, Recorder, Solver};
+
 use crate::{GridSpec, IrMap, PadRing, PowerError};
 
 /// Convergence tolerance on the largest per-sweep voltage update (volts).
@@ -48,6 +50,23 @@ pub fn solve_sor_warm(
     solve_sor_nodes_warm(spec, &pads.clamp_nodes(spec), guess)
 }
 
+/// [`solve_sor_warm`] with telemetry: one [`Event::SolverSweep`] per
+/// sweep (the residual is the largest voltage update) and a final
+/// [`Event::SolverDone`]. A disabled recorder costs nothing and the
+/// solve is bit-identical to the untraced entry points.
+///
+/// # Errors
+///
+/// As [`solve_sor`].
+pub fn solve_sor_warm_traced(
+    spec: &GridSpec,
+    pads: &PadRing,
+    guess: Option<&[f64]>,
+    recorder: &mut dyn Recorder,
+) -> Result<IrMap, PowerError> {
+    solve_sor_nodes_warm_traced(spec, &pads.clamp_nodes(spec), guess, recorder)
+}
+
 /// [`solve_sor`] for an explicit clamp-node list (any [`crate::PadPlan`]).
 ///
 /// # Errors
@@ -67,6 +86,21 @@ pub fn solve_sor_nodes_warm(
     spec: &GridSpec,
     clamp: &[(usize, usize)],
     guess: Option<&[f64]>,
+) -> Result<IrMap, PowerError> {
+    solve_sor_nodes_warm_traced(spec, clamp, guess, &mut NoopRecorder)
+}
+
+/// [`solve_sor_nodes_warm`] with telemetry (see
+/// [`solve_sor_warm_traced`]).
+///
+/// # Errors
+///
+/// As [`solve_sor`].
+pub fn solve_sor_nodes_warm_traced(
+    spec: &GridSpec,
+    clamp: &[(usize, usize)],
+    guess: Option<&[f64]>,
+    recorder: &mut dyn Recorder,
 ) -> Result<IrMap, PowerError> {
     spec.validate()?;
     let (nx, ny) = (spec.nx, spec.ny);
@@ -96,6 +130,7 @@ pub fn solve_sor_nodes_warm(
         }
         _ => vec![spec.vdd; n],
     };
+    let rec_on = recorder.enabled();
     for sweep in 0..MAX_SWEEPS {
         let mut max_delta: f64 = 0.0;
         for j in 0..ny {
@@ -128,10 +163,32 @@ pub fn solve_sor_nodes_warm(
                 max_delta = max_delta.max(delta.abs());
             }
         }
+        if rec_on {
+            recorder.record(&Event::SolverSweep {
+                solver: Solver::Sor,
+                sweep: sweep as u32,
+                residual: max_delta,
+            });
+        }
         if max_delta < TOL {
-            let _ = sweep;
+            if rec_on {
+                recorder.record(&Event::SolverDone {
+                    solver: Solver::Sor,
+                    sweeps: (sweep + 1) as u32,
+                    residual: max_delta,
+                    converged: true,
+                });
+            }
             return Ok(IrMap::new(nx, ny, spec.vdd, v));
         }
+    }
+    if rec_on {
+        recorder.record(&Event::SolverDone {
+            solver: Solver::Sor,
+            sweeps: MAX_SWEEPS as u32,
+            residual: TOL,
+            converged: false,
+        });
     }
     Err(PowerError::NoConvergence {
         iterations: MAX_SWEEPS,

@@ -37,6 +37,7 @@ mod irmap;
 mod package_view;
 mod palette;
 mod routing;
+mod sparkline;
 mod svg;
 
 pub use ascii::{density_histogram, routing_ascii};
@@ -44,4 +45,5 @@ pub use irmap::irmap_svg;
 pub use package_view::package_svg;
 pub use palette::{heat_color, wire_color};
 pub use routing::{routing_svg, routing_svg_balanced};
+pub use sparkline::{downsample, sparkline, sparkline_log, trace_sparklines};
 pub use svg::SvgCanvas;

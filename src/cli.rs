@@ -13,14 +13,21 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
 
-use copack_core::{assign, exchange, plan_package, AssignMethod, Codesign, ExchangeConfig};
+use copack_core::{
+    assign, exchange, exchange_traced, plan_package, plan_package_traced, AssignMethod, Codesign,
+    ExchangeConfig,
+};
 use copack_gen::circuit;
 use copack_geom::{Package, StackConfig};
 use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadrant};
+use copack_obs::{Event, JsonlSink, NoopRecorder, Recorder, TraceBuffer, TraceSummary};
 use copack_power::GridSpec;
 use copack_route::{analyze, balanced_density_map, DensityModel};
-use copack_viz::{density_histogram, routing_ascii, routing_svg};
+use copack_viz::{density_histogram, routing_ascii, routing_svg, trace_sparklines};
 
 /// Usage text printed for `--help` or argument errors.
 pub const USAGE: &str = "\
@@ -32,7 +39,7 @@ USAGE:
 
   copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
               [--slack N] [--exchange] [--psi N] [--out FILE] [--svg FILE]
-              [--package] [--threads N]
+              [--package] [--threads N] [--trace FILE] [--metrics]
       Run the congestion-driven assignment (default: dfa) and optionally
       the IR-drop-aware exchange step; print the routing report.
       With --package, plan all four quadrants of a uniform package and
@@ -43,8 +50,13 @@ USAGE:
   copack route <circuit-file> <assignment-file> [--svg FILE]
       Check legality and print density/wirelength analysis.
 
-  copack ir <circuit-file> <assignment-file> [--grid N]
+  copack ir <circuit-file> <assignment-file> [--grid N] [--trace FILE]
+            [--metrics]
       Solve the finite-difference IR-drop model for the power pads.
+
+  Telemetry (plan, ir): --trace FILE streams the run's events as JSON
+  lines; --metrics appends a summary block with sparklines. Neither flag
+  changes the computed result.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name) and
@@ -72,7 +84,7 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 8] = [
+const VALUED: [&str; 9] = [
     "--out",
     "--svg",
     "--method",
@@ -81,6 +93,7 @@ const VALUED: [&str; 8] = [
     "--psi",
     "--grid",
     "--threads",
+    "--trace",
 ];
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -119,6 +132,66 @@ impl Options {
             Some(v) => v
                 .parse()
                 .map_err(|_| format!("--{name} expects a number, got `{v}`")),
+        }
+    }
+}
+
+/// Telemetry wiring shared by `plan` and `ir`: events are buffered in
+/// memory during the run and drained afterwards, so the hot paths never
+/// touch the filesystem. The trace file is opened *before* the run — an
+/// unwritable `--trace` path fails loudly up front — while write errors
+/// during the drain degrade to a warning line (the run's result is
+/// already computed and is still printed).
+struct Telemetry {
+    buffer: TraceBuffer,
+    sink: Option<(String, JsonlSink<BufWriter<File>>)>,
+    metrics: bool,
+}
+
+impl Telemetry {
+    /// Builds the telemetry state from `--trace`/`--metrics`, or `None`
+    /// when neither flag is present (the untraced paths stay untouched).
+    fn from_options(opts: &Options) -> Result<Option<Self>, String> {
+        let metrics = opts.flag("metrics").is_some();
+        let trace = opts.value("trace");
+        if !metrics && trace.is_none() {
+            return Ok(None);
+        }
+        let sink = match trace {
+            Some(path) => {
+                let sink = JsonlSink::create(Path::new(path)).map_err(|e| e.to_string())?;
+                Some((path.to_owned(), sink))
+            }
+            None => None,
+        };
+        Ok(Some(Self {
+            buffer: TraceBuffer::new(),
+            sink,
+            metrics,
+        }))
+    }
+
+    /// Drains the buffered events into the trace file and renders the
+    /// `--metrics` block into `out`.
+    fn finish(self, out: &mut String) {
+        let events = self.buffer.into_events();
+        if let Some((path, mut sink)) = self.sink {
+            for event in &events {
+                sink.record(event);
+            }
+            match sink.finish() {
+                Ok(_) => {
+                    let _ = writeln!(out, "wrote {path} ({} events)", events.len());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "warning: trace file {path} is incomplete: {e}");
+                }
+            }
+        }
+        if self.metrics {
+            let summary = TraceSummary::from_events(&events);
+            out.push_str(&summary.to_text());
+            out.push_str(&trace_sparklines(&events, 60));
         }
     }
 }
@@ -172,6 +245,7 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         return Err(format!("plan expects one circuit file\n\n{USAGE}"));
     };
     let (name, quadrant) = load_quadrant(path)?;
+    let mut telemetry = Telemetry::from_options(&opts)?;
 
     let seed = opts.num("seed", 42u64)?;
     let slack = opts.num("slack", 1u32)?;
@@ -197,7 +271,11 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
             ..Codesign::default()
         };
         let package = Package::uniform(quadrant);
-        let report = plan_package(&package, &config).map_err(|e| e.to_string())?;
+        let report = match telemetry.as_mut() {
+            Some(t) => plan_package_traced(&package, &config, &mut t.buffer),
+            None => plan_package(&package, &config),
+        }
+        .map_err(|e| e.to_string())?;
         let mut out = String::new();
         let _ = writeln!(out, "{name}: package plan ({method})");
         for (i, r) in report.routing.iter().enumerate() {
@@ -219,6 +297,9 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         for (i, a) in report.assignments.iter().enumerate() {
             let _ = writeln!(out, "  order[{i}]: {a}");
         }
+        if let Some(t) = telemetry {
+            t.finish(&mut out);
+        }
         return Ok(out);
     }
 
@@ -226,6 +307,12 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
     let mut out = String::new();
     let report =
         analyze(&quadrant, &assignment, DensityModel::Geometric).map_err(|e| e.to_string())?;
+    if let Some(t) = telemetry.as_mut() {
+        t.buffer.record(&Event::RoutingEvaluated {
+            max_density: report.max_density,
+            total_wirelength: report.total_wirelength,
+        });
+    }
     let _ = writeln!(out, "{name}: {method} -> {report}");
 
     if opts.flag("exchange").is_some() {
@@ -235,11 +322,26 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         } else {
             StackConfig::stacked(psi).map_err(|e| e.to_string())?
         };
-        let result = exchange(&quadrant, &assignment, &stack, &ExchangeConfig::default())
-            .map_err(|e| e.to_string())?;
+        let result = match telemetry.as_mut() {
+            Some(t) => exchange_traced(
+                &quadrant,
+                &assignment,
+                &stack,
+                &ExchangeConfig::default(),
+                &mut t.buffer,
+            ),
+            None => exchange(&quadrant, &assignment, &stack, &ExchangeConfig::default()),
+        }
+        .map_err(|e| e.to_string())?;
         assignment = result.assignment;
         let report =
             analyze(&quadrant, &assignment, DensityModel::Geometric).map_err(|e| e.to_string())?;
+        if let Some(t) = telemetry.as_mut() {
+            t.buffer.record(&Event::RoutingEvaluated {
+                max_density: report.max_density,
+                total_wirelength: report.total_wirelength,
+            });
+        }
         let _ = writeln!(
             out,
             "{name}: after exchange (cost {:.4} -> {:.4}) -> {report}",
@@ -256,6 +358,9 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
     if let Some(svg_path) = opts.value("svg") {
         let svg = routing_svg(&quadrant, &assignment).map_err(|e| e.to_string())?;
         maybe_write(Some(svg_path), &svg, &mut out)?;
+    }
+    if let Some(t) = telemetry {
+        t.finish(&mut out);
     }
     Ok(out)
 }
@@ -307,15 +412,26 @@ fn cmd_ir(args: &[String]) -> Result<String, String> {
     let assignment = load_assignment(assignment_path)?;
     let n = opts.num("grid", 48usize)?;
     let grid = GridSpec::default_chip(n);
-    let drop =
-        copack_core::evaluate_ir(&quadrant, &assignment, &grid).map_err(|e| e.to_string())?;
-    match drop {
-        Some(v) => Ok(format!(
+    let mut telemetry = Telemetry::from_options(&opts)?;
+    let mut noop = NoopRecorder;
+    let recorder: &mut dyn Recorder = match telemetry.as_mut() {
+        Some(t) => &mut t.buffer,
+        None => &mut noop,
+    };
+    let drop = copack_core::evaluate_ir_map_traced(&quadrant, &assignment, &grid, None, recorder)
+        .map_err(|e| e.to_string())?
+        .map(|map| map.max_drop());
+    let mut out = match drop {
+        Some(v) => format!(
             "{name}: max IR-drop {:.3} mV ({n}x{n} grid, pads replicated on 4 sides)\n",
             v * 1000.0
-        )),
-        None => Ok(format!("{name}: no power nets, nothing to solve\n")),
+        ),
+        None => format!("{name}: no power nets, nothing to solve\n"),
+    };
+    if let Some(t) = telemetry {
+        t.finish(&mut out);
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -441,6 +557,79 @@ mod tests {
         for threads in ["0", "4"] {
             assert_eq!(serial, plan_with(threads), "--threads {threads}");
         }
+    }
+
+    #[test]
+    fn telemetry_flags_do_not_change_the_report() {
+        let dir = std::env::temp_dir().join("copack_cli_test4");
+        fs::create_dir_all(&dir).unwrap();
+        let circuit_path = dir.join("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let trace_path = dir.join("c1.trace.jsonl");
+
+        let plain = run(&s(&["plan", circuit_path.to_str().unwrap(), "--exchange"])).unwrap();
+        let traced = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics",
+        ]))
+        .unwrap();
+
+        // The telemetry block is strictly appended: the report itself is
+        // byte-identical.
+        assert!(traced.starts_with(&plain), "{traced}");
+        assert!(traced.contains("proposed"), "{traced}");
+        assert!(traced.contains("acceptance "), "{traced}");
+
+        // The trace file holds one JSON object per line and brackets the
+        // exchange with run_start/run_end.
+        let text = fs::read_to_string(&trace_path).unwrap();
+        assert!(text.lines().count() > 2, "{text}");
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains(r#""ev":"run_start""#), "{text}");
+        assert!(text.contains(r#""ev":"run_end""#), "{text}");
+    }
+
+    #[test]
+    fn package_metrics_summary_is_thread_count_invariant() {
+        let dir = std::env::temp_dir().join("copack_cli_test5");
+        fs::create_dir_all(&dir).unwrap();
+        let circuit_path = dir.join("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let plan_with = |threads: &str| {
+            run(&s(&[
+                "plan",
+                circuit_path.to_str().unwrap(),
+                "--package",
+                "--metrics",
+                "--threads",
+                threads,
+            ]))
+            .unwrap()
+        };
+        let serial = plan_with("1");
+        assert!(serial.contains("runs"), "{serial}");
+        assert_eq!(serial, plan_with("4"));
+    }
+
+    #[test]
+    fn unwritable_trace_path_fails_before_the_run() {
+        let dir = std::env::temp_dir().join("copack_cli_test6");
+        fs::create_dir_all(&dir).unwrap();
+        let circuit_path = dir.join("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let err = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--trace",
+            "/nonexistent-dir-for-copack-cli/t.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot open trace file"), "{err}");
+        assert!(err.contains("t.jsonl"), "{err}");
     }
 
     #[test]

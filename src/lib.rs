@@ -50,6 +50,7 @@ pub use copack_core as core;
 pub use copack_gen as gen;
 pub use copack_geom as geom;
 pub use copack_io as io;
+pub use copack_obs as obs;
 pub use copack_power as power;
 pub use copack_route as route;
 pub use copack_viz as viz;

@@ -1,0 +1,34 @@
+//! Bit-identity of the paper artefacts against checked-in goldens.
+//!
+//! The telemetry layer's contract is that the default (no-op recorder)
+//! paths do not perturb results: `table2`, `table3`, and `fig5` must
+//! produce the exact bytes captured before the layer existed. The goldens
+//! in `tests/golden/` were generated with
+//! `cargo run --release -p copack-bench --bin <name>` at the pre-telemetry
+//! commit; regenerate them the same way if an intentional model change
+//! lands (and say so in the commit message).
+
+use std::fs;
+use std::path::Path;
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn fig5_output_is_bit_identical_to_the_golden() {
+    assert_eq!(copack_bench::fig5_report(), golden("fig5.txt"));
+}
+
+#[test]
+fn table2_output_is_bit_identical_to_the_golden() {
+    assert_eq!(copack_bench::table2_report(), golden("table2.txt"));
+}
+
+#[test]
+fn table3_output_is_bit_identical_to_the_golden() {
+    assert_eq!(copack_bench::table3_report(), golden("table3.txt"));
+}
