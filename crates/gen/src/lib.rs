@@ -38,6 +38,7 @@
 
 mod adversarial;
 mod circuit;
+mod fuzz;
 mod netmix;
 mod rows;
 mod sweep;
@@ -45,6 +46,7 @@ mod table1;
 
 pub use adversarial::{blocked_tiers, clustered_supply};
 pub use circuit::Circuit;
+pub use fuzz::{fuzz_case, FuzzCase, SplitMix64};
 pub use netmix::NetMix;
 pub use rows::{row_sizes, row_sizes_with, RowProfile};
 pub use sweep::{finger_count_sweep, row_depth_sweep};

@@ -176,17 +176,26 @@ impl Assignment {
         &self.slots
     }
 
-    /// Checks that this assignment places **every** net of `quadrant` and
-    /// nothing else.
+    /// Checks that this assignment places **every** net of `quadrant`,
+    /// nothing else, and only on fingers the quadrant actually has.
     ///
     /// # Errors
     ///
     /// * [`GeomError::IncompleteAssignment`] if counts disagree.
     /// * [`GeomError::UnknownNet`] if a placed net is not in the quadrant.
+    /// * [`GeomError::SlotOutOfRange`] if a net sits beyond the
+    ///   quadrant's finger row (e.g. a sparse assignment file with an
+    ///   oversized finger index).
     pub fn validate_complete(&self, quadrant: &Quadrant) -> Result<(), GeomError> {
-        for net in self.pos.keys() {
+        for (net, &slot) in &self.pos {
             if quadrant.net(*net).is_none() {
                 return Err(GeomError::UnknownNet { net: *net });
+            }
+            if slot >= quadrant.finger_count() {
+                return Err(GeomError::SlotOutOfRange {
+                    slot,
+                    fingers: quadrant.finger_count(),
+                });
             }
         }
         if self.pos.len() != quadrant.net_count() {
@@ -312,6 +321,17 @@ mod tests {
         assert!(matches!(
             foreign.validate_complete(&q),
             Err(GeomError::UnknownNet { .. })
+        ));
+
+        let mut oversized = Assignment::empty(5);
+        oversized.place(NetId::new(1), FingerIdx::new(1)).unwrap();
+        oversized.place(NetId::new(2), FingerIdx::new(5)).unwrap();
+        assert!(matches!(
+            oversized.validate_complete(&q),
+            Err(GeomError::SlotOutOfRange {
+                slot: 4,
+                fingers: 2
+            })
         ));
     }
 

@@ -46,4 +46,4 @@ mod error;
 
 pub use assignment_format::{parse_assignment, write_assignment};
 pub use circuit_format::{parse_quadrant, write_quadrant};
-pub use error::ParseError;
+pub use error::{ParseError, ParseErrorKind};

@@ -1,0 +1,160 @@
+//! Malformed-input coverage: every corrupt file must come back as a typed
+//! [`ParseError`] naming the offending line — never a panic, never a
+//! silently "repaired" model.
+
+use copack_io::{parse_assignment, parse_quadrant, ParseError, ParseErrorKind};
+
+fn quadrant_err(text: &str) -> ParseError {
+    parse_quadrant(text).expect_err("malformed circuit must be rejected")
+}
+
+fn assignment_err(text: &str) -> ParseError {
+    parse_assignment(text).expect_err("malformed assignment must be rejected")
+}
+
+const GOOD_HEADER: &str = "quadrant toy\n";
+
+#[test]
+fn circuit_without_header_is_rejected() {
+    let e = quadrant_err("row 1 2 3\n");
+    assert!(
+        matches!(
+            e.kind,
+            ParseErrorKind::MissingHeader {
+                expected: "quadrant"
+            }
+        ),
+        "{e}"
+    );
+}
+
+#[test]
+fn truncated_row_is_rejected() {
+    let text = format!("{GOOD_HEADER}row 1 2\nrow\n");
+    let e = quadrant_err(&text);
+    assert_eq!(e.line, 3, "{e}");
+    assert!(
+        matches!(e.kind, ParseErrorKind::BadOperands { keyword: "row", .. }),
+        "{e}"
+    );
+}
+
+#[test]
+fn duplicate_net_id_across_rows_is_a_model_error() {
+    let text = format!("{GOOD_HEADER}row 1 2 3\nrow 4 1\n");
+    let e = quadrant_err(&text);
+    assert!(matches!(e.kind, ParseErrorKind::Model(_)), "{e}");
+    assert!(e.to_string().contains("invalid model"), "{e}");
+}
+
+#[test]
+fn net_attribute_for_undeclared_net_is_a_model_error() {
+    let text = format!("{GOOD_HEADER}row 1 2\nnet 9 power\n");
+    let e = quadrant_err(&text);
+    assert!(matches!(e.kind, ParseErrorKind::Model(_)), "{e}");
+}
+
+#[test]
+fn non_numeric_net_id_is_rejected_with_the_token() {
+    let text = format!("{GOOD_HEADER}row 1 frog 3\n");
+    let e = quadrant_err(&text);
+    assert_eq!(e.line, 2);
+    match e.kind {
+        ParseErrorKind::BadNumber { token } => assert_eq!(token, "frog"),
+        other => panic!("expected BadNumber, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_net_kind_and_unknown_attribute_are_rejected() {
+    let e = quadrant_err(&format!("{GOOD_HEADER}row 1\nnet 1 plasma\n"));
+    assert!(matches!(e.kind, ParseErrorKind::BadNetKind { .. }), "{e}");
+    let e = quadrant_err(&format!("{GOOD_HEADER}row 1\nnet 1 power colour=red\n"));
+    assert!(
+        matches!(e.kind, ParseErrorKind::UnknownAttribute { .. }),
+        "{e}"
+    );
+}
+
+#[test]
+fn unknown_directive_is_rejected() {
+    let e = quadrant_err(&format!("{GOOD_HEADER}frobnicate 1 2\n"));
+    match e.kind {
+        ParseErrorKind::UnknownDirective { keyword } => assert_eq!(keyword, "frobnicate"),
+        other => panic!("expected UnknownDirective, got {other:?}"),
+    }
+}
+
+#[test]
+fn too_few_fingers_is_a_model_error() {
+    let text = format!("{GOOD_HEADER}fingers 1\nrow 1 2 3\n");
+    let e = quadrant_err(&text);
+    assert!(matches!(e.kind, ParseErrorKind::Model(_)), "{e}");
+}
+
+#[test]
+fn assignment_without_header_is_rejected() {
+    let e = assignment_err("order 1 2 3\n");
+    assert!(
+        matches!(
+            e.kind,
+            ParseErrorKind::MissingHeader {
+                expected: "assignment"
+            }
+        ),
+        "{e}"
+    );
+}
+
+#[test]
+fn zero_finger_index_is_rejected() {
+    let e = assignment_err("assignment toy\nslot 0 3\n");
+    assert_eq!(e.line, 2);
+    assert!(matches!(e.kind, ParseErrorKind::BadNumber { .. }), "{e}");
+}
+
+#[test]
+fn conflicting_slots_are_model_errors() {
+    // Two nets on the same finger.
+    let e = assignment_err("assignment toy\nslot 2 3\nslot 2 4\n");
+    assert_eq!(e.line, 3);
+    assert!(matches!(e.kind, ParseErrorKind::Model(_)), "{e}");
+    // The same net on two fingers.
+    let e = assignment_err("assignment toy\nslot 1 3\nslot 2 3\n");
+    assert_eq!(e.line, 3);
+    assert!(matches!(e.kind, ParseErrorKind::Model(_)), "{e}");
+}
+
+#[test]
+fn mixed_order_and_slot_forms_are_rejected() {
+    let e = assignment_err("assignment toy\norder 1 2\nslot 1 1\n");
+    assert!(
+        matches!(
+            e.kind,
+            ParseErrorKind::BadOperands {
+                keyword: "slot",
+                ..
+            }
+        ),
+        "{e}"
+    );
+}
+
+#[test]
+fn out_of_range_finger_indices_fail_validation_not_panic() {
+    // The assignment parses in isolation but refers to more fingers than
+    // the circuit has; cross-validation must return a typed error.
+    let (_, quadrant) = parse_quadrant("quadrant toy\nrow 1 2 3\n").unwrap();
+    let (_, too_wide) = parse_assignment("assignment toy\nslot 9 1\nslot 1 2\nslot 2 3\n").unwrap();
+    assert!(too_wide.validate_complete(&quadrant).is_err());
+    // An order listing a net the circuit does not know is equally typed.
+    let (_, unknown_net) = parse_assignment("assignment toy\norder 1 2 7\n").unwrap();
+    assert!(unknown_net.validate_complete(&quadrant).is_err());
+}
+
+#[test]
+fn error_lines_point_at_the_offending_line() {
+    let text = format!("{GOOD_HEADER}\n\nrow 1 2\n\nrow x\n");
+    let e = quadrant_err(&text);
+    assert_eq!(e.line, 6, "{e}");
+}

@@ -178,6 +178,16 @@ pub enum Event {
         /// lines containing `"seconds"`.
         seconds: f64,
     },
+    /// An invariant oracle (`copack-verify`) delivered a verdict.
+    OracleChecked {
+        /// Stable oracle name (`"monotonicity"`, `"density"`,
+        /// `"ir-cross-check"`, `"determinism"`, `"cost-ledger"`).
+        oracle: String,
+        /// Whether the invariant held.
+        passed: bool,
+        /// Deterministic one-line detail (witness values, never timings).
+        detail: String,
+    },
     /// Free-form annotation.
     Note {
         /// The annotation text.
@@ -230,6 +240,7 @@ impl Event {
             Self::RoutingEvaluated { .. } => "routing",
             Self::SideBegin { .. } => "side_begin",
             Self::SideEnd { .. } => "side_end",
+            Self::OracleChecked { .. } => "oracle",
             Self::Note { .. } => "note",
         }
     }
@@ -370,6 +381,16 @@ impl Event {
                 let _ = write!(out, ",\"side\":{side},\"seconds\":");
                 json_f64(out, *seconds);
             }
+            Self::OracleChecked {
+                oracle,
+                passed,
+                detail,
+            } => {
+                out.push_str(",\"oracle\":");
+                json_str(out, oracle);
+                let _ = write!(out, ",\"passed\":{passed},\"detail\":");
+                json_str(out, detail);
+            }
             Self::Note { text } => {
                 out.push_str(",\"text\":");
                 json_str(out, text);
@@ -458,6 +479,11 @@ mod tests {
             Event::SideEnd {
                 side: 0,
                 seconds: 0.125,
+            },
+            Event::OracleChecked {
+                oracle: "density".to_owned(),
+                passed: true,
+                detail: "kernel == reference".to_owned(),
             },
             Event::Note {
                 text: "hi \"there\"\n".to_owned(),

@@ -10,10 +10,12 @@
 //! IR-drop map; the maximum drop (`Vdd − min V`) is the paper's headline
 //! metric ("maximum value of IR-drop").
 //!
-//! Two solvers are provided and cross-validated against each other:
+//! Three solvers are provided and cross-validated against each other:
 //!
 //! * [`solve_sor`] — successive over-relaxation, the workhorse;
-//! * [`solve_cg`] — matrix-free conjugate gradient on the free nodes.
+//! * [`solve_cg`] — matrix-free conjugate gradient on the free nodes;
+//! * [`solve_dense`] — small dense LU ground truth for the verification
+//!   oracles (`copack-verify`).
 //!
 //! Because a full solve per simulated-annealing move would dominate the
 //! exchange step's runtime, the paper optimises a *proxy* instead: it
@@ -45,6 +47,7 @@
 
 mod analysis;
 mod cg;
+mod dense;
 mod error;
 mod grid;
 mod irmap;
@@ -55,6 +58,7 @@ mod sor;
 
 pub use analysis::{improvement_percent, solve, solve_plan, Solver};
 pub use cg::{solve_cg, solve_cg_nodes, solve_cg_nodes_traced, solve_cg_traced};
+pub use dense::{solve_dense, solve_dense_nodes, MAX_DENSE_NODES};
 pub use error::PowerError;
 pub use grid::{GridSpec, Hotspot};
 pub use irmap::IrMap;

@@ -1,0 +1,166 @@
+//! Reproducer corpus I/O.
+//!
+//! A reproducer is a pair of files named after the failure:
+//! `<name>.copack` (the shrunk quadrant, in the standard circuit format)
+//! and `<name>.seed` (a text sidecar recording how the failure was found
+//! and how to re-check it). `tests/corpus_regression.rs` replays every
+//! pair under plain `cargo test`, so a committed reproducer is a
+//! permanent regression guard.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use copack_geom::Quadrant;
+use copack_io::write_quadrant;
+
+/// The metadata sidecar of one committed reproducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sidecar {
+    /// Fuzz-driver seed of the run that found the failure.
+    pub seed: u64,
+    /// Index of the failing case within that run.
+    pub case: u64,
+    /// Stacking tiers ψ to verify the instance with.
+    pub tiers: u8,
+    /// Exchange seed to verify the instance with (canonicalised by the
+    /// shrinker).
+    pub exchange_seed: u64,
+    /// Name of the oracle that failed.
+    pub oracle: String,
+    /// The failing oracle's detail line at discovery time.
+    pub detail: String,
+}
+
+/// Writes `<stem>.copack` + `<stem>.seed` under `dir`, returning the
+/// `.copack` path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; the directory is created if missing.
+pub fn write_reproducer(
+    dir: &Path,
+    stem: &str,
+    quadrant: &Quadrant,
+    sidecar: &Sidecar,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let circuit = dir.join(format!("{stem}.copack"));
+    fs::write(&circuit, write_quadrant(stem, quadrant))?;
+    let text = format!(
+        "# copack fuzz reproducer: re-found with `copack fuzz --seed {} --cases {}`\n\
+         seed {}\ncase {}\ntiers {}\nexchange-seed {}\noracle {}\ndetail {}\n",
+        sidecar.seed,
+        sidecar.case + 1,
+        sidecar.seed,
+        sidecar.case,
+        sidecar.tiers,
+        sidecar.exchange_seed,
+        sidecar.oracle,
+        sidecar.detail
+    );
+    fs::write(dir.join(format!("{stem}.seed")), text)?;
+    Ok(circuit)
+}
+
+/// Parses a `.seed` sidecar written by [`write_reproducer`].
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on unknown directives or bad
+/// numbers; missing directives default (`tiers` to 1, the rest to 0 or
+/// empty) so hand-trimmed sidecars still load.
+pub fn read_sidecar(path: &Path) -> io::Result<Sidecar> {
+    let text = fs::read_to_string(path)?;
+    let mut sidecar = Sidecar {
+        seed: 0,
+        case: 0,
+        tiers: 1,
+        exchange_seed: 0,
+        oracle: String::new(),
+        detail: String::new(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}:{}: {what}", path.display(), lineno + 1),
+            )
+        };
+        match key {
+            "seed" => sidecar.seed = rest.parse().map_err(|_| bad("bad seed"))?,
+            "case" => sidecar.case = rest.parse().map_err(|_| bad("bad case"))?,
+            "tiers" => sidecar.tiers = rest.parse().map_err(|_| bad("bad tiers"))?,
+            "exchange-seed" => {
+                sidecar.exchange_seed = rest.parse().map_err(|_| bad("bad exchange-seed"))?;
+            }
+            "oracle" => sidecar.oracle = rest.to_owned(),
+            "detail" => sidecar.detail = rest.to_owned(),
+            _ => return Err(bad("unknown directive")),
+        }
+    }
+    Ok(sidecar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_io::parse_quadrant;
+
+    fn toy() -> Quadrant {
+        Quadrant::builder()
+            .row([1u32, 2, 3])
+            .net_kind(2u32, copack_geom::NetKind::Power)
+            .build()
+            .unwrap()
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("copack_verify_corpus_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn reproducer_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let sidecar = Sidecar {
+            seed: 42,
+            case: 7,
+            tiers: 2,
+            exchange_seed: 1,
+            oracle: "density".to_owned(),
+            detail: "incremental ID 3 != from-scratch ID 4".to_owned(),
+        };
+        let q = toy();
+        let circuit = write_reproducer(&dir, "fuzz-42-7", &q, &sidecar).unwrap();
+        let text = fs::read_to_string(&circuit).unwrap();
+        let reread = parse_quadrant(&text).unwrap();
+        assert_eq!(reread.1.net_count(), q.net_count());
+        let back = read_sidecar(&dir.join("fuzz-42-7.seed")).unwrap();
+        assert_eq!(back, sidecar);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sidecar_defaults_and_rejects_unknowns() {
+        let dir = scratch_dir("defaults");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("minimal.seed");
+        fs::write(&path, "# trimmed by hand\noracle cost-ledger\n").unwrap();
+        let s = read_sidecar(&path).unwrap();
+        assert_eq!(s.tiers, 1);
+        assert_eq!(s.oracle, "cost-ledger");
+        fs::write(&path, "wobble 3\n").unwrap();
+        let err = read_sidecar(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

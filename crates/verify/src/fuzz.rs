@@ -1,0 +1,293 @@
+//! The deterministic differential fuzz driver.
+//!
+//! The driver walks the seeded case stream of [`copack_gen::fuzz_case`],
+//! runs the full oracle suite on each instance, and stops at the first
+//! violation. The failing instance is then **shrunk** — greedily dropping
+//! nets, halving rows, and canonicalising the exchange seed, keeping each
+//! reduction only while the *same* oracle still fails — and the minimal
+//! reproducer is optionally written to a corpus directory.
+//!
+//! Determinism contract: a failure is fully described by `(seed, case
+//! index)`. Re-running the driver with the same seed re-finds it; the
+//! wall-clock budget only decides how far the stream is walked.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use copack_gen::fuzz_case;
+use copack_geom::Quadrant;
+use copack_obs::{Event, NoopRecorder, Recorder};
+
+use crate::{
+    check_quadrant, keep_bottom_rows, without_net, write_reproducer, OracleReport, Sidecar,
+    VerifyConfig,
+};
+
+/// Upper bound on greedy shrink passes; each pass removes at least one
+/// net or row, so this is never reached by realistic instances (≤ 32
+/// nets) and only guards against a pathological oscillation.
+const MAX_SHRINK_PASSES: usize = 64;
+
+/// Driver parameters.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzConfig {
+    /// Seed of the case stream.
+    pub seed: u64,
+    /// Wall-clock budget; `None` means no time limit.
+    pub budget: Option<Duration>,
+    /// Maximum number of cases; `None` means no count limit. At least
+    /// one of `budget`/`max_cases` should be set or the driver runs
+    /// until a failure.
+    pub max_cases: Option<u64>,
+    /// Where to write the shrunk reproducer of a failure; `None` keeps
+    /// it in memory only.
+    pub corpus_dir: Option<PathBuf>,
+}
+
+/// A fuzz run's verdict.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Number of cases executed (including the failing one, if any).
+    pub cases: u64,
+    /// The first violation found, already shrunk; `None` on a clean run.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// One shrunk violation.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// Index of the original failing case in the stream.
+    pub case_index: u64,
+    /// Generator variant of the original case.
+    pub variant: &'static str,
+    /// Name of the violated oracle.
+    pub oracle: String,
+    /// The oracle's detail line on the *shrunk* instance.
+    pub detail: String,
+    /// The shrunk instance.
+    pub quadrant: Quadrant,
+    /// The (possibly seed-canonicalised) profile that still exhibits the
+    /// violation.
+    pub config: VerifyConfig,
+    /// Path of the written `.copack` reproducer, if a corpus directory
+    /// was configured and the write succeeded.
+    pub reproducer: Option<PathBuf>,
+}
+
+/// Runs the real oracle suite over the stream ([`check_quadrant`] with a
+/// quiet per-case recorder; `recorder` receives the driver's own events).
+pub fn run_fuzz(config: &FuzzConfig, recorder: &mut dyn Recorder) -> FuzzOutcome {
+    run_fuzz_with(
+        config,
+        |q, c| check_quadrant(q, c, &mut NoopRecorder),
+        recorder,
+    )
+}
+
+/// Runs an arbitrary oracle suite over the stream.
+///
+/// `suite` maps an instance and profile to verdicts; the driver stops at
+/// the first verdict with `passed == false` and shrinks against the same
+/// suite. Injecting a deliberately buggy suite (see [`crate::selftest`])
+/// exercises the driver end to end.
+pub fn run_fuzz_with<F>(
+    config: &FuzzConfig,
+    mut suite: F,
+    recorder: &mut dyn Recorder,
+) -> FuzzOutcome
+where
+    F: FnMut(&Quadrant, &VerifyConfig) -> Vec<OracleReport>,
+{
+    let started = Instant::now();
+    let mut cases = 0u64;
+    for index in 0u64.. {
+        if let Some(budget) = config.budget {
+            if started.elapsed() >= budget {
+                break;
+            }
+        }
+        if let Some(max) = config.max_cases {
+            if index >= max {
+                break;
+            }
+        }
+        let case = match fuzz_case(config.seed, index) {
+            Ok(c) => c,
+            Err(e) => {
+                // A generator that cannot build its own case is itself a
+                // bug; surface it as a driver note and keep walking.
+                if recorder.enabled() {
+                    recorder.record(&Event::Note {
+                        text: format!("fuzz case {index} unbuildable: {e}"),
+                    });
+                }
+                cases += 1;
+                continue;
+            }
+        };
+        cases += 1;
+        let verify = VerifyConfig::quick(case.tiers);
+        let first_fail = suite(&case.quadrant, &verify)
+            .into_iter()
+            .find(|r| !r.passed);
+        let Some(found) = first_fail else {
+            continue;
+        };
+        if recorder.enabled() {
+            recorder.record(&Event::OracleChecked {
+                oracle: found.oracle.to_owned(),
+                passed: false,
+                detail: format!("case {index} ({}): {}", case.variant, found.detail),
+            });
+        }
+        let (quadrant, verify, detail) = shrink_failure(
+            &mut suite,
+            case.quadrant,
+            verify,
+            found.oracle,
+            found.detail,
+        );
+        let reproducer = config.corpus_dir.as_deref().and_then(|dir| {
+            let sidecar = Sidecar {
+                seed: config.seed,
+                case: index,
+                tiers: verify.tiers,
+                exchange_seed: verify.exchange_seed,
+                oracle: found.oracle.to_owned(),
+                detail: detail.clone(),
+            };
+            let stem = format!("fuzz-{}-{index}", config.seed);
+            write_reproducer(dir, &stem, &quadrant, &sidecar).ok()
+        });
+        return FuzzOutcome {
+            cases,
+            failure: Some(FuzzFailure {
+                case_index: index,
+                variant: case.variant,
+                oracle: found.oracle.to_owned(),
+                detail,
+                quadrant,
+                config: verify,
+                reproducer,
+            }),
+        };
+    }
+    if recorder.enabled() {
+        recorder.record(&Event::Note {
+            text: format!("fuzz clean: {cases} cases, seed {}", config.seed),
+        });
+    }
+    FuzzOutcome {
+        cases,
+        failure: None,
+    }
+}
+
+/// Greedily minimises a failing instance: single-net drops to a fixpoint,
+/// row halving, then exchange-seed canonicalisation — accepting a
+/// reduction only while the same oracle still fails.
+fn shrink_failure<F>(
+    suite: &mut F,
+    mut quadrant: Quadrant,
+    mut verify: VerifyConfig,
+    oracle: &'static str,
+    mut detail: String,
+) -> (Quadrant, VerifyConfig, String)
+where
+    F: FnMut(&Quadrant, &VerifyConfig) -> Vec<OracleReport>,
+{
+    let mut still_fails = |q: &Quadrant, cfg: &VerifyConfig| {
+        suite(q, cfg)
+            .into_iter()
+            .find(|r| r.oracle == oracle && !r.passed)
+            .map(|r| r.detail)
+    };
+    for _ in 0..MAX_SHRINK_PASSES {
+        let mut reduced = false;
+        let ids: Vec<_> = quadrant.nets().map(|n| n.id).collect();
+        for id in ids {
+            let Some(candidate) = without_net(&quadrant, id) else {
+                continue;
+            };
+            if let Some(d) = still_fails(&candidate, &verify) {
+                quadrant = candidate;
+                detail = d;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+        let keep = quadrant.row_count().div_ceil(2);
+        if let Some(candidate) = keep_bottom_rows(&quadrant, keep) {
+            if let Some(d) = still_fails(&candidate, &verify) {
+                quadrant = candidate;
+                detail = d;
+                continue;
+            }
+        }
+        break;
+    }
+    for seed in [0u64, 1, 2] {
+        if seed == verify.exchange_seed {
+            break;
+        }
+        let mut canonical = verify.clone();
+        canonical.exchange_seed = seed;
+        if let Some(d) = still_fails(&quadrant, &canonical) {
+            verify = canonical;
+            detail = d;
+            break;
+        }
+    }
+    (quadrant, verify, detail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_obs::TraceBuffer;
+
+    #[test]
+    fn clean_stream_reports_zero_failures() {
+        let cfg = FuzzConfig {
+            seed: 1,
+            max_cases: Some(6),
+            ..FuzzConfig::default()
+        };
+        let mut buf = TraceBuffer::new();
+        let outcome = run_fuzz(&cfg, &mut buf);
+        assert_eq!(outcome.cases, 6);
+        assert!(outcome.failure.is_none());
+        assert!(buf
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::Note { text } if text.starts_with("fuzz clean"))));
+    }
+
+    #[test]
+    fn budget_zero_runs_no_cases() {
+        let cfg = FuzzConfig {
+            seed: 1,
+            budget: Some(Duration::ZERO),
+            ..FuzzConfig::default()
+        };
+        let outcome = run_fuzz(&cfg, &mut NoopRecorder);
+        assert_eq!(outcome.cases, 0);
+        assert!(outcome.failure.is_none());
+    }
+
+    #[test]
+    fn same_seed_walks_the_same_stream() {
+        let cfg = FuzzConfig {
+            seed: 9,
+            max_cases: Some(4),
+            ..FuzzConfig::default()
+        };
+        let a = run_fuzz(&cfg, &mut NoopRecorder);
+        let b = run_fuzz(&cfg, &mut NoopRecorder);
+        assert_eq!(a.cases, b.cases);
+        assert!(a.failure.is_none() && b.failure.is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Oracle verdicts and the human-readable verdict table.
+
+use std::fmt::Write as _;
+
+/// One oracle's verdict over one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleReport {
+    /// Stable oracle name (one of [`crate::ORACLE_NAMES`]).
+    pub oracle: &'static str,
+    /// Whether the invariant held.
+    pub passed: bool,
+    /// Deterministic one-line detail: witness counts on a pass, the
+    /// violated comparison on a failure. Never contains timings or paths,
+    /// so verdict tables can be golden-pinned.
+    pub detail: String,
+}
+
+impl OracleReport {
+    /// A passing verdict.
+    #[must_use]
+    pub fn pass(oracle: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            oracle,
+            passed: true,
+            detail: detail.into(),
+        }
+    }
+
+    /// A failing verdict.
+    #[must_use]
+    pub fn fail(oracle: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            oracle,
+            passed: false,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Renders the verdict table `copack check` prints.
+///
+/// Deterministic for a given instance and [`crate::VerifyConfig`]: the
+/// details carry only counts and values derived from seeded runs.
+#[must_use]
+pub fn verdict_table(name: &str, reports: &[OracleReport]) -> String {
+    let passed = reports.iter().filter(|r| r.passed).count();
+    let mut out = String::new();
+    let _ = writeln!(out, "{name}: {passed}/{} oracles passed", reports.len());
+    let width = reports
+        .iter()
+        .map(|r| r.oracle.len())
+        .max()
+        .unwrap_or(0)
+        .max("oracle".len());
+    let _ = writeln!(out, "  {:width$}  verdict  detail", "oracle");
+    for r in reports {
+        let verdict = if r.passed { "PASS" } else { "FAIL" };
+        let _ = writeln!(out, "  {:width$}  {verdict:7}  {}", r.oracle, r.detail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_counts_and_aligns() {
+        let reports = [
+            OracleReport::pass("monotonicity", "12 moves replayed"),
+            OracleReport::fail("density", "kernel 3 != reference 4"),
+        ];
+        let table = verdict_table("toy", &reports);
+        assert!(table.starts_with("toy: 1/2 oracles passed\n"), "{table}");
+        assert!(table.contains("PASS"), "{table}");
+        assert!(table.contains("FAIL"), "{table}");
+        assert!(table.contains("kernel 3 != reference 4"), "{table}");
+    }
+
+    #[test]
+    fn empty_reports_render() {
+        assert!(verdict_table("x", &[]).contains("0/0"));
+    }
+}

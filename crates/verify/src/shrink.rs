@@ -1,0 +1,126 @@
+//! Greedy structural shrinking of failing instances.
+//!
+//! Two reduction moves — drop one net, keep only the bottom rows — plus
+//! exchange-seed canonicalisation. Each move rebuilds the quadrant through
+//! [`Quadrant::builder`], so every shrunk candidate satisfies the same
+//! structural invariants as a generated one; a candidate is kept only if
+//! the failing oracle still fails on it.
+
+use copack_geom::{NetId, Quadrant};
+
+/// The quadrant with `net` removed, or `None` if the removal would leave
+/// no nets or is otherwise unbuildable.
+///
+/// Remaining nets keep their kind and tier; empty rows are dropped; the
+/// finger count collapses to the net count (dense), which is the smallest
+/// instance still containing the surviving pads.
+#[must_use]
+pub fn without_net(quadrant: &Quadrant, net: NetId) -> Option<Quadrant> {
+    quadrant.net(net)?;
+    rebuild(quadrant, |row| {
+        row.iter().copied().filter(|&id| id != net).collect()
+    })
+}
+
+/// The quadrant truncated to its bottom `keep` rows, or `None` if that is
+/// not a strict reduction or is unbuildable.
+#[must_use]
+pub fn keep_bottom_rows(quadrant: &Quadrant, keep: usize) -> Option<Quadrant> {
+    if keep == 0 || keep >= quadrant.row_count() {
+        return None;
+    }
+    let mut taken = 0usize;
+    rebuild(quadrant, move |row| {
+        taken += 1;
+        if taken <= keep {
+            row.to_vec()
+        } else {
+            Vec::new()
+        }
+    })
+}
+
+/// Rebuilds the quadrant bottom-up, mapping each row through `f` (an
+/// empty result drops the row) and carrying over each surviving net's
+/// kind, tier, and the original geometry.
+fn rebuild(quadrant: &Quadrant, mut f: impl FnMut(&[NetId]) -> Vec<NetId>) -> Option<Quadrant> {
+    let mut builder = Quadrant::builder().geometry(*quadrant.geometry());
+    let mut kept = 0usize;
+    for (_, row) in quadrant.rows_bottom_up() {
+        let nets = f(row);
+        if nets.is_empty() {
+            continue;
+        }
+        kept += nets.len();
+        for &id in &nets {
+            if let Some(net) = quadrant.net(id) {
+                builder = builder.net_kind(id, net.kind).net_tier(id, net.tier);
+            }
+        }
+        builder = builder.row(nets);
+    }
+    if kept == 0 {
+        return None;
+    }
+    builder.fingers(kept).build().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::NetKind;
+
+    fn toy() -> Quadrant {
+        Quadrant::builder()
+            .row([1u32, 2, 3, 4])
+            .row([5u32, 6])
+            .row([7u32])
+            .net_kind(2u32, NetKind::Power)
+            .net_kind(6u32, NetKind::Ground)
+            .fingers(9)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn drops_one_net_and_keeps_attributes() {
+        let q = toy();
+        let shrunk = without_net(&q, NetId::new(3)).unwrap();
+        assert_eq!(shrunk.net_count(), 6);
+        assert!(shrunk.net(NetId::new(3)).is_none());
+        assert_eq!(shrunk.net(NetId::new(2)).unwrap().kind, NetKind::Power);
+        assert_eq!(shrunk.net(NetId::new(6)).unwrap().kind, NetKind::Ground);
+        assert_eq!(shrunk.finger_count(), 6, "fingers collapse to dense");
+    }
+
+    #[test]
+    fn dropping_a_whole_row_removes_it() {
+        let q = toy();
+        let shrunk = without_net(&q, NetId::new(7)).unwrap();
+        assert_eq!(shrunk.row_count(), 2);
+        assert_eq!(shrunk.net_count(), 6);
+    }
+
+    #[test]
+    fn dropping_the_last_net_fails() {
+        let q = Quadrant::builder().row([1u32]).build().unwrap();
+        assert!(without_net(&q, NetId::new(1)).is_none());
+    }
+
+    #[test]
+    fn keeps_bottom_rows_only() {
+        let q = toy();
+        let shrunk = keep_bottom_rows(&q, 1).unwrap();
+        assert_eq!(shrunk.row_count(), 1);
+        assert_eq!(shrunk.net_count(), 4);
+        assert_eq!(shrunk.net(NetId::new(2)).unwrap().kind, NetKind::Power);
+    }
+
+    #[test]
+    fn keep_all_rows_is_not_a_reduction() {
+        let q = toy();
+        assert!(keep_bottom_rows(&q, 3).is_none());
+        assert!(keep_bottom_rows(&q, 9).is_none());
+        assert!(keep_bottom_rows(&q, 0).is_none());
+    }
+}

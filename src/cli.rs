@@ -9,6 +9,9 @@
 //! copack plan <circuit> [options]          assign (and optionally exchange)
 //! copack route <circuit> <assignment>      analyse a routing
 //! copack ir <circuit> <assignment>         solve the IR-drop map
+//! copack check <circuit>                   run the five invariant oracles
+//! copack fuzz [--budget-secs N]            fuzz the oracles over generated
+//!                                          instances, shrinking failures
 //! ```
 
 use std::fmt::Write as _;
@@ -54,9 +57,21 @@ USAGE:
             [--metrics]
       Solve the finite-difference IR-drop model for the power pads.
 
-  Telemetry (plan, ir): --trace FILE streams the run's events as JSON
-  lines; --metrics appends a summary block with sparklines. Neither flag
-  changes the computed result.
+  copack check <circuit-file> [--psi N] [--trace FILE] [--metrics]
+      Run the five invariant oracles (monotonicity, density,
+      ir-cross-check, determinism, cost-ledger) on the circuit and print
+      the verdict table; exits non-zero if any oracle fails.
+
+  copack fuzz [--budget-secs N] [--cases N] [--seed S] [--corpus DIR]
+              [--trace FILE] [--metrics]
+      Drive the oracles over a seeded stream of generated instances
+      (default: seed 1, 10 s budget). The first violation is shrunk to a
+      minimal reproducer — written to DIR with --corpus — and the run
+      exits non-zero.
+
+  Telemetry (plan, ir, check, fuzz): --trace FILE streams the run's
+  events as JSON lines; --metrics appends a summary block with
+  sparklines. Neither flag changes the computed result.
 ";
 
 /// Runs the CLI on pre-split arguments (without the program name) and
@@ -73,6 +88,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("plan") => cmd_plan(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("ir") => cmd_ir(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -84,7 +101,7 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 9] = [
+const VALUED: [&str; 12] = [
     "--out",
     "--svg",
     "--method",
@@ -94,6 +111,9 @@ const VALUED: [&str; 9] = [
     "--grid",
     "--threads",
     "--trace",
+    "--budget-secs",
+    "--cases",
+    "--corpus",
 ];
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -434,12 +454,137 @@ fn cmd_ir(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_check(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(format!("check expects one circuit file\n\n{USAGE}"));
+    };
+    let (name, quadrant) = load_quadrant(path)?;
+    let psi = opts.num("psi", 1u8)?;
+    let mut telemetry = Telemetry::from_options(&opts)?;
+    let mut noop = NoopRecorder;
+    let recorder: &mut dyn Recorder = match telemetry.as_mut() {
+        Some(t) => &mut t.buffer,
+        None => &mut noop,
+    };
+    let config = copack_verify::VerifyConfig::quick(psi);
+    let reports = copack_verify::check_quadrant(&quadrant, &config, recorder);
+    let mut out = copack_verify::verdict_table(&name, &reports);
+    if let Some(t) = telemetry {
+        t.finish(&mut out);
+    }
+    if reports.iter().all(|r| r.passed) {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    if !opts.positional.is_empty() {
+        return Err(format!("fuzz takes only flags\n\n{USAGE}"));
+    }
+    let seed = opts.num("seed", 1u64)?;
+    let cases = match opts.value("cases") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--cases expects a number, got `{v}`"))?,
+        ),
+        None => None,
+    };
+    // Without an explicit case count the run is wall-clock bounded;
+    // 10 s of the quick profile covers a few hundred instances.
+    let default_budget = if cases.is_none() { 10 } else { 0 };
+    let budget_secs = opts.num("budget-secs", default_budget)?;
+    let config = copack_verify::FuzzConfig {
+        seed,
+        budget: (budget_secs > 0).then(|| std::time::Duration::from_secs(budget_secs)),
+        max_cases: cases,
+        corpus_dir: opts.value("corpus").map(std::path::PathBuf::from),
+    };
+    let mut telemetry = Telemetry::from_options(&opts)?;
+    let mut noop = NoopRecorder;
+    let recorder: &mut dyn Recorder = match telemetry.as_mut() {
+        Some(t) => &mut t.buffer,
+        None => &mut noop,
+    };
+    let outcome = copack_verify::run_fuzz(&config, recorder);
+    let mut out = String::new();
+    match &outcome.failure {
+        None => {
+            let _ = writeln!(
+                out,
+                "fuzz: {} cases, seed {seed}, 0 violations",
+                outcome.cases
+            );
+        }
+        Some(f) => {
+            let _ = writeln!(
+                out,
+                "fuzz: VIOLATION in case {} (seed {seed}, {} generator)",
+                f.case_index, f.variant
+            );
+            let _ = writeln!(out, "  oracle: {}", f.oracle);
+            let _ = writeln!(out, "  detail: {}", f.detail);
+            let _ = writeln!(
+                out,
+                "  shrunk: {} nets, {} rows, exchange seed {}",
+                f.quadrant.net_count(),
+                f.quadrant.row_count(),
+                f.config.exchange_seed
+            );
+            match &f.reproducer {
+                Some(p) => {
+                    let _ = writeln!(out, "  reproducer: {}", p.display());
+                }
+                None => {
+                    let _ = writeln!(out, "  reproducer: not written (pass --corpus DIR)");
+                }
+            }
+        }
+    }
+    if let Some(t) = telemetry {
+        t.finish(&mut out);
+    }
+    if outcome.failure.is_none() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn s(args: &[&str]) -> Vec<String> {
         args.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    /// A per-test scratch directory, unique across concurrently running
+    /// test binaries (pid) and across tests within one binary (tag), and
+    /// removed when the test ends — tests must not share fixed paths or
+    /// leak into the system temp dir.
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("copack_cli_{tag}_{}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        fn path(&self, name: &str) -> std::path::PathBuf {
+            self.0.join(name)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
     }
 
     #[test]
@@ -467,10 +612,9 @@ mod tests {
 
     #[test]
     fn plan_route_ir_round_trip_through_files() {
-        let dir = std::env::temp_dir().join("copack_cli_test");
-        fs::create_dir_all(&dir).unwrap();
-        let circuit_path = dir.join("c1.copack");
-        let assignment_path = dir.join("c1.order");
+        let dir = TestDir::new("roundtrip");
+        let circuit_path = dir.path("c1.copack");
+        let assignment_path = dir.path("c1.order");
 
         let text = run(&s(&["gen", "1"])).unwrap();
         fs::write(&circuit_path, text).unwrap();
@@ -509,9 +653,8 @@ mod tests {
 
     #[test]
     fn plan_supports_exchange_and_methods() {
-        let dir = std::env::temp_dir().join("copack_cli_test2");
-        fs::create_dir_all(&dir).unwrap();
-        let circuit_path = dir.join("c1.copack");
+        let dir = TestDir::new("methods");
+        let circuit_path = dir.path("c1.copack");
         fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
         for method in ["ifa", "random"] {
             let out = run(&s(&[
@@ -536,9 +679,8 @@ mod tests {
 
     #[test]
     fn package_planning_is_thread_count_invariant() {
-        let dir = std::env::temp_dir().join("copack_cli_test3");
-        fs::create_dir_all(&dir).unwrap();
-        let circuit_path = dir.join("c1.copack");
+        let dir = TestDir::new("threads");
+        let circuit_path = dir.path("c1.copack");
         fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
         let plan_with = |threads: &str| {
             run(&s(&[
@@ -561,11 +703,10 @@ mod tests {
 
     #[test]
     fn telemetry_flags_do_not_change_the_report() {
-        let dir = std::env::temp_dir().join("copack_cli_test4");
-        fs::create_dir_all(&dir).unwrap();
-        let circuit_path = dir.join("c1.copack");
+        let dir = TestDir::new("telemetry");
+        let circuit_path = dir.path("c1.copack");
         fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
-        let trace_path = dir.join("c1.trace.jsonl");
+        let trace_path = dir.path("c1.trace.jsonl");
 
         let plain = run(&s(&["plan", circuit_path.to_str().unwrap(), "--exchange"])).unwrap();
         let traced = run(&s(&[
@@ -595,9 +736,8 @@ mod tests {
 
     #[test]
     fn package_metrics_summary_is_thread_count_invariant() {
-        let dir = std::env::temp_dir().join("copack_cli_test5");
-        fs::create_dir_all(&dir).unwrap();
-        let circuit_path = dir.join("c1.copack");
+        let dir = TestDir::new("metrics");
+        let circuit_path = dir.path("c1.copack");
         fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
         let plan_with = |threads: &str| {
             run(&s(&[
@@ -617,9 +757,8 @@ mod tests {
 
     #[test]
     fn unwritable_trace_path_fails_before_the_run() {
-        let dir = std::env::temp_dir().join("copack_cli_test6");
-        fs::create_dir_all(&dir).unwrap();
-        let circuit_path = dir.join("c1.copack");
+        let dir = TestDir::new("badtrace");
+        let circuit_path = dir.path("c1.copack");
         fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
         let err = run(&s(&[
             "plan",
@@ -642,5 +781,54 @@ mod tests {
     fn valued_flags_require_values() {
         let err = run(&s(&["gen", "1", "--out"])).unwrap_err();
         assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn check_prints_an_all_pass_verdict_table() {
+        let dir = TestDir::new("check");
+        let circuit_path = dir.path("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let out = run(&s(&["check", circuit_path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("5/5 oracles passed"), "{out}");
+        for oracle in copack_verify::ORACLE_NAMES {
+            assert!(out.contains(oracle), "{oracle} missing from {out}");
+        }
+        assert!(!out.contains("FAIL"), "{out}");
+        assert!(run(&s(&["check"])).is_err());
+        assert!(run(&s(&["check", "/nonexistent/f.copack"])).is_err());
+    }
+
+    #[test]
+    fn check_emits_oracle_events_into_the_trace() {
+        let dir = TestDir::new("checktrace");
+        let circuit_path = dir.path("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let trace_path = dir.path("check.jsonl");
+        let out = run(&s(&[
+            "check",
+            circuit_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("5/5"), "{out}");
+        let text = fs::read_to_string(&trace_path).unwrap();
+        assert_eq!(
+            text.matches(r#""ev":"oracle""#).count(),
+            copack_verify::ORACLE_NAMES.len(),
+            "{text}"
+        );
+        assert!(text.contains(r#""passed":true"#), "{text}");
+    }
+
+    #[test]
+    fn fuzz_bounded_by_cases_is_clean_and_deterministic() {
+        let a = run(&s(&["fuzz", "--seed", "1", "--cases", "3"])).unwrap();
+        assert!(a.contains("3 cases"), "{a}");
+        assert!(a.contains("0 violations"), "{a}");
+        let b = run(&s(&["fuzz", "--seed", "1", "--cases", "3"])).unwrap();
+        assert_eq!(a, b);
+        assert!(run(&s(&["fuzz", "extra"])).is_err());
+        assert!(run(&s(&["fuzz", "--cases", "zebra"])).is_err());
     }
 }

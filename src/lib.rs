@@ -53,4 +53,5 @@ pub use copack_io as io;
 pub use copack_obs as obs;
 pub use copack_power as power;
 pub use copack_route as route;
+pub use copack_verify as verify;
 pub use copack_viz as viz;

@@ -1,6 +1,7 @@
 //! End-to-end tests of the compiled `copack` binary (not just the library
 //! entry point): real process, real files, real exit codes.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn copack(args: &[&str]) -> std::process::Output {
@@ -8,6 +9,30 @@ fn copack(args: &[&str]) -> std::process::Output {
         .args(args)
         .output()
         .expect("binary spawns")
+}
+
+/// A per-test scratch directory, unique across concurrently running test
+/// binaries (pid) and across tests within this binary (tag), removed when
+/// the test ends.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("copack_bin_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
 }
 
 #[test]
@@ -27,10 +52,9 @@ fn unknown_command_exits_nonzero_with_stderr() {
 
 #[test]
 fn full_workflow_through_the_binary() {
-    let dir = std::env::temp_dir().join("copack_bin_e2e");
-    std::fs::create_dir_all(&dir).unwrap();
-    let circuit = dir.join("c1.copack");
-    let order = dir.join("c1.order");
+    let dir = TestDir::new("e2e");
+    let circuit = dir.path("c1.copack");
+    let order = dir.path("c1.order");
 
     let out = copack(&["gen", "1", "--out", circuit.to_str().unwrap()]);
     assert!(out.status.success(), "{out:?}");
@@ -58,6 +82,17 @@ fn full_workflow_through_the_binary() {
     ]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("mV"));
+
+    let out = copack(&["check", circuit.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("5/5 oracles passed"));
+}
+
+#[test]
+fn fuzz_through_the_binary_is_clean() {
+    let out = copack(&["fuzz", "--seed", "1", "--cases", "2"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 violations"));
 }
 
 #[test]

@@ -32,3 +32,26 @@ fn table2_output_is_bit_identical_to_the_golden() {
 fn table3_output_is_bit_identical_to_the_golden() {
     assert_eq!(copack_bench::table3_report(), golden("table3.txt"));
 }
+
+/// The `copack check` verdict table of every Table 1 circuit is pinned:
+/// all five oracles pass, and the detail lines (accepted-move counts,
+/// pad counts, Eq. 2 `ID`) are seeded and therefore byte-stable.
+/// Regenerate with
+/// `for n in 1 2 3 4 5; do copack gen $n --out c.copack && copack check c.copack; done`
+/// if an intentional model change lands.
+#[test]
+fn check_verdict_tables_are_bit_identical_to_the_golden() {
+    let mut out = String::new();
+    for n in 1..=5 {
+        let c = copack::gen::circuit(n);
+        let quadrant = c.build_quadrant().unwrap();
+        let name = c.name.replace(' ', "");
+        let reports = copack::verify::check_quadrant(
+            &quadrant,
+            &copack::verify::VerifyConfig::default(),
+            &mut copack::obs::NoopRecorder,
+        );
+        out.push_str(&copack::verify::verdict_table(&name, &reports));
+    }
+    assert_eq!(out, golden("check.txt"));
+}

@@ -288,4 +288,26 @@ proptest! {
             }
         }
     }
+
+    /// Every generated quadrant passes all five `copack-verify` oracles:
+    /// the invariants the oracles encode are theorems of the model, not
+    /// properties of hand-picked fixtures. Each case is five full oracle
+    /// passes under the quick profile (`PROPTEST_CASES` scales it up in
+    /// release CI).
+    #[test]
+    fn oracles_hold_on_arbitrary_quadrants(q in quadrant_strategy(), seed in any::<u64>()) {
+        let config = copack::verify::VerifyConfig {
+            exchange_seed: seed,
+            ..Default::default()
+        };
+        let reports = copack::verify::check_quadrant(
+            &q,
+            &config,
+            &mut copack::obs::NoopRecorder,
+        );
+        prop_assert_eq!(reports.len(), copack::verify::ORACLE_NAMES.len());
+        for r in &reports {
+            prop_assert!(r.passed, "oracle {} failed: {}", r.oracle, r.detail);
+        }
+    }
 }

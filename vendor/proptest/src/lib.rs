@@ -12,6 +12,10 @@
 //! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
 //!   the test function's name, so failures reproduce across runs without a
 //!   `proptest-regressions` file (existing regression files are ignored).
+//! * **`PROPTEST_CASES`.** Like upstream, a positive integer in the
+//!   `PROPTEST_CASES` environment variable overrides every test's case
+//!   count (including explicit `with_cases` configs) — CI release runs
+//!   set it high while the debug tier keeps the fast defaults.
 //! * **Regex strategies** support the subset `[...]` classes (with `a-z`
 //!   ranges), literals, and `{m,n}` / `{n}` / `?` / `*` / `+` quantifiers.
 
@@ -36,6 +40,20 @@ pub mod test_runner {
         #[must_use]
         pub fn with_cases(cases: u32) -> Self {
             Self { cases }
+        }
+
+        /// The case count after applying the `PROPTEST_CASES` environment
+        /// override. Like upstream proptest, a positive integer in that
+        /// variable wins over both [`Config::with_cases`] and the default
+        /// — CI can crank release-mode runs up without slowing the debug
+        /// tier. Unset, empty, zero, or unparsable values are ignored.
+        #[must_use]
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(self.cases)
         }
     }
 
@@ -539,13 +557,14 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::Config = $cfg;
+                let cases = config.resolved_cases();
                 let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
                 let mut passed: u32 = 0;
                 let mut attempts: u32 = 0;
-                let max_attempts = config.cases.saturating_mul(20).max(1000);
-                while passed < config.cases {
+                let max_attempts = cases.saturating_mul(20).max(1000);
+                while passed < cases {
                     attempts += 1;
                     assert!(
                         attempts <= max_attempts,
@@ -679,6 +698,24 @@ mod tests {
         fn assume_rejects_without_failing(n in 0u32..10) {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn proptest_cases_env_var_overrides_config() {
+        let config = crate::test_runner::Config::with_cases(7);
+        let prior = std::env::var("PROPTEST_CASES").ok();
+        std::env::set_var("PROPTEST_CASES", "3");
+        assert_eq!(config.resolved_cases(), 3);
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(config.resolved_cases(), 7, "zero is ignored");
+        std::env::set_var("PROPTEST_CASES", "many");
+        assert_eq!(config.resolved_cases(), 7, "junk is ignored");
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(config.resolved_cases(), 7, "unset falls back to config");
+        match prior {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
         }
     }
 
