@@ -1,0 +1,191 @@
+//! Machine-readable serving-throughput benchmark: an in-process daemon
+//! on an ephemeral port, hammered by concurrent client threads in two
+//! phases — a **cold** phase of distinct jobs (every submission
+//! executes) and a **warm** phase resubmitting the same jobs (every
+//! submission is answered from the content-addressed cache or coalesces
+//! onto an in-flight duplicate). Writes per-phase throughput and
+//! latency percentiles to `BENCH_serve.json` for tracking across
+//! commits.
+//!
+//! Run with `cargo run --release -p copack-bench --bin bench_serve`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use copack_gen::circuits;
+use copack_io::write_quadrant;
+use copack_serve::{Client, JobSpec, PoolMetrics, ServeConfig, Server};
+
+/// One benchmark phase's measurements.
+struct Phase {
+    jobs: usize,
+    wall_seconds: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Phase {
+    fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.wall_seconds.max(1e-12)
+    }
+}
+
+/// Submits every spec once, one client thread per `clients` slice, and
+/// returns the phase timing (latencies measured per submission).
+fn run_phase(addr: std::net::SocketAddr, specs: &[JobSpec], clients: usize) -> Phase {
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::with_capacity(specs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|lane| {
+                let lane_specs: Vec<&JobSpec> = specs.iter().skip(lane).step_by(clients).collect();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lane_latencies = Vec::with_capacity(lane_specs.len());
+                    for spec in lane_specs {
+                        let t = Instant::now();
+                        client.plan(spec).expect("job plans");
+                        lane_latencies.push(t.elapsed().as_secs_f64() * 1000.0);
+                    }
+                    lane_latencies
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * (latencies.len() as f64 - 1.0)).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    };
+    Phase {
+        jobs: specs.len(),
+        wall_seconds,
+        p50_ms: percentile(50.0),
+        p99_ms: percentile(99.0),
+    }
+}
+
+fn json_phase(out: &mut String, key: &str, phase: &Phase) {
+    let _ = write!(
+        out,
+        "\"{key}\": {{\"jobs\": {}, \"wall_seconds\": {:.6}, \"jobs_per_sec\": {:.1}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        phase.jobs,
+        phase.wall_seconds,
+        phase.jobs_per_sec(),
+        phase.p50_ms,
+        phase.p99_ms
+    );
+}
+
+fn main() {
+    let workers = 4usize;
+    let clients = 8usize;
+    // Distinct jobs: every Table 1 circuit under several configurations
+    // (exchange off for volume — the serving layer, not the annealer, is
+    // under test).
+    let mut specs: Vec<JobSpec> = Vec::new();
+    for circuit in circuits() {
+        let quadrant = circuit.build_quadrant().expect("circuit builds");
+        let text = write_quadrant(&circuit.name, &quadrant);
+        for slack in 1u32..=8 {
+            specs.push(JobSpec {
+                method: copack_core::AssignMethod::Dfa { slack },
+                ..JobSpec::new(text.clone())
+            });
+        }
+        specs.push(JobSpec {
+            method: copack_core::AssignMethod::Ifa,
+            ..JobSpec::new(text.clone())
+        });
+        for seed in 0u64..4 {
+            specs.push(JobSpec {
+                method: copack_core::AssignMethod::Random { seed },
+                ..JobSpec::new(text.clone())
+            });
+        }
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            queue_capacity: specs.len().max(64),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let cold = run_phase(addr, &specs, clients);
+    let warm = run_phase(addr, &specs, clients);
+
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    let summary = daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon exits cleanly");
+    let metrics = PoolMetrics::from_events(&summary.events);
+    assert_eq!(
+        summary.status.completed as usize,
+        specs.len(),
+        "every distinct job must execute exactly once across both phases"
+    );
+
+    println!(
+        "cold: {} jobs in {:.3} s ({:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms)",
+        cold.jobs,
+        cold.wall_seconds,
+        cold.jobs_per_sec(),
+        cold.p50_ms,
+        cold.p99_ms
+    );
+    println!(
+        "warm: {} jobs in {:.3} s ({:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms)",
+        warm.jobs,
+        warm.wall_seconds,
+        warm.jobs_per_sec(),
+        warm.p50_ms,
+        warm.p99_ms
+    );
+    println!(
+        "cache: {} hits, {} coalesced over {} submissions (hit-rate {:.1}%)",
+        metrics.cache_hits,
+        metrics.coalesced,
+        metrics.jobs,
+        100.0 * metrics.cache_hit_rate()
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"benchmark\": \"serve\",\n  \"workers\": {workers}, \"clients\": {clients}, \
+         \"distinct_jobs\": {},\n  ",
+        specs.len()
+    );
+    json_phase(&mut json, "cold", &cold);
+    json.push_str(",\n  ");
+    json_phase(&mut json, "warm", &warm);
+    let _ = writeln!(
+        json,
+        ",\n  \"cache_hits\": {}, \"coalesced\": {}, \"hit_rate\": {:.4}, \
+         \"warm_speedup\": {:.2}\n}}",
+        metrics.cache_hits,
+        metrics.coalesced,
+        metrics.cache_hit_rate(),
+        cold.wall_seconds / warm.wall_seconds.max(1e-12)
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -1,0 +1,98 @@
+//! Cooperative cancellation for long-running runs.
+//!
+//! The annealing kernel is the workspace's only unbounded-ish loop: a
+//! production schedule proposes millions of moves, and a resident service
+//! (`copack-serve`) must be able to abandon a job that exceeds its
+//! wall-clock budget without killing the worker thread. A [`CancelToken`]
+//! carries that request: the owner either flips the shared flag
+//! ([`CancelToken::cancel`]) or builds the token with a deadline, and the
+//! kernel polls [`CancelToken::is_cancelled`] at temperature-step
+//! boundaries (plus every few hundred proposals inside a step, so a huge
+//! step cannot stall the abort).
+//!
+//! Polling a default token is a single relaxed atomic load — the
+//! uncancellable path stays effectively free, and cancellation never
+//! perturbs the RNG stream, so a run that completes under a token is
+//! bit-identical to one without.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation handle (clones observe the same flag).
+///
+/// Created cancelled-never by [`CancelToken::default`]; add a wall-clock
+/// budget with [`CancelToken::with_deadline`] / [`deadline_in`], or flip
+/// it manually from any thread with [`cancel`].
+///
+/// [`deadline_in`]: CancelToken::deadline_in
+/// [`cancel`]: CancelToken::cancel
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](Self::cancel) is called.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally reports cancelled once `deadline` passes.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token whose deadline is `timeout` from now.
+    #[must_use]
+    pub fn deadline_in(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation; every clone of the token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    ///
+    /// Without a deadline this is one relaxed atomic load; with one it
+    /// additionally reads the monotonic clock.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_cancel_is_seen_by_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_reports_cancelled() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::deadline_in(Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+}

@@ -24,6 +24,9 @@ pub enum CoreError {
     },
     /// The 2-D exchange step needs at least one power pad to move.
     NoMovablePads,
+    /// The run was abandoned because its [`crate::CancelToken`] fired
+    /// (explicit cancellation or an expired wall-clock deadline).
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +40,9 @@ impl fmt::Display for CoreError {
             }
             Self::NoMovablePads => {
                 write!(f, "the 2-d exchange step needs at least one power pad")
+            }
+            Self::Cancelled => {
+                write!(f, "the run was cancelled before it completed")
             }
         }
     }
@@ -92,6 +98,7 @@ mod tests {
             .to_string()
             .is_empty());
         assert!(!CoreError::NoMovablePads.to_string().is_empty());
+        assert!(!CoreError::Cancelled.to_string().is_empty());
     }
 
     #[test]

@@ -32,9 +32,15 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate_ir, omega_of_assignment, CoreError, DeltaIrTracker, ExchangeConfig, IrObjective,
-    OmegaTracker, SectionTracker,
+    evaluate_ir, omega_of_assignment, CancelToken, CoreError, DeltaIrTracker, ExchangeConfig,
+    IrObjective, OmegaTracker, SectionTracker,
 };
+
+/// How many proposals the kernel lets pass between cancellation polls
+/// inside one temperature step. Steps are also polled at their boundary,
+/// so this only bounds the abort latency of very large
+/// `moves_per_temp` schedules; the poll itself is a relaxed atomic load.
+const CANCEL_POLL_MASK: usize = 0x1FF;
 
 /// Outcome of the exchange step.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +227,37 @@ pub fn exchange_traced(
     config: &ExchangeConfig,
     recorder: &mut dyn Recorder,
 ) -> Result<ExchangeResult, CoreError> {
+    exchange_cancellable(
+        quadrant,
+        initial,
+        stack,
+        config,
+        recorder,
+        &CancelToken::new(),
+    )
+}
+
+/// [`exchange_traced`] with cooperative cancellation: the annealing loop
+/// polls `cancel` at every temperature-step boundary and every few hundred
+/// proposals within a step, returning [`CoreError::Cancelled`] promptly
+/// once the token fires (explicitly or via its wall-clock deadline).
+///
+/// A run that completes without the token firing is **bit-identical** to
+/// [`exchange`] — the polls never touch the RNG stream or any cost state.
+/// This is the entry point `copack-serve` uses to enforce per-job
+/// timeouts.
+///
+/// # Errors
+///
+/// As [`exchange`], plus [`CoreError::Cancelled`].
+pub fn exchange_cancellable(
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+    recorder: &mut dyn Recorder,
+    cancel: &CancelToken,
+) -> Result<ExchangeResult, CoreError> {
     if !config.weights.is_valid() {
         return Err(CoreError::BadConfig {
             parameter: "weights",
@@ -396,10 +433,16 @@ pub fn exchange_traced(
     let mut best_cost = current_cost;
 
     while temperature > final_temp {
+        if cancel.is_cancelled() {
+            return Err(CoreError::Cancelled);
+        }
         let step_start = stats;
         let mut step_ir_noop: u64 = 0;
         for _ in 0..moves_per_temp {
             stats.proposed += 1;
+            if stats.proposed & CANCEL_POLL_MASK == 0 && cancel.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
             let mi = movable_idx[rng.gen_range(0..movable_idx.len())];
             let pos = pos1[mi];
             let right = rng.gen_bool(0.5);
@@ -1188,6 +1231,55 @@ mod tests {
         let cold = exchange_reference(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
         assert_eq!(warm.assignment, cold.assignment);
         assert!((warm.stats.final_cost - cold.stats.final_cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_run_with_a_typed_error() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = exchange_cancellable(
+            &q,
+            &initial,
+            &StackConfig::planar(),
+            &fast_config(1),
+            &mut NoopRecorder,
+            &token,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled), "{err}");
+        // An already-expired deadline behaves the same.
+        let expired = CancelToken::with_deadline(std::time::Instant::now());
+        let err = exchange_cancellable(
+            &q,
+            &initial,
+            &StackConfig::planar(),
+            &fast_config(1),
+            &mut NoopRecorder,
+            &expired,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Cancelled), "{err}");
+    }
+
+    #[test]
+    fn uncancelled_token_leaves_the_run_bit_identical() {
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let cfg = fast_config(7);
+        let plain = exchange(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
+        let token = CancelToken::deadline_in(std::time::Duration::from_secs(3600));
+        let tokened = exchange_cancellable(
+            &q,
+            &initial,
+            &StackConfig::planar(),
+            &cfg,
+            &mut NoopRecorder,
+            &token,
+        )
+        .unwrap();
+        assert_eq!(plain, tokened);
     }
 
     #[test]

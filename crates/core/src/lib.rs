@@ -60,6 +60,7 @@
 
 mod anneal;
 mod bondwire;
+mod cancel;
 mod config;
 mod dfa;
 mod error;
@@ -74,12 +75,13 @@ mod tracker;
 
 pub use anneal::{Acceptance, Schedule};
 pub use bondwire::{bondwire_lengths, total_bondwire};
+pub use cancel::CancelToken;
 pub use config::{AssignMethod, CostWeights, ExchangeConfig, IrObjective};
 pub use dfa::dfa;
 pub use error::CoreError;
 pub use exchange::{
-    exchange, exchange_reference, exchange_reference_traced, exchange_traced, ExchangeResult,
-    ExchangeStats,
+    exchange, exchange_cancellable, exchange_reference, exchange_reference_traced, exchange_traced,
+    ExchangeResult, ExchangeStats,
 };
 pub use ifa::ifa;
 pub use omega::{omega, omega_of_assignment};

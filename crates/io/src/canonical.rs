@@ -1,0 +1,109 @@
+//! Canonical serialization and content hashing for cache keys.
+//!
+//! A resident planning service (`copack-serve`) keys its result cache by
+//! the *content* of a job, not by file paths or submission order. Two
+//! texts that parse to the same [`Quadrant`] — different comments,
+//! whitespace, header names, or directive order — must hash identically,
+//! and any model difference must change the hash. The canonical form is
+//! the writer's output itself: [`crate::write_quadrant`] emits rows
+//! bottom-up, net overrides in id order, and geometry with shortest
+//! round-trip floats, so `write(parse(text))` is a normal form. Hashing
+//! that form (under a fixed header name, so the user-chosen name cannot
+//! split the cache) yields a stable 64-bit fingerprint.
+//!
+//! The hash is FNV-1a: tiny, dependency-free, and plenty for a cache
+//! index that tolerates (and re-checks) collisions at the value level.
+
+use copack_geom::Quadrant;
+
+use crate::circuit_format::write_quadrant;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with 64-bit FNV-1a.
+///
+/// Deterministic across platforms and processes (unlike
+/// `std::collections::hash_map::DefaultHasher`, which is seeded), so the
+/// value can cross the service protocol and appear in golden files.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The quadrant's canonical circuit-format text.
+///
+/// The header name is pinned to `canonical` so texts that differ only in
+/// their declared name canonicalise identically; everything else is
+/// exactly what [`crate::write_quadrant`] writes. Parsing this text
+/// yields a quadrant equal to the input (`parse(canonical(q)).1 == q`),
+/// and canonicalisation is idempotent.
+#[must_use]
+pub fn canonical_quadrant_text(quadrant: &Quadrant) -> String {
+    write_quadrant("canonical", quadrant)
+}
+
+/// Content fingerprint of a quadrant: [`fnv1a64`] over
+/// [`canonical_quadrant_text`].
+///
+/// Invariant under re-serialization round trips: for any text `t`,
+/// `quadrant_fingerprint(parse(t)) ==
+/// quadrant_fingerprint(parse(write(name, parse(t))))` for every `name`
+/// (property-tested in `crates/io/tests/cache_key.rs`).
+#[must_use]
+pub fn quadrant_fingerprint(quadrant: &Quadrant) -> u64 {
+    fnv1a64(canonical_quadrant_text(quadrant).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_quadrant;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_comments_and_blank_lines() {
+        let a = "quadrant alpha\nrow 10 2 4 7 0\nrow 1 3 5 8\nnet 10 power\n";
+        let b = "# a comment\nquadrant beta\n\nrow 10 2 4 7 0   # bottom row\nrow 1 3 5 8\nnet 10 power\n";
+        let (_, qa) = parse_quadrant(a).unwrap();
+        let (_, qb) = parse_quadrant(b).unwrap();
+        assert_eq!(quadrant_fingerprint(&qa), quadrant_fingerprint(&qb));
+    }
+
+    #[test]
+    fn fingerprint_sees_model_differences() {
+        let base = "quadrant t\nrow 1 2 3\nrow 4 5\n";
+        let kind = "quadrant t\nrow 1 2 3\nrow 4 5\nnet 2 power\n";
+        let order = "quadrant t\nrow 1 3 2\nrow 4 5\n";
+        let (_, qb) = parse_quadrant(base).unwrap();
+        let (_, qk) = parse_quadrant(kind).unwrap();
+        let (_, qo) = parse_quadrant(order).unwrap();
+        assert_ne!(quadrant_fingerprint(&qb), quadrant_fingerprint(&qk));
+        assert_ne!(quadrant_fingerprint(&qb), quadrant_fingerprint(&qo));
+    }
+
+    #[test]
+    fn canonical_text_is_idempotent_and_round_trips() {
+        let text = "quadrant x\nrow 10 2 4 7 0\nrow 1 3 5 8\nrow 11 6 9\nnet 10 power tier=2\n";
+        let (_, q) = parse_quadrant(text).unwrap();
+        let canon = canonical_quadrant_text(&q);
+        let (name, reparsed) = parse_quadrant(&canon).unwrap();
+        assert_eq!(name, "canonical");
+        assert_eq!(reparsed, q);
+        assert_eq!(canonical_quadrant_text(&reparsed), canon);
+    }
+}

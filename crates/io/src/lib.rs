@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 
 mod assignment_format;
+mod canonical;
 mod circuit_format;
 mod error;
 
 pub use assignment_format::{parse_assignment, write_assignment};
+pub use canonical::{canonical_quadrant_text, fnv1a64, quadrant_fingerprint};
 pub use circuit_format::{parse_quadrant, write_quadrant};
 pub use error::{ParseError, ParseErrorKind};

@@ -1,0 +1,94 @@
+//! Property tests: the cache-key fingerprint is a function of the model,
+//! not of any particular serialization of it.
+
+use copack_geom::{NetKind, Quadrant, TierId};
+use copack_io::{canonical_quadrant_text, parse_quadrant, quadrant_fingerprint, write_quadrant};
+use proptest::prelude::*;
+
+fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
+    (
+        prop::collection::vec(1usize..=6, 1..=4),
+        any::<u64>(),
+        0u8..=3, // extra fingers beyond the net count
+    )
+        .prop_map(|(sizes, seed, extra)| {
+            let total: usize = sizes.iter().sum();
+            let mut ids: Vec<u32> = (1..=total as u32).collect();
+            let mut state = seed | 1;
+            let mut next = |bound: usize| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as usize % bound
+            };
+            for i in (1..ids.len()).rev() {
+                let j = next(i + 1);
+                ids.swap(i, j);
+            }
+            let mut builder = Quadrant::builder().fingers(total + extra as usize);
+            let mut cursor = 0;
+            for &s in &sizes {
+                builder = builder.row(ids[cursor..cursor + s].iter().copied());
+                cursor += s;
+            }
+            for &id in &ids {
+                match id % 5 {
+                    0 => builder = builder.net_kind(id, NetKind::Power),
+                    1 => builder = builder.net_kind(id, NetKind::Ground),
+                    _ => {}
+                }
+                if id % 3 == 0 {
+                    builder = builder.net_tier(id, TierId::new((id % 4) as u8 + 1));
+                }
+            }
+            builder.build().expect("generated quadrants are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fingerprint_is_invariant_under_reserialization(
+        q in quadrant_strategy(),
+        name in "[a-z][a-z0-9_-]{0,16}",
+    ) {
+        // write → read → hash must equal the direct hash, whatever name
+        // the intermediate file used.
+        let direct = quadrant_fingerprint(&q);
+        let text = write_quadrant(&name, &q);
+        let (_, reparsed) = parse_quadrant(&text).expect("own output parses");
+        prop_assert_eq!(quadrant_fingerprint(&reparsed), direct);
+
+        // And the round trip through the canonical form itself is a
+        // fixed point: canonicalising twice changes nothing.
+        let canon = canonical_quadrant_text(&q);
+        let (_, from_canon) = parse_quadrant(&canon).expect("canonical text parses");
+        prop_assert_eq!(canonical_quadrant_text(&from_canon), canon);
+        prop_assert_eq!(quadrant_fingerprint(&from_canon), direct);
+    }
+
+    #[test]
+    fn decorated_texts_hash_like_their_clean_form(
+        q in quadrant_strategy(),
+        comment in "[ -~]{0,24}",
+    ) {
+        // Comments and blank lines are serialization noise, not model
+        // content: sprinkling them through the text must not move the key.
+        let clean = write_quadrant("c", &q);
+        let mut noisy = String::from("# leading comment\n\n");
+        for line in clean.lines() {
+            noisy.push_str(line);
+            // `#` starts a trailing comment on any line.
+            noisy.push_str(" # ");
+            noisy.push_str(comment.replace('#', " ").trim());
+            noisy.push_str("\n\n");
+        }
+        let (_, from_clean) = parse_quadrant(&clean).expect("clean parses");
+        let (_, from_noisy) = parse_quadrant(&noisy).expect("noisy parses");
+        prop_assert_eq!(
+            quadrant_fingerprint(&from_noisy),
+            quadrant_fingerprint(&from_clean)
+        );
+    }
+}

@@ -178,6 +178,46 @@ pub enum Event {
         /// lines containing `"seconds"`.
         seconds: f64,
     },
+    /// A planning job travelled through the `copack-serve` daemon: one
+    /// event per protocol `plan` request, whether it executed, was
+    /// answered from the result cache, coalesced onto an in-flight
+    /// duplicate, timed out, failed, or was rejected by backpressure.
+    ServeJob {
+        /// How the cache answered: `"miss"` (executed), `"hit"`
+        /// (already cached), `"coalesced"` (waited on an in-flight
+        /// duplicate), or `"none"` (never reached the cache, e.g.
+        /// rejected).
+        cache: String,
+        /// Outcome: `"ok"`, `"timeout"`, `"error"`, or `"rejected"`.
+        outcome: String,
+        /// Jobs waiting in the bounded queue when this one was admitted
+        /// (or rejected).
+        queue_depth: u32,
+        /// Wall-clock seconds from admission to response. Like
+        /// `SideEnd`'s field, the one non-deterministic value; determinism
+        /// diffs strip lines containing `"seconds"`.
+        seconds: f64,
+    },
+    /// The `copack-serve` pool's lifetime counters, emitted once at
+    /// shutdown.
+    ServePool {
+        /// Worker threads the pool ran.
+        workers: u32,
+        /// Bounded queue capacity (backpressure threshold).
+        queue_capacity: u32,
+        /// Plan requests received.
+        submitted: u64,
+        /// Jobs that executed to completion.
+        completed: u64,
+        /// Requests answered from the result cache.
+        cache_hits: u64,
+        /// Requests that coalesced onto an in-flight duplicate.
+        coalesced: u64,
+        /// Requests rejected because the queue was full.
+        rejected: u64,
+        /// Jobs cancelled by their wall-clock deadline.
+        timeouts: u64,
+    },
     /// An invariant oracle (`copack-verify`) delivered a verdict.
     OracleChecked {
         /// Stable oracle name (`"monotonicity"`, `"density"`,
@@ -240,6 +280,8 @@ impl Event {
             Self::RoutingEvaluated { .. } => "routing",
             Self::SideBegin { .. } => "side_begin",
             Self::SideEnd { .. } => "side_end",
+            Self::ServeJob { .. } => "serve_job",
+            Self::ServePool { .. } => "serve_pool",
             Self::OracleChecked { .. } => "oracle",
             Self::Note { .. } => "note",
         }
@@ -381,6 +423,37 @@ impl Event {
                 let _ = write!(out, ",\"side\":{side},\"seconds\":");
                 json_f64(out, *seconds);
             }
+            Self::ServeJob {
+                cache,
+                outcome,
+                queue_depth,
+                seconds,
+            } => {
+                out.push_str(",\"cache\":");
+                json_str(out, cache);
+                out.push_str(",\"outcome\":");
+                json_str(out, outcome);
+                let _ = write!(out, ",\"queue_depth\":{queue_depth},\"seconds\":");
+                json_f64(out, *seconds);
+            }
+            Self::ServePool {
+                workers,
+                queue_capacity,
+                submitted,
+                completed,
+                cache_hits,
+                coalesced,
+                rejected,
+                timeouts,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"workers\":{workers},\"queue_capacity\":{queue_capacity},\
+                     \"submitted\":{submitted},\"completed\":{completed},\
+                     \"cache_hits\":{cache_hits},\"coalesced\":{coalesced},\
+                     \"rejected\":{rejected},\"timeouts\":{timeouts}"
+                );
+            }
             Self::OracleChecked {
                 oracle,
                 passed,
@@ -479,6 +552,22 @@ mod tests {
             Event::SideEnd {
                 side: 0,
                 seconds: 0.125,
+            },
+            Event::ServeJob {
+                cache: "hit".to_owned(),
+                outcome: "ok".to_owned(),
+                queue_depth: 2,
+                seconds: 0.004,
+            },
+            Event::ServePool {
+                workers: 4,
+                queue_capacity: 64,
+                submitted: 10,
+                completed: 7,
+                cache_hits: 2,
+                coalesced: 1,
+                rejected: 0,
+                timeouts: 0,
             },
             Event::OracleChecked {
                 oracle: "density".to_owned(),

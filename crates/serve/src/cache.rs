@@ -1,0 +1,213 @@
+//! The content-addressed result cache with duplicate coalescing.
+//!
+//! Keys are [`crate::job::cache_key`] values. The cache's job is not
+//! just memoisation but *single-flight execution*: when several clients
+//! submit the same `(instance, config)` concurrently, exactly one
+//! computes and the rest block on that entry's condvar and share the
+//! result. Failures are delivered to every waiter but **not** cached —
+//! the entry is removed so a later identical submission retries.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::ServeError;
+use crate::job::JobOutput;
+
+#[derive(Debug)]
+enum EntryState {
+    Pending,
+    Ready(Arc<JobOutput>),
+    Failed(ServeError),
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    state: Mutex<EntryState>,
+    ready: Condvar,
+}
+
+/// A handle onto an in-flight entry; blocks until it resolves.
+#[derive(Debug)]
+pub struct Waiter {
+    entry: Arc<CacheEntry>,
+}
+
+impl Waiter {
+    /// Blocks until the in-flight computation fulfils the entry.
+    ///
+    /// # Errors
+    ///
+    /// Whatever error the executing thread reported (timeout, planner
+    /// failure, backpressure on its own admission).
+    pub fn wait(self) -> Result<Arc<JobOutput>, ServeError> {
+        let mut state = self.entry.state.lock().expect("cache entry poisoned");
+        loop {
+            match &*state {
+                EntryState::Ready(output) => return Ok(Arc::clone(output)),
+                EntryState::Failed(error) => return Err(error.clone()),
+                EntryState::Pending => {
+                    state = self.entry.ready.wait(state).expect("cache entry poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// How a lookup resolved.
+#[derive(Debug)]
+pub enum Lookup {
+    /// No entry existed; one is now pending and the **caller owns it**:
+    /// it must eventually call [`ResultCache::fulfil`] for this key, on
+    /// success or failure, or coalesced waiters block forever.
+    Miss,
+    /// The result was already computed.
+    Hit(Arc<JobOutput>),
+    /// An identical job is in flight; wait on it instead of executing.
+    Coalesced(Waiter),
+}
+
+/// The daemon-wide cache. Cheap to share: clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct ResultCache {
+    entries: Arc<Mutex<HashMap<u64, Arc<CacheEntry>>>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves `key`, registering a pending entry on a miss.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Lookup {
+        let mut entries = self.entries.lock().expect("cache map poisoned");
+        if let Some(entry) = entries.get(&key) {
+            let state = entry.state.lock().expect("cache entry poisoned");
+            return match &*state {
+                EntryState::Ready(output) => Lookup::Hit(Arc::clone(output)),
+                EntryState::Pending | EntryState::Failed(_) => {
+                    let waiter = Waiter {
+                        entry: Arc::clone(entry),
+                    };
+                    drop(state);
+                    Lookup::Coalesced(waiter)
+                }
+            };
+        }
+        entries.insert(
+            key,
+            Arc::new(CacheEntry {
+                state: Mutex::new(EntryState::Pending),
+                ready: Condvar::new(),
+            }),
+        );
+        Lookup::Miss
+    }
+
+    /// Resolves the pending entry for `key`: successes are retained for
+    /// future hits, failures are delivered to waiters and the entry
+    /// dropped so a retry recomputes.
+    pub fn fulfil(&self, key: u64, result: Result<Arc<JobOutput>, ServeError>) {
+        let mut entries = self.entries.lock().expect("cache map poisoned");
+        let Some(entry) = (match &result {
+            Ok(_) => entries.get(&key).map(Arc::clone),
+            Err(_) => entries.remove(&key),
+        }) else {
+            return;
+        };
+        let mut state = entry.state.lock().expect("cache entry poisoned");
+        *state = match result {
+            Ok(output) => EntryState::Ready(output),
+            Err(error) => EntryState::Failed(error),
+        };
+        entry.ready.notify_all();
+    }
+
+    /// A waiter on an existing entry, whatever its state (a waiter on a
+    /// `Ready` entry resolves immediately). `None` if no entry exists.
+    ///
+    /// This is how a thread that registered a [`Lookup::Miss`] and
+    /// handed the job to the pool later blocks for its own result.
+    #[must_use]
+    pub fn waiter(&self, key: u64) -> Option<Waiter> {
+        let entries = self.entries.lock().expect("cache map poisoned");
+        entries.get(&key).map(|entry| Waiter {
+            entry: Arc::clone(entry),
+        })
+    }
+
+    /// Distinct keys currently resident (pending or ready).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache map poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+
+    fn output(tag: &str) -> Arc<JobOutput> {
+        Arc::new(JobOutput {
+            name: tag.to_owned(),
+            report: format!("{tag}: report\n"),
+            assignment: format!("assignment {tag}\n"),
+        })
+    }
+
+    #[test]
+    fn a_fulfilled_miss_becomes_a_hit() {
+        let cache = ResultCache::new();
+        assert!(matches!(cache.lookup(7), Lookup::Miss));
+        cache.fulfil(7, Ok(output("a")));
+        match cache.lookup(7) {
+            Lookup::Hit(out) => assert_eq!(out.name, "a"),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failures_release_waiters_and_are_not_cached() {
+        let cache = ResultCache::new();
+        assert!(matches!(cache.lookup(9), Lookup::Miss));
+        let Lookup::Coalesced(waiter) = cache.lookup(9) else {
+            panic!("second lookup should coalesce");
+        };
+        cache.fulfil(9, Err(ServeError::new(ErrorKind::Timeout, "budget")));
+        let err = waiter.wait().expect_err("waiter sees the failure");
+        assert_eq!(err.kind, ErrorKind::Timeout);
+        // The failed entry is gone: the next lookup retries from scratch.
+        assert!(matches!(cache.lookup(9), Lookup::Miss));
+    }
+
+    #[test]
+    fn concurrent_duplicates_coalesce_onto_one_flight() {
+        let cache = ResultCache::new();
+        assert!(matches!(cache.lookup(3), Lookup::Miss));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| match cache.lookup(3) {
+                Lookup::Coalesced(w) => w,
+                other => panic!("expected coalesce, got {other:?}"),
+            })
+            .collect();
+        let handles: Vec<_> = waiters
+            .into_iter()
+            .map(|w| std::thread::spawn(move || w.wait()))
+            .collect();
+        cache.fulfil(3, Ok(output("shared")));
+        for handle in handles {
+            let out = handle.join().expect("no panic").expect("success");
+            assert_eq!(out.name, "shared");
+        }
+    }
+}

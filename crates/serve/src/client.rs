@@ -1,0 +1,130 @@
+//! A small blocking client for the daemon's protocol, shared by the
+//! `copack submit` / `copack batch` / `copack shutdown` verbs and the
+//! integration tests.
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::{ErrorKind, ServeError};
+use crate::job::JobSpec;
+use crate::protocol::{
+    decode_response, encode_request, Frame, LineReader, PlanResponse, Request, Response,
+    StatusSnapshot,
+};
+
+/// One connection to a running daemon. Requests are serialized: each
+/// call writes one frame and blocks for its response.
+#[derive(Debug)]
+pub struct Client {
+    reader: LineReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Io`] when the daemon is unreachable.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = LineReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one request frame and blocks for the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures ([`ErrorKind::Io`]) or an undecodable
+    /// response ([`ErrorKind::Protocol`]). A well-formed *failure*
+    /// response is returned as `Ok(Response::Error(..))` so callers can
+    /// distinguish "the daemon said no" from "the wire broke".
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let mut frame = encode_request(request);
+        frame.push('\n');
+        self.writer.write_all(frame.as_bytes())?;
+        loop {
+            match self.reader.next_frame()? {
+                Frame::Line(line) => return decode_response(&line),
+                Frame::Idle => {}
+                Frame::Eof => {
+                    return Err(ServeError::new(
+                        ErrorKind::Io,
+                        "the daemon closed the connection before responding",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Submits a planning job and returns the completed plan.
+    ///
+    /// # Errors
+    ///
+    /// The daemon's typed error (backpressure, timeout, planner
+    /// failure, ...) or a transport/protocol failure.
+    pub fn plan(&mut self, spec: &JobSpec) -> Result<PlanResponse, ServeError> {
+        match self.roundtrip(&Request::Plan(spec.clone()))? {
+            Response::Plan(plan) => Ok(plan),
+            Response::Error(error) => Err(error),
+            other => Err(unexpected("a plan response", &other)),
+        }
+    }
+
+    /// Fetches the pool's counters and queue occupancy.
+    ///
+    /// # Errors
+    ///
+    /// The daemon's typed error or a transport/protocol failure.
+    pub fn status(&mut self) -> Result<StatusSnapshot, ServeError> {
+        match self.roundtrip(&Request::Status)? {
+            Response::Status(snapshot) => Ok(snapshot),
+            Response::Error(error) => Err(error),
+            other => Err(unexpected("a status response", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::ShuttingDown`] when it is already draining, or a
+    /// transport/protocol failure.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            Response::Error(error) => Err(error),
+            other => Err(unexpected("a shutdown acknowledgement", &other)),
+        }
+    }
+
+    /// Sends raw bytes (not necessarily a valid frame) and returns the
+    /// next response line verbatim — the error-path tests' backdoor.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, including the daemon closing the connection.
+    pub fn raw(&mut self, bytes: &[u8]) -> Result<String, ServeError> {
+        self.writer.write_all(bytes)?;
+        loop {
+            match self.reader.next_frame()? {
+                Frame::Line(line) => return Ok(line),
+                Frame::Idle => {}
+                Frame::Eof => {
+                    return Err(ServeError::new(
+                        ErrorKind::Io,
+                        "the daemon closed the connection before responding",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    ServeError::new(
+        ErrorKind::Protocol,
+        format!("expected {wanted}, got {got:?}"),
+    )
+}

@@ -1,0 +1,142 @@
+//! Typed errors for the serving layer.
+//!
+//! Every failure a client can observe is one of a small closed set of
+//! kinds, carried on the wire as `{"ok":false,"error":{"kind":...,
+//! "message":...}}`. Kinds are stable protocol vocabulary — tests and
+//! scripts match on them — while messages are free-form diagnostics.
+
+use std::fmt;
+
+/// Machine-readable failure category (the wire `kind` tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The frame was not a syntactically valid request (bad JSON, wrong
+    /// shape, non-UTF-8 bytes).
+    BadFrame,
+    /// The frame exceeded [`crate::protocol::MAX_FRAME`] bytes.
+    Oversized,
+    /// The request parsed but its contents are unusable (unknown op,
+    /// invalid circuit text, out-of-range parameter).
+    BadRequest,
+    /// The bounded job queue is full; the submission was rejected
+    /// without queueing (backpressure).
+    QueueFull,
+    /// The job exceeded its wall-clock budget and was cancelled.
+    Timeout,
+    /// The planner itself failed (e.g. the circuit admits no legal
+    /// assignment under the requested method).
+    JobFailed,
+    /// The daemon is already draining; no new work is accepted.
+    ShuttingDown,
+    /// A transport-level failure (connection reset, short read).
+    Io,
+    /// The peer broke the protocol state machine (e.g. bytes after a
+    /// shutdown acknowledgement).
+    Protocol,
+}
+
+impl ErrorKind {
+    /// The stable wire tag for this kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::BadFrame => "bad_frame",
+            Self::Oversized => "oversized",
+            Self::BadRequest => "bad_request",
+            Self::QueueFull => "queue_full",
+            Self::Timeout => "timeout",
+            Self::JobFailed => "job_failed",
+            Self::ShuttingDown => "shutting_down",
+            Self::Io => "io",
+            Self::Protocol => "protocol",
+        }
+    }
+
+    /// Parses a wire tag back into a kind (`None` for unknown tags, so
+    /// old clients degrade gracefully against newer daemons).
+    #[must_use]
+    pub fn parse_tag(tag: &str) -> Option<Self> {
+        Some(match tag {
+            "bad_frame" => Self::BadFrame,
+            "oversized" => Self::Oversized,
+            "bad_request" => Self::BadRequest,
+            "queue_full" => Self::QueueFull,
+            "timeout" => Self::Timeout,
+            "job_failed" => Self::JobFailed,
+            "shutting_down" => Self::ShuttingDown,
+            "io" => Self::Io,
+            "protocol" => Self::Protocol,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One serving-layer failure: a stable [`ErrorKind`] plus a diagnostic
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The failure category (stable wire vocabulary).
+    pub kind: ErrorKind,
+    /// Human-readable detail; not matched on by tooling.
+    pub message: String,
+}
+
+impl ServeError {
+    /// Builds an error from a kind and any displayable message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::new(ErrorKind::Io, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_tags_round_trip() {
+        for kind in [
+            ErrorKind::BadFrame,
+            ErrorKind::Oversized,
+            ErrorKind::BadRequest,
+            ErrorKind::QueueFull,
+            ErrorKind::Timeout,
+            ErrorKind::JobFailed,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Io,
+            ErrorKind::Protocol,
+        ] {
+            assert_eq!(ErrorKind::parse_tag(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::parse_tag("no_such_kind"), None);
+    }
+
+    #[test]
+    fn display_pairs_kind_and_message() {
+        let e = ServeError::new(ErrorKind::QueueFull, "queue is at capacity (4)");
+        assert_eq!(e.to_string(), "queue_full: queue is at capacity (4)");
+    }
+}

@@ -1,0 +1,239 @@
+//! Job specification, content-addressed cache keys, and the shared
+//! executor.
+//!
+//! [`execute_job`] is the single code path behind both the daemon's
+//! worker pool and the CLI's one-shot `copack plan`: it mirrors that
+//! command's non-package flow exactly (same methods, same default
+//! exchange configuration, same report lines, same assignment-file
+//! serialization), so a plan served from the daemon is byte-identical
+//! to one produced locally. The cache key ([`cache_key`]) hashes the
+//! *canonical* circuit text plus every spec field that influences the
+//! result — and nothing else, so cosmetic differences (file name,
+//! comments, row-order quirks) and execution-only knobs (timeouts)
+//! coalesce onto one entry.
+
+use copack_core::{
+    assign, exchange_cancellable, AssignMethod, CancelToken, CoreError, ExchangeConfig,
+};
+use copack_geom::{Quadrant, StackConfig};
+use copack_io::{canonical_quadrant_text, fnv1a64, write_assignment};
+use copack_obs::NoopRecorder;
+use copack_route::{analyze, DensityModel};
+use std::fmt::Write as _;
+
+use crate::error::{ErrorKind, ServeError};
+
+/// Version tag mixed into every cache key; bump whenever the executor's
+/// observable output changes so stale entries can never be replayed.
+const KEY_DOMAIN: &str = "copack-serve/v1";
+
+/// One planning job, as submitted by a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The circuit text (`.copack` quadrant format), verbatim.
+    pub circuit: String,
+    /// Initial-assignment method; defaults mirror `copack plan`
+    /// (DFA with slack 1).
+    pub method: AssignMethod,
+    /// Whether to refine with the annealing exchange pass.
+    pub exchange: bool,
+    /// Stacking tiers for the exchange objective (1 = planar).
+    pub psi: u8,
+    /// RNG seed for the exchange pass.
+    pub exchange_seed: u64,
+    /// Per-job wall-clock budget; `None` uses the server default.
+    pub timeout_ms: Option<u64>,
+}
+
+impl JobSpec {
+    /// A spec with `copack plan`'s defaults for the given circuit text.
+    #[must_use]
+    pub fn new(circuit: impl Into<String>) -> Self {
+        Self {
+            circuit: circuit.into(),
+            method: AssignMethod::Dfa { slack: 1 },
+            exchange: false,
+            psi: 1,
+            exchange_seed: ExchangeConfig::default().seed,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// The result of a completed job — exactly what `copack plan` would
+/// print and write for the same inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// The circuit's own name (from its header line).
+    pub name: String,
+    /// The human-readable report lines (`{name}: {method} -> ...`,
+    /// optionally the after-exchange line, then `order: ...`).
+    pub report: String,
+    /// The assignment file bytes ([`write_assignment`] output) —
+    /// byte-identical to `copack plan --out`.
+    pub assignment: String,
+}
+
+/// Content-addressed key for `(instance, config)`.
+///
+/// Hashes the [`KEY_DOMAIN`] tag, each result-affecting spec field in a
+/// fixed order, then the canonical circuit serialization. Exchange-only
+/// parameters (`psi`, `exchange_seed`) are folded in **only when the
+/// exchange pass is enabled** — with it disabled they cannot affect the
+/// output, so specs differing only there share a key. `timeout_ms` is
+/// never part of the key: it bounds execution, not the result.
+#[must_use]
+pub fn cache_key(spec: &JobSpec, quadrant: &Quadrant) -> u64 {
+    let mut material = String::new();
+    let _ = write!(material, "{KEY_DOMAIN}|method={}|", spec.method);
+    if spec.exchange {
+        let _ = write!(
+            material,
+            "exchange=true|psi={}|xseed={}|",
+            spec.psi, spec.exchange_seed
+        );
+    } else {
+        material.push_str("exchange=false|");
+    }
+    material.push_str(&canonical_quadrant_text(quadrant));
+    fnv1a64(material.as_bytes())
+}
+
+/// Runs one job to completion (or cancellation), mirroring
+/// `copack plan`'s non-package flow line for line.
+///
+/// # Errors
+///
+/// [`ErrorKind::Timeout`] when `cancel` fires mid-run;
+/// [`ErrorKind::JobFailed`] when the planner itself rejects the
+/// instance (no legal assignment, invalid stack, ...).
+pub fn execute_job(
+    spec: &JobSpec,
+    name: &str,
+    quadrant: &Quadrant,
+    cancel: &CancelToken,
+) -> Result<JobOutput, ServeError> {
+    let job_failed =
+        |e: &dyn std::fmt::Display| ServeError::new(ErrorKind::JobFailed, e.to_string());
+
+    let mut assignment = assign(quadrant, spec.method).map_err(|e| job_failed(&e))?;
+    let mut report = String::new();
+    let routing =
+        analyze(quadrant, &assignment, DensityModel::Geometric).map_err(|e| job_failed(&e))?;
+    let _ = writeln!(report, "{name}: {} -> {routing}", spec.method);
+
+    if spec.exchange {
+        if cancel.is_cancelled() {
+            return Err(ServeError::new(
+                ErrorKind::Timeout,
+                "the job was cancelled before the exchange pass started",
+            ));
+        }
+        let stack = if spec.psi <= 1 {
+            StackConfig::planar()
+        } else {
+            StackConfig::stacked(spec.psi).map_err(|e| job_failed(&e))?
+        };
+        let config = ExchangeConfig {
+            seed: spec.exchange_seed,
+            ..ExchangeConfig::default()
+        };
+        let result = exchange_cancellable(
+            quadrant,
+            &assignment,
+            &stack,
+            &config,
+            &mut NoopRecorder,
+            cancel,
+        )
+        .map_err(|e| match e {
+            CoreError::Cancelled => ServeError::new(
+                ErrorKind::Timeout,
+                "the job exceeded its wall-clock budget during exchange",
+            ),
+            other => job_failed(&other),
+        })?;
+        assignment = result.assignment;
+        let routing =
+            analyze(quadrant, &assignment, DensityModel::Geometric).map_err(|e| job_failed(&e))?;
+        let _ = writeln!(
+            report,
+            "{name}: after exchange (cost {:.4} -> {:.4}) -> {routing}",
+            result.stats.initial_cost, result.stats.final_cost
+        );
+    }
+
+    let _ = writeln!(report, "order: {assignment}");
+    Ok(JobOutput {
+        name: name.to_owned(),
+        report,
+        assignment: write_assignment(name, &assignment),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_io::parse_quadrant;
+
+    fn circuit() -> (String, Quadrant) {
+        let text = "quadrant demo\nrow 10 2 4 7 0\nrow 1 3 5 8\nrow 11 6 9\n";
+        let (name, q) = parse_quadrant(text).expect("valid circuit");
+        (name, q)
+    }
+
+    #[test]
+    fn the_key_ignores_execution_only_knobs() {
+        let (_, q) = circuit();
+        let base = JobSpec::new("");
+        let timed = JobSpec {
+            timeout_ms: Some(5),
+            ..base.clone()
+        };
+        assert_eq!(cache_key(&base, &q), cache_key(&timed, &q));
+
+        // With exchange off, exchange-only parameters are inert too.
+        let reseeded = JobSpec {
+            exchange_seed: 999,
+            psi: 4,
+            ..base.clone()
+        };
+        assert_eq!(cache_key(&base, &q), cache_key(&reseeded, &q));
+
+        // With exchange on, they are load-bearing.
+        let on = JobSpec {
+            exchange: true,
+            ..base.clone()
+        };
+        let on_reseeded = JobSpec {
+            exchange_seed: 999,
+            ..on.clone()
+        };
+        assert_ne!(cache_key(&on, &q), cache_key(&on_reseeded, &q));
+        assert_ne!(cache_key(&base, &q), cache_key(&on, &q));
+    }
+
+    #[test]
+    fn executor_matches_the_paper_worked_example() {
+        let (name, q) = circuit();
+        let spec = JobSpec::new("");
+        let out = execute_job(&spec, &name, &q, &CancelToken::new()).expect("plan succeeds");
+        // DFA with slack 1 reproduces Fig. 12's order.
+        assert!(out.report.contains("order: 10,11,1,2,6,3,4,9,5,7,8,0"));
+        assert!(out.assignment.contains("order 10 11 1 2 6 3 4 9 5 7 8 0"));
+        assert_eq!(out.name, "demo");
+    }
+
+    #[test]
+    fn a_cancelled_token_surfaces_as_timeout() {
+        let (name, q) = circuit();
+        let spec = JobSpec {
+            exchange: true,
+            ..JobSpec::new("")
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = execute_job(&spec, &name, &q, &cancel).expect_err("cancelled");
+        assert_eq!(err.kind, ErrorKind::Timeout);
+    }
+}

@@ -1,0 +1,190 @@
+//! Pool-level metrics derived from the daemon's recorded events — the
+//! `copack serve --metrics` block, in the same terse key/value style as
+//! `copack-obs`'s `TraceSummary::to_text`.
+
+use copack_obs::Event;
+use std::fmt::Write as _;
+
+/// Aggregated serving metrics for one daemon lifetime.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolMetrics {
+    /// `plan` requests observed ([`Event::ServeJob`] count).
+    pub jobs: u64,
+    /// Jobs answered successfully (any cache disposition).
+    pub ok: u64,
+    /// Jobs cancelled at their wall-clock budget.
+    pub timeouts: u64,
+    /// Jobs whose planner run failed (or whose circuit did not parse).
+    pub errors: u64,
+    /// Jobs rejected by backpressure or during drain.
+    pub rejected: u64,
+    /// Requests answered from the completed-result cache.
+    pub cache_hits: u64,
+    /// Requests that coalesced onto an in-flight duplicate.
+    pub coalesced: u64,
+    /// Requests that executed fresh.
+    pub misses: u64,
+    /// Deepest queue observed at any admission.
+    pub max_queue_depth: u32,
+    /// Median admission-to-response latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile admission-to-response latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl PoolMetrics {
+    /// Folds a recorded event stream (ignoring non-serve events, so a
+    /// mixed trace works too).
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut metrics = Self::default();
+        let mut latencies: Vec<f64> = Vec::new();
+        for event in events {
+            let Event::ServeJob {
+                cache,
+                outcome,
+                queue_depth,
+                seconds,
+            } = event
+            else {
+                continue;
+            };
+            metrics.jobs += 1;
+            match outcome.as_str() {
+                "ok" => metrics.ok += 1,
+                "timeout" => metrics.timeouts += 1,
+                "rejected" => metrics.rejected += 1,
+                _ => metrics.errors += 1,
+            }
+            match cache.as_str() {
+                "hit" => metrics.cache_hits += 1,
+                "coalesced" => metrics.coalesced += 1,
+                "miss" => metrics.misses += 1,
+                _ => {}
+            }
+            metrics.max_queue_depth = metrics.max_queue_depth.max(*queue_depth);
+            latencies.push(seconds * 1000.0);
+        }
+        latencies.sort_by(f64::total_cmp);
+        metrics.p50_ms = percentile(&latencies, 50.0);
+        metrics.p99_ms = percentile(&latencies, 99.0);
+        metrics
+    }
+
+    /// Fraction of cache-answered requests (hits plus coalesced) among
+    /// all requests that reached the cache; 0 when none did.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let reached = self.cache_hits + self.coalesced + self.misses;
+        if reached == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.coalesced) as f64 / reached as f64
+        }
+    }
+
+    /// Multi-line human-readable rendering (the serve `--metrics`
+    /// block). Latency lines carry timings and are therefore the only
+    /// non-deterministic part.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "jobs {}  ok {}  timeout {}  error {}  rejected {}",
+            self.jobs, self.ok, self.timeouts, self.errors, self.rejected
+        );
+        let _ = writeln!(
+            out,
+            "cache hit {}  coalesced {}  miss {} (hit-rate {:.1}%)",
+            self.cache_hits,
+            self.coalesced,
+            self.misses,
+            100.0 * self.cache_hit_rate()
+        );
+        let _ = writeln!(out, "max-queue-depth {}", self.max_queue_depth);
+        if self.jobs > 0 {
+            let _ = writeln!(
+                out,
+                "latency p50 {:.3} ms  p99 {:.3} ms",
+                self.p50_ms, self.p99_ms
+            );
+        }
+        out
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice; 0 when empty.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted.len() as f64 - 1.0)).round();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let index = (rank as usize).min(sorted.len() - 1);
+    sorted[index]
+}
+
+/// Renders the serve `--metrics` block from a recorded event stream.
+#[must_use]
+pub fn pool_metrics_text(events: &[Event]) -> String {
+    PoolMetrics::from_events(events).to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(cache: &str, outcome: &str, queue_depth: u32, seconds: f64) -> Event {
+        Event::ServeJob {
+            cache: cache.to_owned(),
+            outcome: outcome.to_owned(),
+            queue_depth,
+            seconds,
+        }
+    }
+
+    #[test]
+    fn folds_a_mixed_event_stream() {
+        let events = vec![
+            job("miss", "ok", 0, 0.010),
+            job("hit", "ok", 0, 0.001),
+            job("coalesced", "ok", 2, 0.012),
+            job("none", "rejected", 4, 0.000),
+            job("miss", "timeout", 1, 0.100),
+            Event::Note {
+                text: "ignored".to_owned(),
+            },
+        ];
+        let m = PoolMetrics::from_events(&events);
+        assert_eq!(m.jobs, 5);
+        assert_eq!(m.ok, 3);
+        assert_eq!(m.timeouts, 1);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.coalesced, 1);
+        assert_eq!(m.misses, 2);
+        assert_eq!(m.max_queue_depth, 4);
+        assert!((m.cache_hit_rate() - 0.5).abs() < 1e-12);
+        let text = m.to_text();
+        assert!(text.contains("jobs 5  ok 3  timeout 1  error 0  rejected 1"));
+        assert!(text.contains("hit-rate 50.0%"));
+        assert!(text.contains("max-queue-depth 4"));
+        assert!(text.contains("latency p50"));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&sorted, 50.0) - 51.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 99.0) - 99.0).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn empty_streams_render_without_latency_lines() {
+        let text = pool_metrics_text(&[]);
+        assert!(text.contains("jobs 0"));
+        assert!(!text.contains("latency"));
+    }
+}

@@ -1,0 +1,560 @@
+//! The wire protocol: newline-delimited JSON frames over a local TCP
+//! socket.
+//!
+//! Each frame is one JSON object on one line (`\n`-terminated; a
+//! trailing `\r` is tolerated). Requests carry an `"op"` tag (`plan`,
+//! `status`, `shutdown`); responses carry `"ok"` plus either the
+//! payload or a typed error object. Frames are capped at [`MAX_FRAME`]
+//! bytes — an oversized frame is discarded up to its terminating
+//! newline and answered with a typed `oversized` error, leaving the
+//! connection usable for the next frame.
+
+use copack_core::AssignMethod;
+use std::fmt::Write as _;
+use std::io::Read;
+
+use crate::error::{ErrorKind, ServeError};
+use crate::job::JobSpec;
+use crate::json::{write_json_str, Json};
+
+/// Hard cap on one frame's size in bytes (1 MiB). The largest Table 1
+/// circuit serializes to well under 64 KiB, so this bounds hostile or
+/// corrupted input, not legitimate work.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Plan the embedded circuit.
+    Plan(JobSpec),
+    /// Report pool counters and queue occupancy.
+    Status,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// A successful plan, as carried on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResponse {
+    /// How the cache answered: `"miss"`, `"hit"`, or `"coalesced"`.
+    pub cache: String,
+    /// The content-addressed cache key.
+    pub key: u64,
+    /// The circuit's header name.
+    pub name: String,
+    /// Human-readable report lines (what `copack plan` prints).
+    pub report: String,
+    /// Assignment file bytes (what `copack plan --out` writes).
+    pub assignment: String,
+    /// Wall-clock seconds from admission to response.
+    pub seconds: f64,
+}
+
+/// A point-in-time view of the pool, served by `status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatusSnapshot {
+    /// Worker threads in the pool.
+    pub workers: u32,
+    /// Bounded queue capacity.
+    pub queue_capacity: u32,
+    /// Jobs currently executing.
+    pub running: u32,
+    /// Jobs waiting in the queue.
+    pub queued: u32,
+    /// Plan requests received (including rejected ones).
+    pub submitted: u64,
+    /// Jobs that executed to completion.
+    pub completed: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that coalesced onto an in-flight duplicate.
+    pub coalesced: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Jobs cancelled at their wall-clock budget.
+    pub timeouts: u64,
+    /// Jobs whose planner run failed.
+    pub failed: u64,
+    /// Whether the daemon is draining.
+    pub shutting_down: bool,
+}
+
+/// One decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A completed plan.
+    Plan(PlanResponse),
+    /// A status snapshot.
+    Status(StatusSnapshot),
+    /// Acknowledgement that the daemon is shutting down.
+    Shutdown,
+    /// A typed failure.
+    Error(ServeError),
+}
+
+/// Encodes a request as one frame line (no trailing newline).
+#[must_use]
+pub fn encode_request(request: &Request) -> String {
+    let mut out = String::new();
+    match request {
+        Request::Plan(spec) => {
+            out.push_str("{\"op\":\"plan\",\"circuit\":");
+            write_json_str(&mut out, &spec.circuit);
+            match spec.method {
+                AssignMethod::Dfa { slack } => {
+                    let _ = write!(out, ",\"method\":\"dfa\",\"slack\":{slack}");
+                }
+                AssignMethod::Ifa => out.push_str(",\"method\":\"ifa\""),
+                AssignMethod::Random { seed } => {
+                    let _ = write!(out, ",\"method\":\"random\",\"seed\":{seed}");
+                }
+            }
+            let _ = write!(
+                out,
+                ",\"exchange\":{},\"psi\":{},\"xseed\":{}",
+                spec.exchange, spec.psi, spec.exchange_seed
+            );
+            if let Some(ms) = spec.timeout_ms {
+                let _ = write!(out, ",\"timeout_ms\":{ms}");
+            }
+            out.push('}');
+        }
+        Request::Status => out.push_str("{\"op\":\"status\"}"),
+        Request::Shutdown => out.push_str("{\"op\":\"shutdown\"}"),
+    }
+    out
+}
+
+/// Decodes one frame line into a request.
+///
+/// # Errors
+///
+/// [`ErrorKind::BadFrame`] when the line is not a JSON object;
+/// [`ErrorKind::BadRequest`] when it parses but the contents are
+/// unusable (missing/unknown op, bad method, out-of-range field).
+pub fn decode_request(line: &str) -> Result<Request, ServeError> {
+    let json = Json::parse(line)
+        .map_err(|m| ServeError::new(ErrorKind::BadFrame, format!("not a valid frame: {m}")))?;
+    if !matches!(json, Json::Obj(_)) {
+        return Err(ServeError::new(
+            ErrorKind::BadFrame,
+            "a frame must be a JSON object",
+        ));
+    }
+    let op = json
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, "missing string field `op`"))?;
+    match op {
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        "plan" => {
+            let circuit = json.get("circuit").and_then(Json::as_str).ok_or_else(|| {
+                ServeError::new(ErrorKind::BadRequest, "plan requires a string `circuit`")
+            })?;
+            let mut spec = JobSpec::new(circuit);
+            let field_u64 = |name: &str| -> Result<Option<u64>, ServeError> {
+                match json.get(name) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                        ServeError::new(
+                            ErrorKind::BadRequest,
+                            format!("`{name}` must be a non-negative integer"),
+                        )
+                    }),
+                }
+            };
+            spec.method = match json.get("method").and_then(Json::as_str).unwrap_or("dfa") {
+                "dfa" => {
+                    let slack = field_u64("slack")?.unwrap_or(1);
+                    let slack = u32::try_from(slack).map_err(|_| {
+                        ServeError::new(ErrorKind::BadRequest, "`slack` is out of range")
+                    })?;
+                    AssignMethod::Dfa { slack }
+                }
+                "ifa" => AssignMethod::Ifa,
+                "random" => AssignMethod::Random {
+                    seed: field_u64("seed")?.unwrap_or(42),
+                },
+                other => {
+                    return Err(ServeError::new(
+                        ErrorKind::BadRequest,
+                        format!("unknown method `{other}` (dfa|ifa|random)"),
+                    ))
+                }
+            };
+            if let Some(exchange) = json.get("exchange") {
+                spec.exchange = exchange.as_bool().ok_or_else(|| {
+                    ServeError::new(ErrorKind::BadRequest, "`exchange` must be a boolean")
+                })?;
+            }
+            if let Some(psi) = field_u64("psi")? {
+                spec.psi = u8::try_from(psi).ok().filter(|p| *p >= 1).ok_or_else(|| {
+                    ServeError::new(ErrorKind::BadRequest, "`psi` must be between 1 and 255")
+                })?;
+            }
+            if let Some(xseed) = field_u64("xseed")? {
+                spec.exchange_seed = xseed;
+            }
+            spec.timeout_ms = field_u64("timeout_ms")?;
+            Ok(Request::Plan(spec))
+        }
+        other => Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("unknown op `{other}` (plan|status|shutdown)"),
+        )),
+    }
+}
+
+/// Encodes a response as one frame line (no trailing newline).
+#[must_use]
+pub fn encode_response(response: &Response) -> String {
+    let mut out = String::new();
+    match response {
+        Response::Plan(plan) => {
+            out.push_str("{\"ok\":true,\"cache\":");
+            write_json_str(&mut out, &plan.cache);
+            let _ = write!(out, ",\"key\":\"{:016x}\",\"name\":", plan.key);
+            write_json_str(&mut out, &plan.name);
+            out.push_str(",\"report\":");
+            write_json_str(&mut out, &plan.report);
+            out.push_str(",\"assignment\":");
+            write_json_str(&mut out, &plan.assignment);
+            let _ = write!(out, ",\"seconds\":{}}}", plan.seconds);
+        }
+        Response::Status(s) => {
+            let _ = write!(
+                out,
+                "{{\"ok\":true,\"status\":{{\"workers\":{},\"queue_capacity\":{},\
+                 \"running\":{},\"queued\":{},\"submitted\":{},\"completed\":{},\
+                 \"cache_hits\":{},\"coalesced\":{},\"rejected\":{},\"timeouts\":{},\
+                 \"failed\":{},\"shutting_down\":{}}}}}",
+                s.workers,
+                s.queue_capacity,
+                s.running,
+                s.queued,
+                s.submitted,
+                s.completed,
+                s.cache_hits,
+                s.coalesced,
+                s.rejected,
+                s.timeouts,
+                s.failed,
+                s.shutting_down
+            );
+        }
+        Response::Shutdown => out.push_str("{\"ok\":true,\"shutdown\":true}"),
+        Response::Error(e) => {
+            out.push_str("{\"ok\":false,\"error\":{\"kind\":");
+            write_json_str(&mut out, e.kind.as_str());
+            out.push_str(",\"message\":");
+            write_json_str(&mut out, &e.message);
+            out.push_str("}}");
+        }
+    }
+    out
+}
+
+/// Decodes one frame line into a response.
+///
+/// # Errors
+///
+/// [`ErrorKind::Protocol`] when the line is not a well-formed response
+/// frame of any known shape.
+pub fn decode_response(line: &str) -> Result<Response, ServeError> {
+    let bad = |why: String| ServeError::new(ErrorKind::Protocol, why);
+    let json = Json::parse(line).map_err(|m| bad(format!("not a valid response frame: {m}")))?;
+    let ok = json
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| bad("response is missing boolean `ok`".to_owned()))?;
+    if !ok {
+        let error = json
+            .get("error")
+            .ok_or_else(|| bad("failure response is missing `error`".to_owned()))?;
+        let kind_tag = error
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("error object is missing `kind`".to_owned()))?;
+        let message = error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        let kind = ErrorKind::parse_tag(kind_tag).unwrap_or(ErrorKind::Protocol);
+        return Ok(Response::Error(ServeError::new(kind, message)));
+    }
+    if json.get("shutdown").and_then(Json::as_bool) == Some(true) {
+        return Ok(Response::Shutdown);
+    }
+    if let Some(status) = json.get("status") {
+        let u64_of = |name: &str| status.get(name).and_then(Json::as_u64).unwrap_or(0);
+        let u32_of = |name: &str| u32::try_from(u64_of(name)).unwrap_or(u32::MAX);
+        return Ok(Response::Status(StatusSnapshot {
+            workers: u32_of("workers"),
+            queue_capacity: u32_of("queue_capacity"),
+            running: u32_of("running"),
+            queued: u32_of("queued"),
+            submitted: u64_of("submitted"),
+            completed: u64_of("completed"),
+            cache_hits: u64_of("cache_hits"),
+            coalesced: u64_of("coalesced"),
+            rejected: u64_of("rejected"),
+            timeouts: u64_of("timeouts"),
+            failed: u64_of("failed"),
+            shutting_down: status.get("shutting_down").and_then(Json::as_bool) == Some(true),
+        }));
+    }
+    let field_str = |name: &str| -> Result<String, ServeError> {
+        json.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| bad(format!("plan response is missing string `{name}`")))
+    };
+    let cache = field_str("cache")?;
+    let key = u64::from_str_radix(&field_str("key")?, 16)
+        .map_err(|_| bad("plan response has a malformed `key`".to_owned()))?;
+    Ok(Response::Plan(PlanResponse {
+        cache,
+        key,
+        name: field_str("name")?,
+        report: field_str("report")?,
+        assignment: field_str("assignment")?,
+        seconds: json.get("seconds").and_then(Json::as_f64).unwrap_or(0.0),
+    }))
+}
+
+/// What [`LineReader::next`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One complete line (newline stripped).
+    Line(String),
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// A read timed out with no complete frame buffered; poll state and
+    /// call again.
+    Idle,
+}
+
+/// Incremental line framer over any [`Read`].
+///
+/// Carries partial frames across reads, tolerates read timeouts (so the
+/// server can poll its shutdown flag between frames), and survives
+/// oversized frames by discarding bytes up to the terminating newline
+/// before reporting a single typed [`ErrorKind::Oversized`] error.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    inner: R,
+    buffer: Vec<u8>,
+    discarding: bool,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buffer: Vec::new(),
+            discarding: false,
+        }
+    }
+
+    /// Produces the next frame, EOF, or idle tick.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::Oversized`] once per oversized frame (the
+    /// connection stays usable); [`ErrorKind::BadFrame`] for non-UTF-8
+    /// lines; [`ErrorKind::Io`] for transport failures, including a
+    /// peer that disconnects mid-frame.
+    pub fn next_frame(&mut self) -> Result<Frame, ServeError> {
+        loop {
+            if let Some(pos) = self.buffer.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buffer.drain(..=pos).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if self.discarding || line.len() > MAX_FRAME {
+                    self.discarding = false;
+                    return Err(ServeError::new(
+                        ErrorKind::Oversized,
+                        format!("frame exceeds the {MAX_FRAME}-byte limit"),
+                    ));
+                }
+                let text = String::from_utf8(line).map_err(|_| {
+                    ServeError::new(ErrorKind::BadFrame, "frame is not valid UTF-8")
+                })?;
+                return Ok(Frame::Line(text));
+            }
+            if self.discarding {
+                self.buffer.clear();
+            } else if self.buffer.len() > MAX_FRAME {
+                self.buffer.clear();
+                self.discarding = true;
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buffer.is_empty() && !self.discarding {
+                        return Ok(Frame::Eof);
+                    }
+                    self.buffer.clear();
+                    self.discarding = false;
+                    return Err(ServeError::new(
+                        ErrorKind::Io,
+                        "the peer disconnected mid-frame",
+                    ));
+                }
+                Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Frame::Idle)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let specs = [
+            Request::Plan(JobSpec::new("quadrant a\nrow 1 2\n")),
+            Request::Plan(JobSpec {
+                method: AssignMethod::Random { seed: u64::MAX },
+                exchange: true,
+                psi: 3,
+                exchange_seed: 7,
+                timeout_ms: Some(250),
+                ..JobSpec::new("quadrant b\nrow 3 1 2\n")
+            }),
+            Request::Plan(JobSpec {
+                method: AssignMethod::Ifa,
+                ..JobSpec::new("quadrant c\nrow 1\n")
+            }),
+            Request::Status,
+            Request::Shutdown,
+        ];
+        for request in specs {
+            let line = encode_request(&request);
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            assert_eq!(decode_request(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Plan(PlanResponse {
+                cache: "miss".to_owned(),
+                key: 0x0123_4567_89ab_cdef,
+                name: "demo".to_owned(),
+                report: "demo: dfa(n=1) -> ...\norder: 1,2\n".to_owned(),
+                assignment: "assignment demo\norder 1,2\n".to_owned(),
+                seconds: 0.25,
+            }),
+            Response::Status(StatusSnapshot {
+                workers: 4,
+                queue_capacity: 64,
+                running: 2,
+                queued: 1,
+                submitted: 10,
+                completed: 7,
+                cache_hits: 2,
+                coalesced: 1,
+                rejected: 3,
+                timeouts: 1,
+                failed: 1,
+                shutting_down: true,
+            }),
+            Response::Shutdown,
+            Response::Error(ServeError::new(ErrorKind::QueueFull, "queue is full (64)")),
+        ];
+        for response in responses {
+            let line = encode_response(&response);
+            assert!(!line.contains('\n'), "frames are single lines: {line}");
+            assert_eq!(decode_response(&line).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn bad_frames_and_bad_requests_are_distinguished() {
+        assert_eq!(
+            decode_request("this is not json").unwrap_err().kind,
+            ErrorKind::BadFrame
+        );
+        assert_eq!(
+            decode_request("[1,2]").unwrap_err().kind,
+            ErrorKind::BadFrame
+        );
+        assert_eq!(
+            decode_request("{\"op\":\"fly\"}").unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            decode_request("{\"op\":\"plan\"}").unwrap_err().kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            decode_request("{\"op\":\"plan\",\"circuit\":\"x\",\"psi\":0}")
+                .unwrap_err()
+                .kind,
+            ErrorKind::BadRequest
+        );
+    }
+
+    #[test]
+    fn the_line_reader_carries_partial_frames() {
+        // A reader that yields the stream in awkward 3-byte pieces.
+        struct Drip<'a>(&'a [u8]);
+        impl Read for Drip<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.0.len().min(3).min(buf.len());
+                buf[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let mut reader = LineReader::new(Drip(b"{\"op\":\"status\"}\r\nnext line\n"));
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Frame::Line("{\"op\":\"status\"}".to_owned())
+        );
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Frame::Line("next line".to_owned())
+        );
+        assert_eq!(reader.next_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn oversized_frames_are_discarded_then_reported_once() {
+        let mut stream = vec![b'x'; MAX_FRAME + 10];
+        stream.push(b'\n');
+        stream.extend_from_slice(b"{\"op\":\"status\"}\n");
+        let mut reader = LineReader::new(stream.as_slice());
+        assert_eq!(reader.next_frame().unwrap_err().kind, ErrorKind::Oversized);
+        // The connection is still usable for the following frame.
+        assert_eq!(
+            reader.next_frame().unwrap(),
+            Frame::Line("{\"op\":\"status\"}".to_owned())
+        );
+        assert_eq!(reader.next_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn a_mid_frame_disconnect_is_a_typed_io_error() {
+        let mut reader = LineReader::new(&b"{\"op\":\"sta"[..]);
+        assert_eq!(reader.next_frame().unwrap_err().kind, ErrorKind::Io);
+    }
+}

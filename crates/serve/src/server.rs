@@ -1,0 +1,502 @@
+//! The resident daemon: listener, connection handlers, and the bounded
+//! worker pool.
+//!
+//! Threading model:
+//!
+//! * one **accept loop** (the caller's thread, inside [`Server::run`]),
+//!   polling a non-blocking listener so it can notice shutdown;
+//! * one **handler thread per connection**, decoding frames and writing
+//!   responses; handlers block only on their own job's cache entry;
+//! * a fixed pool of **worker threads** popping jobs from one bounded
+//!   queue. The queue never exceeds `queue_capacity`: a submission that
+//!   finds it full is rejected with a typed `queue_full` error instead
+//!   of queueing (explicit backpressure, no unbounded buffering).
+//!
+//! Timeouts are wall-clock from *admission*: a job that spends its
+//! whole budget waiting in the queue is cancelled the moment a worker
+//! picks it up, and the cooperative token aborts the anneal loop
+//! mid-run otherwise. After a `shutdown` request the daemon stops
+//! accepting connections, lets workers drain the queue, and gives open
+//! connections a short grace window in which further requests are
+//! answered with typed `shutting_down` errors rather than a slammed
+//! socket.
+
+use copack_core::CancelToken;
+use copack_geom::Quadrant;
+use copack_io::parse_quadrant;
+use copack_obs::{Event, Recorder as _, TraceBuffer};
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::{Lookup, ResultCache};
+use crate::error::{ErrorKind, ServeError};
+use crate::job::{cache_key, execute_job, JobSpec};
+use crate::protocol::{
+    decode_request, encode_response, Frame, LineReader, PlanResponse, Request, Response,
+    StatusSnapshot,
+};
+
+/// How often blocking reads and the accept loop wake to poll state.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How long open connections keep being served typed `shutting_down`
+/// errors after a shutdown request before the daemon closes them.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(750);
+
+/// Pool and policy knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Bounded queue capacity — the backpressure threshold.
+    pub queue_capacity: usize,
+    /// Wall-clock budget applied to jobs that do not set their own
+    /// `timeout_ms`; `None` means no default budget.
+    pub default_timeout: Option<Duration>,
+    /// Test hook: workers sleep this long before executing each job, so
+    /// integration tests can deterministically fill the queue and
+    /// observe coalescing. `None` (the default) adds no delay.
+    pub worker_stall: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: 64,
+            default_timeout: Some(Duration::from_secs(30)),
+            worker_stall: None,
+        }
+    }
+}
+
+/// What the daemon did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Final counter values.
+    pub status: StatusSnapshot,
+    /// Every recorded [`Event::ServeJob`], closed by one
+    /// [`Event::ServePool`].
+    pub events: Vec<Event>,
+}
+
+struct QueuedJob {
+    spec: JobSpec,
+    name: String,
+    quadrant: Quadrant,
+    key: u64,
+    deadline: Option<Instant>,
+}
+
+/// Queue plus drain flag under ONE mutex: admission, worker exit, and
+/// the drain decision all serialize here, so a job can never slip into
+/// the queue after the last worker has decided to exit.
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<QueuedJob>,
+    draining: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    timeouts: AtomicU64,
+    failed: AtomicU64,
+}
+
+struct Inner {
+    workers: usize,
+    queue_capacity: usize,
+    default_timeout: Option<Duration>,
+    worker_stall: Option<Duration>,
+    cache: ResultCache,
+    pool: Mutex<PoolState>,
+    queue_signal: Condvar,
+    shutdown: AtomicBool,
+    running: AtomicU32,
+    counters: Counters,
+    events: Mutex<TraceBuffer>,
+}
+
+impl Inner {
+    fn snapshot(&self) -> StatusSnapshot {
+        let queued = self.pool.lock().expect("pool poisoned").queue.len();
+        let c = &self.counters;
+        StatusSnapshot {
+            workers: u32::try_from(self.workers).unwrap_or(u32::MAX),
+            queue_capacity: u32::try_from(self.queue_capacity).unwrap_or(u32::MAX),
+            running: self.running.load(Ordering::Relaxed),
+            queued: u32::try_from(queued).unwrap_or(u32::MAX),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shutting_down: self.shutdown.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_job(&self, cache: &str, outcome: &str, queue_depth: usize, started: Instant) {
+        self.events
+            .lock()
+            .expect("event buffer poisoned")
+            .record(&Event::ServeJob {
+                cache: cache.to_owned(),
+                outcome: outcome.to_owned(),
+                queue_depth: u32::try_from(queue_depth).unwrap_or(u32::MAX),
+                seconds: started.elapsed().as_secs_f64(),
+            });
+    }
+
+    /// Serves one plan request end to end: cache lookup, admission (or
+    /// typed rejection), then blocking on the result.
+    fn serve_plan(&self, spec: JobSpec) -> Response {
+        let started = Instant::now();
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+
+        if self.shutdown.load(Ordering::Relaxed) {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            self.record_job("none", "rejected", 0, started);
+            return Response::Error(ServeError::new(
+                ErrorKind::ShuttingDown,
+                "the daemon is draining and accepts no new jobs",
+            ));
+        }
+
+        let (name, quadrant) = match parse_quadrant(&spec.circuit) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.record_job("none", "error", 0, started);
+                return Response::Error(ServeError::new(
+                    ErrorKind::BadRequest,
+                    format!("circuit does not parse: {e}"),
+                ));
+            }
+        };
+        let key = cache_key(&spec, &quadrant);
+
+        // Jobs already waiting when this one was admitted (misses only).
+        let mut admitted_depth = 0usize;
+        let disposition = match self.cache.lookup(key) {
+            Lookup::Hit(output) => {
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.record_job("hit", "ok", 0, started);
+                return Response::Plan(PlanResponse {
+                    cache: "hit".to_owned(),
+                    key,
+                    name: output.name.clone(),
+                    report: output.report.clone(),
+                    assignment: output.assignment.clone(),
+                    seconds: started.elapsed().as_secs_f64(),
+                });
+            }
+            Lookup::Coalesced(_) => {
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                "coalesced"
+            }
+            Lookup::Miss => {
+                // This thread owns the pending entry: admit the job or
+                // fulfil the entry with the rejection so nobody blocks.
+                let timeout = spec
+                    .timeout_ms
+                    .map(Duration::from_millis)
+                    .or(self.default_timeout);
+                let rejection = {
+                    let mut pool = self.pool.lock().expect("pool poisoned");
+                    if pool.draining {
+                        Some(ServeError::new(
+                            ErrorKind::ShuttingDown,
+                            "the daemon is draining and accepts no new jobs",
+                        ))
+                    } else if pool.queue.len() >= self.queue_capacity {
+                        Some(ServeError::new(
+                            ErrorKind::QueueFull,
+                            format!(
+                                "the job queue is at capacity ({}); retry later",
+                                self.queue_capacity
+                            ),
+                        ))
+                    } else {
+                        admitted_depth = pool.queue.len();
+                        pool.queue.push_back(QueuedJob {
+                            spec,
+                            name,
+                            quadrant,
+                            key,
+                            deadline: timeout.map(|t| started + t),
+                        });
+                        None
+                    }
+                };
+                if let Some(error) = rejection {
+                    self.cache.fulfil(key, Err(error.clone()));
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.record_job("none", "rejected", self.queue_capacity, started);
+                    return Response::Error(error);
+                }
+                self.queue_signal.notify_one();
+                "miss"
+            }
+        };
+
+        let Some(waiter) = self.cache.waiter(key) else {
+            // Only reachable if the entry failed and was removed between
+            // our lookup and now; report it as the job failing.
+            self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            self.record_job(disposition, "error", admitted_depth, started);
+            return Response::Error(ServeError::new(
+                ErrorKind::JobFailed,
+                "the in-flight duplicate failed; retry",
+            ));
+        };
+        match waiter.wait() {
+            Ok(output) => {
+                self.record_job(disposition, "ok", admitted_depth, started);
+                Response::Plan(PlanResponse {
+                    cache: disposition.to_owned(),
+                    key,
+                    name: output.name.clone(),
+                    report: output.report.clone(),
+                    assignment: output.assignment.clone(),
+                    seconds: started.elapsed().as_secs_f64(),
+                })
+            }
+            Err(error) => {
+                let outcome = if error.kind == ErrorKind::Timeout {
+                    "timeout"
+                } else {
+                    "error"
+                };
+                self.record_job(disposition, outcome, admitted_depth, started);
+                Response::Error(error)
+            }
+        }
+    }
+
+    fn serve_request(&self, request: Request) -> Response {
+        match request {
+            Request::Plan(spec) => self.serve_plan(spec),
+            Request::Status => Response::Status(self.snapshot()),
+            Request::Shutdown => {
+                let already = {
+                    let mut pool = self.pool.lock().expect("pool poisoned");
+                    std::mem::replace(&mut pool.draining, true)
+                };
+                self.shutdown.store(true, Ordering::Relaxed);
+                if already {
+                    Response::Error(ServeError::new(
+                        ErrorKind::ShuttingDown,
+                        "the daemon is already draining",
+                    ))
+                } else {
+                    self.queue_signal.notify_all();
+                    Response::Shutdown
+                }
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut pool = self.pool.lock().expect("pool poisoned");
+                loop {
+                    if let Some(job) = pool.queue.pop_front() {
+                        break job;
+                    }
+                    if pool.draining {
+                        return;
+                    }
+                    let (p, _) = self
+                        .queue_signal
+                        .wait_timeout(pool, POLL_INTERVAL)
+                        .expect("pool poisoned");
+                    pool = p;
+                }
+            };
+            self.running.fetch_add(1, Ordering::Relaxed);
+            if let Some(stall) = self.worker_stall {
+                std::thread::sleep(stall);
+            }
+            let cancel = match job.deadline {
+                Some(deadline) => CancelToken::with_deadline(deadline),
+                None => CancelToken::new(),
+            };
+            let result = execute_job(&job.spec, &job.name, &job.quadrant, &cancel);
+            match &result {
+                Ok(_) => {
+                    self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind == ErrorKind::Timeout => {
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.cache.fulfil(job.key, result.map(Arc::new));
+            self.running.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = LineReader::new(read_half);
+        let mut writer = stream;
+        let mut draining_since: Option<Instant> = None;
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                let since = *draining_since.get_or_insert_with(Instant::now);
+                if since.elapsed() > SHUTDOWN_GRACE {
+                    return;
+                }
+            }
+            let response = match reader.next_frame() {
+                Ok(Frame::Idle) => continue,
+                Ok(Frame::Eof) => return,
+                Ok(Frame::Line(line)) => match decode_request(&line) {
+                    Ok(request) => self.serve_request(request),
+                    Err(error) => Response::Error(error),
+                },
+                // A peer that vanished mid-frame has nobody to answer.
+                Err(error) if error.kind == ErrorKind::Io => return,
+                Err(error) => Response::Error(error),
+            };
+            let mut frame = encode_response(&response);
+            frame.push('\n');
+            if writer.write_all(frame.as_bytes()).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running daemon. [`Server::run`] consumes it and
+/// blocks until a `shutdown` request drains the pool.
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the pool (no threads start until
+    /// [`Server::run`]). Use port `0` for an ephemeral port and read it
+    /// back from [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission, ...).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            workers,
+            queue_capacity: config.queue_capacity.max(1),
+            default_timeout: config.default_timeout,
+            worker_stall: config.worker_stall,
+            cache: ResultCache::new(),
+            pool: Mutex::new(PoolState::default()),
+            queue_signal: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            running: AtomicU32::new(0),
+            counters: Counters::default(),
+            events: Mutex::new(TraceBuffer::new()),
+        });
+        Ok(Self { listener, inner })
+    }
+
+    /// The bound address (the actual port when bound to port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket error.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon until a client sends `shutdown`: accepts
+    /// connections, serves requests, then drains the queue, joins every
+    /// thread, and returns the lifetime summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener failures; per-connection errors are handled
+    /// in their handler threads and never abort the daemon.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        self.listener.set_nonblocking(true)?;
+        let mut pool = Vec::with_capacity(self.inner.workers);
+        for index in 0..self.inner.workers {
+            let inner = Arc::clone(&self.inner);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("copack-serve-worker-{index}"))
+                    .spawn(move || inner.worker_loop())?,
+            );
+        }
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.inner.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(false);
+                    let inner = Arc::clone(&self.inner);
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("copack-serve-conn".to_owned())
+                            .spawn(move || inner.handle_connection(stream))?,
+                    );
+                    handlers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: workers finish the queue (their loop only exits on an
+        // empty queue + shutdown), handlers get the grace window.
+        self.inner.queue_signal.notify_all();
+        for worker in pool {
+            let _ = worker.join();
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        let status = self.inner.snapshot();
+        let mut events: Vec<Event> = self
+            .inner
+            .events
+            .lock()
+            .expect("event buffer poisoned")
+            .events()
+            .to_vec();
+        events.push(Event::ServePool {
+            workers: status.workers,
+            queue_capacity: status.queue_capacity,
+            submitted: status.submitted,
+            completed: status.completed,
+            cache_hits: status.cache_hits,
+            coalesced: status.coalesced,
+            rejected: status.rejected,
+            timeouts: status.timeouts,
+        });
+        Ok(ServeSummary { status, events })
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end pool semantics: cache-hit bit-identity with the local
+//! executor, explicit backpressure, duplicate coalescing, and wall-clock
+//! timeouts.
+
+mod support;
+
+use copack_core::CancelToken;
+use copack_io::parse_quadrant;
+use copack_obs::Event;
+use copack_serve::{execute_job, ErrorKind, JobSpec, ServeConfig};
+use std::time::Duration;
+use support::{circuit_text, wait_for_status, TestServer};
+
+#[test]
+fn a_repeated_job_is_a_cache_hit_with_bit_identical_bytes() {
+    let server = TestServer::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let spec = JobSpec {
+        exchange: true,
+        psi: 2,
+        ..JobSpec::new(circuit_text(1))
+    };
+
+    // What the one-shot pipeline produces locally, same executor.
+    let (name, quadrant) = parse_quadrant(&spec.circuit).expect("circuit parses");
+    let local =
+        execute_job(&spec, &name, &quadrant, &CancelToken::new()).expect("local run succeeds");
+
+    let mut client = server.client();
+    let first = client.plan(&spec).expect("first submission plans");
+    let second = client.plan(&spec).expect("second submission plans");
+
+    assert_eq!(first.cache, "miss");
+    assert_eq!(second.cache, "hit");
+    assert_eq!(first.key, second.key);
+
+    // Determinism across the service boundary: daemon bytes == local
+    // bytes, and the hit replays the miss exactly.
+    assert_eq!(first.assignment, local.assignment);
+    assert_eq!(second.assignment, first.assignment);
+    assert_eq!(first.report, local.report);
+    assert_eq!(second.report, first.report);
+
+    let summary = server.shutdown_and_join();
+    assert_eq!(summary.status.submitted, 2);
+    assert_eq!(summary.status.completed, 1, "the hit ran nothing");
+    assert_eq!(summary.status.cache_hits, 1);
+}
+
+#[test]
+fn a_saturated_queue_rejects_with_a_typed_backpressure_error() {
+    // One stalled worker + a one-slot queue: the third distinct job must
+    // be rejected, not buffered.
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        worker_stall: Some(Duration::from_millis(600)),
+        ..ServeConfig::default()
+    });
+
+    let addr = server.addr;
+    let submit = |n: usize| {
+        std::thread::spawn(move || {
+            let mut client = copack_serve::Client::connect(addr).expect("connect");
+            client.plan(&JobSpec::new(circuit_text(n)))
+        })
+    };
+
+    let mut monitor = server.client();
+    let job_a = submit(1);
+    wait_for_status(&mut monitor, "job A to occupy the worker", |s| {
+        s.running == 1
+    });
+    let job_b = submit(2);
+    wait_for_status(&mut monitor, "job B to occupy the queue slot", |s| {
+        s.queued == 1
+    });
+
+    // Queue full: an immediate typed rejection.
+    let mut client = server.client();
+    let err = client
+        .plan(&JobSpec::new(circuit_text(3)))
+        .expect_err("third distinct job is rejected");
+    assert_eq!(err.kind, ErrorKind::QueueFull);
+
+    // The admitted jobs still complete normally.
+    let a = job_a.join().expect("no panic").expect("job A completes");
+    let b = job_b.join().expect("no panic").expect("job B completes");
+    assert_eq!(a.cache, "miss");
+    assert_eq!(b.cache, "miss");
+
+    let summary = server.shutdown_and_join();
+    assert_eq!(summary.status.rejected, 1);
+    assert_eq!(summary.status.completed, 2);
+    assert!(summary
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::ServeJob { outcome, .. } if outcome == "rejected")));
+}
+
+#[test]
+fn concurrent_duplicates_coalesce_onto_one_computation() {
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        worker_stall: Some(Duration::from_millis(600)),
+        ..ServeConfig::default()
+    });
+    let spec = JobSpec::new(circuit_text(2));
+
+    let addr = server.addr;
+    let first = {
+        let spec = spec.clone();
+        std::thread::spawn(move || {
+            let mut client = copack_serve::Client::connect(addr).expect("connect");
+            client.plan(&spec)
+        })
+    };
+    // Only submit the duplicate once the original is demonstrably in
+    // flight (the stalled worker holds it for 600 ms).
+    let mut monitor = server.client();
+    wait_for_status(&mut monitor, "the original to start executing", |s| {
+        s.running == 1
+    });
+
+    let mut client = server.client();
+    let duplicate = client.plan(&spec).expect("duplicate completes");
+    let original = first.join().expect("no panic").expect("original completes");
+
+    assert_eq!(original.cache, "miss");
+    assert_eq!(duplicate.cache, "coalesced");
+    assert_eq!(duplicate.key, original.key);
+    assert_eq!(duplicate.assignment, original.assignment);
+
+    let summary = server.shutdown_and_join();
+    assert_eq!(summary.status.completed, 1, "one computation served both");
+    assert_eq!(summary.status.coalesced, 1);
+    assert_eq!(summary.status.cache_hits, 0);
+}
+
+#[test]
+fn a_job_over_its_wall_clock_budget_times_out_and_can_be_retried() {
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        // The stall eats the whole budget before execution starts, so
+        // the cooperative token fires deterministically.
+        worker_stall: Some(Duration::from_millis(300)),
+        ..ServeConfig::default()
+    });
+    let spec = JobSpec {
+        exchange: true,
+        timeout_ms: Some(50),
+        ..JobSpec::new(circuit_text(1))
+    };
+
+    let mut client = server.client();
+    let err = client.plan(&spec).expect_err("budget exceeded");
+    assert_eq!(err.kind, ErrorKind::Timeout);
+
+    // Timeouts are not cached: the retry gets a fresh miss (and with a
+    // sane budget, completes).
+    let retry = client
+        .plan(&JobSpec {
+            timeout_ms: Some(30_000),
+            ..spec
+        })
+        .expect("retry with a real budget completes");
+    assert_eq!(retry.cache, "miss");
+
+    let summary = server.shutdown_and_join();
+    assert_eq!(summary.status.timeouts, 1);
+    assert_eq!(summary.status.completed, 1);
+    assert!(summary
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::ServeJob { outcome, .. } if outcome == "timeout")));
+}
+
+#[test]
+fn the_summary_closes_with_a_pool_event_that_matches_the_counters() {
+    let server = TestServer::start(ServeConfig {
+        workers: 3,
+        queue_capacity: 7,
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+    for n in [1, 1, 2] {
+        client.plan(&JobSpec::new(circuit_text(n))).expect("plans");
+    }
+
+    let summary = server.shutdown_and_join();
+    let Some(Event::ServePool {
+        workers,
+        queue_capacity,
+        submitted,
+        completed,
+        cache_hits,
+        ..
+    }) = summary.events.last()
+    else {
+        panic!("the last event must be the pool summary");
+    };
+    assert_eq!(*workers, 3);
+    assert_eq!(*queue_capacity, 7);
+    assert_eq!(*submitted, 3);
+    assert_eq!(*completed, 2);
+    assert_eq!(*cache_hits, 1);
+    // One ServeJob per plan request precedes it.
+    let jobs = summary
+        .events
+        .iter()
+        .filter(|e| matches!(e, Event::ServeJob { .. }))
+        .count();
+    assert_eq!(jobs, 3);
+}

@@ -1,0 +1,75 @@
+//! Shared scaffolding for the serve integration tests: an in-process
+//! daemon on an ephemeral port plus Table 1 circuit texts.
+//!
+//! Each integration test binary compiles this module independently and
+//! uses a different subset of it.
+#![allow(dead_code)]
+
+use copack_serve::{Client, ServeConfig, ServeSummary, Server};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// A daemon running on its own thread, bound to an ephemeral port.
+pub struct TestServer {
+    /// The bound address to connect clients to.
+    pub addr: SocketAddr,
+    handle: std::thread::JoinHandle<std::io::Result<ServeSummary>>,
+}
+
+impl TestServer {
+    /// Binds and runs a daemon with the given pool configuration.
+    pub fn start(config: ServeConfig) -> Self {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound address");
+        let handle = std::thread::spawn(move || server.run());
+        Self { addr, handle }
+    }
+
+    /// A fresh connection to the daemon.
+    pub fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connect to test daemon")
+    }
+
+    /// Sends `shutdown` on a fresh connection and joins the daemon.
+    pub fn shutdown_and_join(self) -> ServeSummary {
+        self.client().shutdown().expect("clean shutdown");
+        self.join()
+    }
+
+    /// Joins the daemon (something else already initiated shutdown).
+    pub fn join(self) -> ServeSummary {
+        self.handle
+            .join()
+            .expect("daemon thread must not panic")
+            .expect("daemon run must not fail")
+    }
+}
+
+/// The `.copack` text of Table 1 circuit `n` (1-based).
+pub fn circuit_text(n: usize) -> String {
+    let circuit = copack_gen::circuit(n);
+    let quadrant = circuit.build_quadrant().expect("Table 1 circuits build");
+    copack_io::write_quadrant(&circuit.name, &quadrant)
+}
+
+/// Polls `predicate` against fresh status snapshots until it holds, or
+/// panics after two seconds — used to sequence concurrent submissions
+/// deterministically.
+pub fn wait_for_status(
+    client: &mut Client,
+    what: &str,
+    predicate: impl Fn(&copack_serve::StatusSnapshot) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let status = client.status().expect("status while waiting");
+        if predicate(&status) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last status: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}

@@ -12,6 +12,10 @@
 //! copack check <circuit>                   run the five invariant oracles
 //! copack fuzz [--budget-secs N]            fuzz the oracles over generated
 //!                                          instances, shrinking failures
+//! copack serve [--addr HOST:PORT]          run the resident planning daemon
+//! copack submit <circuit>                  plan one circuit via the daemon
+//! copack batch <dir>                       plan every circuit in a directory
+//! copack shutdown                          drain and stop the daemon
 //! ```
 
 use std::fmt::Write as _;
@@ -30,6 +34,7 @@ use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadra
 use copack_obs::{Event, JsonlSink, NoopRecorder, Recorder, TraceBuffer, TraceSummary};
 use copack_power::GridSpec;
 use copack_route::{analyze, balanced_density_map, DensityModel};
+use copack_serve::{pool_metrics_text, Client, JobSpec, PlanResponse, ServeConfig, Server};
 use copack_viz::{density_histogram, routing_ascii, routing_svg, trace_sparklines};
 
 /// Usage text printed for `--help` or argument errors.
@@ -69,10 +74,43 @@ USAGE:
       minimal reproducer — written to DIR with --corpus — and the run
       exits non-zero.
 
-  Telemetry (plan, ir, check, fuzz): --trace FILE streams the run's
-  events as JSON lines; --metrics appends a summary block with
-  sparklines. Neither flag changes the computed result.
+  copack serve [--addr HOST:PORT] [--workers N] [--queue N]
+               [--timeout-secs N] [--port-file FILE] [--trace FILE]
+               [--metrics]
+      Run the resident planning daemon: jobs arrive as JSON lines over a
+      local TCP socket, run on a bounded worker pool, and identical
+      submissions are answered from a content-addressed result cache.
+      Prints `listening on ADDR` once bound (use --addr with port 0 and
+      --port-file to discover an ephemeral port), then blocks until a
+      client sends shutdown. --queue bounds the job queue (a full queue
+      rejects with a typed backpressure error); --timeout-secs is the
+      default per-job wall-clock budget (0 = unlimited).
+
+  copack submit <circuit-file> [--addr HOST:PORT] [--method dfa|ifa|random]
+                [--seed N] [--slack N] [--exchange] [--psi N] [--xseed N]
+                [--timeout-ms N] [--out FILE]
+      Submit one planning job to a running daemon and print its report.
+      The planning flags mirror `copack plan`; --xseed seeds the exchange
+      pass, --timeout-ms overrides the daemon's default budget. --out
+      writes the assignment file (byte-identical to `copack plan --out`).
+
+  copack batch <dir> [--addr HOST:PORT] [planning flags as submit]
+      Submit every `*.copack` file in <dir> to the daemon concurrently
+      and print a per-job verdict table; exits non-zero if any job
+      fails or times out.
+
+  copack shutdown [--addr HOST:PORT]
+      Ask the daemon to drain its queue and stop.
+
+  Telemetry (plan, ir, check, fuzz, serve): --trace FILE streams the
+  run's events as JSON lines; --metrics appends a summary block (for
+  serve: queue depth, cache hit rate, p50/p99 latency). Neither flag
+  changes the computed result.
 ";
+
+/// Where the daemon listens (and clients connect) unless `--addr` says
+/// otherwise.
+const DEFAULT_ADDR: &str = "127.0.0.1:46071";
 
 /// Runs the CLI on pre-split arguments (without the program name) and
 /// returns the text to print.
@@ -90,6 +128,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("ir") => cmd_ir(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -101,7 +143,7 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 12] = [
+const VALUED: [&str; 19] = [
     "--out",
     "--svg",
     "--method",
@@ -114,6 +156,13 @@ const VALUED: [&str; 12] = [
     "--budget-secs",
     "--cases",
     "--corpus",
+    "--addr",
+    "--workers",
+    "--queue",
+    "--timeout-secs",
+    "--port-file",
+    "--xseed",
+    "--timeout-ms",
 ];
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -554,6 +603,212 @@ fn cmd_fuzz(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// Builds a daemon job spec from `submit`/`batch`'s planning flags (the
+/// same vocabulary as `copack plan`).
+fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, String> {
+    let seed = opts.num("seed", 42u64)?;
+    let slack = opts.num("slack", 1u32)?;
+    let method = match opts.value("method").unwrap_or("dfa") {
+        "dfa" => AssignMethod::Dfa { slack },
+        "ifa" => AssignMethod::Ifa,
+        "random" => AssignMethod::Random { seed },
+        other => return Err(format!("unknown method `{other}` (dfa|ifa|random)")),
+    };
+    let psi = opts.num("psi", 1u8)?;
+    if psi == 0 {
+        return Err("--psi expects at least 1 tier".to_owned());
+    }
+    let timeout_ms = match opts.value("timeout-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--timeout-ms expects a number, got `{v}`"))?,
+        ),
+    };
+    Ok(JobSpec {
+        circuit,
+        method,
+        exchange: opts.flag("exchange").is_some(),
+        psi,
+        exchange_seed: opts.num("xseed", ExchangeConfig::default().seed)?,
+        timeout_ms,
+    })
+}
+
+fn connect_daemon(opts: &Options) -> Result<(String, Client), String> {
+    let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR).to_owned();
+    let client = Client::connect(&addr)
+        .map_err(|e| format!("no daemon at {addr} ({e}); start one with `copack serve`"))?;
+    Ok((addr, client))
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    if !opts.positional.is_empty() {
+        return Err(format!("serve takes only flags\n\n{USAGE}"));
+    }
+    let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR);
+    let timeout_secs = opts.num("timeout-secs", 30u64)?;
+    let config = ServeConfig {
+        workers: opts.num("workers", 0usize)?,
+        queue_capacity: opts.num("queue", 64usize)?,
+        default_timeout: (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs)),
+        worker_stall: None,
+    };
+    let trace = opts.value("trace").map(str::to_owned);
+    let metrics = opts.flag("metrics").is_some();
+
+    let server = Server::bind(addr, config).map_err(|e| format!("{addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // Announce the bound address *before* blocking in the accept loop,
+    // so scripts (and the CI smoke test) can connect; `run` only
+    // returns after a client sends shutdown.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    maybe_write(
+        opts.value("port-file"),
+        &format!("{}\n", local.port()),
+        &mut String::new(),
+    )?;
+
+    let summary = server.run().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let s = &summary.status;
+    let _ = writeln!(
+        out,
+        "served {} jobs: {} completed, {} cache hits, {} coalesced, {} rejected, {} timeouts",
+        s.submitted, s.completed, s.cache_hits, s.coalesced, s.rejected, s.timeouts
+    );
+    if let Some(path) = trace {
+        let mut sink = JsonlSink::create(Path::new(&path)).map_err(|e| format!("{path}: {e}"))?;
+        for event in &summary.events {
+            sink.record(event);
+        }
+        match sink.finish() {
+            Ok(_) => {
+                let _ = writeln!(out, "wrote {path} ({} events)", summary.events.len());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "warning: trace file {path} is incomplete: {e}");
+            }
+        }
+    }
+    if metrics {
+        out.push_str(&pool_metrics_text(&summary.events));
+    }
+    Ok(out)
+}
+
+fn cmd_submit(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(format!("submit expects one circuit file\n\n{USAGE}"));
+    };
+    let circuit = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = job_spec_from_options(&opts, circuit)?;
+    let (_, mut client) = connect_daemon(&opts)?;
+    let plan = client.plan(&spec).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: cache {} (key {:016x})", plan.cache, plan.key);
+    out.push_str(&plan.report);
+    maybe_write(opts.value("out"), &plan.assignment, &mut out)?;
+    Ok(out)
+}
+
+fn cmd_batch(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [dir] = opts.positional.as_slice() else {
+        return Err(format!("batch expects one directory\n\n{USAGE}"));
+    };
+    let mut files: Vec<String> = fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(Result::ok)
+        .filter(|entry| entry.path().extension().is_some_and(|ext| ext == "copack"))
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("{dir}: no .copack files to plan"));
+    }
+
+    let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR).to_owned();
+    // One connection per job, submitted concurrently: this is what
+    // exercises the daemon's pool, backpressure, and coalescing.
+    let jobs: Vec<(
+        String,
+        std::thread::JoinHandle<Result<PlanResponse, String>>,
+    )> = files
+        .iter()
+        .map(|file| {
+            let path = Path::new(dir).join(file);
+            let circuit = fs::read_to_string(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))
+                .and_then(|text| job_spec_from_options(&opts, text));
+            let addr = addr.clone();
+            let handle = std::thread::spawn(move || {
+                let spec = circuit?;
+                let mut client =
+                    Client::connect(&addr).map_err(|e| format!("no daemon at {addr} ({e})"))?;
+                client.plan(&spec).map_err(|e| e.to_string())
+            });
+            (file.clone(), handle)
+        })
+        .collect();
+
+    // Render the same verdict-table shape `copack check` prints.
+    let results: Vec<(String, Result<PlanResponse, String>)> = jobs
+        .into_iter()
+        .map(|(file, handle)| {
+            let result = handle
+                .join()
+                .unwrap_or_else(|_| Err("job thread panicked".to_owned()));
+            (file, result)
+        })
+        .collect();
+    let passed = results.iter().filter(|(_, r)| r.is_ok()).count();
+    let width = results
+        .iter()
+        .map(|(file, _)| file.len())
+        .max()
+        .unwrap_or(0)
+        .max("job".len());
+    let mut out = String::new();
+    let _ = writeln!(out, "{dir}: {passed}/{} jobs passed", results.len());
+    let _ = writeln!(out, "  {:width$}  verdict  detail", "job");
+    for (file, result) in &results {
+        match result {
+            Ok(plan) => {
+                let detail = plan.report.lines().next().unwrap_or("").to_owned();
+                let _ = writeln!(
+                    out,
+                    "  {file:width$}  {:7}  cache {}; {detail}",
+                    "PASS", plan.cache
+                );
+            }
+            Err(message) => {
+                let _ = writeln!(out, "  {file:width$}  {:7}  {message}", "FAIL");
+            }
+        }
+    }
+    if passed == results.len() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    if !opts.positional.is_empty() {
+        return Err(format!("shutdown takes only flags\n\n{USAGE}"));
+    }
+    let (addr, mut client) = connect_daemon(&opts)?;
+    client.shutdown().map_err(|e| format!("{addr}: {e}"))?;
+    Ok(format!("daemon at {addr} is draining\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +847,39 @@ mod tests {
         assert!(run(&s(&["--help"])).unwrap().contains("USAGE"));
         assert!(run(&[]).unwrap().contains("USAGE"));
         assert!(run(&s(&["frob"])).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn serving_verbs_validate_their_arguments() {
+        assert!(run(&s(&["serve", "stray"]))
+            .unwrap_err()
+            .contains("serve takes only flags"));
+        assert!(run(&s(&["submit"]))
+            .unwrap_err()
+            .contains("submit expects one circuit file"));
+        assert!(run(&s(&["batch"]))
+            .unwrap_err()
+            .contains("batch expects one directory"));
+        assert!(run(&s(&["shutdown", "stray"]))
+            .unwrap_err()
+            .contains("shutdown takes only flags"));
+
+        // A directory without circuits is an error, not an empty table.
+        let dir = TestDir::new("empty_batch");
+        let err = run(&s(&["batch", dir.0.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("no .copack files"), "error: {err}");
+
+        // Planning-flag validation happens before any connection.
+        let circuit = dir.path("c.copack");
+        fs::write(&circuit, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let err = run(&s(&[
+            "submit",
+            circuit.to_str().unwrap(),
+            "--method",
+            "magic",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown method"), "error: {err}");
     }
 
     #[test]
