@@ -1,0 +1,169 @@
+//! Machine-readable portfolio-annealing benchmark: for every Table 1
+//! circuit, sweep the portfolio width (quality vs. starts at a fixed
+//! thread count) and the worker count (wall clock vs. threads at a fixed
+//! width), asserting the two structural guarantees along the way — the
+//! K-start winner is never worse than the single start it contains, and
+//! the winner is bit-identical for every thread count. Writes the curves
+//! to `BENCH_portfolio.json` for tracking across commits.
+//!
+//! Run with `cargo run --release -p copack-bench --bin bench_portfolio`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use copack_core::{
+    assign, exchange_portfolio, AssignMethod, ExchangeConfig, PortfolioConfig, Schedule,
+};
+use copack_gen::circuits;
+use copack_geom::{Assignment, Quadrant, StackConfig};
+
+/// Portfolio widths for the quality sweep (K = 1 is the plain-exchange
+/// baseline).
+const WIDTHS: [u32; 4] = [1, 2, 4, 8];
+
+/// Worker counts for the wall-clock sweep (at the widest portfolio).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A deliberately starved schedule: with this little annealing budget a
+/// single start routinely stalls in a local minimum, which is exactly
+/// the regime where portfolio width pays (and the sweep stays fast
+/// enough to run five circuits times twelve configurations).
+fn bench_config() -> ExchangeConfig {
+    ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 1,
+            final_temp_ratio: 5e-2,
+            cooling: 0.7,
+            ..Schedule::default()
+        },
+        ..ExchangeConfig::default()
+    }
+}
+
+/// One portfolio run's measurements.
+struct Sample {
+    starts: u32,
+    threads: usize,
+    winner_start: u32,
+    cost: f64,
+    pruned: usize,
+    wall_seconds: f64,
+}
+
+fn run_portfolio(quadrant: &Quadrant, initial: &Assignment, starts: u32, threads: usize) -> Sample {
+    let portfolio = PortfolioConfig {
+        starts,
+        threads,
+        ..PortfolioConfig::default()
+    };
+    let t = Instant::now();
+    let won = exchange_portfolio(
+        quadrant,
+        initial,
+        &StackConfig::planar(),
+        &bench_config(),
+        &portfolio,
+    )
+    .expect("portfolio runs");
+    Sample {
+        starts,
+        threads,
+        winner_start: won.winner_start,
+        cost: won.result.stats.final_cost,
+        pruned: won.pruned(),
+        wall_seconds: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn json_sample(out: &mut String, sample: &Sample) {
+    let _ = write!(
+        out,
+        "{{\"starts\": {}, \"threads\": {}, \"winner_start\": {}, \"cost\": {:.6}, \
+         \"pruned\": {}, \"wall_seconds\": {:.6}}}",
+        sample.starts,
+        sample.threads,
+        sample.winner_start,
+        sample.cost,
+        sample.pruned,
+        sample.wall_seconds
+    );
+}
+
+fn main() {
+    let mut json = String::from("{\n  \"benchmark\": \"portfolio\",\n  \"circuits\": [\n");
+    // Circuits run serially so the wall-clock sweep measures the
+    // portfolio's own threading, not cross-circuit contention.
+    for (i, circuit) in circuits().iter().enumerate() {
+        let quadrant = circuit.build_quadrant().expect("circuit builds");
+        let initial = assign(&quadrant, AssignMethod::dfa_default()).expect("dfa");
+
+        // Quality vs. starts at one worker: how much does width buy?
+        let quality: Vec<Sample> = WIDTHS
+            .iter()
+            .map(|&k| run_portfolio(&quadrant, &initial, k, 1))
+            .collect();
+        let baseline = quality[0].cost;
+        let widest = quality.last().expect("non-empty sweep");
+        assert!(
+            widest.cost <= baseline,
+            "{}: K={} winner ({:.6}) worse than single start ({:.6})",
+            circuit.name,
+            widest.starts,
+            widest.cost,
+            baseline
+        );
+
+        // Wall clock vs. threads at the widest portfolio; the winner must
+        // not move.
+        let scaling: Vec<Sample> = THREADS
+            .iter()
+            .map(|&t| run_portfolio(&quadrant, &initial, *WIDTHS.last().expect("widths"), t))
+            .collect();
+        for s in &scaling {
+            assert!(
+                s.cost.to_bits() == scaling[0].cost.to_bits()
+                    && s.winner_start == scaling[0].winner_start,
+                "{}: winner changed under --threads {}",
+                circuit.name,
+                s.threads
+            );
+        }
+
+        println!(
+            "{}: K=1 cost {:.4} -> K=8 cost {:.4} (winner start {}, {} pruned); \
+             1 thread {:.3} s -> {} threads {:.3} s",
+            circuit.name,
+            baseline,
+            widest.cost,
+            widest.winner_start,
+            widest.pruned,
+            scaling[0].wall_seconds,
+            scaling.last().expect("non-empty sweep").threads,
+            scaling.last().expect("non-empty sweep").wall_seconds,
+        );
+
+        let _ = write!(json, "    {{\"name\": \"{}\",\n", circuit.name);
+        json.push_str("     \"quality_vs_starts\": [");
+        for (j, s) in quality.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            json_sample(&mut json, s);
+        }
+        json.push_str("],\n     \"wall_clock_vs_threads\": [");
+        for (j, s) in scaling.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            json_sample(&mut json, s);
+        }
+        json.push_str("]}");
+        if i + 1 < circuits().len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_portfolio.json", &json).expect("write BENCH_portfolio.json");
+    println!("wrote BENCH_portfolio.json");
+}

@@ -32,8 +32,8 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate_ir, omega_of_assignment, CancelToken, CoreError, DeltaIrTracker, ExchangeConfig,
-    IrObjective, OmegaTracker, SectionTracker,
+    evaluate_ir, omega_of_assignment, Acceptance, CancelToken, CoreError, CostWeights,
+    DeltaIrTracker, ExchangeConfig, IrObjective, OmegaTracker, SectionTracker,
 };
 
 /// How many proposals the kernel lets pass between cancellation polls
@@ -258,203 +258,369 @@ pub fn exchange_cancellable(
     recorder: &mut dyn Recorder,
     cancel: &CancelToken,
 ) -> Result<ExchangeResult, CoreError> {
-    if !config.weights.is_valid() {
-        return Err(CoreError::BadConfig {
-            parameter: "weights",
-        });
-    }
-    if !config.schedule.is_valid() {
-        return Err(CoreError::BadConfig {
-            parameter: "schedule",
-        });
-    }
-    check_monotonic(quadrant, initial)?;
-    initial.validate_complete(quadrant)?;
+    let mut driver = ExchangeDriver::new(quadrant, initial, stack, config, recorder)?;
+    driver.run_to_end(recorder, cancel)?;
+    driver.finish(recorder)
+}
 
-    let psi = stack.tiers;
-    let movable = movable_nets(quadrant, psi);
-    if movable.is_empty() {
-        return Err(CoreError::NoMovablePads);
-    }
+/// Resumable state of one annealing run: the incremental kernel hoisted
+/// into a struct so the schedule can be advanced in segments.
+///
+/// [`exchange_cancellable`] drives a driver straight to completion —
+/// construction, every temperature step and the final rematerialisation
+/// execute the exact statements of the former inline implementation, in
+/// the same order, so results stay bit-identical to the pre-refactor
+/// kernel (and to [`exchange_reference`] under the `Proxy` objective).
+/// The multi-start portfolio (`crate::portfolio`) instead advances K
+/// drivers epoch by epoch: pausing between [`ExchangeDriver::temp_step`]
+/// calls touches no RNG or cost state, which is what makes sync-epoch
+/// prune decisions schedule-independent.
+pub(crate) struct ExchangeDriver<'a> {
+    quadrant: &'a Quadrant,
+    /// A private copy of the initial order, kept for the final
+    /// journal replay.
+    initial: Assignment,
+    weights: CostWeights,
+    acceptance: Acceptance,
+    cooling: f64,
+    psi: u8,
+    alpha: usize,
+    ids: Vec<NetId>,
+    movable_idx: Vec<usize>,
+    cache: RangeCache,
+    pos1: Vec<u32>,
+    slot_net: Vec<Option<usize>>,
+    sections: SectionTracker,
+    is_delim: Vec<bool>,
+    id_value: u32,
+    omega_tracker: Option<OmegaTracker>,
+    live: Option<Assignment>,
+    ir: IrEval,
+    rng: rand::rngs::StdRng,
+    ir_term: f64,
+    current_cost: f64,
+    temperature: f64,
+    final_temp: f64,
+    moves_per_temp: usize,
+    stats: ExchangeStats,
+    rec_on: bool,
+    rec_rejected: bool,
+    journal: Vec<(u32, u32)>,
+    best_len: usize,
+    best_cost: f64,
+}
 
-    let alpha = initial.finger_count();
+impl<'a> ExchangeDriver<'a> {
+    /// Validates the inputs, builds every incremental tracker, computes
+    /// the initial cost and temperature, and records `RunStart`.
+    ///
+    /// The recorder's `enabled`/`wants_rejected` flags are cached here,
+    /// once — exactly as the inline kernel cached them at startup.
+    ///
+    /// # Errors
+    ///
+    /// As [`exchange`].
+    pub(crate) fn new(
+        quadrant: &'a Quadrant,
+        initial: &Assignment,
+        stack: &StackConfig,
+        config: &ExchangeConfig,
+        recorder: &mut dyn Recorder,
+    ) -> Result<Self, CoreError> {
+        if !config.weights.is_valid() {
+            return Err(CoreError::BadConfig {
+                parameter: "weights",
+            });
+        }
+        if !config.schedule.is_valid() {
+            return Err(CoreError::BadConfig {
+                parameter: "schedule",
+            });
+        }
+        check_monotonic(quadrant, initial)?;
+        initial.validate_complete(quadrant)?;
 
-    // Dense net indexing (quadrant id order) and flat position state: the
-    // inner loop never touches the assignment's `BTreeMap`.
-    let mut cache = RangeCache::new(quadrant, initial)?;
-    let ids: Vec<NetId> = quadrant.nets().map(|n| n.id).collect();
-    let movable_idx: Vec<usize> = movable
-        .iter()
-        .map(|&n| cache.index_of(n).expect("movable net is in the quadrant"))
-        .collect();
-    let mut pos1: Vec<u32> = vec![0; ids.len()];
-    let mut slot_net: Vec<Option<usize>> = vec![None; alpha];
-    for (i, &id) in ids.iter().enumerate() {
-        let p = initial
-            .position_of(id)
-            .expect("assignment validated complete");
-        pos1[i] = p.get();
-        slot_net[p.zero_based()] = Some(i);
-    }
+        let psi = stack.tiers;
+        let movable = movable_nets(quadrant, psi);
+        if movable.is_empty() {
+            return Err(CoreError::NoMovablePads);
+        }
 
-    // Incremental trackers: an adjacent swap moves one net across at most
-    // one section delimiter, touches at most two omega groups and moves at
-    // most one power pad, so every Eq. 3 term updates in O(1) (see
-    // `tracker.rs`; equivalence to the from-scratch definitions is
-    // property-tested there). Omega falls back to recomputation for
-    // sparse assignments, which the tracker does not model.
-    let mut sections = SectionTracker::new(quadrant, initial)?;
-    // ID bookkeeping: the value is an integer (no float-ordering hazard),
-    // and it only changes when a net crosses a section delimiter — which
-    // requires one of the swapped nets to be a top-row net. Pre-resolving
-    // delimiter-ness lets the hot loop skip the tracker entirely for the
-    // common within-section swap, and `id_value` caches the O(sections)
-    // metric between crossings.
-    let is_delim: Vec<bool> = ids.iter().map(|&id| sections.is_delimiter(id)).collect();
-    let mut id_value = sections.increased_density();
-    let dense = initial.net_count() == alpha;
-    let mut omega_tracker = if psi > 1 && dense {
-        Some(OmegaTracker::new(quadrant, initial, psi)?)
-    } else {
-        None
-    };
-    // The omega fallback is the one consumer that still needs a live
-    // assignment per move; everything else runs on the flat arrays.
-    let mut live: Option<Assignment> =
-        if psi > 1 && config.weights.phi > 0.0 && omega_tracker.is_none() {
-            Some(initial.clone())
+        let alpha = initial.finger_count();
+
+        // Dense net indexing (quadrant id order) and flat position state:
+        // the inner loop never touches the assignment's `BTreeMap`.
+        let cache = RangeCache::new(quadrant, initial)?;
+        let ids: Vec<NetId> = quadrant.nets().map(|n| n.id).collect();
+        let movable_idx: Vec<usize> = movable
+            .iter()
+            .map(|&n| cache.index_of(n).expect("movable net is in the quadrant"))
+            .collect();
+        let mut pos1: Vec<u32> = vec![0; ids.len()];
+        let mut slot_net: Vec<Option<usize>> = vec![None; alpha];
+        for (i, &id) in ids.iter().enumerate() {
+            let p = initial
+                .position_of(id)
+                .expect("assignment validated complete");
+            pos1[i] = p.get();
+            slot_net[p.zero_based()] = Some(i);
+        }
+
+        // Incremental trackers: an adjacent swap moves one net across at
+        // most one section delimiter, touches at most two omega groups and
+        // moves at most one power pad, so every Eq. 3 term updates in O(1)
+        // (see `tracker.rs`; equivalence to the from-scratch definitions
+        // is property-tested there). Omega falls back to recomputation for
+        // sparse assignments, which the tracker does not model.
+        let sections = SectionTracker::new(quadrant, initial)?;
+        // ID bookkeeping: the value is an integer (no float-ordering
+        // hazard), and it only changes when a net crosses a section
+        // delimiter — which requires one of the swapped nets to be a
+        // top-row net. Pre-resolving delimiter-ness lets the hot loop skip
+        // the tracker entirely for the common within-section swap, and
+        // `id_value` caches the O(sections) metric between crossings.
+        let is_delim: Vec<bool> = ids.iter().map(|&id| sections.is_delimiter(id)).collect();
+        let id_value = sections.increased_density();
+        let dense = initial.net_count() == alpha;
+        let omega_tracker = if psi > 1 && dense {
+            Some(OmegaTracker::new(quadrant, initial, psi)?)
         } else {
             None
         };
-    let mut ir = if config.weights.lambda > 0.0 {
-        match &config.ir_objective {
-            IrObjective::Proxy => IrEval::Proxy(DeltaIrTracker::new(quadrant, initial)?),
-            IrObjective::FullSolve { grid } => IrEval::Full {
-                grid: grid.clone(),
-                power_idx: quadrant
-                    .nets_of_kind(NetKind::Power)
-                    .map(|n| cache.index_of(n).expect("power net is in the quadrant"))
-                    .collect(),
-                alpha: alpha as f64,
-                warm: None,
-                pending: None,
-            },
-        }
-    } else {
-        IrEval::Off
-    };
-
-    // Eq. 3, term by term in the reference order (the additions must
-    // associate identically for bit-equal costs). The λ·Δ_IR term comes
-    // in pre-computed: it is the only float-valued term, and it is cached
-    // across moves that leave the pad coordinates untouched — reusing the
-    // identical f64 instead of re-deriving it keeps bit-equality trivially
-    // intact.
-    let eval_cost = |ir_term: f64,
-                     id: u32,
-                     omega_tracker: &Option<OmegaTracker>,
-                     live: &Option<Assignment>|
-     -> Result<f64, CoreError> {
-        let mut cost = 0.0;
-        if config.weights.lambda > 0.0 {
-            cost += ir_term;
-        }
-        if config.weights.rho > 0.0 {
-            cost += config.weights.rho * f64::from(id);
-        }
-        if config.weights.phi > 0.0 && psi > 1 {
-            let omega = match omega_tracker {
-                Some(tracker) => tracker.omega(),
-                None => {
-                    let a = live.as_ref().expect("fallback keeps a live assignment");
-                    omega_of_assignment(quadrant, a, psi)?
-                }
+        // The omega fallback is the one consumer that still needs a live
+        // assignment per move; everything else runs on the flat arrays.
+        let live: Option<Assignment> =
+            if psi > 1 && config.weights.phi > 0.0 && omega_tracker.is_none() {
+                Some(initial.clone())
+            } else {
+                None
             };
-            cost += config.weights.phi * omega as f64;
-        }
-        Ok(cost)
-    };
+        let ir = if config.weights.lambda > 0.0 {
+            match &config.ir_objective {
+                IrObjective::Proxy => IrEval::Proxy(DeltaIrTracker::new(quadrant, initial)?),
+                IrObjective::FullSolve { grid } => IrEval::Full {
+                    grid: grid.clone(),
+                    power_idx: quadrant
+                        .nets_of_kind(NetKind::Power)
+                        .map(|n| cache.index_of(n).expect("power net is in the quadrant"))
+                        .collect(),
+                    alpha: alpha as f64,
+                    warm: None,
+                    pending: None,
+                },
+            }
+        } else {
+            IrEval::Off
+        };
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let mut ir_term = if config.weights.lambda > 0.0 {
-        ir.cost_term(config.weights.lambda, &pos1)?
-    } else {
-        0.0
-    };
-    let initial_cost = eval_cost(ir_term, id_value, &omega_tracker, &live)?;
-    ir.commit(); // the initial state is accepted by definition
-    let mut current_cost = initial_cost;
-
-    // Temperature scale: tied to the IR/ID part of the cost only. The
-    // omega term's magnitude grows with the finger count and would
-    // otherwise over-heat stacking runs relative to 2-D ones.
-    let omega_part = match (&omega_tracker, psi > 1 && config.weights.phi > 0.0) {
-        (Some(tracker), true) => config.weights.phi * tracker.omega() as f64,
-        (None, true) => config.weights.phi * omega_of_assignment(quadrant, initial, psi)? as f64,
-        _ => 0.0,
-    };
-    let temp_base = (initial_cost - omega_part).max(0.0);
-    let mut temperature = config.schedule.initial_temp_factor * (temp_base + 1.0);
-    let final_temp = temperature * config.schedule.final_temp_ratio;
-    let moves_per_temp = config.schedule.moves_per_temp_per_finger * alpha;
-
-    let mut stats = ExchangeStats {
-        initial_cost,
-        final_cost: initial_cost,
-        proposed: 0,
-        accepted: 0,
-        uphill_accepted: 0,
-        constraint_rejected: 0,
-        temperature_steps: 0,
-    };
-
-    // Telemetry flags, cached once: with a disabled recorder every event
-    // site below is a never-taken branch and the run stays bit-identical.
-    let rec_on = recorder.enabled();
-    let rec_rejected = rec_on && recorder.wants_rejected();
-    if rec_on {
-        recorder.record(&Event::RunStart {
-            initial_cost,
-            ir_term,
-            initial_temperature: temperature,
-            final_temperature: final_temp,
+        let mut driver = Self {
+            quadrant,
+            initial: initial.clone(),
+            weights: config.weights,
+            acceptance: config.acceptance,
             cooling: config.schedule.cooling,
-            moves_per_temp: moves_per_temp as u64,
-            movable_nets: movable_idx.len() as u64,
-        });
+            psi,
+            alpha,
+            ids,
+            movable_idx,
+            cache,
+            pos1,
+            slot_net,
+            sections,
+            is_delim,
+            id_value,
+            omega_tracker,
+            live,
+            ir,
+            rng: rand::rngs::StdRng::seed_from_u64(config.seed),
+            ir_term: 0.0,
+            current_cost: 0.0,
+            temperature: 0.0,
+            final_temp: 0.0,
+            moves_per_temp: config.schedule.moves_per_temp_per_finger * alpha,
+            stats: ExchangeStats {
+                initial_cost: 0.0,
+                final_cost: 0.0,
+                proposed: 0,
+                accepted: 0,
+                uphill_accepted: 0,
+                constraint_rejected: 0,
+                temperature_steps: 0,
+            },
+            rec_on: false,
+            rec_rejected: false,
+            journal: Vec::new(),
+            best_len: 0,
+            best_cost: 0.0,
+        };
+
+        driver.ir_term = if driver.weights.lambda > 0.0 {
+            driver.ir.cost_term(driver.weights.lambda, &driver.pos1)?
+        } else {
+            0.0
+        };
+        let initial_cost = driver.eval_cost(driver.ir_term, driver.id_value)?;
+        driver.ir.commit(); // the initial state is accepted by definition
+        driver.current_cost = initial_cost;
+
+        // Temperature scale: tied to the IR/ID part of the cost only. The
+        // omega term's magnitude grows with the finger count and would
+        // otherwise over-heat stacking runs relative to 2-D ones.
+        let omega_part = match (&driver.omega_tracker, psi > 1 && config.weights.phi > 0.0) {
+            (Some(tracker), true) => config.weights.phi * tracker.omega() as f64,
+            (None, true) => {
+                config.weights.phi * omega_of_assignment(quadrant, initial, psi)? as f64
+            }
+            _ => 0.0,
+        };
+        let temp_base = (initial_cost - omega_part).max(0.0);
+        driver.temperature = config.schedule.initial_temp_factor * (temp_base + 1.0);
+        driver.final_temp = driver.temperature * config.schedule.final_temp_ratio;
+
+        driver.stats.initial_cost = initial_cost;
+        driver.stats.final_cost = initial_cost;
+        driver.best_cost = initial_cost;
+
+        // Telemetry flags, cached once: with a disabled recorder every
+        // event site is a never-taken branch and the run stays
+        // bit-identical.
+        driver.rec_on = recorder.enabled();
+        driver.rec_rejected = driver.rec_on && recorder.wants_rejected();
+        if driver.rec_on {
+            recorder.record(&Event::RunStart {
+                initial_cost,
+                ir_term: driver.ir_term,
+                initial_temperature: driver.temperature,
+                final_temperature: driver.final_temp,
+                cooling: config.schedule.cooling,
+                moves_per_temp: driver.moves_per_temp as u64,
+                movable_nets: driver.movable_idx.len() as u64,
+            });
+        }
+        Ok(driver)
     }
 
-    // The annealer walks uphill by design; the journal records every
-    // accepted swap, and `best_len` marks the prefix that produced the
-    // best cost seen. The best state is rematerialised once at the end —
-    // no clone per improvement.
-    let mut journal: Vec<(u32, u32)> = Vec::new();
-    let mut best_len = 0usize;
-    let mut best_cost = current_cost;
+    /// Whether the schedule has cooled past its final temperature.
+    pub(crate) fn is_done(&self) -> bool {
+        self.temperature <= self.final_temp
+    }
 
-    while temperature > final_temp {
+    /// Best cost seen so far (the initial cost before any step).
+    pub(crate) fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+
+    /// The accepted-move journal so far.
+    pub(crate) fn journal(&self) -> &[(u32, u32)] {
+        &self.journal
+    }
+
+    /// Length of the journal prefix that produced [`Self::best_cost`].
+    pub(crate) fn best_len(&self) -> usize {
+        self.best_len
+    }
+
+    /// Advances up to `steps` temperature steps (stopping early when the
+    /// schedule completes).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Cancelled`] when `cancel` fires; the state then holds
+    /// whatever progress was made and must not be advanced further.
+    pub(crate) fn advance(
+        &mut self,
+        steps: usize,
+        recorder: &mut dyn Recorder,
+        cancel: &CancelToken,
+    ) -> Result<(), CoreError> {
+        for _ in 0..steps {
+            if self.is_done() {
+                break;
+            }
+            self.temp_step(recorder, cancel)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the remaining schedule to completion.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExchangeDriver::advance`].
+    pub(crate) fn run_to_end(
+        &mut self,
+        recorder: &mut dyn Recorder,
+        cancel: &CancelToken,
+    ) -> Result<(), CoreError> {
+        while !self.is_done() {
+            self.temp_step(recorder, cancel)?;
+        }
+        Ok(())
+    }
+
+    /// Eq. 3, term by term in the reference order (the additions must
+    /// associate identically for bit-equal costs). The λ·Δ_IR term comes
+    /// in pre-computed: it is the only float-valued term, and it is
+    /// cached across moves that leave the pad coordinates untouched —
+    /// reusing the identical f64 instead of re-deriving it keeps
+    /// bit-equality trivially intact.
+    fn eval_cost(&self, ir_term: f64, id: u32) -> Result<f64, CoreError> {
+        let mut cost = 0.0;
+        if self.weights.lambda > 0.0 {
+            cost += ir_term;
+        }
+        if self.weights.rho > 0.0 {
+            cost += self.weights.rho * f64::from(id);
+        }
+        if self.weights.phi > 0.0 && self.psi > 1 {
+            let omega = match &self.omega_tracker {
+                Some(tracker) => tracker.omega(),
+                None => {
+                    let a = self
+                        .live
+                        .as_ref()
+                        .expect("fallback keeps a live assignment");
+                    omega_of_assignment(self.quadrant, a, self.psi)?
+                }
+            };
+            cost += self.weights.phi * omega as f64;
+        }
+        Ok(cost)
+    }
+
+    /// One temperature step: `moves_per_temp` proposals, the `TempStep`
+    /// event, one cooling multiply.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExchangeDriver::advance`].
+    pub(crate) fn temp_step(
+        &mut self,
+        recorder: &mut dyn Recorder,
+        cancel: &CancelToken,
+    ) -> Result<(), CoreError> {
         if cancel.is_cancelled() {
             return Err(CoreError::Cancelled);
         }
-        let step_start = stats;
+        let step_start = self.stats;
         let mut step_ir_noop: u64 = 0;
-        for _ in 0..moves_per_temp {
-            stats.proposed += 1;
-            if stats.proposed & CANCEL_POLL_MASK == 0 && cancel.is_cancelled() {
+        for _ in 0..self.moves_per_temp {
+            self.stats.proposed += 1;
+            if self.stats.proposed & CANCEL_POLL_MASK == 0 && cancel.is_cancelled() {
                 return Err(CoreError::Cancelled);
             }
-            let mi = movable_idx[rng.gen_range(0..movable_idx.len())];
-            let pos = pos1[mi];
-            let right = rng.gen_bool(0.5);
+            let mi = self.movable_idx[self.rng.gen_range(0..self.movable_idx.len())];
+            let pos = self.pos1[mi];
+            let right = self.rng.gen_bool(0.5);
             let target = if right {
-                if pos as usize >= alpha {
-                    stats.constraint_rejected += 1;
+                if pos as usize >= self.alpha {
+                    self.stats.constraint_rejected += 1;
                     continue;
                 }
                 pos + 1
             } else {
                 if pos == 1 {
-                    stats.constraint_rejected += 1;
+                    self.stats.constraint_rejected += 1;
                     continue;
                 }
                 pos - 1
@@ -462,169 +628,183 @@ pub fn exchange_cancellable(
 
             // Range constraint: the moved net must stay inside its span,
             // and the displaced neighbour (if any) inside its own.
-            let (lo, hi) = cache.range(mi);
+            let (lo, hi) = self.cache.range(mi);
             if target < lo.get() || target > hi.get() {
-                stats.constraint_rejected += 1;
+                self.stats.constraint_rejected += 1;
                 continue;
             }
-            let neighbour = slot_net[(target - 1) as usize];
+            let neighbour = self.slot_net[(target - 1) as usize];
             if let Some(ni) = neighbour {
-                let (nlo, nhi) = cache.range(ni);
+                let (nlo, nhi) = self.cache.range(ni);
                 if pos < nlo.get() || pos > nhi.get() {
-                    stats.constraint_rejected += 1;
+                    self.stats.constraint_rejected += 1;
                     continue;
                 }
             }
 
             // Apply the swap to the trackers (self-inverse on revert).
             let left_slot = pos.min(target);
-            let left_net = slot_net[(left_slot - 1) as usize];
-            let right_net = slot_net[left_slot as usize];
+            let left_net = self.slot_net[(left_slot - 1) as usize];
+            let right_net = self.slot_net[left_slot as usize];
             // The section counts only change when exactly one of the two
             // nets is a delimiter; skip the tracker (and the cached ID
             // refresh) for the common within-section swap.
             let crosses = match (left_net, right_net) {
-                (Some(l), Some(r)) => is_delim[l] != is_delim[r],
+                (Some(l), Some(r)) => self.is_delim[l] != self.is_delim[r],
                 _ => false,
             };
-            let id_before = id_value;
+            let id_before = self.id_value;
             if crosses {
                 let (l, r) = (left_net.expect("both set"), right_net.expect("both set"));
-                sections.apply_adjacent_swap(ids[l], ids[r]);
-                id_value = sections.increased_density();
+                self.sections.apply_adjacent_swap(self.ids[l], self.ids[r]);
+                self.id_value = self.sections.increased_density();
             }
-            if let Some(tracker) = &mut omega_tracker {
+            if let Some(tracker) = &mut self.omega_tracker {
                 tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
             }
-            let ir_changed = ir.apply_adjacent_swap(FingerIdx::new(left_slot));
-            if rec_on && !ir_changed {
+            let ir_changed = self.ir.apply_adjacent_swap(FingerIdx::new(left_slot));
+            if self.rec_on && !ir_changed {
                 step_ir_noop += 1;
             }
-            slot_net.swap((pos - 1) as usize, (target - 1) as usize);
-            if let Some(i) = slot_net[(target - 1) as usize] {
-                pos1[i] = target;
+            self.slot_net
+                .swap((pos - 1) as usize, (target - 1) as usize);
+            if let Some(i) = self.slot_net[(target - 1) as usize] {
+                self.pos1[i] = target;
             }
-            if let Some(i) = slot_net[(pos - 1) as usize] {
-                pos1[i] = pos;
+            if let Some(i) = self.slot_net[(pos - 1) as usize] {
+                self.pos1[i] = pos;
             }
-            if let Some(a) = &mut live {
+            if let Some(a) = &mut self.live {
                 a.swap(FingerIdx::new(pos), FingerIdx::new(target))?;
             }
 
-            let ir_term_before = ir_term;
+            let ir_term_before = self.ir_term;
             if ir_changed {
-                ir_term = ir.cost_term(config.weights.lambda, &pos1)?;
+                self.ir_term = self.ir.cost_term(self.weights.lambda, &self.pos1)?;
             }
-            let new_cost = eval_cost(ir_term, id_value, &omega_tracker, &live)?;
-            let delta = new_cost - current_cost;
+            let new_cost = self.eval_cost(self.ir_term, self.id_value)?;
+            let delta = new_cost - self.current_cost;
             let accept = if delta <= 0.0 {
                 true
             } else {
-                config
-                    .acceptance
-                    .accepts(delta, temperature, rng.gen::<f64>())
+                self.acceptance
+                    .accepts(delta, self.temperature, self.rng.gen::<f64>())
             };
             if accept {
-                stats.accepted += 1;
+                self.stats.accepted += 1;
                 if delta > 0.0 {
-                    stats.uphill_accepted += 1;
+                    self.stats.uphill_accepted += 1;
                 }
-                current_cost = new_cost;
-                ir.commit();
+                self.current_cost = new_cost;
+                self.ir.commit();
                 // Only the moved nets' row-neighbours see stale ranges.
-                cache.note_moved(mi, &pos1);
+                self.cache.note_moved(mi, &self.pos1);
                 if let Some(ni) = neighbour {
-                    cache.note_moved(ni, &pos1);
+                    self.cache.note_moved(ni, &self.pos1);
                 }
-                journal.push((pos, target));
-                if current_cost < best_cost {
-                    best_cost = current_cost;
-                    best_len = journal.len();
+                self.journal.push((pos, target));
+                if self.current_cost < self.best_cost {
+                    self.best_cost = self.current_cost;
+                    self.best_len = self.journal.len();
                 }
-                if rec_on {
+                if self.rec_on {
                     recorder.record(&Event::MoveAccepted {
-                        step: stats.temperature_steps as u32,
+                        step: self.stats.temperature_steps as u32,
                         left_slot,
                         delta,
                         cost: new_cost,
-                        ir_term,
+                        ir_term: self.ir_term,
                         ir_changed,
                         uphill: delta > 0.0,
                     });
                 }
             } else {
-                if rec_rejected {
+                if self.rec_rejected {
                     recorder.record(&Event::MoveRejected {
-                        step: stats.temperature_steps as u32,
+                        step: self.stats.temperature_steps as u32,
                         left_slot,
                         delta,
                     });
                 }
-                ir.discard();
-                ir_term = ir_term_before;
-                slot_net.swap((pos - 1) as usize, (target - 1) as usize); // revert
-                if let Some(i) = slot_net[(pos - 1) as usize] {
-                    pos1[i] = pos;
+                self.ir.discard();
+                self.ir_term = ir_term_before;
+                self.slot_net
+                    .swap((pos - 1) as usize, (target - 1) as usize); // revert
+                if let Some(i) = self.slot_net[(pos - 1) as usize] {
+                    self.pos1[i] = pos;
                 }
-                if let Some(i) = slot_net[(target - 1) as usize] {
-                    pos1[i] = target;
+                if let Some(i) = self.slot_net[(target - 1) as usize] {
+                    self.pos1[i] = target;
                 }
-                if let Some(a) = &mut live {
+                if let Some(a) = &mut self.live {
                     a.swap(FingerIdx::new(pos), FingerIdx::new(target))?;
                 }
                 if crosses {
                     let (l, r) = (left_net.expect("both set"), right_net.expect("both set"));
-                    sections.apply_adjacent_swap(ids[r], ids[l]);
-                    id_value = id_before;
+                    self.sections.apply_adjacent_swap(self.ids[r], self.ids[l]);
+                    self.id_value = id_before;
                 }
-                if let Some(tracker) = &mut omega_tracker {
+                if let Some(tracker) = &mut self.omega_tracker {
                     tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
                 }
-                ir.apply_adjacent_swap(FingerIdx::new(left_slot));
+                self.ir.apply_adjacent_swap(FingerIdx::new(left_slot));
             }
         }
-        if rec_on {
+        if self.rec_on {
             recorder.record(&Event::TempStep {
-                step: stats.temperature_steps as u32,
-                temperature,
-                proposed: (stats.proposed - step_start.proposed) as u64,
-                accepted: (stats.accepted - step_start.accepted) as u64,
-                uphill_accepted: (stats.uphill_accepted - step_start.uphill_accepted) as u64,
-                constraint_rejected: (stats.constraint_rejected - step_start.constraint_rejected)
-                    as u64,
+                step: self.stats.temperature_steps as u32,
+                temperature: self.temperature,
+                proposed: (self.stats.proposed - step_start.proposed) as u64,
+                accepted: (self.stats.accepted - step_start.accepted) as u64,
+                uphill_accepted: (self.stats.uphill_accepted - step_start.uphill_accepted) as u64,
+                constraint_rejected: (self.stats.constraint_rejected
+                    - step_start.constraint_rejected) as u64,
                 ir_noop_applied: step_ir_noop,
-                cost: current_cost,
+                cost: self.current_cost,
             });
         }
-        temperature *= config.schedule.cooling;
-        stats.temperature_steps += 1;
+        self.temperature *= self.cooling;
+        self.stats.temperature_steps += 1;
+        Ok(())
     }
 
-    // Rematerialise the best state: replay the accepted-move prefix onto
-    // the initial order.
-    let mut best = initial.clone();
-    for &(a, b) in &journal[..best_len] {
-        best.swap(FingerIdx::new(a), FingerIdx::new(b))?;
+    /// Rematerialises the best state seen, re-checks its legality, and
+    /// records `RunEnd`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Route`] — defensively — if the final order fails the
+    /// monotonicity re-check.
+    pub(crate) fn finish(
+        &mut self,
+        recorder: &mut dyn Recorder,
+    ) -> Result<ExchangeResult, CoreError> {
+        // Rematerialise the best state: replay the accepted-move prefix
+        // onto the initial order.
+        let mut best = self.initial.clone();
+        for &(a, b) in &self.journal[..self.best_len] {
+            best.swap(FingerIdx::new(a), FingerIdx::new(b))?;
+        }
+        // The range constraint guarantees legality move by move; re-check
+        // the final order for real (not just in debug builds) so a tracker
+        // or journal defect can never escape as an unroutable "result".
+        check_monotonic(self.quadrant, &best)?;
+        self.stats.final_cost = self.best_cost;
+        if self.rec_on {
+            recorder.record(&Event::RunEnd {
+                final_cost: self.best_cost,
+                proposed: self.stats.proposed as u64,
+                accepted: self.stats.accepted as u64,
+                uphill_accepted: self.stats.uphill_accepted as u64,
+                constraint_rejected: self.stats.constraint_rejected as u64,
+                temperature_steps: self.stats.temperature_steps as u64,
+            });
+        }
+        Ok(ExchangeResult {
+            assignment: best,
+            stats: self.stats,
+        })
     }
-    // The range constraint guarantees legality move by move; re-check the
-    // final order for real (not just in debug builds) so a tracker or
-    // journal defect can never escape as an unroutable "result".
-    check_monotonic(quadrant, &best)?;
-    stats.final_cost = best_cost;
-    if rec_on {
-        recorder.record(&Event::RunEnd {
-            final_cost: best_cost,
-            proposed: stats.proposed as u64,
-            accepted: stats.accepted as u64,
-            uphill_accepted: stats.uphill_accepted as u64,
-            constraint_rejected: stats.constraint_rejected as u64,
-            temperature_steps: stats.temperature_steps as u64,
-        });
-    }
-    Ok(ExchangeResult {
-        assignment: best,
-        stats,
-    })
 }
 
 /// The original from-scratch exchange implementation, kept as the

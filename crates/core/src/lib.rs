@@ -69,6 +69,7 @@ mod ifa;
 mod omega;
 mod package_plan;
 mod pipeline;
+mod portfolio;
 mod random;
 mod sections;
 mod tracker;
@@ -92,6 +93,10 @@ pub use package_plan::{
 pub use pipeline::{
     assign, evaluate_ir, evaluate_ir_map, evaluate_ir_map_traced, evaluate_supply_noise, Codesign,
     CodesignReport, SupplyNoise,
+};
+pub use portfolio::{
+    derive_seed, exchange_portfolio, exchange_portfolio_cancellable, exchange_portfolio_traced,
+    replay_journal, PortfolioConfig, PortfolioResult, StartReport,
 };
 pub use random::random_assignment;
 pub use sections::{increased_density, SectionBaseline};

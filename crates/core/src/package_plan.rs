@@ -106,7 +106,7 @@ fn plan_side(
 
 /// Resolves a `threads` setting: `0` means the machine's available
 /// parallelism.
-fn effective_threads(threads: usize) -> usize {
+pub(crate) fn effective_threads(threads: usize) -> usize {
     if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {

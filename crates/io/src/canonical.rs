@@ -62,6 +62,21 @@ pub fn quadrant_fingerprint(quadrant: &Quadrant) -> u64 {
     fnv1a64(canonical_quadrant_text(quadrant).as_bytes())
 }
 
+/// Canonical cache-key fragment of a multi-start portfolio's
+/// result-affecting parameters.
+///
+/// The margin travels as raw `f64` bits (`f64::to_bits`), not a decimal
+/// rendering, so two margins hash identically exactly when they are the
+/// same float — no formatting or rounding can split or merge cache
+/// entries. Single-start jobs (`starts ≤ 1`) must omit the fragment
+/// entirely (portfolio parameters are inert there), which keeps every
+/// pre-portfolio cache key stable; callers enforce that by only
+/// appending this for `starts > 1`.
+#[must_use]
+pub fn canonical_portfolio_params(starts: u32, prune_margin_bits: u64) -> String {
+    format!("starts={starts}|prune_margin=0x{prune_margin_bits:016x}|")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,6 +109,25 @@ mod tests {
         let (_, qo) = parse_quadrant(order).unwrap();
         assert_ne!(quadrant_fingerprint(&qb), quadrant_fingerprint(&qk));
         assert_ne!(quadrant_fingerprint(&qb), quadrant_fingerprint(&qo));
+    }
+
+    #[test]
+    fn portfolio_params_are_exact_and_injective() {
+        let a = canonical_portfolio_params(4, 0.25f64.to_bits());
+        assert_eq!(a, "starts=4|prune_margin=0x3fd0000000000000|");
+        // Different float bits — even ones that print alike — differ.
+        let b = canonical_portfolio_params(4, 0.25000000000000006f64.to_bits());
+        assert_ne!(a, b);
+        assert_ne!(a, canonical_portfolio_params(5, 0.25f64.to_bits()));
+        // Exact bit round trip: the fragment encodes the bits verbatim.
+        let bits = 0.1f64.to_bits();
+        let frag = canonical_portfolio_params(2, bits);
+        let hex = frag
+            .split("prune_margin=0x")
+            .nth(1)
+            .unwrap()
+            .trim_end_matches('|');
+        assert_eq!(u64::from_str_radix(hex, 16).unwrap(), bits);
     }
 
     #[test]

@@ -46,6 +46,8 @@ mod circuit_format;
 mod error;
 
 pub use assignment_format::{parse_assignment, write_assignment};
-pub use canonical::{canonical_quadrant_text, fnv1a64, quadrant_fingerprint};
+pub use canonical::{
+    canonical_portfolio_params, canonical_quadrant_text, fnv1a64, quadrant_fingerprint,
+};
 pub use circuit_format::{parse_quadrant, write_quadrant};
 pub use error::{ParseError, ParseErrorKind};

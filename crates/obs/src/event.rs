@@ -218,6 +218,29 @@ pub enum Event {
         /// Jobs cancelled by their wall-clock deadline.
         timeouts: u64,
     },
+    /// One start of a multi-start exchange portfolio is about to run; its
+    /// trace (`RunStart`…) follows. Starts always merge in start-index
+    /// order, so the merged trace is thread-count-invariant.
+    PortfolioStart {
+        /// Start index, 0-based. Indices < K are the original starts;
+        /// larger indices are replacements spawned for pruned starts.
+        start: u32,
+        /// The derived seed this start annealed with.
+        seed: u64,
+    },
+    /// A portfolio start was abandoned at a sync epoch because its
+    /// best-so-far cost trailed the global best by more than the prune
+    /// margin.
+    PortfolioPrune {
+        /// Start index of the pruned start.
+        start: u32,
+        /// Sync-epoch index (0-based) at which the prune fired.
+        epoch: u32,
+        /// The pruned start's best-so-far cost, frozen at the prune.
+        best_cost: f64,
+        /// The global best cost the start was compared against.
+        global_best: f64,
+    },
     /// An invariant oracle (`copack-verify`) delivered a verdict.
     OracleChecked {
         /// Stable oracle name (`"monotonicity"`, `"density"`,
@@ -282,6 +305,8 @@ impl Event {
             Self::SideEnd { .. } => "side_end",
             Self::ServeJob { .. } => "serve_job",
             Self::ServePool { .. } => "serve_pool",
+            Self::PortfolioStart { .. } => "portfolio_start",
+            Self::PortfolioPrune { .. } => "portfolio_prune",
             Self::OracleChecked { .. } => "oracle",
             Self::Note { .. } => "note",
         }
@@ -454,6 +479,20 @@ impl Event {
                      \"rejected\":{rejected},\"timeouts\":{timeouts}"
                 );
             }
+            Self::PortfolioStart { start, seed } => {
+                let _ = write!(out, ",\"start\":{start},\"seed\":{seed}");
+            }
+            Self::PortfolioPrune {
+                start,
+                epoch,
+                best_cost,
+                global_best,
+            } => {
+                let _ = write!(out, ",\"start\":{start},\"epoch\":{epoch},\"best_cost\":");
+                json_f64(out, *best_cost);
+                out.push_str(",\"global_best\":");
+                json_f64(out, *global_best);
+            }
             Self::OracleChecked {
                 oracle,
                 passed,
@@ -568,6 +607,16 @@ mod tests {
                 coalesced: 1,
                 rejected: 0,
                 timeouts: 0,
+            },
+            Event::PortfolioStart {
+                start: 3,
+                seed: 0x5EED,
+            },
+            Event::PortfolioPrune {
+                start: 3,
+                epoch: 1,
+                best_cost: 12.5,
+                global_best: 9.0,
             },
             Event::OracleChecked {
                 oracle: "density".to_owned(),

@@ -37,6 +37,6 @@ pub use event::{Event, Solver};
 pub use jsonl::{JsonlSink, ObsError};
 pub use recorder::{FanoutRecorder, NoopRecorder, Recorder};
 pub use summary::{
-    acceptance_curve, accepted_signature, replay_final_cost, residual_curve, split_runs,
-    AcceptedMove, TraceSummary,
+    acceptance_curve, accepted_signature, portfolio_cost_curves, replay_final_cost, residual_curve,
+    split_runs, AcceptedMove, PortfolioCurve, TraceSummary,
 };

@@ -97,6 +97,51 @@ pub fn acceptance_curve(events: &[Event]) -> Vec<f64> {
         .collect()
 }
 
+/// One portfolio start's telemetry, extracted from a merged trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioCurve {
+    /// Start index (originals `0..K`, then replacements).
+    pub start: u32,
+    /// The seed the start annealed with.
+    pub seed: u64,
+    /// Whether the start was pruned before the schedule ended.
+    pub pruned: bool,
+    /// Eq. 3 cost at the end of each temperature step, in step order —
+    /// the input to the per-start sparkline.
+    pub costs: Vec<f64>,
+}
+
+/// Per-start cost curves of a multi-start portfolio trace: one entry per
+/// [`Event::PortfolioStart`], in trace (= start-index) order, each
+/// holding the costs of the `TempStep` events up to the next start
+/// marker. Empty when the trace has no portfolio events.
+#[must_use]
+pub fn portfolio_cost_curves(events: &[Event]) -> Vec<PortfolioCurve> {
+    let mut curves: Vec<PortfolioCurve> = Vec::new();
+    for e in events {
+        match e {
+            Event::PortfolioStart { start, seed } => curves.push(PortfolioCurve {
+                start: *start,
+                seed: *seed,
+                pruned: false,
+                costs: Vec::new(),
+            }),
+            Event::PortfolioPrune { .. } => {
+                if let Some(c) = curves.last_mut() {
+                    c.pruned = true;
+                }
+            }
+            Event::TempStep { cost, .. } => {
+                if let Some(c) = curves.last_mut() {
+                    c.costs.push(*cost);
+                }
+            }
+            _ => {}
+        }
+    }
+    curves
+}
+
 /// Per-sweep residuals of the given solver, in sweep order — the input
 /// to the residual sparkline.
 #[must_use]
@@ -252,6 +297,43 @@ impl TraceSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn portfolio_curves_follow_start_markers() {
+        let temp_step = |step: u32, cost: f64| Event::TempStep {
+            step,
+            temperature: 1.0,
+            proposed: 10,
+            accepted: 5,
+            uphill_accepted: 0,
+            constraint_rejected: 0,
+            ir_noop_applied: 0,
+            cost,
+        };
+        let events = vec![
+            Event::PortfolioStart { start: 0, seed: 42 },
+            temp_step(0, 9.0),
+            temp_step(1, 8.0),
+            Event::PortfolioStart { start: 1, seed: 7 },
+            temp_step(0, 9.5),
+            Event::PortfolioPrune {
+                start: 1,
+                epoch: 0,
+                best_cost: 9.5,
+                global_best: 8.0,
+            },
+        ];
+        let curves = portfolio_cost_curves(&events);
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].start, 0);
+        assert_eq!(curves[0].seed, 42);
+        assert!(!curves[0].pruned);
+        assert_eq!(curves[0].costs, vec![9.0, 8.0]);
+        assert_eq!(curves[1].start, 1);
+        assert!(curves[1].pruned);
+        assert_eq!(curves[1].costs, vec![9.5]);
+        assert!(portfolio_cost_curves(&[temp_step(0, 1.0)]).is_empty());
+    }
 
     fn run_events() -> Vec<Event> {
         vec![

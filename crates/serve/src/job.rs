@@ -13,10 +13,11 @@
 //! coalesce onto one entry.
 
 use copack_core::{
-    assign, exchange_cancellable, AssignMethod, CancelToken, CoreError, ExchangeConfig,
+    assign, exchange_cancellable, exchange_portfolio_cancellable, AssignMethod, CancelToken,
+    CoreError, ExchangeConfig, PortfolioConfig,
 };
 use copack_geom::{Quadrant, StackConfig};
-use copack_io::{canonical_quadrant_text, fnv1a64, write_assignment};
+use copack_io::{canonical_portfolio_params, canonical_quadrant_text, fnv1a64, write_assignment};
 use copack_obs::NoopRecorder;
 use copack_route::{analyze, DensityModel};
 use std::fmt::Write as _;
@@ -41,6 +42,14 @@ pub struct JobSpec {
     pub psi: u8,
     /// RNG seed for the exchange pass.
     pub exchange_seed: u64,
+    /// Multi-start portfolio width for the exchange pass; `1` (the
+    /// default) runs the plain single-start kernel.
+    pub starts: u32,
+    /// Raw `f64` bits of the portfolio prune margin (`f64::to_bits`).
+    /// Carried as bits so the spec stays `Eq`/hashable and the value
+    /// round-trips the wire and the cache key exactly. Inert when
+    /// `starts <= 1`.
+    pub prune_margin_bits: u64,
     /// Per-job wall-clock budget; `None` uses the server default.
     pub timeout_ms: Option<u64>,
 }
@@ -55,6 +64,8 @@ impl JobSpec {
             exchange: false,
             psi: 1,
             exchange_seed: ExchangeConfig::default().seed,
+            starts: 1,
+            prune_margin_bits: PortfolioConfig::default().prune_margin.to_bits(),
             timeout_ms: None,
         }
     }
@@ -80,8 +91,11 @@ pub struct JobOutput {
 /// fixed order, then the canonical circuit serialization. Exchange-only
 /// parameters (`psi`, `exchange_seed`) are folded in **only when the
 /// exchange pass is enabled** — with it disabled they cannot affect the
-/// output, so specs differing only there share a key. `timeout_ms` is
-/// never part of the key: it bounds execution, not the result.
+/// output, so specs differing only there share a key; likewise the
+/// portfolio parameters (`starts`, `prune_margin_bits`) join only when
+/// `starts > 1`, separating K=1 from K>1 jobs without disturbing
+/// pre-portfolio keys. `timeout_ms` is never part of the key: it bounds
+/// execution, not the result.
 #[must_use]
 pub fn cache_key(spec: &JobSpec, quadrant: &Quadrant) -> u64 {
     let mut material = String::new();
@@ -92,6 +106,16 @@ pub fn cache_key(spec: &JobSpec, quadrant: &Quadrant) -> u64 {
             "exchange=true|psi={}|xseed={}|",
             spec.psi, spec.exchange_seed
         );
+        // Portfolio parameters join the key only for true multi-start
+        // jobs: at `starts <= 1` they cannot affect the result (the
+        // portfolio degenerates to the plain kernel), and omitting them
+        // keeps every pre-portfolio cache key stable.
+        if spec.starts > 1 {
+            material.push_str(&canonical_portfolio_params(
+                spec.starts,
+                spec.prune_margin_bits,
+            ));
+        }
     } else {
         material.push_str("exchange=false|");
     }
@@ -138,21 +162,55 @@ pub fn execute_job(
             seed: spec.exchange_seed,
             ..ExchangeConfig::default()
         };
-        let result = exchange_cancellable(
-            quadrant,
-            &assignment,
-            &stack,
-            &config,
-            &mut NoopRecorder,
-            cancel,
-        )
-        .map_err(|e| match e {
+        let on_core_error = |e: CoreError| match e {
             CoreError::Cancelled => ServeError::new(
                 ErrorKind::Timeout,
                 "the job exceeded its wall-clock budget during exchange",
             ),
             other => job_failed(&other),
-        })?;
+        };
+        let result = if spec.starts > 1 {
+            // Worker threads are the pool's concurrency unit, so the
+            // portfolio anneals its starts serially inside this worker
+            // (`threads: 1`) instead of oversubscribing the host; the
+            // reduction is thread-count-invariant, so the result is
+            // identical either way.
+            let portfolio = PortfolioConfig {
+                starts: spec.starts,
+                prune_margin: f64::from_bits(spec.prune_margin_bits),
+                threads: 1,
+                ..PortfolioConfig::default()
+            };
+            let won = exchange_portfolio_cancellable(
+                quadrant,
+                &assignment,
+                &stack,
+                &config,
+                &portfolio,
+                &mut NoopRecorder,
+                cancel,
+            )
+            .map_err(on_core_error)?;
+            let _ = writeln!(
+                report,
+                "{name}: portfolio K={} winner start {} seed {} pruned {}",
+                spec.starts,
+                won.winner_start,
+                won.winner_seed,
+                won.pruned()
+            );
+            won.result
+        } else {
+            exchange_cancellable(
+                quadrant,
+                &assignment,
+                &stack,
+                &config,
+                &mut NoopRecorder,
+                cancel,
+            )
+            .map_err(on_core_error)?
+        };
         assignment = result.assignment;
         let routing =
             analyze(quadrant, &assignment, DensityModel::Geometric).map_err(|e| job_failed(&e))?;
@@ -211,6 +269,85 @@ mod tests {
         };
         assert_ne!(cache_key(&on, &q), cache_key(&on_reseeded, &q));
         assert_ne!(cache_key(&base, &q), cache_key(&on, &q));
+    }
+
+    #[test]
+    fn the_key_separates_portfolio_widths_but_not_inert_params() {
+        let (_, q) = circuit();
+        let single = JobSpec {
+            exchange: true,
+            ..JobSpec::new("")
+        };
+        // Inert at K=1: portfolio params don't perturb the key, which
+        // also keeps pre-portfolio cache keys stable.
+        let single_margin = JobSpec {
+            prune_margin_bits: 0.5f64.to_bits(),
+            ..single.clone()
+        };
+        assert_eq!(cache_key(&single, &q), cache_key(&single_margin, &q));
+
+        // K=1 and K>1 never share a key.
+        let multi = JobSpec {
+            starts: 4,
+            ..single.clone()
+        };
+        assert_ne!(cache_key(&single, &q), cache_key(&multi, &q));
+        // At K>1 both width and margin are load-bearing.
+        let wider = JobSpec {
+            starts: 8,
+            ..multi.clone()
+        };
+        let tighter = JobSpec {
+            prune_margin_bits: 0.5f64.to_bits(),
+            ..multi.clone()
+        };
+        assert_ne!(cache_key(&multi, &q), cache_key(&wider, &q));
+        assert_ne!(cache_key(&multi, &q), cache_key(&tighter, &q));
+
+        // With exchange off, portfolio params are inert entirely.
+        let off = JobSpec::new("");
+        let off_multi = JobSpec {
+            starts: 8,
+            ..off.clone()
+        };
+        assert_eq!(cache_key(&off, &q), cache_key(&off_multi, &q));
+    }
+
+    #[test]
+    fn portfolio_executor_reports_the_winner_and_matches_the_plain_kernel_at_k1() {
+        // The exchange pass needs power pads; extend the fixture.
+        let text =
+            "quadrant demo\nrow 10 2 4 7 0\nrow 1 3 5 8\nrow 11 6 9\nnet 10 power\nnet 5 power\n";
+        let (name, q) = parse_quadrant(text).expect("valid circuit");
+        let single = JobSpec {
+            exchange: true,
+            ..JobSpec::new("")
+        };
+        let multi = JobSpec {
+            starts: 4,
+            ..single.clone()
+        };
+        let solo = execute_job(&single, &name, &q, &CancelToken::new()).expect("solo");
+        let port = execute_job(&multi, &name, &q, &CancelToken::new()).expect("portfolio");
+        assert!(port.report.contains("portfolio K=4 winner start "));
+        assert!(!solo.report.contains("portfolio"));
+        // The portfolio's final cost can only match or beat the
+        // single-start run (start 0 anneals with the base seed itself).
+        let final_cost = |r: &str| -> f64 {
+            let line = r
+                .lines()
+                .find(|l| l.contains("after exchange"))
+                .expect("after-exchange line");
+            let tail = line.split("(cost ").nth(1).expect("cost fragment");
+            let after = tail.split(" -> ").nth(1).expect("final cost");
+            after
+                .split(')')
+                .next()
+                .expect("closing paren")
+                .parse()
+                .expect("parseable cost")
+        };
+        assert!(final_cost(&port.report) <= final_cost(&solo.report));
     }
 
     #[test]

@@ -114,6 +114,17 @@ pub fn encode_request(request: &Request) -> String {
                 ",\"exchange\":{},\"psi\":{},\"xseed\":{}",
                 spec.exchange, spec.psi, spec.exchange_seed
             );
+            // Portfolio fields travel only for true multi-start jobs, so
+            // pre-portfolio peers keep understanding every K=1 frame.
+            // The margin crosses as raw f64 bits — integer-exact, no
+            // decimal rendering to round.
+            if spec.starts > 1 {
+                let _ = write!(
+                    out,
+                    ",\"starts\":{},\"prune_margin_bits\":{}",
+                    spec.starts, spec.prune_margin_bits
+                );
+            }
             if let Some(ms) = spec.timeout_ms {
                 let _ = write!(out, ",\"timeout_ms\":{ms}");
             }
@@ -195,6 +206,20 @@ pub fn decode_request(line: &str) -> Result<Request, ServeError> {
             }
             if let Some(xseed) = field_u64("xseed")? {
                 spec.exchange_seed = xseed;
+            }
+            if let Some(starts) = field_u64("starts")? {
+                spec.starts = u32::try_from(starts)
+                    .ok()
+                    .filter(|s| *s >= 1)
+                    .ok_or_else(|| {
+                        ServeError::new(
+                            ErrorKind::BadRequest,
+                            "`starts` must be between 1 and 4294967295",
+                        )
+                    })?;
+            }
+            if let Some(bits) = field_u64("prune_margin_bits")? {
+                spec.prune_margin_bits = bits;
             }
             spec.timeout_ms = field_u64("timeout_ms")?;
             Ok(Request::Plan(spec))
@@ -442,6 +467,12 @@ mod tests {
                 method: AssignMethod::Ifa,
                 ..JobSpec::new("quadrant c\nrow 1\n")
             }),
+            Request::Plan(JobSpec {
+                exchange: true,
+                starts: 8,
+                prune_margin_bits: 0.125f64.to_bits(),
+                ..JobSpec::new("quadrant d\nrow 2 1\n")
+            }),
             Request::Status,
             Request::Shutdown,
         ];
@@ -510,6 +541,42 @@ mod tests {
                 .unwrap_err()
                 .kind,
             ErrorKind::BadRequest
+        );
+        assert_eq!(
+            decode_request("{\"op\":\"plan\",\"circuit\":\"x\",\"starts\":0}")
+                .unwrap_err()
+                .kind,
+            ErrorKind::BadRequest
+        );
+    }
+
+    #[test]
+    fn single_start_frames_omit_portfolio_fields() {
+        // K=1 frames are byte-identical to pre-portfolio frames, so
+        // older peers (and golden files) keep working unchanged.
+        let line = encode_request(&Request::Plan(JobSpec {
+            exchange: true,
+            ..JobSpec::new("quadrant a\nrow 1 2\n")
+        }));
+        assert!(!line.contains("starts"));
+        assert!(!line.contains("prune_margin_bits"));
+        // Multi-start frames carry both, and the margin's bits survive
+        // the round trip exactly.
+        let spec = JobSpec {
+            exchange: true,
+            starts: 3,
+            prune_margin_bits: 0.1f64.to_bits(),
+            ..JobSpec::new("quadrant a\nrow 1 2\n")
+        };
+        let Request::Plan(decoded) =
+            decode_request(&encode_request(&Request::Plan(spec.clone()))).expect("round trip")
+        else {
+            panic!("not a plan");
+        };
+        assert_eq!(decoded, spec);
+        assert_eq!(
+            f64::from_bits(decoded.prune_margin_bits).to_bits(),
+            0.1f64.to_bits()
         );
     }
 

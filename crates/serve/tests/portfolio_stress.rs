@@ -1,0 +1,169 @@
+//! Portfolio-shaped load on the daemon: concurrent mixed-width
+//! submissions against a deliberately tiny pool must drown in **typed**
+//! backpressure — never a panic, a hung connection, or a cached
+//! failure — and the portfolio parameters must partition the result
+//! cache exactly as documented (width and margin are load-bearing only
+//! when `starts > 1`).
+
+mod support;
+
+use copack_serve::{Client, ErrorKind, JobSpec, ServeConfig};
+use std::time::Duration;
+use support::{circuit_text, wait_for_status, TestServer};
+
+fn portfolio_spec(circuit: usize, starts: u32) -> JobSpec {
+    JobSpec {
+        exchange: true,
+        starts,
+        ..JobSpec::new(circuit_text(circuit))
+    }
+}
+
+#[test]
+fn a_burst_of_mixed_width_portfolios_fails_typed_and_leaves_no_poison() {
+    // One stalled worker + a one-slot queue: everything past the first
+    // two distinct jobs must be rejected while the stall lasts.
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        worker_stall: Some(Duration::from_millis(500)),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+    let submit = |circuit: usize, starts: u32| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            client.plan(&portfolio_spec(circuit, starts))
+        })
+    };
+
+    let mut monitor = server.client();
+    let blocker = submit(1, 2);
+    wait_for_status(&mut monitor, "the blocker to occupy the worker", |s| {
+        s.running == 1
+    });
+    let filler = submit(2, 2);
+    wait_for_status(&mut monitor, "the filler to occupy the queue slot", |s| {
+        s.queued == 1
+    });
+
+    // The burst: six distinct jobs mixing circuits and portfolio widths,
+    // all submitted inside the stall window.
+    let burst: Vec<_> = [(1, 4), (2, 4), (3, 2), (3, 4), (1, 8), (2, 8)]
+        .into_iter()
+        .map(|(circuit, starts)| submit(circuit, starts))
+        .collect();
+    for handle in burst {
+        let err = handle
+            .join()
+            .expect("client threads never panic")
+            .expect_err("a full queue must reject");
+        assert_eq!(err.kind, ErrorKind::QueueFull, "{err:?}");
+    }
+
+    // The admitted jobs still complete — rejection poisoned nothing.
+    blocker
+        .join()
+        .expect("client thread")
+        .expect("the blocker completes");
+    filler
+        .join()
+        .expect("client thread")
+        .expect("the filler completes");
+
+    // A previously rejected spec succeeds once the pool drains: the
+    // backpressure error was never cached against its key.
+    let retried = server
+        .client()
+        .plan(&portfolio_spec(1, 4))
+        .expect("the retry executes");
+    assert_eq!(retried.cache, "miss");
+    assert!(
+        retried.report.contains("portfolio K=4 winner start "),
+        "{}",
+        retried.report
+    );
+
+    let summary = server.shutdown_and_join();
+    assert_eq!(summary.status.completed, 3, "blocker, filler, retry");
+    assert_eq!(summary.status.rejected, 6, "the whole burst bounced");
+}
+
+#[test]
+fn the_cache_key_separates_single_start_from_portfolio_jobs() {
+    let server = TestServer::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+
+    let single = client.plan(&portfolio_spec(1, 1)).expect("K=1 plans");
+    let wide = client.plan(&portfolio_spec(1, 4)).expect("K=4 plans");
+    assert_ne!(single.key, wide.key, "K=1 and K=4 must not share a key");
+    assert!(!single.report.contains("portfolio"), "{}", single.report);
+
+    // Same width resubmitted: a hit on the same key, same bytes.
+    let again = client.plan(&portfolio_spec(1, 4)).expect("K=4 replans");
+    assert_eq!(again.cache, "hit");
+    assert_eq!(again.key, wide.key);
+    assert_eq!(again.report, wide.report);
+
+    // The margin is load-bearing at K > 1 ...
+    let tighter = client
+        .plan(&JobSpec {
+            prune_margin_bits: 0.05f64.to_bits(),
+            ..portfolio_spec(1, 4)
+        })
+        .expect("tighter margin plans");
+    assert_ne!(tighter.key, wide.key);
+
+    // ... and inert at K = 1, where no pruning can happen.
+    let single_margin = client
+        .plan(&JobSpec {
+            prune_margin_bits: 0.05f64.to_bits(),
+            ..portfolio_spec(1, 1)
+        })
+        .expect("K=1 with a margin plans");
+    assert_eq!(single_margin.cache, "hit");
+    assert_eq!(single_margin.key, single.key);
+
+    server.shutdown_and_join();
+}
+
+#[test]
+fn a_timed_out_portfolio_is_typed_and_not_cached() {
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        // The stall eats the whole budget before execution starts, so
+        // the portfolio's cooperative cancel fires deterministically.
+        worker_stall: Some(Duration::from_millis(300)),
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+
+    let doomed = JobSpec {
+        timeout_ms: Some(50),
+        ..portfolio_spec(2, 8)
+    };
+    let err = client
+        .plan(&doomed)
+        .expect_err("a spent budget cannot finish an 8-start portfolio");
+    assert_eq!(err.kind, ErrorKind::Timeout, "{err:?}");
+
+    // The timeout is not part of the key, so the retry targets the same
+    // cache entry — and must execute fresh, not replay the failure.
+    let retried = client
+        .plan(&JobSpec {
+            timeout_ms: None,
+            ..doomed
+        })
+        .expect("an unbounded retry completes");
+    assert_eq!(retried.cache, "miss");
+    assert!(
+        retried.report.contains("portfolio K=8 winner start "),
+        "{}",
+        retried.report
+    );
+
+    server.shutdown_and_join();
+}

@@ -10,10 +10,15 @@ use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// A daemon running on its own thread, bound to an ephemeral port.
+///
+/// Dropping an un-joined `TestServer` (a panicking test, an early
+/// return) shuts the daemon down best-effort and joins its thread, so
+/// failing tests never leak a listening daemon into the rest of the
+/// suite.
 pub struct TestServer {
     /// The bound address to connect clients to.
     pub addr: SocketAddr,
-    handle: std::thread::JoinHandle<std::io::Result<ServeSummary>>,
+    handle: Option<std::thread::JoinHandle<std::io::Result<ServeSummary>>>,
 }
 
 impl TestServer {
@@ -22,7 +27,10 @@ impl TestServer {
         let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
         let addr = server.local_addr().expect("bound address");
         let handle = std::thread::spawn(move || server.run());
-        Self { addr, handle }
+        Self {
+            addr,
+            handle: Some(handle),
+        }
     }
 
     /// A fresh connection to the daemon.
@@ -37,11 +45,27 @@ impl TestServer {
     }
 
     /// Joins the daemon (something else already initiated shutdown).
-    pub fn join(self) -> ServeSummary {
+    pub fn join(mut self) -> ServeSummary {
         self.handle
+            .take()
+            .expect("the daemon is joined at most once")
             .join()
             .expect("daemon thread must not panic")
             .expect("daemon run must not fail")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return; // Already joined the normal way.
+        };
+        // Best-effort: the daemon may already be draining or gone, and a
+        // Drop during a panic must not panic again.
+        if let Ok(mut client) = Client::connect(self.addr) {
+            let _ = client.shutdown();
+        }
+        let _ = handle.join();
     }
 }
 

@@ -1,7 +1,8 @@
 //! ASCII sparklines for telemetry curves (acceptance rates, solver
 //! residuals).
 
-use copack_obs::{acceptance_curve, residual_curve, Event, Solver};
+use copack_obs::{acceptance_curve, portfolio_cost_curves, residual_curve, Event, Solver};
+use std::fmt::Write as _;
 
 /// The eight block glyphs, lowest to highest.
 const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -63,10 +64,11 @@ pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
 }
 
 /// Multi-line telemetry view of a trace: one sparkline for the SA
-/// acceptance-rate curve (per temperature step) and one per solver for
-/// the residual curves (log scale), each capped at `width` glyphs.
-/// Curves absent from the trace are omitted; an empty trace gives an
-/// empty string.
+/// acceptance-rate curve (per temperature step), one per solver for
+/// the residual curves (log scale), and — for multi-start portfolio
+/// traces — one cost curve per start (pruned starts flagged), each
+/// capped at `width` glyphs. Curves absent from the trace are omitted;
+/// an empty trace gives an empty string.
 #[must_use]
 pub fn trace_sparklines(events: &[Event], width: usize) -> String {
     let mut out = String::new();
@@ -84,6 +86,17 @@ pub fn trace_sparklines(events: &[Event], width: usize) -> String {
             out.push_str(&sparkline_log(&downsample(&residuals, width)));
             out.push('\n');
         }
+    }
+    for curve in portfolio_cost_curves(events) {
+        if curve.costs.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "start {:<4} ", curve.start);
+        out.push_str(&sparkline(&downsample(&curve.costs, width)));
+        if curve.pruned {
+            out.push_str(" (pruned)");
+        }
+        out.push('\n');
     }
     out
 }
@@ -157,6 +170,39 @@ mod tests {
         let text = trace_sparklines(&events, 60);
         assert!(text.starts_with("acceptance "), "{text}");
         assert!(!text.contains("resid"), "{text}");
+        assert!(!text.contains("start"), "{text}");
         assert_eq!(trace_sparklines(&[], 60), "");
+    }
+
+    #[test]
+    fn portfolio_traces_get_one_line_per_start() {
+        let temp_step = |cost: f64| Event::TempStep {
+            step: 0,
+            temperature: 1.0,
+            proposed: 10,
+            accepted: 5,
+            uphill_accepted: 0,
+            constraint_rejected: 0,
+            ir_noop_applied: 0,
+            cost,
+        };
+        let events = vec![
+            Event::PortfolioStart { start: 0, seed: 1 },
+            temp_step(9.0),
+            temp_step(7.0),
+            Event::PortfolioStart { start: 1, seed: 2 },
+            temp_step(9.5),
+            Event::PortfolioPrune {
+                start: 1,
+                epoch: 0,
+                best_cost: 9.5,
+                global_best: 7.0,
+            },
+        ];
+        let text = trace_sparklines(&events, 60);
+        assert!(text.contains("start 0"), "{text}");
+        assert!(text.contains("start 1"), "{text}");
+        assert!(text.contains("(pruned)"), "{text}");
+        assert_eq!(text.matches("(pruned)").count(), 1, "{text}");
     }
 }

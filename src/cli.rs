@@ -25,8 +25,8 @@ use std::io::BufWriter;
 use std::path::Path;
 
 use copack_core::{
-    assign, exchange, exchange_traced, plan_package, plan_package_traced, AssignMethod, Codesign,
-    ExchangeConfig,
+    assign, exchange, exchange_portfolio_traced, exchange_traced, plan_package,
+    plan_package_traced, AssignMethod, Codesign, ExchangeConfig, PortfolioConfig,
 };
 use copack_gen::circuit;
 use copack_geom::{Package, StackConfig};
@@ -46,14 +46,21 @@ USAGE:
       Write circuit N of the paper's Table 1 in the circuit format.
 
   copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
-              [--slack N] [--exchange] [--psi N] [--out FILE] [--svg FILE]
-              [--package] [--threads N] [--trace FILE] [--metrics]
+              [--slack N] [--exchange] [--psi N] [--starts K]
+              [--prune-margin F] [--out FILE] [--svg FILE] [--package]
+              [--threads N] [--trace FILE] [--metrics]
       Run the congestion-driven assignment (default: dfa) and optionally
       the IR-drop-aware exchange step; print the routing report.
-      With --package, plan all four quadrants of a uniform package and
-      report the package-level IR-drop and cut-line congestion; --threads
-      caps the worker threads (0 = available parallelism, 1 = serial;
-      the result is identical for every thread count).
+      With --starts K > 1 the exchange runs as a multi-start portfolio:
+      K independently-seeded anneals race, starts trailing the global
+      best by --prune-margin (relative, default 0.25) are pruned and
+      re-seeded at sync points, and the best final cost wins (ties to
+      the lowest start index). The winner is byte-identical for every
+      --threads value. With --package, plan all four quadrants of a
+      uniform package and report the package-level IR-drop and cut-line
+      congestion; --threads caps the worker threads (0 = available
+      parallelism, 1 = serial; the result is identical for every thread
+      count).
 
   copack route <circuit-file> <assignment-file> [--svg FILE]
       Check legality and print density/wirelength analysis.
@@ -88,11 +95,14 @@ USAGE:
 
   copack submit <circuit-file> [--addr HOST:PORT] [--method dfa|ifa|random]
                 [--seed N] [--slack N] [--exchange] [--psi N] [--xseed N]
-                [--timeout-ms N] [--out FILE]
+                [--starts K] [--prune-margin F] [--timeout-ms N]
+                [--out FILE]
       Submit one planning job to a running daemon and print its report.
       The planning flags mirror `copack plan`; --xseed seeds the exchange
-      pass, --timeout-ms overrides the daemon's default budget. --out
-      writes the assignment file (byte-identical to `copack plan --out`).
+      pass, --starts/--prune-margin select the portfolio (part of the
+      daemon's cache key), --timeout-ms overrides the daemon's default
+      budget. --out writes the assignment file (byte-identical to
+      `copack plan --out`).
 
   copack batch <dir> [--addr HOST:PORT] [planning flags as submit]
       Submit every `*.copack` file in <dir> to the daemon concurrently
@@ -104,8 +114,9 @@ USAGE:
 
   Telemetry (plan, ir, check, fuzz, serve): --trace FILE streams the
   run's events as JSON lines; --metrics appends a summary block (for
-  serve: queue depth, cache hit rate, p50/p99 latency). Neither flag
-  changes the computed result.
+  serve: queue depth, cache hit rate, p50/p99 latency; for portfolio
+  plans: one cost sparkline per start, pruned starts flagged). Neither
+  flag changes the computed result.
 ";
 
 /// Where the daemon listens (and clients connect) unless `--addr` says
@@ -143,7 +154,9 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 19] = [
+const VALUED: [&str; 21] = [
+    "--starts",
+    "--prune-margin",
     "--out",
     "--svg",
     "--method",
@@ -391,17 +404,59 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         } else {
             StackConfig::stacked(psi).map_err(|e| e.to_string())?
         };
-        let result = match telemetry.as_mut() {
-            Some(t) => exchange_traced(
-                &quadrant,
-                &assignment,
-                &stack,
-                &ExchangeConfig::default(),
-                &mut t.buffer,
-            ),
-            None => exchange(&quadrant, &assignment, &stack, &ExchangeConfig::default()),
+        let starts = opts.num("starts", 1u32)?;
+        if starts == 0 {
+            return Err("--starts expects at least 1 start".to_owned());
         }
-        .map_err(|e| e.to_string())?;
+        let result = if starts > 1 {
+            let portfolio = PortfolioConfig {
+                starts,
+                prune_margin: opts.num("prune-margin", PortfolioConfig::default().prune_margin)?,
+                threads: opts.num("threads", 0usize)?,
+                ..PortfolioConfig::default()
+            };
+            let won = match telemetry.as_mut() {
+                Some(t) => exchange_portfolio_traced(
+                    &quadrant,
+                    &assignment,
+                    &stack,
+                    &ExchangeConfig::default(),
+                    &portfolio,
+                    &mut t.buffer,
+                ),
+                None => exchange_portfolio_traced(
+                    &quadrant,
+                    &assignment,
+                    &stack,
+                    &ExchangeConfig::default(),
+                    &portfolio,
+                    &mut NoopRecorder,
+                ),
+            }
+            .map_err(|e| e.to_string())?;
+            // Same line the daemon's executor prints, so served reports
+            // stay byte-identical to local ones.
+            let _ = writeln!(
+                out,
+                "{name}: portfolio K={starts} winner start {} seed {} pruned {}",
+                won.winner_start,
+                won.winner_seed,
+                won.pruned()
+            );
+            won.result
+        } else {
+            match telemetry.as_mut() {
+                Some(t) => exchange_traced(
+                    &quadrant,
+                    &assignment,
+                    &stack,
+                    &ExchangeConfig::default(),
+                    &mut t.buffer,
+                ),
+                None => exchange(&quadrant, &assignment, &stack, &ExchangeConfig::default()),
+            }
+            .map_err(|e| e.to_string())?
+        };
         assignment = result.assignment;
         let report =
             analyze(&quadrant, &assignment, DensityModel::Geometric).map_err(|e| e.to_string())?;
@@ -625,12 +680,22 @@ fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, Str
                 .map_err(|_| format!("--timeout-ms expects a number, got `{v}`"))?,
         ),
     };
+    let starts = opts.num("starts", 1u32)?;
+    if starts == 0 {
+        return Err("--starts expects at least 1 start".to_owned());
+    }
+    let prune_margin: f64 = opts.num("prune-margin", PortfolioConfig::default().prune_margin)?;
+    if prune_margin.is_nan() || prune_margin < 0.0 {
+        return Err("--prune-margin expects a non-negative number".to_owned());
+    }
     Ok(JobSpec {
         circuit,
         method,
         exchange: opts.flag("exchange").is_some(),
         psi,
         exchange_seed: opts.num("xseed", ExchangeConfig::default().seed)?,
+        starts,
+        prune_margin_bits: prune_margin.to_bits(),
         timeout_ms,
     })
 }
@@ -986,6 +1051,77 @@ mod tests {
         assert!(serial.contains("order[3]"), "{serial}");
         for threads in ["0", "4"] {
             assert_eq!(serial, plan_with(threads), "--threads {threads}");
+        }
+    }
+
+    #[test]
+    fn portfolio_plans_are_thread_count_invariant() {
+        let dir = TestDir::new("portfolio");
+        let circuit_path = dir.path("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let plan_with = |threads: &str| {
+            run(&s(&[
+                "plan",
+                circuit_path.to_str().unwrap(),
+                "--exchange",
+                "--starts",
+                "4",
+                "--threads",
+                threads,
+            ]))
+            .unwrap()
+        };
+        let serial = plan_with("1");
+        assert!(serial.contains("portfolio K=4 winner start "), "{serial}");
+        assert!(serial.contains("after exchange"), "{serial}");
+        for threads in ["0", "8"] {
+            assert_eq!(serial, plan_with(threads), "--threads {threads}");
+        }
+
+        // One start takes the plain exchange path: no portfolio line,
+        // byte-identical to omitting --starts entirely.
+        let single = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+            "--starts",
+            "1",
+        ]))
+        .unwrap();
+        assert!(!single.contains("portfolio"), "{single}");
+        assert_eq!(
+            single,
+            run(&s(&["plan", circuit_path.to_str().unwrap(), "--exchange"])).unwrap()
+        );
+
+        assert!(run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+            "--starts",
+            "0",
+        ]))
+        .unwrap_err()
+        .contains("--starts"));
+    }
+
+    #[test]
+    fn portfolio_metrics_render_per_start_sparklines() {
+        let dir = TestDir::new("portfolio_metrics");
+        let circuit_path = dir.path("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let out = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+            "--starts",
+            "3",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("portfolio K=3"), "{out}");
+        for start in ["start 0", "start 1", "start 2"] {
+            assert!(out.contains(start), "missing {start}: {out}");
         }
     }
 
