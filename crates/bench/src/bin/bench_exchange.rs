@@ -15,7 +15,7 @@ use std::time::Instant;
 use copack_core::{
     dfa, exchange, exchange_reference, exchange_traced, ExchangeConfig, ExchangeResult, Schedule,
 };
-use copack_gen::circuits;
+use copack_gen::{circuits, large_circuit};
 use copack_geom::{Assignment, Quadrant, StackConfig};
 use copack_obs::{replay_final_cost, split_runs, JsonlSink, TraceBuffer};
 
@@ -123,6 +123,8 @@ fn main() {
         }
     }
 
+    bench_large(&mut entries);
+
     let telemetry = bench_telemetry(&config, runs);
 
     let json = format!(
@@ -131,6 +133,69 @@ fn main() {
     );
     std::fs::write("BENCH_exchange.json", &json).expect("write BENCH_exchange.json");
     println!("wrote BENCH_exchange.json");
+}
+
+/// Industrial-scale rows: the dense-index kernel against the keyed
+/// reference at 1k and 4k nets per quadrant. At these sizes the sparse
+/// lookups the reference still does per move stop fitting in cache, so
+/// the gap is the whole point of the interning layer — the run asserts
+/// the dense kernel holds at least a 1.5× moves/sec lead, turning the
+/// bench into a crossover regression gate rather than a scoreboard.
+///
+/// The schedule is deliberately starved (one move per temperature per
+/// finger, fast cooling) to bound the reference's wall time; both
+/// kernels run the identical trajectory, so the ratio is unaffected.
+fn bench_large(entries: &mut Vec<String>) {
+    let config = ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 1,
+            final_temp_ratio: 5e-2,
+            cooling: 0.7,
+            ..Schedule::default()
+        },
+        ..ExchangeConfig::default()
+    };
+    for size in ["1k", "4k"] {
+        let spec = large_circuit(size, 42).expect("preset name");
+        let stack = spec.stack().expect("valid stack");
+        let quadrant = spec.build_quadrant().expect("instance builds");
+        let initial = dfa(&quadrant, 1).expect("dfa");
+        let (inc, reference) = bench_pair(&quadrant, &initial, &stack, &config, 1);
+        let inc_rate = inc.moves as f64 / inc.seconds.max(1e-12);
+        let ref_rate = reference.moves as f64 / reference.seconds.max(1e-12);
+        let speedup = reference.seconds / inc.seconds.max(1e-12);
+        assert!(
+            inc_rate >= 1.5 * ref_rate,
+            "{}: dense kernel at {inc_rate:.1} moves/s lost its 1.5x lead \
+             over the reference at {ref_rate:.1} moves/s",
+            spec.name
+        );
+
+        let mut entry = String::new();
+        let _ = write!(
+            entry,
+            "    {{\"name\": \"{}\", \"psi\": {}, \"nets\": {}, ",
+            spec.name,
+            spec.tiers,
+            quadrant.net_count()
+        );
+        json_timing(&mut entry, "incremental", &inc);
+        entry.push_str(", ");
+        json_timing(&mut entry, "reference", &reference);
+        let _ = write!(entry, ", \"speedup\": {speedup:.2}}}");
+        println!(
+            "{} psi={}: incremental {inc_rate:.1} moves/s, reference {ref_rate:.1} moves/s \
+             ({speedup:.2}x)",
+            spec.name, spec.tiers,
+        );
+        entries.push(entry);
+    }
+}
+
+/// The middle element (upper-median) of an unsorted sample.
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
 }
 
 /// Measures the telemetry overhead on the largest circuit (Table 1
@@ -151,15 +216,16 @@ fn bench_telemetry(config: &ExchangeConfig, runs: usize) -> String {
 
     // The runs are short (a few ms), so scheduler jitter would swamp a
     // back-to-back comparison. Interleave baseline/traced pairs over
-    // many repetitions so drift cancels, and take well more repetitions
-    // than the table benchmarks do.
+    // many repetitions and take the per-stream *median* — a mean lets a
+    // single scheduler stall in either stream swing the overhead figure
+    // by more than the quantity being measured.
     let reps = (runs * 10).max(20);
     let trace_path = std::env::temp_dir().join("bench_exchange_trace.jsonl");
     let mut baseline_result = None;
     let mut traced_result = None;
-    let mut baseline_seconds = 0.0;
-    let mut anneal_seconds = 0.0;
-    let mut drain_seconds = 0.0;
+    let mut baseline_samples = Vec::with_capacity(reps);
+    let mut anneal_samples = Vec::with_capacity(reps);
+    let mut drain_samples = Vec::with_capacity(reps);
     for timed in 0..=reps {
         let start = Instant::now();
         let base = exchange(&quadrant, &initial, &stack, config).expect("kernel runs");
@@ -174,16 +240,16 @@ fn bench_telemetry(config: &ExchangeConfig, runs: usize) -> String {
         sink.finish().expect("trace flush");
         // The zeroth pair is warm-up (matching `time_runs`).
         if timed > 0 {
-            baseline_seconds += base_elapsed;
-            anneal_seconds += anneal;
-            drain_seconds += start.elapsed().as_secs_f64();
+            baseline_samples.push(base_elapsed);
+            anneal_samples.push(anneal);
+            drain_samples.push(start.elapsed().as_secs_f64());
         }
         baseline_result = Some(base);
         traced_result = Some(result);
     }
-    baseline_seconds /= reps as f64;
-    anneal_seconds /= reps as f64;
-    drain_seconds /= reps as f64;
+    let baseline_seconds = median(&mut baseline_samples);
+    let anneal_seconds = median(&mut anneal_samples);
+    let drain_seconds = median(&mut drain_samples);
     assert_eq!(
         baseline_result, traced_result,
         "telemetry perturbed the kernel's result"
@@ -217,7 +283,10 @@ fn bench_telemetry(config: &ExchangeConfig, runs: usize) -> String {
 
     let base_rate = baseline.moves as f64 / baseline.seconds.max(1e-12);
     let traced_rate = traced.moves as f64 / traced.seconds.max(1e-12);
-    let overhead_percent = 100.0 * (base_rate / traced_rate.max(1e-12) - 1.0);
+    // Medians still leave the traced stream occasionally *faster* than
+    // the baseline on a noisy host; a negative overhead is measurement
+    // noise, not a real speedup, so clamp at zero rather than report it.
+    let overhead_percent = (100.0 * (base_rate / traced_rate.max(1e-12) - 1.0)).max(0.0);
     println!(
         "telemetry ({} psi=1): untraced {base_rate:.1} moves/s, jsonl {traced_rate:.1} moves/s \
          ({overhead_percent:.1}% overhead, drain {:.1} ms), replay exact over {} events",
@@ -225,9 +294,10 @@ fn bench_telemetry(config: &ExchangeConfig, runs: usize) -> String {
         drain_seconds * 1e3,
         events.len()
     );
-    if overhead_percent >= 10.0 {
-        eprintln!("warning: telemetry overhead {overhead_percent:.1}% exceeds the 10% budget");
-    }
+    assert!(
+        overhead_percent < 10.0,
+        "telemetry overhead {overhead_percent:.1}% exceeds the 10% budget"
+    );
 
     let mut block = String::new();
     let _ = write!(

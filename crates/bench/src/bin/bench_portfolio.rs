@@ -14,7 +14,7 @@ use std::time::Instant;
 use copack_core::{
     assign, exchange_portfolio, AssignMethod, ExchangeConfig, PortfolioConfig, Schedule,
 };
-use copack_gen::circuits;
+use copack_gen::{circuits, large_circuit};
 use copack_geom::{Assignment, Quadrant, StackConfig};
 
 /// Portfolio widths for the quality sweep (K = 1 is the plain-exchange
@@ -50,21 +50,22 @@ struct Sample {
     wall_seconds: f64,
 }
 
-fn run_portfolio(quadrant: &Quadrant, initial: &Assignment, starts: u32, threads: usize) -> Sample {
+fn run_portfolio(
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+    starts: u32,
+    threads: usize,
+) -> Sample {
     let portfolio = PortfolioConfig {
         starts,
         threads,
         ..PortfolioConfig::default()
     };
     let t = Instant::now();
-    let won = exchange_portfolio(
-        quadrant,
-        initial,
-        &StackConfig::planar(),
-        &bench_config(),
-        &portfolio,
-    )
-    .expect("portfolio runs");
+    let won =
+        exchange_portfolio(quadrant, initial, stack, config, &portfolio).expect("portfolio runs");
     Sample {
         starts,
         threads,
@@ -100,7 +101,16 @@ fn main() {
         // Quality vs. starts at one worker: how much does width buy?
         let quality: Vec<Sample> = WIDTHS
             .iter()
-            .map(|&k| run_portfolio(&quadrant, &initial, k, 1))
+            .map(|&k| {
+                run_portfolio(
+                    &quadrant,
+                    &initial,
+                    &StackConfig::planar(),
+                    &bench_config(),
+                    k,
+                    1,
+                )
+            })
             .collect();
         let baseline = quality[0].cost;
         let widest = quality.last().expect("non-empty sweep");
@@ -117,7 +127,16 @@ fn main() {
         // not move.
         let scaling: Vec<Sample> = THREADS
             .iter()
-            .map(|&t| run_portfolio(&quadrant, &initial, *WIDTHS.last().expect("widths"), t))
+            .map(|&t| {
+                run_portfolio(
+                    &quadrant,
+                    &initial,
+                    &StackConfig::planar(),
+                    &bench_config(),
+                    *WIDTHS.last().expect("widths"),
+                    t,
+                )
+            })
             .collect();
         for s in &scaling {
             assert!(
@@ -163,7 +182,103 @@ fn main() {
         }
         json.push('\n');
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    bench_large(&mut json);
+    json.push_str("}\n");
     std::fs::write("BENCH_portfolio.json", &json).expect("write BENCH_portfolio.json");
     println!("wrote BENCH_portfolio.json");
+}
+
+/// The industrial-scale row the whole parallelism story hangs on: an
+/// eight-start portfolio on the 1k-net preset, swept over worker counts.
+/// At Table 1 sizes a start finishes in microseconds and thread spawn
+/// overhead eats the speedup; at 1k nets each start carries real work,
+/// so this run *asserts* the crossover — eight workers must finish the
+/// same portfolio in less wall time than one — alongside the usual
+/// bit-identity of the winner across every thread count.
+fn bench_large(json: &mut String) {
+    let spec = large_circuit("1k", 42).expect("preset name");
+    let stack = spec.stack().expect("valid stack");
+    let quadrant = spec.build_quadrant().expect("instance builds");
+    let initial = assign(&quadrant, AssignMethod::dfa_default()).expect("dfa");
+    // A fuller schedule than the Table 1 sweep: enough annealing per
+    // start that the work, not the thread plumbing, dominates.
+    let config = ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 2,
+            final_temp_ratio: 1e-2,
+            cooling: 0.85,
+            ..Schedule::default()
+        },
+        ..ExchangeConfig::default()
+    };
+    let scaling: Vec<Sample> = THREADS
+        .iter()
+        .map(|&t| {
+            run_portfolio(
+                &quadrant,
+                &initial,
+                &stack,
+                &config,
+                *WIDTHS.last().expect("widths"),
+                t,
+            )
+        })
+        .collect();
+    for s in &scaling {
+        assert!(
+            s.cost.to_bits() == scaling[0].cost.to_bits()
+                && s.winner_start == scaling[0].winner_start,
+            "{}: winner changed under --threads {}",
+            spec.name,
+            s.threads
+        );
+    }
+    let serial = scaling.first().expect("non-empty sweep");
+    let widest = scaling.last().expect("non-empty sweep");
+    // The crossover only exists where the hardware can actually run the
+    // workers side by side; on a single core the same sweep instead
+    // bounds the thread plumbing's overhead.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores >= 2 {
+        assert!(
+            widest.wall_seconds < serial.wall_seconds,
+            "{}: {} threads ({:.3} s) failed to beat 1 thread ({:.3} s) on {cores} cores",
+            spec.name,
+            widest.threads,
+            widest.wall_seconds,
+            serial.wall_seconds
+        );
+    } else {
+        println!("note: single core — asserting thread overhead is bounded, not the crossover");
+        assert!(
+            widest.wall_seconds < serial.wall_seconds * 1.5,
+            "{}: {} threads ({:.3} s) cost >50% over 1 thread ({:.3} s) on one core",
+            spec.name,
+            widest.threads,
+            widest.wall_seconds,
+            serial.wall_seconds
+        );
+    }
+    println!(
+        "{}: K={} cost {:.4} (winner start {}); 1 thread {:.3} s -> {} threads {:.3} s ({:.2}x)",
+        spec.name,
+        widest.starts,
+        widest.cost,
+        widest.winner_start,
+        serial.wall_seconds,
+        widest.threads,
+        widest.wall_seconds,
+        serial.wall_seconds / widest.wall_seconds.max(1e-12),
+    );
+
+    let _ = write!(json, "  \"large\": [\n    {{\"name\": \"{}\",\n", spec.name);
+    json.push_str("     \"wall_clock_vs_threads\": [");
+    for (j, s) in scaling.iter().enumerate() {
+        if j > 0 {
+            json.push_str(", ");
+        }
+        json_sample(json, s);
+    }
+    json.push_str("]}\n  ]\n");
 }

@@ -263,6 +263,12 @@ pub fn exchange_cancellable(
     driver.finish(recorder)
 }
 
+/// A pruned run's remains: the accepted-move journal, its best-prefix
+/// length, and the stats with `final_cost` stamped to the best seen —
+/// everything [`crate::portfolio`] needs to keep the trajectory as a
+/// best-of candidate after the driver is gone.
+pub(crate) type FrozenRun = (Vec<(u32, u32)>, usize, ExchangeStats);
+
 /// Resumable state of one annealing run: the incremental kernel hoisted
 /// into a struct so the schedule can be advanced in segments.
 ///
@@ -285,7 +291,6 @@ pub(crate) struct ExchangeDriver<'a> {
     cooling: f64,
     psi: u8,
     alpha: usize,
-    ids: Vec<NetId>,
     movable_idx: Vec<usize>,
     cache: RangeCache,
     pos1: Vec<u32>,
@@ -348,8 +353,10 @@ impl<'a> ExchangeDriver<'a> {
 
         let alpha = initial.finger_count();
 
-        // Dense net indexing (quadrant id order) and flat position state:
-        // the inner loop never touches the assignment's `BTreeMap`.
+        // Dense net indexing (the quadrant's `NetIndex` order) and flat
+        // position state: the inner loop does zero keyed lookups — slots,
+        // positions, ranges and section state are all arrays over the
+        // same interned domain.
         let cache = RangeCache::new(quadrant, initial)?;
         let ids: Vec<NetId> = quadrant.nets().map(|n| n.id).collect();
         let movable_idx: Vec<usize> = movable
@@ -421,7 +428,6 @@ impl<'a> ExchangeDriver<'a> {
             cooling: config.schedule.cooling,
             psi,
             alpha,
-            ids,
             movable_idx,
             cache,
             pos1,
@@ -518,6 +524,16 @@ impl<'a> ExchangeDriver<'a> {
     /// Length of the journal prefix that produced [`Self::best_cost`].
     pub(crate) fn best_len(&self) -> usize {
         self.best_len
+    }
+
+    /// Freezes the run for a portfolio prune: the accepted-move journal,
+    /// its best-prefix length, and the stats so far with `final_cost`
+    /// stamped to the best seen. The portfolio reduction keeps the frozen
+    /// trajectory as a best-of candidate after the driver is dropped.
+    pub(crate) fn freeze(&self) -> FrozenRun {
+        let mut stats = self.stats;
+        stats.final_cost = self.best_cost;
+        (self.journal.clone(), self.best_len, stats)
     }
 
     /// Advances up to `steps` temperature steps (stopping early when the
@@ -656,7 +672,7 @@ impl<'a> ExchangeDriver<'a> {
             let id_before = self.id_value;
             if crosses {
                 let (l, r) = (left_net.expect("both set"), right_net.expect("both set"));
-                self.sections.apply_adjacent_swap(self.ids[l], self.ids[r]);
+                self.sections.apply_adjacent_swap_idx(l, r);
                 self.id_value = self.sections.increased_density();
             }
             if let Some(tracker) = &mut self.omega_tracker {
@@ -741,7 +757,7 @@ impl<'a> ExchangeDriver<'a> {
                 }
                 if crosses {
                     let (l, r) = (left_net.expect("both set"), right_net.expect("both set"));
-                    self.sections.apply_adjacent_swap(self.ids[r], self.ids[l]);
+                    self.sections.apply_adjacent_swap_idx(r, l);
                     self.id_value = id_before;
                 }
                 if let Some(tracker) = &mut self.omega_tracker {

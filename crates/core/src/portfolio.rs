@@ -26,14 +26,25 @@
 //!
 //! The cooling schedule is cut into [`PortfolioConfig::sync_epochs`]
 //! segments. Each *round*, every live start advances one epoch (on up to
-//! [`PortfolioConfig::threads`] OS threads); at the barrier the global
-//! best cost is computed and any start whose best-so-far trails it by
+//! [`PortfolioConfig::threads`] OS threads); at the barrier any start
+//! whose best-so-far trails the **baseline** (start 0's best-so-far) by
 //! more than [`PortfolioConfig::prune_margin`] (relative) is abandoned —
-//! its driver is dropped, its best cost frozen, and (budget permitting) a
-//! freshly-seeded replacement start joins the next round. Replacements
-//! take seeds `derive_seed(base, K + j)` so the seed stream never depends
-//! on timing. The final epoch runs the schedule to completion, absorbing
-//! the ±1-step float rounding of the epoch split.
+//! its driver is dropped, its best cost *and best-prefix journal* frozen
+//! as a reduction candidate, and (budget permitting) a freshly-seeded
+//! replacement start joins the next round. Replacements take seeds
+//! `derive_seed(base, K + j)` so the seed stream never depends on timing.
+//! The final epoch runs the schedule to completion, absorbing the
+//! ±1-step float rounding of the epoch split.
+//!
+//! Pruning against the baseline rather than the global leader keeps the
+//! verdicts **independent of `K`**: start `k`'s trajectory, and the epoch
+//! at which it is pruned, are the same in every portfolio that contains
+//! it. Widening the portfolio therefore only *adds* candidates to the
+//! final reduction, so the winner's cost is monotone in `K` (pinned by
+//! `tests/quality_regression.rs`). Leader-relative pruning broke this:
+//! a wider portfolio tightens the early-epoch threshold and can abandon —
+//! mid-descent — the very trajectory a narrower portfolio would have
+//! carried to the win.
 //!
 //! The winner's accepted-move journal (and best-prefix length) is
 //! returned so the `copack-verify` oracles can replay the trajectory
@@ -53,9 +64,12 @@ pub struct PortfolioConfig {
     /// plain kernel (bit-identical to [`crate::exchange`]).
     pub starts: u32,
     /// Relative prune margin: at each sync epoch a start is abandoned
-    /// when `best > global_best + prune_margin · (|global_best| + 1)`.
-    /// `0.0` prunes every non-leader; `f64::INFINITY` disables pruning.
-    /// Start 0 (the caller's seed) is never pruned regardless of margin.
+    /// when `best > baseline + prune_margin · (|baseline| + 1)`, where
+    /// `baseline` is start 0's best-so-far. `0.0` prunes every start
+    /// trailing the baseline; `f64::INFINITY` disables pruning. Start 0
+    /// (the caller's seed) is never pruned regardless of margin, so the
+    /// threshold — and with it every prune verdict — is the same in every
+    /// portfolio width `K`.
     pub prune_margin: f64,
     /// Number of synchronisation epochs the cooling schedule is cut
     /// into, `≥ 1`. More epochs prune earlier but synchronise more often.
@@ -175,6 +189,10 @@ struct Run<'a> {
     pruned_at: Option<u32>,
     /// Best cost, frozen at prune time (mirrors the driver's while live).
     frozen_best: f64,
+    /// The best-prefix journal and stats frozen at prune time, kept as a
+    /// best-of candidate so abandoning a start never discards its
+    /// trajectory from the reduction.
+    frozen: Option<crate::exchange::FrozenRun>,
     failure: Option<CoreError>,
 }
 
@@ -327,6 +345,7 @@ pub fn exchange_portfolio_cancellable(
             epochs_done: 0,
             pruned_at: None,
             frozen_best: f64::INFINITY,
+            frozen: None,
             failure: None,
         })
     };
@@ -377,21 +396,22 @@ pub fn exchange_portfolio_cancellable(
                 return Err(e);
             }
         }
-        // Prune verdicts, in start-index order against the global best
-        // over all live runs. The leader itself can never trail the
-        // global best, so at least one start always survives. Start 0 is
-        // additionally exempt: it carries the caller's seed, and keeping
-        // it alive to the end makes the K-start winner never worse than
-        // the K = 1 run — pruning it on an early trailing position would
-        // forfeit that guarantee (its late trajectory can still win).
-        let global_best = runs
+        // Prune verdicts, in start-index order against the baseline —
+        // start 0's best-so-far. Start 0 is exempt: it carries the
+        // caller's seed, always survives (so at least one start does),
+        // and keeping it alive to the end makes the K-start winner never
+        // worse than the K = 1 run. Because the threshold depends only on
+        // start 0's (K-invariant) trajectory, each start is pruned at the
+        // same epoch in every portfolio that contains it — the property
+        // that makes the winner's cost monotone in K.
+        let baseline_best = runs
             .iter()
-            .filter(|r| r.driver.is_some())
-            .map(Run::best_cost)
-            .fold(f64::INFINITY, f64::min);
+            .find(|r| r.start == 0)
+            .expect("start 0 is never removed")
+            .best_cost();
         let threshold = portfolio
             .prune_margin
-            .mul_add(global_best.abs() + 1.0, global_best);
+            .mul_add(baseline_best.abs() + 1.0, baseline_best);
         let mut spawn_requests = 0u32;
         for run in &mut runs {
             if run.start == 0 || run.driver.is_none() || run.is_finished() {
@@ -401,13 +421,16 @@ pub fn exchange_portfolio_cancellable(
             if best > threshold {
                 run.frozen_best = best;
                 run.pruned_at = Some(run.epochs_done.saturating_sub(1));
+                // Fold the pruned trajectory into the reduction instead
+                // of discarding it with the driver.
+                run.frozen = run.driver.as_ref().map(ExchangeDriver::freeze);
                 run.driver = None;
                 if rec_on {
                     run.buffer.push(Event::PortfolioPrune {
                         start: run.start,
                         epoch: run.epochs_done.saturating_sub(1),
                         best_cost: best,
-                        global_best,
+                        global_best: baseline_best,
                     });
                 }
                 if replacements_left > 0 {
@@ -423,14 +446,17 @@ pub fn exchange_portfolio_cancellable(
         }
     }
 
-    // Deterministic reduction: minimum (best cost, start index) over the
-    // surviving runs. A pruned run's frozen best strictly exceeded the
-    // prune threshold (≥ global best) when it was dropped, and the global
-    // best only decreases, so no pruned run can beat the winner.
+    // Deterministic reduction: minimum (best cost, start index) over
+    // *every* run — live finishers and pruned starts' frozen journals
+    // alike. (A pruned run's frozen best strictly exceeded the baseline's
+    // best-so-far when it was dropped, and the baseline only improves, so
+    // in practice a frozen candidate never wins — but folding it in keeps
+    // the reduction correct under any future prune rule, and the frozen
+    // journal is what the replay path needs if one ever does.)
     let winner_idx = runs
         .iter()
         .enumerate()
-        .filter(|(_, r)| r.driver.is_some())
+        .filter(|(_, r)| r.driver.is_some() || r.frozen.is_some())
         .min_by(|(_, a), (_, b)| {
             a.best_cost()
                 .partial_cmp(&b.best_cost())
@@ -438,19 +464,25 @@ pub fn exchange_portfolio_cancellable(
                 .then(a.start.cmp(&b.start))
         })
         .map(|(i, _)| i)
-        .expect("the leader is never pruned");
+        .expect("start 0 is never pruned");
 
     // Finish the winner (rematerialise + RunEnd into its own buffer),
-    // then merge every start's trace in start-index order.
+    // then merge every start's trace in start-index order. A pruned
+    // winner rematerialises from its frozen best-prefix journal.
     let (result, journal, best_len) = {
         let run = &mut runs[winner_idx];
-        let driver = run.driver.as_mut().expect("winner is live");
-        let result = if rec_on {
-            driver.finish(&mut run.buffer)?
+        if let Some(driver) = run.driver.as_mut() {
+            let result = if rec_on {
+                driver.finish(&mut run.buffer)?
+            } else {
+                driver.finish(&mut NoopRecorder)?
+            };
+            (result, driver.journal().to_vec(), driver.best_len())
         } else {
-            driver.finish(&mut NoopRecorder)?
-        };
-        (result, driver.journal().to_vec(), driver.best_len())
+            let (journal, best_len, stats) = run.frozen.take().expect("pruned winner was frozen");
+            let assignment = replay_journal(initial, &journal, best_len)?;
+            (ExchangeResult { assignment, stats }, journal, best_len)
+        }
     };
     let mut starts = Vec::with_capacity(runs.len());
     for run in &mut runs {

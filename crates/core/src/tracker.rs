@@ -8,21 +8,30 @@
 //! trackers implement them; property tests pin them to the from-scratch
 //! definitions ([`crate::SectionBaseline`], [`crate::omega`]).
 
-use copack_geom::{Assignment, FingerIdx, NetId, NetKind, Quadrant, TierId};
+use copack_geom::{Assignment, FingerIdx, NetId, NetIndex, NetKind, Quadrant, TierId};
 
 use crate::{CoreError, SectionBaseline};
 
 /// Incrementally tracked top-line section counts (Eq. 2's `I_c`).
+///
+/// Per-net state is dense over the quadrant's [`NetIndex`], so the swap
+/// update is a handful of array loads — no keyed lookups on the annealer's
+/// move loop. Callers that already hold dense indices (the exchange
+/// driver's slot tables use the same interning) can use the `_idx`
+/// variants and skip even the `O(1)` id resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SectionTracker {
     /// `I_c^ini`, recorded at construction.
     initial: Vec<u32>,
     /// Current `I_c`.
     counts: Vec<u32>,
-    /// Whether each net is a top-row (delimiter) net.
-    is_top: std::collections::BTreeMap<NetId, bool>,
-    /// Current section of each non-top net.
-    section_of: std::collections::BTreeMap<NetId, usize>,
+    /// The quadrant's id interning, for resolving [`NetId`] arguments.
+    index: NetIndex,
+    /// Whether each net (by dense index) is a top-row (delimiter) net.
+    is_top: Vec<bool>,
+    /// Current section of each non-top net (by dense index; delimiters
+    /// hold an unused 0).
+    section_of: Vec<u32>,
 }
 
 impl SectionTracker {
@@ -34,6 +43,7 @@ impl SectionTracker {
     /// Propagates [`CoreError::Route`] if the assignment is incomplete.
     pub fn new(quadrant: &Quadrant, assignment: &Assignment) -> Result<Self, CoreError> {
         let baseline = SectionBaseline::record(quadrant, assignment)?;
+        let index = quadrant.net_index().clone();
         let top: Vec<NetId> = quadrant.row(quadrant.top_row()).to_vec();
         let mut delim: Vec<usize> = top
             .iter()
@@ -46,20 +56,23 @@ impl SectionTracker {
             .collect::<Result<_, _>>()?;
         delim.sort_unstable();
 
-        let mut is_top = std::collections::BTreeMap::new();
-        for net in quadrant.nets() {
-            is_top.insert(net.id, top.contains(&net.id));
+        let mut is_top = vec![false; index.len()];
+        for &net in &top {
+            is_top[index.get(net).expect("top-row net is interned")] = true;
         }
-        let mut section_of = std::collections::BTreeMap::new();
+        let mut section_of = vec![0u32; index.len()];
         for (finger, net) in assignment.iter() {
-            if !is_top[&net] {
-                let s = delim.partition_point(|&d| d < finger.zero_based());
-                section_of.insert(net, s);
+            if let Some(i) = index.get(net) {
+                if !is_top[i] {
+                    let s = delim.partition_point(|&d| d < finger.zero_based());
+                    section_of[i] = u32::try_from(s).expect("section fits u32");
+                }
             }
         }
         Ok(Self {
             counts: baseline.initial().to_vec(),
             initial: baseline.initial().to_vec(),
+            index,
             is_top,
             section_of,
         })
@@ -80,8 +93,20 @@ impl SectionTracker {
     /// illegal and must be filtered out by the caller) or if a net is
     /// unknown.
     pub fn apply_adjacent_swap(&mut self, left: NetId, right: NetId) -> bool {
-        let left_top = self.is_top[&left];
-        let right_top = self.is_top[&right];
+        let li = self.index.get(left).expect("left net is interned");
+        let ri = self.index.get(right).expect("right net is interned");
+        self.apply_adjacent_swap_idx(li, ri)
+    }
+
+    /// [`SectionTracker::apply_adjacent_swap`] for callers that already
+    /// hold the nets' dense indices (see [`Quadrant::net_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both nets are top-row nets or an index is out of range.
+    pub fn apply_adjacent_swap_idx(&mut self, left: usize, right: usize) -> bool {
+        let left_top = self.is_top[left];
+        let right_top = self.is_top[right];
         assert!(
             !(left_top && right_top),
             "adjacent top-row nets cannot swap"
@@ -96,11 +121,11 @@ impl SectionTracker {
         } else {
             (left, false)
         };
-        let s = self.section_of[&mover];
+        let s = self.section_of[mover] as usize;
         let new_s = if went_left { s - 1 } else { s + 1 };
         self.counts[s] -= 1;
         self.counts[new_s] += 1;
-        self.section_of.insert(mover, new_s);
+        self.section_of[mover] = u32::try_from(new_s).expect("section fits u32");
         true
     }
 
@@ -113,7 +138,7 @@ impl SectionTracker {
     /// Panics if `net` is unknown.
     #[must_use]
     pub fn is_delimiter(&self, net: NetId) -> bool {
-        self.is_top[&net]
+        self.is_top[self.index.get(net).expect("net is interned")]
     }
 
     /// Current section counts.

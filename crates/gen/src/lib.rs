@@ -39,6 +39,7 @@
 mod adversarial;
 mod circuit;
 mod fuzz;
+mod large;
 mod netmix;
 mod rows;
 mod sweep;
@@ -47,6 +48,7 @@ mod table1;
 pub use adversarial::{blocked_tiers, clustered_supply};
 pub use circuit::Circuit;
 pub use fuzz::{fuzz_case, FuzzCase, SplitMix64};
+pub use large::{large_circuit, large_circuits, large_fuzz_case, LargeSpec, LARGE_SIZES};
 pub use netmix::NetMix;
 pub use rows::{row_sizes, row_sizes_with, RowProfile};
 pub use sweep::{finger_count_sweep, row_depth_sweep};

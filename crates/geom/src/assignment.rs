@@ -7,12 +7,25 @@ use serde::{Deserialize, Serialize};
 
 use crate::{FingerIdx, GeomError, NetId, Quadrant};
 
+/// Raw-id ceiling of the direct position table. Net ids below this (every
+/// generated instance; the generators emit `1..=β`) resolve positions
+/// through a flat `Vec` in `O(1)`; the rare hand-written id above it falls
+/// into a keyed overflow map so a stray huge id cannot balloon memory.
+const DIRECT_POS_LIMIT: usize = 1 << 20;
+
+/// Sentinel in the direct position table for "net not placed".
+const UNPLACED: u32 = u32::MAX;
+
 /// An assignment of nets to finger slots within one quadrant: the paper's
 /// output "assignment of net `N_b` to finger/pad locations `F_a`".
 ///
 /// Slots may be empty when a quadrant has more fingers than nets; the
 /// planning algorithms keep nets in *relative* order, so the dense
 /// [`Assignment::order`] view is what most consumers want.
+///
+/// The net → slot reverse index is a dense array over raw net ids, so
+/// [`Assignment::position_of`] and [`Assignment::swap`] — the annealer's
+/// reference-kernel inner loop — never walk a tree.
 ///
 /// ```
 /// use copack_geom::{Assignment, NetId};
@@ -21,12 +34,31 @@ use crate::{FingerIdx, GeomError, NetId, Quadrant};
 /// assert_eq!(a.position_of(NetId::new(1)).unwrap().get(), 2);
 /// assert_eq!(a.order(), vec![NetId::new(3), NetId::new(1), NetId::new(2)]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Assignment {
     slots: Vec<Option<NetId>>,
+    /// Raw id → 0-based slot ([`UNPLACED`] = absent), ids below
+    /// [`DIRECT_POS_LIMIT`] only; grown on demand.
     #[serde(skip)]
-    pos: BTreeMap<NetId, usize>,
+    pos: Vec<u32>,
+    /// Positions of the rare nets with raw ids ≥ [`DIRECT_POS_LIMIT`].
+    #[serde(skip)]
+    pos_overflow: BTreeMap<NetId, usize>,
+    /// Number of occupied slots.
+    #[serde(skip)]
+    placed: usize,
 }
+
+/// Equality is over the slots alone: the reverse index is derived state
+/// (its backing-array length varies with the largest id seen, never with
+/// the assignment's meaning).
+impl PartialEq for Assignment {
+    fn eq(&self, other: &Self) -> bool {
+        self.slots == other.slots
+    }
+}
+
+impl Eq for Assignment {}
 
 impl Assignment {
     /// Creates an assignment with `fingers` empty slots.
@@ -34,7 +66,9 @@ impl Assignment {
     pub fn empty(fingers: usize) -> Self {
         Self {
             slots: vec![None; fingers],
-            pos: BTreeMap::new(),
+            pos: Vec::new(),
+            pos_overflow: BTreeMap::new(),
+            placed: 0,
         }
     }
 
@@ -48,19 +82,48 @@ impl Assignment {
         let slots: Vec<Option<NetId>> = order.into_iter().map(|n| Some(n.into())).collect();
         let mut a = Self {
             slots,
-            pos: BTreeMap::new(),
+            pos: Vec::new(),
+            pos_overflow: BTreeMap::new(),
+            placed: 0,
         };
         a.rebuild_index();
         a
     }
 
     fn rebuild_index(&mut self) {
-        self.pos = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.map(|n| (n, i)))
-            .collect();
+        self.pos.clear();
+        self.pos_overflow.clear();
+        self.placed = 0;
+        for i in 0..self.slots.len() {
+            if let Some(net) = self.slots[i] {
+                self.set_pos(net, i);
+                self.placed += 1;
+            }
+        }
+    }
+
+    fn get_pos(&self, net: NetId) -> Option<usize> {
+        let raw = net.raw() as usize;
+        if raw < DIRECT_POS_LIMIT {
+            match self.pos.get(raw) {
+                Some(&p) if p != UNPLACED => Some(p as usize),
+                _ => None,
+            }
+        } else {
+            self.pos_overflow.get(&net).copied()
+        }
+    }
+
+    fn set_pos(&mut self, net: NetId, slot: usize) {
+        let raw = net.raw() as usize;
+        if raw < DIRECT_POS_LIMIT {
+            if raw >= self.pos.len() {
+                self.pos.resize(raw + 1, UNPLACED);
+            }
+            self.pos[raw] = u32::try_from(slot).expect("slot fits u32");
+        } else {
+            self.pos_overflow.insert(net, slot);
+        }
     }
 
     /// Number of finger slots (occupied or not).
@@ -72,13 +135,13 @@ impl Assignment {
     /// Number of occupied slots.
     #[must_use]
     pub fn net_count(&self) -> usize {
-        self.pos.len()
+        self.placed
     }
 
     /// Whether no slot is occupied.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.pos.is_empty()
+        self.placed == 0
     }
 
     /// Net occupying finger `a`, if any.
@@ -94,7 +157,7 @@ impl Assignment {
     /// Finger slot holding `net`, if it is placed.
     #[must_use]
     pub fn position_of(&self, net: NetId) -> Option<FingerIdx> {
-        self.pos.get(&net).map(|&i| FingerIdx::from_zero_based(i))
+        self.get_pos(net).map(FingerIdx::from_zero_based)
     }
 
     /// Places `net` into slot `a`.
@@ -122,11 +185,12 @@ impl Assignment {
             }
             return Ok(());
         }
-        if self.pos.contains_key(&net) {
+        if self.get_pos(net).is_some() {
             return Err(GeomError::DuplicateNet { net });
         }
         self.slots[i] = Some(net);
-        self.pos.insert(net, i);
+        self.set_pos(net, i);
+        self.placed += 1;
         Ok(())
     }
 
@@ -147,10 +211,10 @@ impl Assignment {
         let (i, j) = (a.zero_based(), b.zero_based());
         self.slots.swap(i, j);
         if let Some(n) = self.slots[i] {
-            self.pos.insert(n, i);
+            self.set_pos(n, i);
         }
         if let Some(n) = self.slots[j] {
-            self.pos.insert(n, j);
+            self.set_pos(n, j);
         }
         Ok(())
     }
@@ -187,20 +251,20 @@ impl Assignment {
     ///   quadrant's finger row (e.g. a sparse assignment file with an
     ///   oversized finger index).
     pub fn validate_complete(&self, quadrant: &Quadrant) -> Result<(), GeomError> {
-        for (net, &slot) in &self.pos {
-            if quadrant.net(*net).is_none() {
-                return Err(GeomError::UnknownNet { net: *net });
+        for (finger, net) in self.iter() {
+            if quadrant.net(net).is_none() {
+                return Err(GeomError::UnknownNet { net });
             }
-            if slot >= quadrant.finger_count() {
+            if finger.zero_based() >= quadrant.finger_count() {
                 return Err(GeomError::SlotOutOfRange {
-                    slot,
+                    slot: finger.zero_based(),
                     fingers: quadrant.finger_count(),
                 });
             }
         }
-        if self.pos.len() != quadrant.net_count() {
+        if self.placed != quadrant.net_count() {
             return Err(GeomError::IncompleteAssignment {
-                placed: self.pos.len(),
+                placed: self.placed,
                 nets: quadrant.net_count(),
             });
         }
@@ -333,6 +397,30 @@ mod tests {
                 fingers: 2
             })
         ));
+    }
+
+    #[test]
+    fn huge_ids_take_the_overflow_path() {
+        // Raw ids past the direct-table ceiling must still place, swap and
+        // resolve — just through the keyed overflow map.
+        let big = NetId::new(3_000_000_000);
+        let mut a = Assignment::from_order([big, NetId::new(1)]);
+        assert_eq!(a.position_of(big).unwrap().get(), 1);
+        a.swap(FingerIdx::new(1), FingerIdx::new(2)).unwrap();
+        assert_eq!(a.position_of(big).unwrap().get(), 2);
+        assert_eq!(a.position_of(NetId::new(1)).unwrap().get(), 1);
+        let err = a.place(big, FingerIdx::new(1)).unwrap_err();
+        assert!(matches!(err, GeomError::SlotOccupied { .. }));
+    }
+
+    #[test]
+    fn equality_ignores_index_capacity() {
+        // Same slots, different index growth histories: still equal.
+        let a = Assignment::from_order([5u32, 900_000]);
+        let mut b = Assignment::empty(2);
+        b.place(NetId::new(900_000), FingerIdx::new(2)).unwrap();
+        b.place(NetId::new(5), FingerIdx::new(1)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

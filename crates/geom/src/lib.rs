@@ -76,5 +76,5 @@ pub use ids::{FingerIdx, NetId, QuadrantSide, RowIdx};
 pub use net::{Net, NetKind};
 pub use package::{Package, PackageBuilder, PerimeterSlot};
 pub use point::Point;
-pub use quadrant::{Quadrant, QuadrantBuilder, QuadrantGeometry};
+pub use quadrant::{NetIndex, Quadrant, QuadrantBuilder, QuadrantGeometry};
 pub use tier::{StackConfig, TierId};

@@ -65,6 +65,89 @@ impl Default for QuadrantGeometry {
     }
 }
 
+/// Sentinel in [`NetIndex`]'s direct table for "no net with this raw id".
+const NO_INDEX: u32 = u32::MAX;
+
+/// Contiguous `NetId → usize` interning over one quadrant's net set.
+///
+/// [`NetId`]s need not be dense, but every per-net lookup on the
+/// annealer's hot path wants a flat array. The index assigns each net the
+/// position of its id in ascending id order — the same order
+/// [`Quadrant::nets`] iterates and every dense cache in the workspace
+/// (range cache, section tracker, exchange driver) already uses — so a
+/// dense index resolved here addresses all of them interchangeably.
+///
+/// Resolution is `O(1)`: a direct raw-id → index table when the id space
+/// is reasonably compact (the generators emit `1..=β`), falling back to a
+/// branch-predictable binary search over the sorted id list for
+/// pathologically sparse hand-written instances, so a stray huge id can
+/// never balloon memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetIndex {
+    /// Net ids in ascending order; position = dense index.
+    ids: Vec<NetId>,
+    /// Raw id → dense index ([`NO_INDEX`] = absent); empty when the id
+    /// space is too sparse for a direct table.
+    direct: Vec<u32>,
+}
+
+impl NetIndex {
+    /// Builds the index from ids already sorted ascending and unique.
+    fn from_sorted_ids(ids: Vec<NetId>) -> Self {
+        let max_raw = ids.last().map_or(0, |id| id.raw()) as usize;
+        let direct = if max_raw < ids.len().saturating_mul(8) + 1024 {
+            let mut direct = vec![NO_INDEX; max_raw + 1];
+            for (i, id) in ids.iter().enumerate() {
+                direct[id.raw() as usize] = u32::try_from(i).expect("net count fits u32");
+            }
+            direct
+        } else {
+            Vec::new()
+        };
+        Self { ids, direct }
+    }
+
+    /// Dense index of `net`, or `None` for an id outside the set.
+    #[must_use]
+    pub fn get(&self, net: NetId) -> Option<usize> {
+        if self.direct.is_empty() {
+            return self.ids.binary_search(&net).ok();
+        }
+        match self.direct.get(net.raw() as usize) {
+            Some(&i) if i != NO_INDEX => Some(i as usize),
+            _ => None,
+        }
+    }
+
+    /// The net id at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn id(&self, idx: usize) -> NetId {
+        self.ids[idx]
+    }
+
+    /// All ids in dense-index (ascending id) order.
+    #[must_use]
+    pub fn ids(&self) -> &[NetId] {
+        &self.ids
+    }
+
+    /// Number of interned nets.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
 /// One quadrant of the two-layer BGA package (paper Fig. 2): `α` finger
 /// slots facing `n` rows of bump balls, planned independently of the other
 /// three quadrants.
@@ -73,13 +156,21 @@ impl Default for QuadrantGeometry {
 /// ("the highest horizontal line") abuts the finger row. Within a row,
 /// balls are listed left to right. Each ball carries exactly one net.
 ///
+/// Per-net state lives in dense arrays over the [`NetIndex`] interning
+/// layer, built once at construction; keyed `BTreeMap`s appear only at the
+/// build/serialization boundary (the builder and the text formats), never
+/// on a lookup path.
+///
 /// Construct with [`Quadrant::builder`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Quadrant {
     /// `rows[0]` is row `y = 1` (bottom).
     rows: Vec<Vec<NetId>>,
-    nets: BTreeMap<NetId, Net>,
-    balls: BTreeMap<NetId, BallRef>,
+    index: NetIndex,
+    /// Dense by [`NetIndex`] position.
+    nets: Vec<Net>,
+    /// Dense by [`NetIndex`] position.
+    balls: Vec<BallRef>,
     fingers: usize,
     geometry: QuadrantGeometry,
 }
@@ -147,18 +238,47 @@ impl Quadrant {
     /// Looks up a net by id.
     #[must_use]
     pub fn net(&self, id: NetId) -> Option<&Net> {
-        self.nets.get(&id)
+        self.index.get(id).map(|i| &self.nets[i])
+    }
+
+    /// The dense `NetId → usize` interning of this quadrant's nets.
+    ///
+    /// Hot-path caches resolve ids through this once at construction and
+    /// address each other with the resulting indices.
+    #[must_use]
+    pub fn net_index(&self) -> &NetIndex {
+        &self.index
+    }
+
+    /// The net at dense index `idx` (see [`Quadrant::net_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn net_at_index(&self, idx: usize) -> &Net {
+        &self.nets[idx]
+    }
+
+    /// The ball of the net at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn ball_at_index(&self, idx: usize) -> BallRef {
+        self.balls[idx]
     }
 
     /// Iterates all nets in id order.
     pub fn nets(&self) -> impl Iterator<Item = &Net> {
-        self.nets.values()
+        self.nets.iter()
     }
 
     /// Net ids of a given kind, in id order.
     pub fn nets_of_kind(&self, kind: NetKind) -> impl Iterator<Item = NetId> + '_ {
         self.nets
-            .values()
+            .iter()
             .filter(move |n| n.kind == kind)
             .map(|n| n.id)
     }
@@ -166,7 +286,7 @@ impl Quadrant {
     /// The bump ball a net terminates on.
     #[must_use]
     pub fn ball_of(&self, net: NetId) -> Option<BallRef> {
-        self.balls.get(&net).copied()
+        self.index.get(net).map(|i| self.balls[i])
     }
 
     /// Physical parameters of this quadrant.
@@ -231,7 +351,7 @@ impl Quadrant {
     /// Panics if the net is not in this quadrant.
     #[must_use]
     pub fn via_of(&self, net: NetId) -> Point {
-        let ball = self.balls[&net];
+        let ball = self.ball_of(net).expect("net not in quadrant");
         Point::new(self.via_site_x(ball.row, ball.col), self.line_y(ball.row))
     }
 
@@ -369,10 +489,16 @@ impl QuadrantBuilder {
                 nets: nets.len(),
             });
         }
+        // Flatten the keyed build-time maps into the dense interned form;
+        // BTreeMap iteration is ascending, so position == dense index.
+        let index = NetIndex::from_sorted_ids(nets.keys().copied().collect());
+        let dense_balls = nets.keys().map(|id| balls[id]).collect();
+        let dense_nets = nets.into_values().collect();
         Ok(Quadrant {
             rows: self.rows,
-            nets,
-            balls,
+            index,
+            nets: dense_nets,
+            balls: dense_balls,
             fingers,
             geometry: self.geometry,
         })
@@ -538,6 +664,38 @@ mod tests {
                 parameter: "ball_pitch"
             }
         );
+    }
+
+    #[test]
+    fn net_index_interns_ids_in_quadrant_order() {
+        let q = fig5();
+        let index = q.net_index();
+        assert_eq!(index.len(), 12);
+        assert!(!index.is_empty());
+        for (i, net) in q.nets().enumerate() {
+            assert_eq!(index.get(net.id), Some(i), "net {}", net.id.raw());
+            assert_eq!(index.id(i), net.id);
+            assert_eq!(q.net_at_index(i).id, net.id);
+            assert_eq!(q.ball_at_index(i), q.ball_of(net.id).unwrap());
+        }
+        assert_eq!(index.get(NetId::new(99)), None);
+        assert_eq!(index.ids().len(), 12);
+    }
+
+    #[test]
+    fn sparse_id_spaces_fall_back_to_search() {
+        // Ids far apart force the binary-search representation; lookups
+        // must behave identically.
+        let q = Quadrant::builder()
+            .row([7u32, 4_000_000_000, 123_456])
+            .build()
+            .unwrap();
+        let index = q.net_index();
+        assert_eq!(index.get(NetId::new(7)), Some(0));
+        assert_eq!(index.get(NetId::new(123_456)), Some(1));
+        assert_eq!(index.get(NetId::new(4_000_000_000)), Some(2));
+        assert_eq!(index.get(NetId::new(8)), None);
+        assert!(q.net(NetId::new(4_000_000_000)).is_some());
     }
 
     #[test]

@@ -193,6 +193,22 @@ impl GridSpec {
             (0, ny - 1 - (k - (2 * nx + ny - 3)))
         }
     }
+
+    /// All boundary nodes as a dense table indexed by the perimeter
+    /// coordinate `k` of [`GridSpec::boundary_node`], built in one
+    /// branch-free walk. Callers that map many pads to nodes (pad rings,
+    /// the placement search) index this once instead of re-deriving each
+    /// node from the branchy per-`k` form.
+    #[must_use]
+    pub fn boundary_nodes(&self) -> Vec<(usize, usize)> {
+        let (nx, ny) = (self.nx, self.ny);
+        let mut nodes = Vec::with_capacity(self.boundary_len());
+        nodes.extend((0..nx).map(|i| (i, 0)));
+        nodes.extend((1..ny).map(|j| (nx - 1, j)));
+        nodes.extend((1..nx).rev().map(|i| (i - 1, ny - 1)));
+        nodes.extend((1..ny - 1).rev().map(|j| (0, j)));
+        nodes
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +278,21 @@ mod tests {
         assert_eq!(spec.boundary_node(6), (3, 3)); // top-right corner
         assert_eq!(spec.boundary_node(9), (0, 3)); // top-left corner
         assert_eq!(spec.boundary_node(11), (0, 1)); // walking down the left
+    }
+
+    #[test]
+    fn boundary_table_matches_the_per_k_walk() {
+        for n in [2usize, 3, 4, 5, 9] {
+            let spec = GridSpec {
+                ny: n + 1,
+                ..GridSpec::default_chip(n)
+            };
+            let table = spec.boundary_nodes();
+            assert_eq!(table.len(), spec.boundary_len());
+            for (k, &node) in table.iter().enumerate() {
+                assert_eq!(node, spec.boundary_node(k), "k={k} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -77,14 +77,12 @@ impl PadRing {
     /// pads may map to one node; the list is deduplicated.
     #[must_use]
     pub fn clamp_nodes(&self, spec: &GridSpec) -> Vec<(usize, usize)> {
-        let blen = spec.boundary_len();
+        let boundary = spec.boundary_nodes();
+        let blen = boundary.len();
         let mut nodes: Vec<(usize, usize)> = self
             .ts
             .iter()
-            .map(|&t| {
-                let k = ((t * blen as f64).floor() as usize).min(blen - 1);
-                spec.boundary_node(k)
-            })
+            .map(|&t| boundary[((t * blen as f64).floor() as usize).min(blen - 1)])
             .collect();
         nodes.sort_unstable();
         nodes.dedup();

@@ -8,9 +8,7 @@
 //! moved). [`RangeCache`] exploits that: range reads become two array
 //! loads, and accepted swaps trigger a constant-size refresh.
 
-use std::collections::BTreeMap;
-
-use copack_geom::{Assignment, FingerIdx, NetId, Quadrant};
+use copack_geom::{Assignment, FingerIdx, NetId, NetIndex, Quadrant};
 
 use crate::{exchange_range, RouteError};
 
@@ -18,17 +16,17 @@ use crate::{exchange_range, RouteError};
 /// constant-size invalidation on adjacent swaps.
 ///
 /// Nets are addressed by a **dense index** in the quadrant's id order
-/// (`Quadrant::nets`); resolve ids once with [`RangeCache::index_of`] and
-/// use indices in the hot loop. After a swap is applied, report every net
-/// whose *position changed* via [`RangeCache::note_moved`] with the
-/// current 1-based positions (indexed the same way); the cache refreshes
-/// the affected neighbours' entries.
+/// (`Quadrant::nets`, i.e. the quadrant's [`NetIndex`]); resolve ids once
+/// with [`RangeCache::index_of`] and use indices in the hot loop. After a
+/// swap is applied, report every net whose *position changed* via
+/// [`RangeCache::note_moved`] with the current 1-based positions (indexed
+/// the same way); the cache refreshes the affected neighbours' entries.
 ///
 /// Cached ranges are guaranteed to equal [`exchange_range`] on the live
 /// assignment (property-tested in this crate).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeCache {
-    index_of: BTreeMap<NetId, usize>,
+    index: NetIndex,
     /// Same-row left/right neighbour of each net, as dense indices.
     left: Vec<Option<usize>>,
     right: Vec<Option<usize>>,
@@ -44,30 +42,27 @@ impl RangeCache {
     ///
     /// As [`exchange_range`]: every net and row-neighbour must be placed.
     pub fn new(quadrant: &Quadrant, assignment: &Assignment) -> Result<Self, RouteError> {
-        let index_of: BTreeMap<NetId, usize> = quadrant
-            .nets()
-            .enumerate()
-            .map(|(i, n)| (n.id, i))
-            .collect();
-        let count = index_of.len();
+        let index = quadrant.net_index().clone();
+        let count = index.len();
         let mut left = vec![None; count];
         let mut right = vec![None; count];
         for (_, nets) in quadrant.rows_bottom_up() {
             for w in nets.windows(2) {
-                let (a, b) = (index_of[&w[0]], index_of[&w[1]]);
+                let a = index.get(w[0]).expect("row net is interned");
+                let b = index.get(w[1]).expect("row net is interned");
                 right[a] = Some(b);
                 left[b] = Some(a);
             }
         }
         let mut lo = vec![0u32; count];
         let mut hi = vec![0u32; count];
-        for (&net, &i) in &index_of {
+        for (i, &net) in index.ids().iter().enumerate() {
             let (l, h) = exchange_range(quadrant, assignment, net)?;
             lo[i] = l.get();
             hi[i] = h.get();
         }
         Ok(Self {
-            index_of,
+            index,
             left,
             right,
             lo,
@@ -79,7 +74,7 @@ impl RangeCache {
     /// Dense index of `net`, or `None` for a net outside the quadrant.
     #[must_use]
     pub fn index_of(&self, net: NetId) -> Option<usize> {
-        self.index_of.get(&net).copied()
+        self.index.get(net)
     }
 
     /// Number of cached nets.

@@ -14,7 +14,7 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use copack_gen::fuzz_case;
+use copack_gen::{fuzz_case, large_fuzz_case};
 use copack_geom::Quadrant;
 use copack_obs::{Event, NoopRecorder, Recorder};
 
@@ -111,7 +111,14 @@ where
                 break;
             }
         }
-        let case = match fuzz_case(config.seed, index) {
+        // Every 16th case comes from the (reduced-size) large family, so
+        // the oracles also cover the equal-row, deep-stack construction
+        // the industrial-scale benches run on.
+        let case = match if index % 16 == 15 {
+            large_fuzz_case(config.seed, index)
+        } else {
+            fuzz_case(config.seed, index)
+        } {
             Ok(c) => c,
             Err(e) => {
                 // A generator that cannot build its own case is itself a
@@ -276,6 +283,18 @@ mod tests {
         let outcome = run_fuzz(&cfg, &mut NoopRecorder);
         assert_eq!(outcome.cases, 0);
         assert!(outcome.failure.is_none());
+    }
+
+    #[test]
+    fn the_stream_includes_large_family_cases() {
+        let cfg = FuzzConfig {
+            seed: 1,
+            max_cases: Some(16),
+            ..FuzzConfig::default()
+        };
+        let outcome = run_fuzz(&cfg, &mut NoopRecorder);
+        assert_eq!(outcome.cases, 16);
+        assert!(outcome.failure.is_none(), "{:?}", outcome.failure);
     }
 
     #[test]

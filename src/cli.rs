@@ -45,6 +45,11 @@ USAGE:
   copack gen <1..=5> [--out FILE]
       Write circuit N of the paper's Table 1 in the circuit format.
 
+  copack gen --family large [--size 1k|4k|10k] [--seed N] [--out FILE]
+      Write an industrial-scale instance (1k/4k/10k nets per quadrant,
+      hundreds of ball rows, stacked tiers up to psi = 8). Generation is
+      byte-identical for a fixed --size/--seed on every platform.
+
   copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
               [--slack N] [--exchange] [--psi N] [--starts K]
               [--prune-margin F] [--out FILE] [--svg FILE] [--package]
@@ -154,7 +159,9 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 21] = [
+const VALUED: [&str; 23] = [
+    "--family",
+    "--size",
     "--starts",
     "--prune-margin",
     "--out",
@@ -300,18 +307,42 @@ fn maybe_write(path: Option<&str>, content: &str, out: &mut String) -> Result<()
 
 fn cmd_gen(args: &[String]) -> Result<String, String> {
     let opts = parse_options(args)?;
-    let [index] = opts.positional.as_slice() else {
-        return Err(format!("gen expects one circuit index\n\n{USAGE}"));
+    let (name, q) = match opts.value("family").unwrap_or("table1") {
+        "table1" => {
+            let [index] = opts.positional.as_slice() else {
+                return Err(format!("gen expects one circuit index\n\n{USAGE}"));
+            };
+            let n: usize = index
+                .parse()
+                .map_err(|_| format!("`{index}` is not a circuit index"))?;
+            if !(1..=5).contains(&n) {
+                return Err("Table 1 has circuits 1..=5".to_owned());
+            }
+            let c = circuit(n);
+            let q = c.build_quadrant().map_err(|e| e.to_string())?;
+            (c.name.replace(' ', ""), q)
+        }
+        "large" => {
+            if !opts.positional.is_empty() {
+                return Err("gen --family large takes --size, not an index".to_owned());
+            }
+            let size = opts.value("size").unwrap_or("1k");
+            let seed = opts.num("seed", 42u64)?;
+            let spec = copack_gen::large_circuit(size, seed).ok_or_else(|| {
+                format!(
+                    "unknown large size `{size}` (sizes: {})",
+                    copack_gen::LARGE_SIZES.join(", ")
+                )
+            })?;
+            let q = spec.build_quadrant().map_err(|e| e.to_string())?;
+            (spec.name, q)
+        }
+        other => {
+            return Err(format!(
+                "unknown family `{other}` (families: table1, large)"
+            ));
+        }
     };
-    let n: usize = index
-        .parse()
-        .map_err(|_| format!("`{index}` is not a circuit index"))?;
-    if !(1..=5).contains(&n) {
-        return Err("Table 1 has circuits 1..=5".to_owned());
-    }
-    let c = circuit(n);
-    let q = c.build_quadrant().map_err(|e| e.to_string())?;
-    let name = c.name.replace(' ', "");
     let text = write_quadrant(&name, &q);
     let mut out = String::new();
     match opts.value("out") {
@@ -961,6 +992,33 @@ mod tests {
         assert!(run(&s(&["gen", "9"])).is_err());
         assert!(run(&s(&["gen", "two"])).is_err());
         assert!(run(&s(&["gen"])).is_err());
+    }
+
+    #[test]
+    fn gen_large_family_emits_a_parsable_circuit() {
+        let text = run(&s(&["gen", "--family", "large", "--size", "1k"])).unwrap();
+        let (name, q) = parse_quadrant(&text).unwrap();
+        assert_eq!(name, "large-1k");
+        assert_eq!(q.net_count(), 1_000);
+        assert_eq!(q.row_count(), 100);
+    }
+
+    #[test]
+    fn gen_large_family_is_byte_deterministic() {
+        let args = s(&["gen", "--family", "large", "--size", "1k", "--seed", "7"]);
+        assert_eq!(run(&args).unwrap(), run(&args).unwrap());
+        let other = run(&s(&[
+            "gen", "--family", "large", "--size", "1k", "--seed", "8",
+        ]))
+        .unwrap();
+        assert_ne!(run(&args).unwrap(), other);
+    }
+
+    #[test]
+    fn gen_validates_family_and_size() {
+        assert!(run(&s(&["gen", "--family", "huge"])).is_err());
+        assert!(run(&s(&["gen", "--family", "large", "--size", "3k"])).is_err());
+        assert!(run(&s(&["gen", "--family", "large", "1"])).is_err());
     }
 
     #[test]

@@ -326,3 +326,53 @@ fn portfolio_of_eight_never_loses_to_a_single_start_on_any_circuit() {
         );
     }
 }
+
+/// The K=8 regression the baseline-relative prune rule fixed: under
+/// leader-relative pruning, widening the portfolio tightened the early
+/// thresholds and could abandon (mid-descent) the very start a narrower
+/// portfolio carried to the win — on circuit 5, K=2/4 found 8.64 while
+/// K=8 returned 9.53. With prune verdicts made against start 0's
+/// K-invariant trajectory, widening only adds candidates, so the
+/// winner's cost must be monotone in K on every circuit. This uses the
+/// starved bench schedule, the regime where the regression showed.
+#[test]
+fn portfolio_quality_is_monotone_in_k_on_every_circuit() {
+    let config = ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 1,
+            final_temp_ratio: 5e-2,
+            cooling: 0.7,
+            ..Schedule::default()
+        },
+        ..ExchangeConfig::default()
+    };
+    for c in circuits() {
+        let q = c.build_quadrant().expect("circuit builds");
+        let initial = assign(&q, AssignMethod::dfa_default()).expect("dfa");
+        let mut previous = f64::INFINITY;
+        for starts in [1u32, 2, 4, 8] {
+            let won = exchange_portfolio(
+                &q,
+                &initial,
+                &StackConfig::planar(),
+                &config,
+                &PortfolioConfig {
+                    starts,
+                    threads: 1,
+                    ..PortfolioConfig::default()
+                },
+            )
+            .expect("portfolio runs");
+            let cost = won.result.stats.final_cost;
+            assert!(
+                cost <= previous,
+                "{}: K={starts} winner {:.6} worse than K={} at {:.6}",
+                c.name,
+                cost,
+                starts / 2,
+                previous
+            );
+            previous = cost;
+        }
+    }
+}
