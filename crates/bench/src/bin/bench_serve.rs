@@ -1,16 +1,19 @@
 //! Machine-readable serving-throughput benchmark: an in-process daemon
-//! on an ephemeral port, hammered by concurrent client threads in two
-//! phases — a **cold** phase of distinct jobs (every submission
-//! executes) and a **warm** phase resubmitting the same jobs (every
+//! on an ephemeral port, hammered by concurrent client threads in four
+//! scenarios — a **cold** phase of distinct jobs (every submission
+//! executes), a **warm** phase resubmitting the same jobs (every
 //! submission is answered from the content-addressed cache or coalesces
-//! onto an in-flight duplicate). Writes per-phase throughput and
-//! latency percentiles to `BENCH_serve.json` for tracking across
-//! commits.
+//! onto an in-flight duplicate), a **sustained** fixed-duration hammer
+//! over the warm set (steady-state jobs/sec through the reactor), and a
+//! **restart** scenario that shuts a cache-dir-backed daemon down and
+//! measures how much of the cold cost the disk tier recovers on the
+//! next boot. Writes per-scenario throughput and latency percentiles to
+//! `BENCH_serve.json` for tracking across commits.
 //!
 //! Run with `cargo run --release -p copack-bench --bin bench_serve`.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use copack_gen::circuits;
 use copack_io::write_quadrant;
@@ -72,6 +75,61 @@ fn run_phase(addr: std::net::SocketAddr, specs: &[JobSpec], clients: usize) -> P
     }
 }
 
+/// Hammers the (already warm) spec set for a fixed wall-clock window,
+/// each client cycling through its lane's specs, and returns the
+/// steady-state phase timing.
+fn run_sustained(
+    addr: std::net::SocketAddr,
+    specs: &[JobSpec],
+    clients: usize,
+    window: Duration,
+) -> Phase {
+    let started = Instant::now();
+    let deadline = started + window;
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|lane| {
+                let lane_specs: Vec<&JobSpec> = specs.iter().skip(lane).step_by(clients).collect();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lane_latencies = Vec::new();
+                    'window: loop {
+                        for spec in &lane_specs {
+                            if Instant::now() >= deadline {
+                                break 'window;
+                            }
+                            let t = Instant::now();
+                            client.plan(spec).expect("job plans");
+                            lane_latencies.push(t.elapsed().as_secs_f64() * 1000.0);
+                        }
+                    }
+                    lane_latencies
+                })
+            })
+            .collect();
+        for handle in handles {
+            latencies.extend(handle.join().expect("client thread"));
+        }
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let jobs = latencies.len();
+    latencies.sort_by(f64::total_cmp);
+    let percentile = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * (latencies.len() as f64 - 1.0)).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    };
+    Phase {
+        jobs,
+        wall_seconds,
+        p50_ms: percentile(50.0),
+        p99_ms: percentile(99.0),
+    }
+}
+
 fn json_phase(out: &mut String, key: &str, phase: &Phase) {
     let _ = write!(
         out,
@@ -83,6 +141,75 @@ fn json_phase(out: &mut String, key: &str, phase: &Phase) {
         phase.p50_ms,
         phase.p99_ms
     );
+}
+
+/// The cold-vs-warm-restart measurements.
+struct Restart {
+    jobs: usize,
+    cold_wall: f64,
+    warm_wall: f64,
+    disk_hits: u64,
+}
+
+/// Runs `specs` cold on a cache-dir-backed daemon, shuts it down, boots
+/// a successor on the same directory, and resubmits everything — every
+/// answer must come from the disk tier, and the two walls quantify what
+/// the persistent cache saves across a restart.
+fn run_restart(specs: &[JobSpec], workers: usize) -> Restart {
+    let dir = std::env::temp_dir().join(format!("bench_serve_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = |dir: &std::path::Path| ServeConfig {
+        workers,
+        queue_capacity: specs.len().max(64),
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    };
+
+    // First life: compute and persist everything, then exit cleanly.
+    let server = Server::bind("127.0.0.1:0", config(&dir)).expect("bind first life");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let cold = run_phase(addr, specs, 1);
+    Client::connect(addr)
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("first life exits cleanly");
+
+    // Second life, same directory: memory is empty, so every submission
+    // must be answered by the warm disk store.
+    let server = Server::bind("127.0.0.1:0", config(&dir)).expect("bind second life");
+    let addr = server.local_addr().expect("bound address");
+    let daemon = std::thread::spawn(move || server.run());
+    let started = Instant::now();
+    let mut client = Client::connect(addr).expect("connect");
+    for spec in specs {
+        let plan = client.plan(spec).expect("restarted daemon plans");
+        assert_eq!(
+            plan.cache, "disk",
+            "a restarted daemon answers a persisted job from the disk tier"
+        );
+    }
+    let warm_wall = started.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown");
+    let summary = daemon
+        .join()
+        .expect("daemon thread")
+        .expect("second life exits cleanly");
+    let metrics = PoolMetrics::from_events(&summary.events);
+    assert_eq!(metrics.disk_hits as usize, specs.len());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Restart {
+        jobs: specs.len(),
+        cold_wall: cold.wall_seconds,
+        warm_wall,
+        disk_hits: metrics.disk_hits,
+    }
 }
 
 fn main() {
@@ -127,6 +254,7 @@ fn main() {
 
     let cold = run_phase(addr, &specs, clients);
     let warm = run_phase(addr, &specs, clients);
+    let sustained = run_sustained(addr, &specs, clients, Duration::from_secs(3));
 
     Client::connect(addr)
         .expect("connect")
@@ -160,11 +288,33 @@ fn main() {
         warm.p99_ms
     );
     println!(
+        "sustained: {} jobs in {:.3} s ({:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms)",
+        sustained.jobs,
+        sustained.wall_seconds,
+        sustained.jobs_per_sec(),
+        sustained.p50_ms,
+        sustained.p99_ms
+    );
+    println!(
         "cache: {} hits, {} coalesced over {} submissions (hit-rate {:.1}%)",
         metrics.cache_hits,
         metrics.coalesced,
         metrics.jobs,
         100.0 * metrics.cache_hit_rate()
+    );
+
+    // Cold-vs-warm restart on a smaller distinct set (one client, so
+    // the walls compare like for like).
+    let restart_specs: Vec<JobSpec> = specs.iter().take(12).cloned().collect();
+    let restart = run_restart(&restart_specs, workers);
+    println!(
+        "restart: {} jobs cold in {:.3} s, warm from disk in {:.3} s \
+         ({:.1}x speedup, {} disk hits)",
+        restart.jobs,
+        restart.cold_wall,
+        restart.warm_wall,
+        restart.cold_wall / restart.warm_wall.max(1e-12),
+        restart.disk_hits
     );
 
     let mut json = String::new();
@@ -177,6 +327,18 @@ fn main() {
     json_phase(&mut json, "cold", &cold);
     json.push_str(",\n  ");
     json_phase(&mut json, "warm", &warm);
+    json.push_str(",\n  ");
+    json_phase(&mut json, "sustained", &sustained);
+    let _ = write!(
+        json,
+        ",\n  \"restart\": {{\"jobs\": {}, \"cold_wall_seconds\": {:.6}, \
+         \"warm_wall_seconds\": {:.6}, \"speedup\": {:.2}, \"disk_hits\": {}}}",
+        restart.jobs,
+        restart.cold_wall,
+        restart.warm_wall,
+        restart.cold_wall / restart.warm_wall.max(1e-12),
+        restart.disk_hits
+    );
     let _ = writeln!(
         json,
         ",\n  \"cache_hits\": {}, \"coalesced\": {}, \"hit_rate\": {:.4}, \

@@ -190,6 +190,9 @@ pub enum Event {
         cache: String,
         /// Outcome: `"ok"`, `"timeout"`, `"error"`, or `"rejected"`.
         outcome: String,
+        /// Admission class the job was scheduled under:
+        /// `"interactive"` or `"bulk"`.
+        class: String,
         /// Jobs waiting in the bounded queue when this one was admitted
         /// (or rejected).
         queue_depth: u32,
@@ -217,6 +220,22 @@ pub enum Event {
         rejected: u64,
         /// Jobs cancelled by their wall-clock deadline.
         timeouts: u64,
+    },
+    /// The `copack-serve` result cache's tier telemetry, emitted once at
+    /// shutdown alongside [`Event::ServePool`].
+    ServeCache {
+        /// Lookups answered by the bounded memory tier.
+        mem_hits: u64,
+        /// Lookups answered by the persistent disk tier.
+        disk_hits: u64,
+        /// Lookups that found neither tier populated.
+        misses: u64,
+        /// Entries evicted from the memory tier by its LRU bound.
+        evictions: u64,
+        /// Disk entries that failed validation and were quarantined.
+        quarantined: u64,
+        /// Live disk-tier entries at shutdown.
+        disk_entries: u64,
     },
     /// One start of a multi-start exchange portfolio is about to run; its
     /// trace (`RunStart`…) follows. Starts always merge in start-index
@@ -305,6 +324,7 @@ impl Event {
             Self::SideEnd { .. } => "side_end",
             Self::ServeJob { .. } => "serve_job",
             Self::ServePool { .. } => "serve_pool",
+            Self::ServeCache { .. } => "serve_cache",
             Self::PortfolioStart { .. } => "portfolio_start",
             Self::PortfolioPrune { .. } => "portfolio_prune",
             Self::OracleChecked { .. } => "oracle",
@@ -451,6 +471,7 @@ impl Event {
             Self::ServeJob {
                 cache,
                 outcome,
+                class,
                 queue_depth,
                 seconds,
             } => {
@@ -458,6 +479,8 @@ impl Event {
                 json_str(out, cache);
                 out.push_str(",\"outcome\":");
                 json_str(out, outcome);
+                out.push_str(",\"class\":");
+                json_str(out, class);
                 let _ = write!(out, ",\"queue_depth\":{queue_depth},\"seconds\":");
                 json_f64(out, *seconds);
             }
@@ -477,6 +500,21 @@ impl Event {
                      \"submitted\":{submitted},\"completed\":{completed},\
                      \"cache_hits\":{cache_hits},\"coalesced\":{coalesced},\
                      \"rejected\":{rejected},\"timeouts\":{timeouts}"
+                );
+            }
+            Self::ServeCache {
+                mem_hits,
+                disk_hits,
+                misses,
+                evictions,
+                quarantined,
+                disk_entries,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"mem_hits\":{mem_hits},\"disk_hits\":{disk_hits},\
+                     \"misses\":{misses},\"evictions\":{evictions},\
+                     \"quarantined\":{quarantined},\"disk_entries\":{disk_entries}"
                 );
             }
             Self::PortfolioStart { start, seed } => {
@@ -595,6 +633,7 @@ mod tests {
             Event::ServeJob {
                 cache: "hit".to_owned(),
                 outcome: "ok".to_owned(),
+                class: "interactive".to_owned(),
                 queue_depth: 2,
                 seconds: 0.004,
             },
@@ -607,6 +646,14 @@ mod tests {
                 coalesced: 1,
                 rejected: 0,
                 timeouts: 0,
+            },
+            Event::ServeCache {
+                mem_hits: 2,
+                disk_hits: 1,
+                misses: 4,
+                evictions: 1,
+                quarantined: 0,
+                disk_entries: 3,
             },
             Event::PortfolioStart {
                 start: 3,

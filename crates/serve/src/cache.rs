@@ -1,4 +1,5 @@
-//! The content-addressed result cache with duplicate coalescing.
+//! The content-addressed result cache: single-flight coalescing over a
+//! bounded memory tier over an optional persistent disk tier.
 //!
 //! Keys are [`crate::job::cache_key`] values. The cache's job is not
 //! just memoisation but *single-flight execution*: when several clients
@@ -6,12 +7,62 @@
 //! computes and the rest block on that entry's condvar and share the
 //! result. Failures are delivered to every waiter but **not** cached —
 //! the entry is removed so a later identical submission retries.
+//!
+//! Tiering (new in serve v2):
+//!
+//! * the **memory tier** holds ready results up to
+//!   [`CacheConfig::mem_limit_bytes`] payload bytes, evicting strictly
+//!   least-recently-used entries beyond that (0 = unbounded, the
+//!   pre-v2 behaviour and the default of [`ResultCache::new`]);
+//! * the **disk tier** ([`crate::store`]), when configured, receives
+//!   every success write-through at fulfil time and answers lookups
+//!   that miss memory. Disk entries survive crashes (atomic rename
+//!   writes) and warm-start the daemon on reboot; entries that fail
+//!   validation are quarantined, counted, and recomputed as misses.
+//!   Disk write failures degrade silently to memory-only caching —
+//!   a full disk must never fail a job that already computed.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::error::ServeError;
 use crate::job::JobOutput;
+use crate::store::{DiskLookup, DiskStore};
+
+/// Tiering knobs for [`ResultCache::with_config`].
+#[derive(Debug, Clone, Default)]
+pub struct CacheConfig {
+    /// Payload-byte budget for the memory tier; `0` means unbounded.
+    /// Accounting covers the cached strings (name, report, assignment),
+    /// not allocator overhead — a deterministic, platform-independent
+    /// proxy for resident size.
+    pub mem_limit_bytes: usize,
+    /// Directory for the persistent tier; `None` disables it.
+    pub disk_dir: Option<PathBuf>,
+}
+
+/// Point-in-time cache telemetry (all counters are lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered by the memory tier.
+    pub mem_hits: u64,
+    /// Lookups answered by the disk tier (then promoted to memory).
+    pub disk_hits: u64,
+    /// Lookups that found neither tier populated.
+    pub misses: u64,
+    /// Entries evicted from the memory tier by the LRU bound.
+    pub evictions: u64,
+    /// Disk entries that failed validation and were quarantined.
+    pub quarantined: u64,
+    /// Ready entries currently resident in memory.
+    pub mem_entries: u64,
+    /// Payload bytes currently resident in memory.
+    pub mem_bytes: u64,
+    /// Live entries in the disk tier.
+    pub disk_entries: u64,
+}
 
 #[derive(Debug)]
 enum EntryState {
@@ -26,10 +77,18 @@ struct CacheEntry {
     ready: Condvar,
 }
 
+#[derive(Debug)]
+enum WaiterInner {
+    /// Blocks on an in-flight entry's condvar.
+    Entry(Arc<CacheEntry>),
+    /// Already resolved (the key was ready in a cache tier).
+    Ready(Arc<JobOutput>),
+}
+
 /// A handle onto an in-flight entry; blocks until it resolves.
 #[derive(Debug)]
 pub struct Waiter {
-    entry: Arc<CacheEntry>,
+    inner: WaiterInner,
 }
 
 impl Waiter {
@@ -40,13 +99,17 @@ impl Waiter {
     /// Whatever error the executing thread reported (timeout, planner
     /// failure, backpressure on its own admission).
     pub fn wait(self) -> Result<Arc<JobOutput>, ServeError> {
-        let mut state = self.entry.state.lock().expect("cache entry poisoned");
+        let entry = match self.inner {
+            WaiterInner::Ready(output) => return Ok(output),
+            WaiterInner::Entry(entry) => entry,
+        };
+        let mut state = entry.state.lock().expect("cache entry poisoned");
         loop {
             match &*state {
                 EntryState::Ready(output) => return Ok(Arc::clone(output)),
                 EntryState::Failed(error) => return Err(error.clone()),
                 EntryState::Pending => {
-                    state = self.entry.ready.wait(state).expect("cache entry poisoned");
+                    state = entry.ready.wait(state).expect("cache entry poisoned");
                 }
             }
         }
@@ -56,47 +119,168 @@ impl Waiter {
 /// How a lookup resolved.
 #[derive(Debug)]
 pub enum Lookup {
-    /// No entry existed; one is now pending and the **caller owns it**:
-    /// it must eventually call [`ResultCache::fulfil`] for this key, on
-    /// success or failure, or coalesced waiters block forever.
+    /// No tier held the key; a flight is now pending and the **caller
+    /// owns it**: it must eventually call [`ResultCache::fulfil`] for
+    /// this key, on success or failure, or coalesced waiters block
+    /// forever.
     Miss,
-    /// The result was already computed.
+    /// The result was resident in the memory tier.
     Hit(Arc<JobOutput>),
+    /// The result was loaded (and validated) from the disk tier, and
+    /// has been promoted to memory.
+    DiskHit(Arc<JobOutput>),
     /// An identical job is in flight; wait on it instead of executing.
     Coalesced(Waiter),
+}
+
+#[derive(Debug)]
+struct MemEntry {
+    output: Arc<JobOutput>,
+    stamp: u64,
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// In-flight computations (single-flight registry).
+    pending: HashMap<u64, Arc<CacheEntry>>,
+    /// Ready results, bounded by `mem_limit_bytes`.
+    mem: HashMap<u64, MemEntry>,
+    /// Recency index: stamp -> key, oldest first. `BTreeMap` keeps
+    /// eviction order deterministic and O(log n) per touch.
+    order: BTreeMap<u64, u64>,
+    /// Monotonic recency clock.
+    stamp: u64,
+    mem_bytes: usize,
+    stats: CacheStats,
+}
+
+impl CacheInner {
+    fn touch(&mut self, key: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(entry) = self.mem.get_mut(&key) {
+            self.order.remove(&entry.stamp);
+            entry.stamp = stamp;
+            self.order.insert(stamp, key);
+        }
+    }
+
+    fn insert_mem(&mut self, key: u64, output: Arc<JobOutput>, limit: usize) {
+        let bytes = payload_bytes(&output);
+        if let Some(old) = self.mem.remove(&key) {
+            self.order.remove(&old.stamp);
+            self.mem_bytes -= old.bytes;
+        }
+        self.stamp += 1;
+        self.mem.insert(
+            key,
+            MemEntry {
+                output,
+                stamp: self.stamp,
+                bytes,
+            },
+        );
+        self.order.insert(self.stamp, key);
+        self.mem_bytes += bytes;
+        if limit > 0 {
+            while self.mem_bytes > limit {
+                let Some((&stamp, &victim)) = self.order.iter().next() else {
+                    break;
+                };
+                self.order.remove(&stamp);
+                let evicted = self.mem.remove(&victim).expect("order/mem desynced");
+                self.mem_bytes -= evicted.bytes;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Payload bytes an output occupies in the memory tier's accounting.
+fn payload_bytes(output: &JobOutput) -> usize {
+    output.name.len() + output.report.len() + output.assignment.len()
 }
 
 /// The daemon-wide cache. Cheap to share: clones share state.
 #[derive(Debug, Clone, Default)]
 pub struct ResultCache {
-    entries: Arc<Mutex<HashMap<u64, Arc<CacheEntry>>>>,
+    inner: Arc<Mutex<CacheInner>>,
+    disk: Option<Arc<DiskStore>>,
+    mem_limit: usize,
+    disk_entries: Arc<Mutex<u64>>,
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An unbounded, memory-only cache (the pre-v2 behaviour).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// A tiered cache: bounded memory over an optional disk directory.
+    /// Opening the disk tier scans it, sweeps stale temp files from
+    /// interrupted writes, and counts surviving entries (the warm
+    /// start).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors creating or scanning the disk
+    /// directory.
+    pub fn with_config(config: &CacheConfig) -> io::Result<Self> {
+        let (disk, boot_entries) = match &config.disk_dir {
+            Some(dir) => {
+                let (store, entries) = DiskStore::open(dir)?;
+                (Some(Arc::new(store)), entries)
+            }
+            None => (None, 0),
+        };
+        Ok(Self {
+            inner: Arc::new(Mutex::new(CacheInner::default())),
+            disk,
+            mem_limit: config.mem_limit_bytes,
+            disk_entries: Arc::new(Mutex::new(boot_entries)),
+        })
+    }
+
     /// Resolves `key`, registering a pending entry on a miss.
     #[must_use]
     pub fn lookup(&self, key: u64) -> Lookup {
-        let mut entries = self.entries.lock().expect("cache map poisoned");
-        if let Some(entry) = entries.get(&key) {
-            let state = entry.state.lock().expect("cache entry poisoned");
-            return match &*state {
-                EntryState::Ready(output) => Lookup::Hit(Arc::clone(output)),
-                EntryState::Pending | EntryState::Failed(_) => {
-                    let waiter = Waiter {
-                        entry: Arc::clone(entry),
-                    };
-                    drop(state);
-                    Lookup::Coalesced(waiter)
-                }
-            };
+        let mut inner = self.inner.lock().expect("cache map poisoned");
+        if let Some(entry) = inner.mem.get(&key) {
+            let output = Arc::clone(&entry.output);
+            inner.stats.mem_hits += 1;
+            inner.touch(key);
+            return Lookup::Hit(output);
         }
-        entries.insert(
+        if let Some(entry) = inner.pending.get(&key) {
+            let waiter = Waiter {
+                inner: WaiterInner::Entry(Arc::clone(entry)),
+            };
+            return Lookup::Coalesced(waiter);
+        }
+        if let Some(disk) = &self.disk {
+            // Disk I/O happens under the cache lock: loads are small
+            // reads and serializing them keeps promote-vs-quarantine
+            // races impossible. The reactor (not workers) is the only
+            // caller, so nothing latency-critical queues behind this.
+            match disk.load(key) {
+                DiskLookup::Ready(output) => {
+                    let output = Arc::new(output);
+                    inner.stats.disk_hits += 1;
+                    inner.insert_mem(key, Arc::clone(&output), self.mem_limit);
+                    return Lookup::DiskHit(output);
+                }
+                DiskLookup::Quarantined => {
+                    inner.stats.quarantined += 1;
+                    let mut entries = self.disk_entries.lock().expect("disk count poisoned");
+                    *entries = entries.saturating_sub(1);
+                }
+                DiskLookup::Absent => {}
+            }
+        }
+        inner.stats.misses += 1;
+        inner.pending.insert(
             key,
             Arc::new(CacheEntry {
                 state: Mutex::new(EntryState::Pending),
@@ -107,16 +291,26 @@ impl ResultCache {
     }
 
     /// Resolves the pending entry for `key`: successes are retained for
-    /// future hits, failures are delivered to waiters and the entry
-    /// dropped so a retry recomputes.
+    /// future hits (memory, and write-through to disk when configured),
+    /// failures are delivered to waiters and the entry dropped so a
+    /// retry recomputes. A fulfil without a pending entry is a no-op.
     pub fn fulfil(&self, key: u64, result: Result<Arc<JobOutput>, ServeError>) {
-        let mut entries = self.entries.lock().expect("cache map poisoned");
-        let Some(entry) = (match &result {
-            Ok(_) => entries.get(&key).map(Arc::clone),
-            Err(_) => entries.remove(&key),
-        }) else {
+        let mut inner = self.inner.lock().expect("cache map poisoned");
+        let Some(entry) = inner.pending.remove(&key) else {
             return;
         };
+        if let Ok(output) = &result {
+            if let Some(disk) = &self.disk {
+                // Persist before announcing: a SIGKILL after waiters
+                // wake can then never lose an acknowledged result. A
+                // failed write degrades to memory-only for this entry.
+                if disk.store(key, output).is_ok() {
+                    let mut entries = self.disk_entries.lock().expect("disk count poisoned");
+                    *entries += 1;
+                }
+            }
+            inner.insert_mem(key, Arc::clone(output), self.mem_limit);
+        }
         let mut state = entry.state.lock().expect("cache entry poisoned");
         *state = match result {
             Ok(output) => EntryState::Ready(output),
@@ -125,29 +319,56 @@ impl ResultCache {
         entry.ready.notify_all();
     }
 
-    /// A waiter on an existing entry, whatever its state (a waiter on a
-    /// `Ready` entry resolves immediately). `None` if no entry exists.
+    /// A waiter for `key`, whatever its state (a waiter on an already
+    /// ready result resolves immediately). `None` if the key is neither
+    /// in flight nor resident in memory.
     ///
     /// This is how a thread that registered a [`Lookup::Miss`] and
     /// handed the job to the pool later blocks for its own result.
     #[must_use]
     pub fn waiter(&self, key: u64) -> Option<Waiter> {
-        let entries = self.entries.lock().expect("cache map poisoned");
-        entries.get(&key).map(|entry| Waiter {
-            entry: Arc::clone(entry),
+        let inner = self.inner.lock().expect("cache map poisoned");
+        if let Some(entry) = inner.pending.get(&key) {
+            return Some(Waiter {
+                inner: WaiterInner::Entry(Arc::clone(entry)),
+            });
+        }
+        inner.mem.get(&key).map(|entry| Waiter {
+            inner: WaiterInner::Ready(Arc::clone(&entry.output)),
         })
     }
 
-    /// Distinct keys currently resident (pending or ready).
+    /// Distinct keys currently resident (pending or ready in memory).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache map poisoned").len()
+        let inner = self.inner.lock().expect("cache map poisoned");
+        inner.pending.len() + inner.mem.len()
     }
 
     /// Whether the cache holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Current telemetry (counters plus occupancy gauges).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache map poisoned");
+        let mut stats = inner.stats;
+        stats.mem_entries = inner.mem.len() as u64;
+        stats.mem_bytes = inner.mem_bytes as u64;
+        stats.disk_entries = *self.disk_entries.lock().expect("disk count poisoned");
+        stats
+    }
+
+    /// Keys currently resident in the memory tier, least recently used
+    /// first — the order the LRU bound would evict them in. Exposed for
+    /// the eviction-order property tests; not part of the serving path.
+    #[must_use]
+    pub fn resident_mem_keys_lru(&self) -> Vec<u64> {
+        let inner = self.inner.lock().expect("cache map poisoned");
+        inner.order.values().copied().collect()
     }
 }
 
@@ -162,6 +383,20 @@ mod tests {
             report: format!("{tag}: report\n"),
             assignment: format!("assignment {tag}\n"),
         })
+    }
+
+    /// An output whose payload is exactly `bytes` accounting bytes.
+    fn sized_output(bytes: usize) -> Arc<JobOutput> {
+        Arc::new(JobOutput {
+            name: String::new(),
+            report: "r".repeat(bytes),
+            assignment: String::new(),
+        })
+    }
+
+    fn fill(cache: &ResultCache, key: u64, bytes: usize) {
+        assert!(matches!(cache.lookup(key), Lookup::Miss));
+        cache.fulfil(key, Ok(sized_output(bytes)));
     }
 
     #[test]
@@ -209,5 +444,114 @@ mod tests {
             let out = handle.join().expect("no panic").expect("success");
             assert_eq!(out.name, "shared");
         }
+    }
+
+    #[test]
+    fn the_memory_bound_evicts_least_recently_used_first() {
+        let cache = ResultCache::with_config(&CacheConfig {
+            mem_limit_bytes: 30,
+            disk_dir: None,
+        })
+        .expect("memory-only config");
+        fill(&cache, 1, 10);
+        fill(&cache, 2, 10);
+        fill(&cache, 3, 10);
+        assert_eq!(cache.resident_mem_keys_lru(), vec![1, 2, 3]);
+
+        // Touching key 1 moves it to the young end ...
+        assert!(matches!(cache.lookup(1), Lookup::Hit(_)));
+        assert_eq!(cache.resident_mem_keys_lru(), vec![2, 3, 1]);
+
+        // ... so the next insert past the bound evicts key 2, not 1.
+        fill(&cache, 4, 10);
+        assert_eq!(cache.resident_mem_keys_lru(), vec![3, 1, 4]);
+        assert!(
+            matches!(cache.lookup(2), Lookup::Miss),
+            "the evicted key recomputes"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.mem_bytes, 30);
+        assert_eq!(stats.mem_hits, 1);
+    }
+
+    #[test]
+    fn an_entry_larger_than_the_bound_is_not_retained() {
+        // The bound is strict: nothing may pin memory past the limit,
+        // so an oversized result serves its waiters and is dropped.
+        let cache = ResultCache::with_config(&CacheConfig {
+            mem_limit_bytes: 5,
+            disk_dir: None,
+        })
+        .expect("memory-only config");
+        fill(&cache, 1, 100);
+        assert_eq!(cache.stats().mem_bytes, 0);
+        assert!(matches!(cache.lookup(1), Lookup::Miss));
+    }
+
+    #[test]
+    fn the_disk_tier_survives_a_new_cache_instance() {
+        // Two caches over one directory model a daemon restart: the
+        // second instance warm-starts from the first one's writes.
+        let dir = std::env::temp_dir().join(format!(
+            "copack-cache-restart-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig {
+            mem_limit_bytes: 0,
+            disk_dir: Some(dir.clone()),
+        };
+        let first = ResultCache::with_config(&config).expect("first open");
+        assert!(matches!(first.lookup(11), Lookup::Miss));
+        first.fulfil(11, Ok(output("persisted")));
+        assert_eq!(first.stats().disk_entries, 1);
+
+        let second = ResultCache::with_config(&config).expect("second open");
+        assert_eq!(second.stats().disk_entries, 1, "warm start sees the entry");
+        match second.lookup(11) {
+            Lookup::DiskHit(out) => assert_eq!(out.name, "persisted"),
+            other => panic!("expected a disk hit, got {other:?}"),
+        }
+        // Promotion: the second lookup is a plain memory hit.
+        assert!(matches!(second.lookup(11), Lookup::Hit(_)));
+        let stats = second.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.mem_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupt_disk_entry_is_quarantined_and_recomputed() {
+        let dir = std::env::temp_dir().join(format!(
+            "copack-cache-quarantine-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig {
+            mem_limit_bytes: 0,
+            disk_dir: Some(dir.clone()),
+        };
+        let first = ResultCache::with_config(&config).expect("first open");
+        assert!(matches!(first.lookup(5), Lookup::Miss));
+        first.fulfil(5, Ok(output("doomed")));
+
+        // Truncate the entry behind the restart's back.
+        let path = dir.join(format!("{:016x}.entry", 5));
+        let bytes = std::fs::read(&path).expect("read entry");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+
+        let second = ResultCache::with_config(&config).expect("second open");
+        assert!(
+            matches!(second.lookup(5), Lookup::Miss),
+            "a corrupt entry must recompute, not serve garbage"
+        );
+        let stats = second.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.disk_entries, 0);
+        assert!(dir.join(format!("{:016x}.quarantine", 5)).exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

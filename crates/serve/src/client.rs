@@ -6,11 +6,21 @@ use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::error::{ErrorKind, ServeError};
-use crate::job::JobSpec;
+use crate::job::{JobClass, JobSpec};
 use crate::protocol::{
-    decode_response, encode_request, Frame, LineReader, PlanResponse, Request, Response,
-    StatusSnapshot,
+    decode_response, encode_request, BatchSummary, Frame, LineReader, PlanResponse, Request,
+    Response, StatusSnapshot,
 };
+
+/// Everything a streamed batch produced, returned by [`Client::batch`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-job results in **completion order** as streamed by the
+    /// daemon, each tagged with the job's submission index (`seq`).
+    pub items: Vec<(u32, Result<PlanResponse, ServeError>)>,
+    /// The daemon's closing summary frame.
+    pub summary: BatchSummary,
+}
 
 /// One connection to a running daemon. Requests are serialized: each
 /// call writes one frame and blocks for its response.
@@ -69,6 +79,59 @@ impl Client {
             Response::Plan(plan) => Ok(plan),
             Response::Error(error) => Err(error),
             other => Err(unexpected("a plan response", &other)),
+        }
+    }
+
+    /// Submits a batch of jobs under one class and streams the results:
+    /// `on_item` fires for every item frame the moment it arrives (in
+    /// completion order, tagged with the job's submission index), and
+    /// the full outcome is returned once the daemon's summary frame
+    /// closes the batch.
+    ///
+    /// Per-job failures (timeout, planner error, rejection) arrive as
+    /// `Err` *items*, not as an `Err` return: only batch-level refusals
+    /// (malformed batch, transport loss) abort the call.
+    ///
+    /// # Errors
+    ///
+    /// The daemon's typed batch-level error or a transport/protocol
+    /// failure.
+    pub fn batch(
+        &mut self,
+        specs: &[JobSpec],
+        class: JobClass,
+        mut on_item: impl FnMut(u32, &Result<PlanResponse, ServeError>),
+    ) -> Result<BatchOutcome, ServeError> {
+        let request = Request::Batch {
+            class,
+            jobs: specs.to_vec(),
+        };
+        let mut frame = encode_request(&request);
+        frame.push('\n');
+        self.writer.write_all(frame.as_bytes())?;
+        let mut items: Vec<(u32, Result<PlanResponse, ServeError>)> = Vec::new();
+        loop {
+            let line = loop {
+                match self.reader.next_frame()? {
+                    Frame::Line(line) => break line,
+                    Frame::Idle => {}
+                    Frame::Eof => {
+                        return Err(ServeError::new(
+                            ErrorKind::Io,
+                            "the daemon closed the connection mid-batch",
+                        ))
+                    }
+                }
+            };
+            match decode_response(&line)? {
+                Response::BatchItem { seq, result } => {
+                    on_item(seq, &result);
+                    items.push((seq, result));
+                }
+                Response::BatchDone(summary) => return Ok(BatchOutcome { items, summary }),
+                Response::Error(error) => return Err(error),
+                other => return Err(unexpected("a batch item or summary", &other)),
+            }
         }
     }
 

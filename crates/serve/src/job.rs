@@ -28,6 +28,56 @@ use crate::error::{ErrorKind, ServeError};
 /// observable output changes so stale entries can never be replayed.
 const KEY_DOMAIN: &str = "copack-serve/v1";
 
+/// Admission class for queue scheduling.
+///
+/// Classes shape *when* a job runs, never *what* it computes, so the
+/// class is deliberately absent from [`cache_key`]: an interactive
+/// submission can be answered from a result a bulk sweep produced and
+/// vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobClass {
+    /// Latency-sensitive work (the default): design-loop submissions
+    /// that a human is waiting on. Dequeued with priority weight
+    /// [`JobClass::INTERACTIVE_WEIGHT`].
+    #[default]
+    Interactive,
+    /// Throughput work: sweeps and batch re-plans that tolerate
+    /// queueing. Guaranteed progress (one bulk job per weight window)
+    /// but never allowed to starve interactive traffic.
+    Bulk,
+}
+
+impl JobClass {
+    /// How many consecutive interactive dequeues are allowed before a
+    /// waiting bulk job is guaranteed a turn.
+    pub const INTERACTIVE_WEIGHT: u32 = 4;
+
+    /// The class's wire tag.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobClass::Interactive => "interactive",
+            JobClass::Bulk => "bulk",
+        }
+    }
+
+    /// Parses a wire tag back into a class.
+    #[must_use]
+    pub fn parse_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "interactive" => Some(JobClass::Interactive),
+            "bulk" => Some(JobClass::Bulk),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for JobClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One planning job, as submitted by a client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
@@ -52,6 +102,9 @@ pub struct JobSpec {
     pub prune_margin_bits: u64,
     /// Per-job wall-clock budget; `None` uses the server default.
     pub timeout_ms: Option<u64>,
+    /// Admission class (execution-only: scheduling priority, never part
+    /// of the cache key).
+    pub class: JobClass,
 }
 
 impl JobSpec {
@@ -67,6 +120,7 @@ impl JobSpec {
             starts: 1,
             prune_margin_bits: PortfolioConfig::default().prune_margin.to_bits(),
             timeout_ms: None,
+            class: JobClass::Interactive,
         }
     }
 }
@@ -249,6 +303,14 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(cache_key(&base, &q), cache_key(&timed, &q));
+
+        // The admission class shapes scheduling, never the result: a
+        // bulk submission shares its key with the interactive twin.
+        let bulk = JobSpec {
+            class: JobClass::Bulk,
+            ..base.clone()
+        };
+        assert_eq!(cache_key(&base, &q), cache_key(&bulk, &q));
 
         // With exchange off, exchange-only parameters are inert too.
         let reseeded = JobSpec {

@@ -8,15 +8,23 @@
 //!
 //! * **Protocol** ([`protocol`]) — newline-delimited JSON frames over a
 //!   local TCP socket; every failure is a typed [`ServeError`], never a
-//!   dropped connection.
+//!   dropped connection. Batches stream per-item frames in completion
+//!   order, closed by a summary frame.
+//! * **Reactor** — one readiness-polled event loop owns every socket,
+//!   so the daemon is `workers + 1` threads no matter how many clients
+//!   connect (pre-v2 each connection parked a thread).
 //! * **Bounded pool** ([`Server`]) — a fixed worker-thread pool behind
-//!   a bounded queue with explicit backpressure (`queue_full`) and
-//!   per-job wall-clock timeouts enforced by the cooperative
-//!   [`copack_core::CancelToken`] threaded into the anneal loop.
-//! * **Content-addressed cache** ([`ResultCache`]) — results are keyed
-//!   by a canonical hash of `(instance, config)` ([`cache_key`]), so
-//!   repeated submissions are answered instantly and *concurrent*
-//!   duplicates coalesce onto a single computation.
+//!   two bounded class queues ([`JobClass::Interactive`] /
+//!   [`JobClass::Bulk`]) with weighted dequeue, explicit backpressure
+//!   (`queue_full`), and per-job wall-clock timeouts enforced by the
+//!   cooperative [`copack_core::CancelToken`] threaded into the anneal
+//!   loop.
+//! * **Tiered result cache** ([`ResultCache`]) — results are keyed by a
+//!   canonical hash of `(instance, config)` ([`cache_key`]): a bounded
+//!   LRU memory tier answers repeats instantly, *concurrent* duplicates
+//!   coalesce onto a single computation, and an optional persistent
+//!   disk tier (checksummed, atomically written) survives restarts —
+//!   even a `SIGKILL` mid-write.
 //!
 //! Determinism is preserved across the service boundary: a plan served
 //! by the daemon is byte-identical to `copack plan` run locally on the
@@ -49,15 +57,17 @@ mod job;
 mod json;
 mod metrics;
 mod protocol;
+mod reactor;
 mod server;
+mod store;
 
-pub use cache::{Lookup, ResultCache, Waiter};
-pub use client::Client;
+pub use cache::{CacheConfig, CacheStats, Lookup, ResultCache, Waiter};
+pub use client::{BatchOutcome, Client};
 pub use error::{ErrorKind, ServeError};
-pub use job::{cache_key, execute_job, JobOutput, JobSpec};
+pub use job::{cache_key, execute_job, JobClass, JobOutput, JobSpec};
 pub use metrics::{pool_metrics_text, PoolMetrics};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, Frame, LineReader,
-    PlanResponse, Request, Response, StatusSnapshot, MAX_FRAME,
+    decode_request, decode_response, encode_request, encode_response, BatchSummary, Frame,
+    LineReader, PlanResponse, Request, Response, StatusSnapshot, MAX_BATCH, MAX_FRAME,
 };
 pub use server::{ServeConfig, ServeSummary, Server};

@@ -18,12 +18,25 @@ pub struct PoolMetrics {
     pub errors: u64,
     /// Jobs rejected by backpressure or during drain.
     pub rejected: u64,
-    /// Requests answered from the completed-result cache.
+    /// Jobs submitted in the interactive class.
+    pub interactive: u64,
+    /// Jobs submitted in the bulk class.
+    pub bulk: u64,
+    /// Requests answered from the in-memory result cache.
     pub cache_hits: u64,
+    /// Requests answered from the persistent disk tier.
+    pub disk_hits: u64,
     /// Requests that coalesced onto an in-flight duplicate.
     pub coalesced: u64,
     /// Requests that executed fresh.
     pub misses: u64,
+    /// Memory-tier entries evicted by the LRU bound
+    /// ([`Event::ServeCache`]).
+    pub evictions: u64,
+    /// Corrupt disk entries quarantined ([`Event::ServeCache`]).
+    pub quarantined: u64,
+    /// Disk-tier entries resident at the end ([`Event::ServeCache`]).
+    pub disk_entries: u64,
     /// Deepest queue observed at any admission.
     pub max_queue_depth: u32,
     /// Median admission-to-response latency, milliseconds.
@@ -34,15 +47,30 @@ pub struct PoolMetrics {
 
 impl PoolMetrics {
     /// Folds a recorded event stream (ignoring non-serve events, so a
-    /// mixed trace works too).
+    /// mixed trace works too). Per-request fields come from
+    /// [`Event::ServeJob`]; store-level fields from the closing
+    /// [`Event::ServeCache`].
     #[must_use]
     pub fn from_events(events: &[Event]) -> Self {
         let mut metrics = Self::default();
         let mut latencies: Vec<f64> = Vec::new();
         for event in events {
+            if let Event::ServeCache {
+                evictions,
+                quarantined,
+                disk_entries,
+                ..
+            } = event
+            {
+                metrics.evictions = *evictions;
+                metrics.quarantined = *quarantined;
+                metrics.disk_entries = *disk_entries;
+                continue;
+            }
             let Event::ServeJob {
                 cache,
                 outcome,
+                class,
                 queue_depth,
                 seconds,
             } = event
@@ -58,9 +86,15 @@ impl PoolMetrics {
             }
             match cache.as_str() {
                 "hit" => metrics.cache_hits += 1,
+                "disk" => metrics.disk_hits += 1,
                 "coalesced" => metrics.coalesced += 1,
                 "miss" => metrics.misses += 1,
                 _ => {}
+            }
+            if class == "bulk" {
+                metrics.bulk += 1;
+            } else {
+                metrics.interactive += 1;
             }
             metrics.max_queue_depth = metrics.max_queue_depth.max(*queue_depth);
             latencies.push(seconds * 1000.0);
@@ -71,15 +105,17 @@ impl PoolMetrics {
         metrics
     }
 
-    /// Fraction of cache-answered requests (hits plus coalesced) among
-    /// all requests that reached the cache; 0 when none did.
+    /// Fraction of cache-answered requests (memory, disk, and
+    /// coalesced) among all requests that reached the cache; 0 when
+    /// none did.
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
-        let reached = self.cache_hits + self.coalesced + self.misses;
+        let answered = self.cache_hits + self.disk_hits + self.coalesced;
+        let reached = answered + self.misses;
         if reached == 0 {
             0.0
         } else {
-            (self.cache_hits + self.coalesced) as f64 / reached as f64
+            answered as f64 / reached as f64
         }
     }
 
@@ -96,11 +132,22 @@ impl PoolMetrics {
         );
         let _ = writeln!(
             out,
-            "cache hit {}  coalesced {}  miss {} (hit-rate {:.1}%)",
+            "class interactive {}  bulk {}",
+            self.interactive, self.bulk
+        );
+        let _ = writeln!(
+            out,
+            "cache hit {}  disk {}  coalesced {}  miss {} (hit-rate {:.1}%)",
             self.cache_hits,
+            self.disk_hits,
             self.coalesced,
             self.misses,
             100.0 * self.cache_hit_rate()
+        );
+        let _ = writeln!(
+            out,
+            "store evictions {}  quarantined {}  disk-entries {}",
+            self.evictions, self.quarantined, self.disk_entries
         );
         let _ = writeln!(out, "max-queue-depth {}", self.max_queue_depth);
         if self.jobs > 0 {
@@ -136,9 +183,14 @@ mod tests {
     use super::*;
 
     fn job(cache: &str, outcome: &str, queue_depth: u32, seconds: f64) -> Event {
+        class_job(cache, outcome, "interactive", queue_depth, seconds)
+    }
+
+    fn class_job(cache: &str, outcome: &str, class: &str, queue_depth: u32, seconds: f64) -> Event {
         Event::ServeJob {
             cache: cache.to_owned(),
             outcome: outcome.to_owned(),
+            class: class.to_owned(),
             queue_depth,
             seconds,
         }
@@ -164,13 +216,46 @@ mod tests {
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.coalesced, 1);
         assert_eq!(m.misses, 2);
+        assert_eq!(m.interactive, 5);
+        assert_eq!(m.bulk, 0);
         assert_eq!(m.max_queue_depth, 4);
         assert!((m.cache_hit_rate() - 0.5).abs() < 1e-12);
         let text = m.to_text();
         assert!(text.contains("jobs 5  ok 3  timeout 1  error 0  rejected 1"));
+        assert!(text.contains("class interactive 5  bulk 0"));
         assert!(text.contains("hit-rate 50.0%"));
         assert!(text.contains("max-queue-depth 4"));
         assert!(text.contains("latency p50"));
+    }
+
+    #[test]
+    fn disk_hits_and_store_stats_fold_from_their_events() {
+        let events = vec![
+            job("disk", "ok", 0, 0.002),
+            job("miss", "ok", 0, 0.020),
+            class_job("miss", "ok", "bulk", 1, 0.050),
+            Event::ServeCache {
+                mem_hits: 0,
+                disk_hits: 1,
+                misses: 2,
+                evictions: 3,
+                quarantined: 1,
+                disk_entries: 7,
+            },
+        ];
+        let m = PoolMetrics::from_events(&events);
+        assert_eq!(m.disk_hits, 1);
+        assert_eq!(m.misses, 2);
+        assert_eq!(m.bulk, 1);
+        assert_eq!(m.interactive, 2);
+        assert_eq!(m.evictions, 3);
+        assert_eq!(m.quarantined, 1);
+        assert_eq!(m.disk_entries, 7);
+        // Disk answers count toward the hit rate: 1 of 3 reached.
+        assert!((m.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        let text = m.to_text();
+        assert!(text.contains("cache hit 0  disk 1  coalesced 0  miss 2"));
+        assert!(text.contains("store evictions 3  quarantined 1  disk-entries 7"));
     }
 
     #[test]

@@ -1,0 +1,560 @@
+//! The event-driven connection layer: one readiness-polled reactor
+//! thread over nonblocking sockets.
+//!
+//! Pre-v2 the daemon spawned one blocking handler thread per
+//! connection, so a thousand idle clients cost a thousand parked
+//! threads. The reactor replaces all of them with a single loop (run
+//! on the caller's thread inside `Server::run`) that `poll(2)`s the
+//! listener, a waker, and every connection:
+//!
+//! * **reads** drain complete frames through the shared [`LineReader`]
+//!   (nonblocking reads surface as `Frame::Idle`, exactly like the old
+//!   read timeouts, so the framer is reused unchanged);
+//! * **requests** that hit the cache or are refused are answered
+//!   inline; requests that need a worker are *registered* — the reactor
+//!   never blocks on a job;
+//! * **workers** fulfil the result cache as before and push the key
+//!   onto a completion queue, then poke the waker (a loopback TCP pair,
+//!   the std-only self-pipe), which wakes the poll so responses go out
+//!   immediately;
+//! * **writes** are buffered per connection and flushed on `POLLOUT`,
+//!   so a slow reader can never wedge the loop (a reader that lets its
+//!   buffer grow past [`OUT_BUFFER_LIMIT`] is disconnected instead).
+//!
+//! Thread accounting: the whole daemon is `workers + 1` threads (the
+//! reactor) regardless of connection count — the property the idle
+//! -connection soak test pins.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd as _;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use polling::{poll, PollFd, POLLIN, POLLOUT};
+
+use crate::error::{ErrorKind, ServeError};
+use crate::job::{JobClass, JobOutput, JobSpec};
+use crate::protocol::{
+    decode_request, encode_response, BatchSummary, Frame, LineReader, PlanResponse, Request,
+    Response,
+};
+use crate::server::{Inner, PlanOutcome, SHUTDOWN_GRACE};
+
+/// Poll timeout: the reactor's housekeeping tick (shutdown checks,
+/// grace-window accounting). All request/response latency is readiness
+/// -driven, not tick-driven.
+const POLL_TICK: Duration = Duration::from_millis(25);
+
+/// A connection whose unflushed response bytes exceed this is dropped:
+/// it is either not reading or maliciously slow, and the reactor must
+/// not buffer for it without bound.
+const OUT_BUFFER_LIMIT: usize = 64 << 20;
+
+/// One finished job: its cache key and the shared result.
+pub(crate) type Completion = (u64, Result<Arc<JobOutput>, ServeError>);
+
+/// Completed jobs travelling from workers back to the reactor.
+pub(crate) struct CompletionQueue {
+    done: Mutex<Vec<Completion>>,
+    /// Write end of the waker pair. Workers poke one byte after every
+    /// push; `WouldBlock` is fine (the pipe being full already
+    /// guarantees a pending wake).
+    waker_tx: TcpStream,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new(waker_tx: TcpStream) -> Self {
+        Self {
+            done: Mutex::new(Vec::new()),
+            waker_tx,
+        }
+    }
+
+    /// Hands a fulfilled job's result to the reactor and wakes it.
+    pub(crate) fn push(&self, key: u64, result: Result<Arc<JobOutput>, ServeError>) {
+        self.done
+            .lock()
+            .expect("completion queue poisoned")
+            .push((key, result));
+        let _ = (&self.waker_tx).write(&[1]);
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.done.lock().expect("completion queue poisoned"))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.done
+            .lock()
+            .expect("completion queue poisoned")
+            .is_empty()
+    }
+}
+
+/// Where a finished job's response goes.
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    /// A plain `plan` request: one response frame.
+    Single,
+    /// One item of a streamed batch.
+    Batch { id: u64, seq: u32 },
+}
+
+/// One request waiting on a worker-executed job.
+struct PendingWaiter {
+    conn: u64,
+    target: Target,
+    started: Instant,
+    cache_tag: &'static str,
+    class: JobClass,
+    depth: usize,
+}
+
+/// Progress of one streamed batch.
+struct BatchState {
+    conn: u64,
+    jobs: u32,
+    done: u32,
+    ok: u32,
+    failed: u32,
+}
+
+struct Conn {
+    reader: LineReader<TcpStream>,
+    writer: TcpStream,
+    out: Vec<u8>,
+    /// Read side finished (EOF or fatal error); the connection closes
+    /// once the out buffer drains.
+    read_closed: bool,
+    /// Write side failed; the connection is dropped at cleanup.
+    dead: bool,
+}
+
+impl Conn {
+    fn queue_response(&mut self, response: &Response) {
+        if self.dead {
+            return;
+        }
+        let mut frame = encode_response(response);
+        frame.push('\n');
+        self.out.extend_from_slice(frame.as_bytes());
+        if self.out.len() > OUT_BUFFER_LIMIT {
+            self.dead = true;
+        }
+    }
+
+    /// Writes as much of the out buffer as the socket accepts.
+    fn flush(&mut self) {
+        let mut written = 0;
+        while written < self.out.len() {
+            match self.writer.write(&self.out[written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => written += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        self.out.drain(..written);
+    }
+
+    fn finished(&self) -> bool {
+        self.dead || (self.read_closed && self.out.is_empty())
+    }
+}
+
+pub(crate) struct Reactor {
+    inner: Arc<Inner>,
+    completions: Arc<CompletionQueue>,
+    listener: TcpListener,
+    waker_rx: TcpStream,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    pending: HashMap<u64, Vec<PendingWaiter>>,
+    batches: HashMap<u64, BatchState>,
+    next_batch: u64,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        completions: Arc<CompletionQueue>,
+        listener: TcpListener,
+        waker_rx: TcpStream,
+    ) -> Self {
+        Self {
+            inner,
+            completions,
+            listener,
+            waker_rx,
+            conns: HashMap::new(),
+            next_conn: 0,
+            pending: HashMap::new(),
+            batches: HashMap::new(),
+            next_batch: 0,
+        }
+    }
+
+    /// The event loop. Returns once the daemon has shut down: pool
+    /// drained, every admitted job answered, and connections either
+    /// closed by their peers or released at the end of the grace
+    /// window.
+    pub(crate) fn run(mut self) -> std::io::Result<()> {
+        let mut grace_started: Option<Instant> = None;
+        loop {
+            let shutdown = self.inner.shutdown.load(Ordering::Relaxed);
+            if shutdown {
+                let since = *grace_started.get_or_insert_with(Instant::now);
+                let drained = self.inner.pool_drained()
+                    && self.pending.is_empty()
+                    && self.completions.is_empty();
+                if drained && (self.conns.is_empty() || since.elapsed() > SHUTDOWN_GRACE) {
+                    // Best-effort final flush before dropping the
+                    // stragglers (their sockets close on drop).
+                    for conn in self.conns.values_mut() {
+                        conn.flush();
+                    }
+                    return Ok(());
+                }
+            }
+
+            // Assemble this tick's poll set: waker, listener (while
+            // accepting), then every live connection.
+            let mut fds = Vec::with_capacity(2 + self.conns.len());
+            fds.push(PollFd::new(self.waker_rx.as_raw_fd(), POLLIN));
+            let listener_slot = if shutdown {
+                None
+            } else {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                Some(1)
+            };
+            let conn_base = fds.len();
+            let conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in &conn_ids {
+                let conn = &self.conns[id];
+                let mut events = POLLIN;
+                if !conn.out.is_empty() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.writer.as_raw_fd(), events));
+            }
+
+            poll(&mut fds, POLL_TICK)?;
+
+            if fds[0].readable() {
+                self.drain_waker();
+            }
+            // Completions are drained every tick regardless of the
+            // waker: the check is one uncontended lock.
+            self.deliver_completions();
+
+            if let Some(slot) = listener_slot {
+                if fds[slot].readable() {
+                    self.accept_ready()?;
+                }
+            }
+
+            for (index, id) in conn_ids.iter().enumerate() {
+                let fd = fds[conn_base + index];
+                if fd.readable() {
+                    self.service_read(*id);
+                }
+                if fd.writable() {
+                    if let Some(conn) = self.conns.get_mut(id) {
+                        conn.flush();
+                    }
+                }
+            }
+
+            self.sweep_finished();
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        let mut sink = [0u8; 256];
+        while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
+    }
+
+    fn accept_ready(&mut self) -> std::io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    let Ok(read_half) = stream.try_clone() else {
+                        continue;
+                    };
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            reader: LineReader::new(read_half),
+                            writer: stream,
+                            out: Vec::new(),
+                            read_closed: false,
+                            dead: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Drains every complete frame the connection has ready.
+    fn service_read(&mut self, id: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                return;
+            };
+            match conn.reader.next_frame() {
+                Ok(Frame::Idle) => return,
+                Ok(Frame::Eof) => {
+                    conn.read_closed = true;
+                    return;
+                }
+                Ok(Frame::Line(line)) => match decode_request(&line) {
+                    Ok(request) => self.handle_request(id, request),
+                    Err(error) => self.queue_to(id, &Response::Error(error)),
+                },
+                // A peer that vanished mid-frame has nobody to answer.
+                Err(error) if error.kind == ErrorKind::Io => {
+                    conn.read_closed = true;
+                    return;
+                }
+                Err(error) => self.queue_to(id, &Response::Error(error)),
+            }
+        }
+    }
+
+    fn queue_to(&mut self, id: u64, response: &Response) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.queue_response(response);
+            conn.flush();
+        }
+    }
+
+    fn handle_request(&mut self, id: u64, request: Request) {
+        match request {
+            Request::Plan(spec) => {
+                let class = spec.class;
+                let started = Instant::now();
+                match self.inner.plan_disposition(spec, started) {
+                    PlanOutcome::Ready {
+                        cache_tag,
+                        key,
+                        output,
+                    } => {
+                        let response =
+                            Response::Plan(plan_response(cache_tag, key, &output, started));
+                        self.queue_to(id, &response);
+                    }
+                    PlanOutcome::Refused(error) => {
+                        self.queue_to(id, &Response::Error(error));
+                    }
+                    PlanOutcome::Wait {
+                        cache_tag,
+                        key,
+                        admitted_depth,
+                    } => {
+                        self.pending.entry(key).or_default().push(PendingWaiter {
+                            conn: id,
+                            target: Target::Single,
+                            started,
+                            cache_tag,
+                            class,
+                            depth: admitted_depth,
+                        });
+                    }
+                }
+            }
+            Request::Batch { class: _, jobs } => self.handle_batch(id, jobs),
+            Request::Status => {
+                let response = Response::Status(self.inner.snapshot());
+                self.queue_to(id, &response);
+            }
+            Request::Shutdown => {
+                let response = self.inner.handle_shutdown();
+                self.queue_to(id, &response);
+            }
+        }
+    }
+
+    fn handle_batch(&mut self, id: u64, jobs: Vec<JobSpec>) {
+        let batch_id = self.next_batch;
+        self.next_batch += 1;
+        let jobs_total = u32::try_from(jobs.len()).unwrap_or(u32::MAX);
+        self.batches.insert(
+            batch_id,
+            BatchState {
+                conn: id,
+                jobs: jobs_total,
+                done: 0,
+                ok: 0,
+                failed: 0,
+            },
+        );
+        for (index, spec) in jobs.into_iter().enumerate() {
+            let seq = u32::try_from(index).unwrap_or(u32::MAX);
+            let class = spec.class;
+            let started = Instant::now();
+            match self.inner.plan_disposition(spec, started) {
+                PlanOutcome::Ready {
+                    cache_tag,
+                    key,
+                    output,
+                } => {
+                    let result = Ok(plan_response(cache_tag, key, &output, started));
+                    self.finish_batch_item(batch_id, seq, result);
+                }
+                PlanOutcome::Refused(error) => {
+                    self.finish_batch_item(batch_id, seq, Err(error));
+                }
+                PlanOutcome::Wait {
+                    cache_tag,
+                    key,
+                    admitted_depth,
+                } => {
+                    self.pending.entry(key).or_default().push(PendingWaiter {
+                        conn: id,
+                        target: Target::Batch { id: batch_id, seq },
+                        started,
+                        cache_tag,
+                        class,
+                        depth: admitted_depth,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Streams one finished batch item, then the summary frame once the
+    /// batch is complete.
+    fn finish_batch_item(
+        &mut self,
+        batch_id: u64,
+        seq: u32,
+        result: Result<PlanResponse, ServeError>,
+    ) {
+        let Some(batch) = self.batches.get_mut(&batch_id) else {
+            return;
+        };
+        batch.done += 1;
+        if result.is_ok() {
+            batch.ok += 1;
+        } else {
+            batch.failed += 1;
+        }
+        let conn = batch.conn;
+        let finished = batch.done >= batch.jobs;
+        let summary = BatchSummary {
+            jobs: batch.jobs,
+            ok: batch.ok,
+            failed: batch.failed,
+        };
+        self.queue_to(conn, &Response::BatchItem { seq, result });
+        if finished {
+            self.queue_to(conn, &Response::BatchDone(summary));
+            self.batches.remove(&batch_id);
+        }
+    }
+
+    fn deliver_completions(&mut self) {
+        for (key, result) in self.completions.drain() {
+            let Some(waiters) = self.pending.remove(&key) else {
+                continue;
+            };
+            for waiter in waiters {
+                // The job's lifecycle event is recorded per *request*
+                // (matching the pre-v2 one-handler-per-request model),
+                // whether or not the peer is still connected.
+                let outcome = match &result {
+                    Ok(_) => "ok",
+                    Err(e) if e.kind == ErrorKind::Timeout => "timeout",
+                    Err(_) => "error",
+                };
+                self.inner.record_job(
+                    waiter.cache_tag,
+                    outcome,
+                    waiter.class,
+                    waiter.depth,
+                    waiter.started,
+                );
+                let item_result = match &result {
+                    Ok(output) => Ok(plan_response(waiter.cache_tag, key, output, waiter.started)),
+                    Err(error) => Err(error.clone()),
+                };
+                match waiter.target {
+                    Target::Single => {
+                        let response = match item_result {
+                            Ok(plan) => Response::Plan(plan),
+                            Err(error) => Response::Error(error),
+                        };
+                        self.queue_to(waiter.conn, &response);
+                    }
+                    Target::Batch { id, seq } => {
+                        self.finish_batch_item(id, seq, item_result);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops finished connections and any batch state stranded on them.
+    fn sweep_finished(&mut self) {
+        let mut gone: Vec<u64> = Vec::new();
+        self.conns.retain(|id, conn| {
+            if conn.finished() {
+                gone.push(*id);
+                false
+            } else {
+                true
+            }
+        });
+        if !gone.is_empty() {
+            // Batches whose connection died with items still pending
+            // stay registered (their events must be recorded at
+            // completion); ones with nothing in flight are dropped now.
+            let has_pending: std::collections::HashSet<u64> = self
+                .pending
+                .values()
+                .flatten()
+                .filter_map(|w| match w.target {
+                    Target::Batch { id, .. } => Some(id),
+                    Target::Single => None,
+                })
+                .collect();
+            self.batches
+                .retain(|id, batch| !gone.contains(&batch.conn) || has_pending.contains(id));
+        }
+    }
+}
+
+fn plan_response(cache_tag: &str, key: u64, output: &JobOutput, started: Instant) -> PlanResponse {
+    PlanResponse {
+        cache: cache_tag.to_owned(),
+        key,
+        name: output.name.clone(),
+        report: output.report.clone(),
+        assignment: output.assignment.clone(),
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}

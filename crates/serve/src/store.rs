@@ -1,0 +1,325 @@
+//! The persistent tier of the result cache: one file per fingerprint.
+//!
+//! On-disk format (version-tagged, length-prefixed, checksummed):
+//!
+//! ```text
+//! copack-cache v1\n
+//! key <016x>\n
+//! name <len>\n<bytes>
+//! report <len>\n<bytes>
+//! assignment <len>\n<bytes>
+//! checksum <016x>\n
+//! ```
+//!
+//! The checksum is fnv1a64 over everything before the `checksum` line,
+//! so truncation, bit rot, and partially-written files are all caught
+//! on load. Writes go to a `.tmp` sibling and are published with an
+//! atomic `rename`, so a crash (even SIGKILL) can never leave a
+//! half-written entry under a live name — at worst it leaves a stale
+//! `.tmp` file, which [`DiskStore::open`] sweeps on boot.
+//!
+//! A file that exists but fails validation is **quarantined**: renamed
+//! to `<key>.quarantine` so it is never served, never retried, and
+//! still available for post-mortem inspection.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::process;
+
+use copack_io::fnv1a64;
+
+use crate::job::JobOutput;
+
+/// Suffix of live cache entries.
+const ENTRY_EXT: &str = "entry";
+/// Suffix a corrupt entry is renamed to.
+const QUARANTINE_EXT: &str = "quarantine";
+/// Magic first line of every entry file.
+const MAGIC: &str = "copack-cache v1";
+
+/// How a disk lookup resolved.
+#[derive(Debug)]
+pub(crate) enum DiskLookup {
+    /// A validated entry.
+    Ready(JobOutput),
+    /// No file for this key.
+    Absent,
+    /// A file existed but failed validation; it has been quarantined.
+    Quarantined,
+}
+
+/// The on-disk store. All operations are keyed by the same fnv1a64
+/// fingerprint as the memory tier.
+#[derive(Debug)]
+pub(crate) struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store directory, sweeps stale
+    /// temp files from interrupted writes, and counts live entries.
+    pub(crate) fn open(dir: &Path) -> io::Result<(Self, u64)> {
+        fs::create_dir_all(dir)?;
+        let mut entries = 0u64;
+        for item in fs::read_dir(dir)? {
+            let item = item?;
+            let name = item.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".tmp") {
+                // A write interrupted mid-flight; the live name was
+                // never touched, so the temp file is pure garbage.
+                let _ = fs::remove_file(item.path());
+            } else if parse_entry_name(&name).is_some() {
+                entries += 1;
+            }
+        }
+        Ok((
+            Self {
+                dir: dir.to_path_buf(),
+            },
+            entries,
+        ))
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.{ENTRY_EXT}"))
+    }
+
+    /// Persists `output` under `key` atomically (write temp, rename).
+    pub(crate) fn store(&self, key: u64, output: &JobOutput) -> io::Result<()> {
+        let bytes = encode_entry(key, output);
+        let tmp = self.dir.join(format!("{key:016x}.{}.tmp", process::id()));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        match fs::rename(&tmp, self.entry_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Loads and validates the entry for `key`. Anything unreadable or
+    /// failing validation is quarantined on the spot.
+    pub(crate) fn load(&self, key: u64) -> DiskLookup {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return DiskLookup::Absent,
+            Err(_) => {
+                self.quarantine(key);
+                return DiskLookup::Quarantined;
+            }
+        };
+        match decode_entry(key, &bytes) {
+            Some(output) => DiskLookup::Ready(output),
+            None => {
+                self.quarantine(key);
+                DiskLookup::Quarantined
+            }
+        }
+    }
+
+    /// Moves the entry for `key` out of the live namespace.
+    pub(crate) fn quarantine(&self, key: u64) {
+        let from = self.entry_path(key);
+        let to = self.dir.join(format!("{key:016x}.{QUARANTINE_EXT}"));
+        if fs::rename(&from, &to).is_err() {
+            // Renaming failed (permissions, races): deletion is the
+            // fallback that still guarantees the entry is never served.
+            let _ = fs::remove_file(&from);
+        }
+    }
+}
+
+/// Parses a live entry filename back into its key.
+fn parse_entry_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(&format!(".{ENTRY_EXT}"))?;
+    if stem.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(stem, 16).ok()
+}
+
+fn encode_entry(key: u64, output: &JobOutput) -> Vec<u8> {
+    let mut bytes =
+        Vec::with_capacity(output.name.len() + output.report.len() + output.assignment.len() + 128);
+    bytes.extend_from_slice(MAGIC.as_bytes());
+    bytes.push(b'\n');
+    bytes.extend_from_slice(format!("key {key:016x}\n").as_bytes());
+    for (tag, payload) in [
+        ("name", &output.name),
+        ("report", &output.report),
+        ("assignment", &output.assignment),
+    ] {
+        bytes.extend_from_slice(format!("{tag} {}\n", payload.len()).as_bytes());
+        bytes.extend_from_slice(payload.as_bytes());
+    }
+    let checksum = fnv1a64(&bytes);
+    bytes.extend_from_slice(format!("checksum {checksum:016x}\n").as_bytes());
+    bytes
+}
+
+fn decode_entry(key: u64, bytes: &[u8]) -> Option<JobOutput> {
+    let mut cursor = bytes;
+    let line = take_line(&mut cursor)?;
+    if line != MAGIC.as_bytes() {
+        return None;
+    }
+    let line = take_line(&mut cursor)?;
+    let stored_key = std::str::from_utf8(line.strip_prefix(b"key ")?).ok()?;
+    if u64::from_str_radix(stored_key, 16).ok()? != key {
+        return None;
+    }
+    let mut sections = Vec::with_capacity(3);
+    for tag in ["name", "report", "assignment"] {
+        let header = take_line(&mut cursor)?;
+        let len_text = header.strip_prefix(tag.as_bytes())?.strip_prefix(b" ")?;
+        let len: usize = std::str::from_utf8(len_text).ok()?.parse().ok()?;
+        if cursor.len() < len {
+            return None;
+        }
+        let (payload, rest) = cursor.split_at(len);
+        sections.push(String::from_utf8(payload.to_vec()).ok()?);
+        cursor = rest;
+    }
+    let trailer_at = bytes.len() - cursor.len();
+    let line = take_line(&mut cursor)?;
+    let stored = std::str::from_utf8(line.strip_prefix(b"checksum ")?).ok()?;
+    let stored = u64::from_str_radix(stored, 16).ok()?;
+    if !cursor.is_empty() || fnv1a64(&bytes[..trailer_at]) != stored {
+        return None;
+    }
+    let mut sections = sections.into_iter();
+    Some(JobOutput {
+        name: sections.next()?,
+        report: sections.next()?,
+        assignment: sections.next()?,
+    })
+}
+
+/// Splits the next `\n`-terminated line off the front of `cursor`
+/// (newline excluded from the returned slice, consumed from the input).
+fn take_line<'a>(cursor: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let pos = cursor.iter().position(|&b| b == b'\n')?;
+    let (line, rest) = cursor.split_at(pos);
+    *cursor = &rest[1..];
+    Some(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "copack-store-{tag}-{}-{:?}",
+            process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn output(tag: &str) -> JobOutput {
+        JobOutput {
+            name: tag.to_owned(),
+            report: format!("{tag}: dfa(n=1) -> ok\nnewlines \u{1F980} survive\n"),
+            assignment: format!("assignment {tag}\norder 1 2 3\n"),
+        }
+    }
+
+    #[test]
+    fn a_stored_entry_loads_byte_identically() {
+        let dir = scratch_dir("roundtrip");
+        let (store, boot) = DiskStore::open(&dir).expect("open");
+        assert_eq!(boot, 0);
+        store.store(0xdead_beef, &output("demo")).expect("store");
+        match store.load(0xdead_beef) {
+            DiskLookup::Ready(loaded) => assert_eq!(loaded, output("demo")),
+            other => panic!("expected a ready entry, got {other:?}"),
+        }
+        // Reopening counts the persisted entry.
+        let (_, entries) = DiskStore::open(&dir).expect("reopen");
+        assert_eq!(entries, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_keys_are_absent_not_errors() {
+        let dir = scratch_dir("absent");
+        let (store, _) = DiskStore::open(&dir).expect("open");
+        assert!(matches!(store.load(42), DiskLookup::Absent));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_quarantined_not_served() {
+        let dir = scratch_dir("corrupt");
+        let (store, _) = DiskStore::open(&dir).expect("open");
+        store.store(1, &output("flip")).expect("store");
+        store.store(2, &output("trunc")).expect("store");
+        store.store(3, &output("garbage")).expect("store");
+
+        // Flip a payload byte in entry 1.
+        let path = dir.join(format!("{:016x}.entry", 1));
+        let mut bytes = fs::read(&path).expect("read");
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x20;
+        fs::write(&path, &bytes).expect("rewrite");
+        // Truncate entry 2 (a torn write that somehow got the live name).
+        let path = dir.join(format!("{:016x}.entry", 2));
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        // Replace entry 3 with plain garbage.
+        fs::write(dir.join(format!("{:016x}.entry", 3)), b"not an entry").expect("garbage");
+
+        for key in [1, 2, 3] {
+            assert!(
+                matches!(store.load(key), DiskLookup::Quarantined),
+                "key {key} must be quarantined"
+            );
+            assert!(
+                dir.join(format!("{key:016x}.quarantine")).exists(),
+                "key {key} must leave a quarantine file"
+            );
+            // The live name is gone: the next load is a plain miss.
+            assert!(matches!(store.load(key), DiskLookup::Absent));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_mismatched_key_in_a_valid_file_is_rejected() {
+        // Catches a file copied/renamed onto the wrong fingerprint.
+        let dir = scratch_dir("renamed");
+        let (store, _) = DiskStore::open(&dir).expect("open");
+        store.store(7, &output("seven")).expect("store");
+        fs::rename(
+            dir.join(format!("{:016x}.entry", 7)),
+            dir.join(format!("{:016x}.entry", 8)),
+        )
+        .expect("rename");
+        assert!(matches!(store.load(8), DiskLookup::Quarantined));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_sweeps_stale_temp_files() {
+        let dir = scratch_dir("sweep");
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(dir.join("0000000000000001.12345.tmp"), b"torn").expect("tmp");
+        let (_, entries) = DiskStore::open(&dir).expect("open");
+        assert_eq!(entries, 0);
+        assert!(
+            !dir.join("0000000000000001.12345.tmp").exists(),
+            "stale temp files are removed on boot"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -34,7 +34,9 @@ use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadra
 use copack_obs::{Event, JsonlSink, NoopRecorder, Recorder, TraceBuffer, TraceSummary};
 use copack_power::GridSpec;
 use copack_route::{analyze, balanced_density_map, DensityModel};
-use copack_serve::{pool_metrics_text, Client, JobSpec, PlanResponse, ServeConfig, Server};
+use copack_serve::{
+    pool_metrics_text, Client, JobClass, JobSpec, PlanResponse, ServeConfig, Server,
+};
 use copack_viz::{density_histogram, routing_ascii, routing_svg, trace_sparklines};
 
 /// Usage text printed for `--help` or argument errors.
@@ -87,32 +89,45 @@ USAGE:
       exits non-zero.
 
   copack serve [--addr HOST:PORT] [--workers N] [--queue N]
-               [--timeout-secs N] [--port-file FILE] [--trace FILE]
-               [--metrics]
+               [--timeout-secs N] [--cache-dir DIR] [--cache-mem-limit B]
+               [--port-file FILE] [--trace FILE] [--metrics]
       Run the resident planning daemon: jobs arrive as JSON lines over a
-      local TCP socket, run on a bounded worker pool, and identical
-      submissions are answered from a content-addressed result cache.
-      Prints `listening on ADDR` once bound (use --addr with port 0 and
-      --port-file to discover an ephemeral port), then blocks until a
-      client sends shutdown. --queue bounds the job queue (a full queue
-      rejects with a typed backpressure error); --timeout-secs is the
-      default per-job wall-clock budget (0 = unlimited).
+      local TCP socket, a single event loop owns every connection (idle
+      clients cost no threads), jobs run on a bounded worker pool, and
+      identical submissions are answered from a content-addressed result
+      cache. Prints `listening on ADDR` once bound (use --addr with port
+      0 and --port-file to discover an ephemeral port), then blocks
+      until a client sends shutdown. --queue bounds each class's job
+      queue (a full queue rejects with a typed backpressure error);
+      --timeout-secs is the default per-job wall-clock budget (0 =
+      unlimited). --cache-dir persists results (checksummed, atomically
+      written; corrupt entries are quarantined, and a restarted daemon
+      answers from the warm store); --cache-mem-limit bounds the
+      in-memory tier in bytes (LRU eviction; 0 = unbounded; default
+      64 MiB).
 
   copack submit <circuit-file> [--addr HOST:PORT] [--method dfa|ifa|random]
                 [--seed N] [--slack N] [--exchange] [--psi N] [--xseed N]
                 [--starts K] [--prune-margin F] [--timeout-ms N]
-                [--out FILE]
+                [--class interactive|bulk] [--out FILE]
       Submit one planning job to a running daemon and print its report.
       The planning flags mirror `copack plan`; --xseed seeds the exchange
       pass, --starts/--prune-margin select the portfolio (part of the
       daemon's cache key), --timeout-ms overrides the daemon's default
-      budget. --out writes the assignment file (byte-identical to
+      budget, --class picks the admission class (interactive jobs are
+      prioritised, bulk jobs never starve; the result is identical
+      either way). --out writes the assignment file (byte-identical to
       `copack plan --out`).
 
-  copack batch <dir> [--addr HOST:PORT] [planning flags as submit]
-      Submit every `*.copack` file in <dir> to the daemon concurrently
-      and print a per-job verdict table; exits non-zero if any job
-      fails or times out.
+  copack batch <dir> [--addr HOST:PORT] [--class interactive|bulk]
+               [--stream] [planning flags as submit]
+      Submit every `*.copack` file in <dir> to the daemon as one
+      streamed batch and print a per-job verdict table (directory
+      order); exits non-zero if any job fails or times out. --stream
+      also prints one live line per job as its result arrives
+      (completion order). --class classes the whole batch (default
+      interactive; use bulk for sweeps that should yield to interactive
+      traffic).
 
   copack shutdown [--addr HOST:PORT]
       Ask the daemon to drain its queue and stop.
@@ -159,7 +174,7 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 23] = [
+const VALUED: [&str; 27] = [
     "--family",
     "--size",
     "--starts",
@@ -183,6 +198,10 @@ const VALUED: [&str; 23] = [
     "--port-file",
     "--xseed",
     "--timeout-ms",
+    "--cache-dir",
+    "--cache-mem-limit",
+    "--worker-stall-ms",
+    "--class",
 ];
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -728,7 +747,17 @@ fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, Str
         starts,
         prune_margin_bits: prune_margin.to_bits(),
         timeout_ms,
+        class: job_class_from_options(opts)?,
     })
+}
+
+/// Parses `--class` (default: interactive).
+fn job_class_from_options(opts: &Options) -> Result<JobClass, String> {
+    match opts.value("class") {
+        None => Ok(JobClass::Interactive),
+        Some(tag) => JobClass::parse_tag(tag)
+            .ok_or_else(|| format!("unknown class `{tag}` (interactive|bulk)")),
+    }
 }
 
 fn connect_daemon(opts: &Options) -> Result<(String, Client), String> {
@@ -745,11 +774,16 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     }
     let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR);
     let timeout_secs = opts.num("timeout-secs", 30u64)?;
+    let stall_ms = opts.num("worker-stall-ms", 0u64)?;
     let config = ServeConfig {
         workers: opts.num("workers", 0usize)?,
         queue_capacity: opts.num("queue", 64usize)?,
         default_timeout: (timeout_secs > 0).then(|| std::time::Duration::from_secs(timeout_secs)),
-        worker_stall: None,
+        // Test hook (undocumented): slows every worker down so harness
+        // tests can observe queues and in-flight batches.
+        worker_stall: (stall_ms > 0).then(|| std::time::Duration::from_millis(stall_ms)),
+        cache_dir: opts.value("cache-dir").map(std::path::PathBuf::from),
+        cache_mem_limit: opts.num("cache-mem-limit", ServeConfig::default().cache_mem_limit)?,
     };
     let trace = opts.value("trace").map(str::to_owned);
     let metrics = opts.flag("metrics").is_some();
@@ -775,6 +809,12 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         out,
         "served {} jobs: {} completed, {} cache hits, {} coalesced, {} rejected, {} timeouts",
         s.submitted, s.completed, s.cache_hits, s.coalesced, s.rejected, s.timeouts
+    );
+    let c = &summary.cache;
+    let _ = writeln!(
+        out,
+        "cache disk {} entries ({} disk hits, {} evictions, {} quarantined)",
+        c.disk_entries, c.disk_hits, c.evictions, c.quarantined
     );
     if let Some(path) = trace {
         let mut sink = JsonlSink::create(Path::new(&path)).map_err(|e| format!("{path}: {e}"))?;
@@ -829,40 +869,61 @@ fn cmd_batch(args: &[String]) -> Result<String, String> {
         return Err(format!("{dir}: no .copack files to plan"));
     }
 
-    let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR).to_owned();
-    // One connection per job, submitted concurrently: this is what
-    // exercises the daemon's pool, backpressure, and coalescing.
-    let jobs: Vec<(
-        String,
-        std::thread::JoinHandle<Result<PlanResponse, String>>,
-    )> = files
+    // One connection, one batch frame: the daemon streams per-item
+    // frames back in completion order (tagged with each job's
+    // submission index) and closes with a summary frame. --stream
+    // prints a live line per arriving item before the final table.
+    let class = job_class_from_options(&opts)?;
+    let stream = opts.flag("stream").is_some();
+    let mut rows: Vec<(String, Result<PlanResponse, String>)> = files
         .iter()
-        .map(|file| {
-            let path = Path::new(dir).join(file);
-            let circuit = fs::read_to_string(&path)
-                .map_err(|e| format!("{}: {e}", path.display()))
-                .and_then(|text| job_spec_from_options(&opts, text));
-            let addr = addr.clone();
-            let handle = std::thread::spawn(move || {
-                let spec = circuit?;
-                let mut client =
-                    Client::connect(&addr).map_err(|e| format!("no daemon at {addr} ({e})"))?;
-                client.plan(&spec).map_err(|e| e.to_string())
-            });
-            (file.clone(), handle)
-        })
+        .map(|file| (file.clone(), Err("no response from daemon".to_owned())))
         .collect();
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut submitted: Vec<usize> = Vec::new();
+    for (index, file) in files.iter().enumerate() {
+        let path = Path::new(dir).join(file);
+        match fs::read_to_string(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|text| job_spec_from_options(&opts, text))
+        {
+            Ok(spec) => {
+                specs.push(spec);
+                submitted.push(index);
+            }
+            Err(message) => rows[index].1 = Err(message),
+        }
+    }
+    if !specs.is_empty() {
+        let (addr, mut client) = connect_daemon(&opts)?;
+        let total = specs.len();
+        let mut done = 0usize;
+        let outcome = client
+            .batch(&specs, class, |seq, result| {
+                done += 1;
+                if stream {
+                    let file = submitted
+                        .get(seq as usize)
+                        .map_or("?", |&index| files[index].as_str());
+                    match result {
+                        Ok(plan) => {
+                            println!("[{done}/{total}] {file}: PASS (cache {})", plan.cache)
+                        }
+                        Err(error) => println!("[{done}/{total}] {file}: FAIL ({error})"),
+                    }
+                }
+            })
+            .map_err(|e| format!("{addr}: {e}"))?;
+        for (seq, result) in outcome.items {
+            if let Some(&index) = submitted.get(seq as usize) {
+                rows[index].1 = result.map_err(|e| e.to_string());
+            }
+        }
+    }
 
-    // Render the same verdict-table shape `copack check` prints.
-    let results: Vec<(String, Result<PlanResponse, String>)> = jobs
-        .into_iter()
-        .map(|(file, handle)| {
-            let result = handle
-                .join()
-                .unwrap_or_else(|_| Err("job thread panicked".to_owned()));
-            (file, result)
-        })
-        .collect();
+    // Render the same verdict-table shape `copack check` prints, in
+    // directory order regardless of completion order.
+    let results = rows;
     let passed = results.iter().filter(|(_, r)| r.is_ok()).count();
     let width = results
         .iter()

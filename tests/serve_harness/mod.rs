@@ -1,0 +1,334 @@
+//! A reusable harness for testing the `copack serve` daemon as a real
+//! operating-system process: spawn it, load it, kill it dead, restart
+//! it, and put faults between it and its clients.
+//!
+//! The daemon under test is the actual release binary (via
+//! `CARGO_BIN_EXE_copack`), not an in-process [`copack_serve::Server`],
+//! so these tests cover the whole stack the user runs: argument
+//! parsing, port-file handshake, the reactor's socket handling, signal
+//! behaviour, and process-level resource accounting (`/proc`).
+//!
+//! Pieces:
+//!
+//! * [`Scratch`] — a per-test temp directory, removed on drop;
+//! * [`Daemon`] — spawn/inspect/stop one daemon process. `kill9`
+//!   delivers `SIGKILL` (no drop handlers, no flush — the crash the
+//!   persistent cache tier must survive); `threads()`/`rss_kb()` read
+//!   `/proc/<pid>/status` for the soak test's resource bounds;
+//! * [`FaultProxy`] — a TCP proxy between client and daemon with
+//!   runtime-injectable per-chunk latency and a connection kill
+//!   switch, for slow-network and mid-request-disconnect tests;
+//! * [`circuit_text`] — deterministic Table 1 circuits for load
+//!   scripts, without touching the filesystem.
+
+// Each test binary uses its own subset of the harness.
+#![allow(dead_code)]
+
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use copack_gen::circuit;
+use copack_io::write_quadrant;
+use copack_serve::Client;
+
+/// A per-test scratch directory, removed when dropped.
+pub struct Scratch(pub PathBuf);
+
+impl Scratch {
+    pub fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "copack_harness_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        Self(dir)
+    }
+
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The circuit-file text of Table 1 circuit `index` (1..=5).
+pub fn circuit_text(index: usize) -> String {
+    let c = circuit(index);
+    let quadrant = c.build_quadrant().expect("table 1 circuit builds");
+    write_quadrant(&c.name.replace(' ', ""), &quadrant)
+}
+
+/// One spawned `copack serve` process.
+pub struct Daemon {
+    child: Child,
+    pub addr: String,
+}
+
+impl Daemon {
+    /// Spawns `copack serve --addr 127.0.0.1:0 --port-file ... <extra>`
+    /// and blocks until the port-file handshake completes.
+    pub fn spawn(scratch: &Scratch, tag: &str, extra: &[&str]) -> Self {
+        let port_file = scratch.path(&format!("port_{tag}.txt"));
+        let _ = fs::remove_file(&port_file);
+        let mut command = Command::new(env!("CARGO_BIN_EXE_copack"));
+        command
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .arg("--port-file")
+            .arg(&port_file)
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        let child = command.spawn().expect("spawn copack serve");
+        let port = wait_for_port_file(&port_file);
+        Self {
+            child,
+            addr: format!("127.0.0.1:{port}"),
+        }
+    }
+
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// A fresh client connection to this daemon.
+    pub fn client(&self) -> Client {
+        Client::connect(&self.addr).expect("connect to daemon")
+    }
+
+    /// Thread count of the daemon process (from `/proc/<pid>/status`).
+    pub fn threads(&self) -> usize {
+        proc_status_field(self.pid(), "Threads:")
+            .expect("daemon process has a Threads field")
+            .parse()
+            .expect("Threads is a number")
+    }
+
+    /// Resident set size in KiB (from `/proc/<pid>/status`).
+    pub fn rss_kb(&self) -> u64 {
+        proc_status_field(self.pid(), "VmRSS:")
+            .and_then(|value| {
+                value
+                    .split_whitespace()
+                    .next()
+                    .and_then(|kb| kb.parse().ok())
+            })
+            .expect("daemon process has a VmRSS field")
+    }
+
+    /// `SIGKILL`s the daemon — the unclean crash: no drop handlers, no
+    /// buffer flushes, sockets slammed. Returns once the process is
+    /// reaped.
+    pub fn kill9(mut self) {
+        // On Unix, `Child::kill` delivers SIGKILL.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Sends a `shutdown` request, waits for a clean exit, and returns
+    /// the daemon's stdout (the `served N jobs: ...` summary block).
+    pub fn shutdown(mut self) -> String {
+        self.client().shutdown().expect("daemon accepts shutdown");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match self.child.try_wait().expect("wait on daemon") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exited with {status}");
+                    break;
+                }
+                None => {
+                    assert!(
+                        Instant::now() < deadline,
+                        "daemon did not exit within 30 s of shutdown"
+                    );
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+        let mut out = String::new();
+        if let Some(mut stdout) = self.child.stdout.take() {
+            let _ = stdout.read_to_string(&mut out);
+        }
+        out
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // A test that panicked mid-flight must not leak the process.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn wait_for_port_file(path: &Path) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(text) = fs::read_to_string(path) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                return port;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote its port file at {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn proc_status_field(pid: u32, field: &str) -> Option<String> {
+    let status = fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix(field))
+        .map(|rest| rest.trim().to_owned())
+}
+
+/// Shared control block of a [`FaultProxy`].
+pub struct ProxyControl {
+    /// Extra delay injected before each forwarded chunk, per direction.
+    pub latency_ms: AtomicU64,
+    /// When set, every proxied connection is severed (both directions)
+    /// and new connections are refused — the network "going away".
+    pub sever: AtomicBool,
+    stop: AtomicBool,
+}
+
+/// A TCP fault-injection proxy: clients connect to [`FaultProxy::addr`]
+/// and reach the daemon through pump threads that apply the control
+/// block's latency/sever settings per forwarded chunk.
+pub struct FaultProxy {
+    pub addr: String,
+    pub control: Arc<ProxyControl>,
+}
+
+impl FaultProxy {
+    pub fn start(upstream: &str) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let addr = listener.local_addr().expect("proxy addr").to_string();
+        let control = Arc::new(ProxyControl {
+            latency_ms: AtomicU64::new(0),
+            sever: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        });
+        let upstream = upstream.to_owned();
+        let thread_control = Arc::clone(&control);
+        std::thread::spawn(move || {
+            while !thread_control.stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        if thread_control.sever.load(Ordering::Relaxed) {
+                            continue; // dropped: connection refused-by-reset
+                        }
+                        let Ok(server) = TcpStream::connect(&upstream) else {
+                            continue;
+                        };
+                        pump_pair(client, server, &thread_control);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Self { addr, control }
+    }
+
+    /// Injects `ms` of latency before every forwarded chunk.
+    pub fn set_latency_ms(&self, ms: u64) {
+        self.control.latency_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Severs all current connections and refuses new ones.
+    pub fn sever(&self) {
+        self.control.sever.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.control.stop.store(true, Ordering::Relaxed);
+        self.control.sever.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Spawns the two pump threads for one proxied connection.
+fn pump_pair(client: TcpStream, server: TcpStream, control: &Arc<ProxyControl>) {
+    let pairs = [
+        (
+            client.try_clone().expect("clone"),
+            server.try_clone().expect("clone"),
+        ),
+        (server, client),
+    ];
+    for (from, to) in pairs {
+        let control = Arc::clone(control);
+        std::thread::spawn(move || pump(from, to, &control));
+    }
+}
+
+/// Forwards bytes one chunk at a time, honouring the control block.
+fn pump(mut from: TcpStream, mut to: TcpStream, control: &ProxyControl) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut chunk = [0u8; 4096];
+    loop {
+        if control.sever.load(Ordering::Relaxed) || control.stop.load(Ordering::Relaxed) {
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
+            return;
+        }
+        match from.read(&mut chunk) {
+            Ok(0) => {
+                let _ = to.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => {
+                let latency = control.latency_ms.load(Ordering::Relaxed);
+                if latency > 0 {
+                    std::thread::sleep(Duration::from_millis(latency));
+                }
+                if to.write_all(&chunk[..n]).is_err() {
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(_) => {
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+/// Reads an env-var knob with a default — how CI scales the soak down
+/// (`SOAK_CONNS=50`) without a separate test body.
+pub fn env_knob(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,106 @@
+//! Crash recovery through the persistent cache tier: a daemon is
+//! `SIGKILL`ed (no drop handlers, no flushes) and its successor must
+//! answer the same jobs from the warm disk store, byte-identically —
+//! while corrupt entries are quarantined and recomputed, never served.
+
+mod serve_harness;
+
+use std::fs;
+
+use copack_io::parse_quadrant;
+use copack_serve::{cache_key, JobSpec};
+use serve_harness::{circuit_text, Daemon, Scratch};
+
+/// The disk filename the daemon will use for `spec`'s result.
+fn entry_name(spec: &JobSpec) -> String {
+    let (_, quadrant) = parse_quadrant(&spec.circuit).expect("circuit parses");
+    format!("{:016x}.entry", cache_key(spec, &quadrant))
+}
+
+#[test]
+fn a_sigkilled_daemon_restarts_warm_and_quarantines_corruption() {
+    let scratch = Scratch::new("recovery");
+    let cache_dir = scratch.path("cache");
+    let cache_flag = cache_dir.to_string_lossy().into_owned();
+
+    let keep = JobSpec::new(circuit_text(1));
+    let corrupt = JobSpec::new(circuit_text(2));
+
+    // Daemon A computes both jobs and persists them, then dies by
+    // SIGKILL — the crash that loses everything not already on disk.
+    let first = Daemon::spawn(
+        &scratch,
+        "a",
+        &["--workers", "1", "--cache-dir", &cache_flag],
+    );
+    let mut client = first.client();
+    let keep_plan = client.plan(&keep).expect("first daemon plans");
+    let corrupt_plan = client.plan(&corrupt).expect("first daemon plans");
+    assert_eq!(keep_plan.cache, "miss");
+    assert_eq!(corrupt_plan.cache, "miss");
+    drop(client);
+    first.kill9();
+
+    assert!(
+        cache_dir.join(entry_name(&keep)).exists(),
+        "the entry was persisted before the response was sent"
+    );
+
+    // Sabotage between the lives: flip a byte mid-entry, and plant a
+    // stale temp file as if the kill had interrupted a store.
+    let victim = cache_dir.join(entry_name(&corrupt));
+    let mut bytes = fs::read(&victim).expect("read entry");
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0x01;
+    fs::write(&victim, &bytes).expect("corrupt entry");
+    let stale_tmp = cache_dir.join("00000000deadbeef.99999.tmp");
+    fs::write(&stale_tmp, b"torn write").expect("plant stale tmp");
+
+    // Daemon B on the same directory: the intact entry is served from
+    // disk byte-identically; the corrupt one is quarantined and
+    // recomputed to the same bytes (determinism), never served raw.
+    let second = Daemon::spawn(
+        &scratch,
+        "b",
+        &["--workers", "1", "--cache-dir", &cache_flag],
+    );
+    let mut client = second.client();
+
+    let warm = client.plan(&keep).expect("restarted daemon plans");
+    assert_eq!(warm.cache, "disk", "survivor entry answers from disk");
+    assert_eq!(warm.assignment, keep_plan.assignment, "byte-identical");
+    assert_eq!(warm.report, keep_plan.report, "byte-identical");
+    let again = client.plan(&keep).expect("restarted daemon plans");
+    assert_eq!(again.cache, "hit", "disk hits promote to memory");
+
+    let recomputed = client.plan(&corrupt).expect("restarted daemon plans");
+    assert_eq!(
+        recomputed.cache, "miss",
+        "a corrupt entry recomputes instead of serving garbage"
+    );
+    assert_eq!(
+        recomputed.assignment, corrupt_plan.assignment,
+        "recomputation reproduces the original bytes"
+    );
+    assert!(
+        cache_dir
+            .join(entry_name(&corrupt).replace(".entry", ".quarantine"))
+            .exists(),
+        "the corrupt file is kept for post-mortem, out of the live namespace"
+    );
+    assert!(!stale_tmp.exists(), "boot sweeps interrupted writes");
+
+    let status = client.status().expect("status");
+    assert_eq!(status.disk_hits, 1, "status counts the warm-start hit");
+    drop(client);
+
+    let summary = second.shutdown();
+    assert!(
+        summary.contains("cache disk 2 entries (1 disk hits"),
+        "summary reports the disk tier: {summary}"
+    );
+    assert!(
+        summary.contains("1 quarantined"),
+        "summary reports the quarantine: {summary}"
+    );
+}

@@ -1,0 +1,102 @@
+//! Idle-connection soak: the property that motivated the v2 reactor.
+//!
+//! Pre-v2 the daemon spawned one thread per connection, so N idle
+//! clients cost N parked threads and their stacks. The reactor serves
+//! every connection from one event loop, so the whole process must stay
+//! at `workers + 1` threads (main thread *is* the reactor) — bounded by
+//! `workers + 2` here to leave room for a platform helper thread — no
+//! matter how many silent connections are parked on it, while a live
+//! client keeps getting answers at interactive latency.
+//!
+//! Scaled by environment knobs so CI can run a cheap smoke:
+//! `SOAK_CONNS` (default 500) idle connections held for `SOAK_HOLD_MS`
+//! (default 2000) milliseconds.
+
+mod serve_harness;
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use copack_serve::JobSpec;
+use serve_harness::{circuit_text, env_knob, Daemon, Scratch};
+
+#[test]
+fn hundreds_of_idle_connections_cost_no_threads_and_do_not_starve_live_traffic() {
+    let conns = env_knob("SOAK_CONNS", 500) as usize;
+    let hold = Duration::from_millis(env_knob("SOAK_HOLD_MS", 2000));
+    let workers = 2usize;
+
+    let scratch = Scratch::new("soak");
+    let daemon = Daemon::spawn(&scratch, "soak", &["--workers", "2"]);
+
+    // Prime the cache with one real job so live traffic below is
+    // latency-bound on the reactor, not the annealer.
+    let spec = JobSpec::new(circuit_text(1));
+    let mut live = daemon.client();
+    let first = live.plan(&spec).expect("priming job plans");
+    assert_eq!(first.cache, "miss");
+
+    // Park the idle herd: connected, never sending a byte.
+    let mut herd: Vec<TcpStream> = Vec::with_capacity(conns);
+    for index in 0..conns {
+        match TcpStream::connect(&daemon.addr) {
+            Ok(stream) => herd.push(stream),
+            Err(e) => panic!("idle connection {index} refused: {e}"),
+        }
+    }
+
+    // Live traffic runs the whole hold window: repeated submissions
+    // (cache hits) plus status round-trips, with per-request latency
+    // recorded.
+    let deadline = Instant::now() + hold;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut peak_threads = 0usize;
+    let mut peak_rss_kb = 0u64;
+    while Instant::now() < deadline {
+        let t = Instant::now();
+        let plan = live.plan(&spec).expect("live job during soak");
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        assert_eq!(plan.cache, "hit", "repeats answer from cache mid-soak");
+        peak_threads = peak_threads.max(daemon.threads());
+        peak_rss_kb = peak_rss_kb.max(daemon.rss_kb());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let status = live.status().expect("status during soak");
+    assert!(!status.shutting_down);
+
+    // The reactor property: thread count is a function of the worker
+    // pool, not the connection count.
+    assert!(
+        peak_threads <= workers + 2,
+        "daemon grew to {peak_threads} threads under {conns} idle connections \
+         (bound: workers + 2 = {})",
+        workers + 2
+    );
+    // Idle connections are pollfds, not stacks: even 500 of them must
+    // not balloon the resident set. 256 MiB is far above any healthy
+    // state but far below ~500 thread stacks.
+    assert!(
+        peak_rss_kb < 256 * 1024,
+        "daemon RSS grew to {peak_rss_kb} KiB during the soak"
+    );
+
+    // Live latency stayed interactive: these are cache hits answered
+    // inline by the reactor, so even a loaded 1-CPU runner clears this
+    // comfortably unless the poll loop degraded to herd-scans.
+    latencies_ms.sort_by(f64::total_cmp);
+    let p99 = latencies_ms[(latencies_ms.len() * 99 / 100).min(latencies_ms.len() - 1)];
+    assert!(
+        p99 < 500.0,
+        "p99 live latency {p99:.1} ms under {conns} idle connections"
+    );
+
+    // Hang up the herd, then shut down cleanly; the summary must count
+    // exactly the live submissions.
+    drop(herd);
+    let summary = daemon.shutdown();
+    assert!(summary.contains("served "), "summary: {summary}");
+    assert!(
+        summary.contains(&format!("{} cache hits", latencies_ms.len())),
+        "summary counts the soak's hits: {summary}"
+    );
+}

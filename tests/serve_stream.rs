@@ -1,0 +1,223 @@
+//! Streaming-batch behaviour end to end: item frames arrive as jobs
+//! finish (tagged with submission order), the summary frame closes the
+//! batch, results agree job-for-job with single submissions, admission
+//! classes keep interactive traffic ahead of bulk sweeps, and a
+//! connection that dies mid-batch (via the harness fault proxy) never
+//! takes the daemon with it.
+
+mod serve_harness;
+
+use std::time::{Duration, Instant};
+
+use copack_core::AssignMethod;
+use copack_obs::Event;
+use copack_serve::{Client, ErrorKind, JobClass, JobSpec, ServeConfig, Server};
+use serve_harness::{circuit_text, Daemon, FaultProxy, Scratch};
+
+fn bad_spec() -> JobSpec {
+    JobSpec::new("quadrant broken\nrow x y\n")
+}
+
+#[test]
+fn a_streamed_batch_delivers_every_seq_once_and_agrees_with_single_submissions() {
+    let scratch = Scratch::new("stream");
+    let daemon = Daemon::spawn(
+        &scratch,
+        "stream",
+        &["--workers", "2", "--worker-stall-ms", "20"],
+    );
+
+    // Duplicates coalesce, one job is malformed, the rest are distinct.
+    let specs = vec![
+        JobSpec::new(circuit_text(1)),
+        JobSpec::new(circuit_text(1)),
+        JobSpec::new(circuit_text(2)),
+        bad_spec(),
+        JobSpec::new(circuit_text(3)),
+        JobSpec::new(circuit_text(1)),
+    ];
+
+    let mut client = daemon.client();
+    let mut streamed: Vec<u32> = Vec::new();
+    let outcome = client
+        .batch(&specs, JobClass::Bulk, |seq, _| streamed.push(seq))
+        .expect("batch streams to completion");
+
+    // Every seq exactly once, streamed order == returned order.
+    let mut seqs: Vec<u32> = outcome.items.iter().map(|(seq, _)| *seq).collect();
+    assert_eq!(seqs, streamed, "callback order matches the item order");
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..6).collect::<Vec<u32>>());
+    assert_eq!(outcome.summary.jobs, 6);
+    assert_eq!(outcome.summary.ok, 5);
+    assert_eq!(outcome.summary.failed, 1);
+
+    // The malformed job fails typed; everything else succeeds.
+    for (seq, result) in &outcome.items {
+        match result {
+            Ok(plan) => assert!(*seq != 3, "seq 3 is the malformed job: {plan:?}"),
+            Err(error) => {
+                assert_eq!(*seq, 3, "only the malformed job may fail");
+                assert_eq!(error.kind, ErrorKind::BadRequest);
+            }
+        }
+    }
+
+    // Job-for-job agreement with single submissions: resubmitting each
+    // spec individually returns byte-identical results (from cache,
+    // which the integration suite already proves equals a fresh run).
+    for (seq, result) in &outcome.items {
+        let Ok(from_batch) = result else { continue };
+        let single = client
+            .plan(&specs[*seq as usize])
+            .expect("single resubmission");
+        assert_eq!(single.assignment, from_batch.assignment, "seq {seq}");
+        assert_eq!(single.report, from_batch.report, "seq {seq}");
+    }
+
+    // A fully-cached batch exercises the all-immediate path: every item
+    // is answered inline and the summary still closes the stream.
+    let replay = client
+        .batch(&specs, JobClass::Bulk, |_, _| {})
+        .expect("cached batch streams");
+    assert_eq!(replay.summary.ok, 5);
+    assert_eq!(replay.summary.failed, 1);
+    assert!(
+        replay
+            .items
+            .iter()
+            .all(|(seq, r)| r.is_err() || matches!(&r, Ok(p) if p.cache == "hit" || *seq == 3)),
+        "replayed items answer from cache: {:?}",
+        replay.items
+    );
+
+    daemon.shutdown();
+}
+
+#[test]
+fn interactive_jobs_overtake_a_running_bulk_batch() {
+    // One worker and a deliberate stall make completion order fully
+    // observable: a bulk sweep of 8 jobs is in flight when a single
+    // interactive job arrives — the weighted dequeue must run it ahead
+    // of the remaining bulk backlog.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            worker_stall: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let sweep: Vec<JobSpec> = (1..=8)
+        .map(|slack| JobSpec {
+            method: AssignMethod::Dfa { slack },
+            ..JobSpec::new(circuit_text(1))
+        })
+        .collect();
+    let bulk = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.batch(&sweep, JobClass::Bulk, |_, _| {})
+    });
+
+    // Give the sweep a head start, then submit the interactive job.
+    std::thread::sleep(Duration::from_millis(120));
+    let mut client = Client::connect(addr).expect("connect");
+    let urgent = JobSpec::new(circuit_text(2));
+    let t = Instant::now();
+    let plan = client.plan(&urgent).expect("interactive job plans");
+    let urgent_latency = t.elapsed();
+    assert_eq!(plan.cache, "miss");
+
+    let outcome = bulk.join().expect("bulk thread").expect("bulk batch");
+    assert_eq!(outcome.summary.ok, 8);
+    client.shutdown().expect("shutdown");
+    let summary = daemon.join().expect("daemon thread").expect("clean exit");
+
+    // The recorded completion order proves the overtake: the
+    // interactive job finished before the bulk sweep's last job.
+    let classes: Vec<&str> = summary
+        .events
+        .iter()
+        .filter_map(|event| match event {
+            Event::ServeJob { class, cache, .. } if cache == "miss" => Some(class.as_str()),
+            _ => None,
+        })
+        .collect();
+    let first_interactive = classes
+        .iter()
+        .position(|&c| c == "interactive")
+        .expect("interactive job recorded");
+    let last_bulk = classes
+        .iter()
+        .rposition(|&c| c == "bulk")
+        .expect("bulk jobs recorded");
+    assert!(
+        first_interactive < last_bulk,
+        "interactive completed at {first_interactive}, after the whole sweep \
+         (last bulk at {last_bulk}): classes {classes:?}, latency {urgent_latency:?}"
+    );
+    assert_eq!(summary.status.completed, 9);
+}
+
+#[test]
+fn a_connection_severed_mid_batch_leaves_the_daemon_serving() {
+    let scratch = Scratch::new("faults");
+    let daemon = Daemon::spawn(
+        &scratch,
+        "faults",
+        &["--workers", "1", "--worker-stall-ms", "50"],
+    );
+    let proxy = FaultProxy::start(&daemon.addr);
+
+    // Latency injection first: a laggy network slows requests but
+    // changes nothing semantically.
+    proxy.set_latency_ms(30);
+    let mut slow = Client::connect(&proxy.addr).expect("connect via proxy");
+    let t = Instant::now();
+    let plan = slow
+        .plan(&JobSpec::new(circuit_text(1)))
+        .expect("slow plan");
+    assert_eq!(plan.cache, "miss");
+    assert!(
+        t.elapsed() >= Duration::from_millis(50),
+        "both directions pay the injected latency"
+    );
+    proxy.set_latency_ms(0);
+
+    // Now sever the proxied link while a batch is mid-flight.
+    let sweep: Vec<JobSpec> = (1..=6)
+        .map(|seed| JobSpec {
+            method: AssignMethod::Random { seed },
+            ..JobSpec::new(circuit_text(2))
+        })
+        .collect();
+    let proxy_addr = proxy.addr.clone();
+    let doomed = std::thread::spawn(move || {
+        let mut client = Client::connect(&proxy_addr).expect("connect via proxy");
+        client.batch(&sweep, JobClass::Interactive, |_, _| {})
+    });
+    std::thread::sleep(Duration::from_millis(110));
+    proxy.sever();
+    let err = doomed
+        .join()
+        .expect("client thread")
+        .expect_err("the severed batch fails client-side");
+    assert_eq!(err.kind, ErrorKind::Io);
+
+    // The daemon shrugs: direct traffic still works, and the abandoned
+    // batch's jobs drain without wedging shutdown.
+    let mut direct = daemon.client();
+    let status = direct.status().expect("status after sever");
+    assert!(!status.shutting_down);
+    let plan = direct
+        .plan(&JobSpec::new(circuit_text(3)))
+        .expect("direct plan after sever");
+    assert_eq!(plan.cache, "miss");
+    drop(direct);
+    let summary = daemon.shutdown();
+    assert!(summary.contains("served "), "summary: {summary}");
+}
