@@ -19,6 +19,11 @@
 //! * **A7** — stacking-depth sweep ψ ∈ {2, 3, 4, 6}: how the bonding-wire
 //!   reclaim and the exchange's density cost scale with tier count (the
 //!   paper only evaluates ψ = 4).
+//! * **A8** — the optional net-separation margin term μ (Eq. 3's fourth
+//!   term, off by default) swept over {0, 1.5, 5}: what it buys in
+//!   bond-wire margin and costs in density. Rendered by
+//!   [`copack_bench::margin_report`] and golden-pinned in
+//!   `tests/golden/margin.txt`.
 //!
 //! Run with `cargo run --release -p copack-bench --bin ablation`.
 
@@ -46,6 +51,13 @@ fn main() {
     via_rule();
     balanced_router();
     psi_sweep();
+    margin_term();
+}
+
+/// A8: the net-separation margin term, printed from the same pure
+/// report function the golden test pins.
+fn margin_term() {
+    print!("{}", copack_bench::margin_report());
 }
 
 /// A1: Metropolis vs the literally printed acceptance rule.

@@ -1,0 +1,8 @@
+//! Regenerates the **A8 margin ablation** (see
+//! [`copack_bench::margin_report`] for the experiment description).
+//!
+//! Run with `cargo run --release -p copack-bench --bin margin`.
+
+fn main() {
+    print!("{}", copack_bench::margin_report());
+}

@@ -9,7 +9,7 @@
 
 mod reports;
 
-pub use reports::{fig5_report, table2_report, table3_report};
+pub use reports::{fig5_report, margin_report, table2_report, table3_report};
 
 use std::fmt::Write as _;
 

@@ -42,12 +42,16 @@ impl fmt::Display for AssignMethod {
     }
 }
 
-/// Weights of the exchange cost function, the paper's Eq. 3:
-/// `Cost = λ·Δ_IR + ρ·ID + φ·ω`.
+/// Weights of the exchange cost function, the paper's Eq. 3 extended
+/// with an optional separation-margin term:
+/// `Cost = λ·Δ_IR + ρ·ID + φ·ω + μ·SM`.
 ///
 /// `Δ_IR` (a squared perimeter-gap deviation) is dimensionally much smaller
 /// than the integer-valued `ID` and `ω`, so λ defaults two orders of
-/// magnitude higher.
+/// magnitude higher. `SM` (the net-separation margin penalty, after
+/// Cheng et al.'s margin maximization — see [`crate::margin_penalty`])
+/// is **off by default** (μ = 0): default-weight runs are bit-identical
+/// to pre-margin builds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostWeights {
     /// λ: weight of the IR-drop proxy.
@@ -56,13 +60,16 @@ pub struct CostWeights {
     pub rho: f64,
     /// φ: weight of the bonding-wire balance metric.
     pub phi: f64,
+    /// μ: weight of the net-separation margin penalty (0 disables the
+    /// term entirely).
+    pub margin: f64,
 }
 
 impl CostWeights {
     /// Validates that all weights are finite and non-negative.
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        [self.lambda, self.rho, self.phi]
+        [self.lambda, self.rho, self.phi, self.margin]
             .iter()
             .all(|w| w.is_finite() && *w >= 0.0)
     }
@@ -74,6 +81,7 @@ impl Default for CostWeights {
             lambda: 800.0,
             rho: 2.0,
             phi: 0.25,
+            margin: 0.0,
         }
     }
 }

@@ -24,6 +24,11 @@ pub enum CoreError {
     },
     /// The 2-D exchange step needs at least one power pad to move.
     NoMovablePads,
+    /// An instance delta cannot be applied to this quadrant.
+    BadDelta {
+        /// What was wrong with the edit.
+        reason: &'static str,
+    },
     /// The run was abandoned because its [`crate::CancelToken`] fired
     /// (explicit cancellation or an expired wall-clock deadline).
     Cancelled,
@@ -40,6 +45,9 @@ impl fmt::Display for CoreError {
             }
             Self::NoMovablePads => {
                 write!(f, "the 2-d exchange step needs at least one power pad")
+            }
+            Self::BadDelta { reason } => {
+                write!(f, "the delta cannot be applied: {reason}")
             }
             Self::Cancelled => {
                 write!(f, "the run was cancelled before it completed")

@@ -32,8 +32,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    evaluate_ir, omega_of_assignment, Acceptance, CancelToken, CoreError, CostWeights,
-    DeltaIrTracker, ExchangeConfig, IrObjective, OmegaTracker, SectionTracker,
+    evaluate_ir, margin_penalty, omega_of_assignment, Acceptance, CancelToken, CoreError,
+    CostWeights, DeltaIrTracker, ExchangeConfig, IrObjective, MarginTracker, OmegaTracker,
+    SectionTracker,
 };
 
 /// How many proposals the kernel lets pass between cancellation polls
@@ -299,6 +300,7 @@ pub(crate) struct ExchangeDriver<'a> {
     is_delim: Vec<bool>,
     id_value: u32,
     omega_tracker: Option<OmegaTracker>,
+    margin_tracker: Option<MarginTracker>,
     live: Option<Assignment>,
     ir: IrEval,
     rng: rand::rngs::StdRng,
@@ -394,6 +396,14 @@ impl<'a> ExchangeDriver<'a> {
         } else {
             None
         };
+        // The margin tracker only exists when the term is weighted: at
+        // μ = 0 nothing is built or updated and the run is bit-identical
+        // to pre-margin kernels.
+        let margin_tracker = if config.weights.margin > 0.0 {
+            Some(MarginTracker::new(quadrant, initial))
+        } else {
+            None
+        };
         // The omega fallback is the one consumer that still needs a live
         // assignment per move; everything else runs on the flat arrays.
         let live: Option<Assignment> =
@@ -436,6 +446,7 @@ impl<'a> ExchangeDriver<'a> {
             is_delim,
             id_value,
             omega_tracker,
+            margin_tracker,
             live,
             ir,
             rng: rand::rngs::StdRng::seed_from_u64(config.seed),
@@ -601,6 +612,14 @@ impl<'a> ExchangeDriver<'a> {
             };
             cost += self.weights.phi * omega as f64;
         }
+        if self.weights.margin > 0.0 {
+            let sm = self
+                .margin_tracker
+                .as_ref()
+                .expect("margin tracker exists when the margin weight is set")
+                .total();
+            cost += self.weights.margin * sm as f64;
+        }
         Ok(cost)
     }
 
@@ -676,6 +695,9 @@ impl<'a> ExchangeDriver<'a> {
                 self.id_value = self.sections.increased_density();
             }
             if let Some(tracker) = &mut self.omega_tracker {
+                tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
+            }
+            if let Some(tracker) = &mut self.margin_tracker {
                 tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
             }
             let ir_changed = self.ir.apply_adjacent_swap(FingerIdx::new(left_slot));
@@ -761,6 +783,9 @@ impl<'a> ExchangeDriver<'a> {
                     self.id_value = id_before;
                 }
                 if let Some(tracker) = &mut self.omega_tracker {
+                    tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
+                }
+                if let Some(tracker) = &mut self.margin_tracker {
                     tracker.apply_adjacent_swap(FingerIdx::new(left_slot));
                 }
                 self.ir.apply_adjacent_swap(FingerIdx::new(left_slot));
@@ -932,6 +957,12 @@ pub fn exchange_reference_traced(
                 None => omega_of_assignment(quadrant, a, psi)?,
             };
             cost += config.weights.phi * omega as f64;
+        }
+        if config.weights.margin > 0.0 {
+            // From scratch every move — the executable spec of the
+            // kernel's `MarginTracker`. Integer totals, so the two agree
+            // exactly.
+            cost += config.weights.margin * margin_penalty(quadrant, a) as f64;
         }
         Ok((cost, ir_term))
     };
@@ -1237,6 +1268,63 @@ mod tests {
     }
 
     #[test]
+    fn kernel_matches_reference_with_margin_term() {
+        // The fourth cost term stays inside the bit-identity contract:
+        // with μ > 0 the kernel's incremental MarginTracker and the
+        // reference's from-scratch margin_penalty walk the same
+        // trajectory (the penalty is integer-valued, so no float drift).
+        let planar = quadrant_2d();
+        let stacked = quadrant_stacked();
+        for seed in 0..6 {
+            let mut cfg = fast_config(seed);
+            cfg.weights.margin = 1.5;
+            let i = dfa(&planar, 1).unwrap();
+            let a = exchange(&planar, &i, &StackConfig::planar(), &cfg).unwrap();
+            let b = exchange_reference(&planar, &i, &StackConfig::planar(), &cfg).unwrap();
+            assert_eq!(a, b, "planar seed {seed}");
+
+            let i = dfa(&stacked, 1).unwrap();
+            let stack = StackConfig::stacked(2).unwrap();
+            let a = exchange(&stacked, &i, &stack, &cfg).unwrap();
+            let b = exchange_reference(&stacked, &i, &stack, &cfg).unwrap();
+            assert_eq!(a, b, "stacked seed {seed}");
+        }
+    }
+
+    #[test]
+    fn margin_weight_zero_never_builds_the_tracker() {
+        // Default weights must be bit-identical to pre-margin builds:
+        // the cheapest proof is that μ = 0 and an explicit μ = 0 config
+        // agree with each other and the default config exactly.
+        let q = quadrant_2d();
+        let initial = dfa(&q, 1).unwrap();
+        let base = exchange(&q, &initial, &StackConfig::planar(), &fast_config(3)).unwrap();
+        let mut cfg = fast_config(3);
+        cfg.weights.margin = 0.0;
+        let zeroed = exchange(&q, &initial, &StackConfig::planar(), &cfg).unwrap();
+        assert_eq!(base, zeroed);
+    }
+
+    #[test]
+    fn margin_term_reduces_the_penalty_when_dominant() {
+        let q = quadrant_stacked();
+        let initial = dfa(&q, 1).unwrap();
+        let stack = StackConfig::stacked(2).unwrap();
+        let before = margin_penalty(&q, &initial);
+        let mut cfg = fast_config(4);
+        cfg.weights = CostWeights {
+            lambda: 0.0,
+            rho: 0.0,
+            phi: 0.0,
+            margin: 1.0,
+        };
+        let r = exchange(&q, &initial, &stack, &cfg).unwrap();
+        let after = margin_penalty(&q, &r.assignment);
+        assert!(after <= before, "{after} !<= {before}");
+        assert!(is_monotonic(&q, &r.assignment));
+    }
+
+    #[test]
     fn two_d_exchange_moves_only_power_pads() {
         let q = quadrant_2d();
         let initial = dfa(&q, 1).unwrap();
@@ -1285,6 +1373,7 @@ mod tests {
             lambda: 0.0,
             rho: 0.5,
             phi: 1.0,
+            margin: 0.0,
         };
         let r = exchange(&q, &initial, &stack, &cfg).unwrap();
         let om_after = omega_of_assignment(&q, &r.assignment, 2).unwrap();

@@ -62,10 +62,12 @@ mod anneal;
 mod bondwire;
 mod cancel;
 mod config;
+mod delta;
 mod dfa;
 mod error;
 mod exchange;
 mod ifa;
+mod margin;
 mod omega;
 mod package_plan;
 mod pipeline;
@@ -73,11 +75,13 @@ mod portfolio;
 mod random;
 mod sections;
 mod tracker;
+mod warm;
 
 pub use anneal::{Acceptance, Schedule};
 pub use bondwire::{bondwire_lengths, total_bondwire};
 pub use cancel::CancelToken;
 pub use config::{AssignMethod, CostWeights, ExchangeConfig, IrObjective};
+pub use delta::{apply_delta, diff_quadrant, Edit, InstanceDelta, QuadrantDelta};
 pub use dfa::dfa;
 pub use error::CoreError;
 pub use exchange::{
@@ -85,6 +89,7 @@ pub use exchange::{
     ExchangeResult, ExchangeStats,
 };
 pub use ifa::ifa;
+pub use margin::{margin_penalty, MarginTracker};
 pub use omega::{omega, omega_of_assignment};
 pub use package_plan::{
     evaluate_package_ir, evaluate_package_ir_traced, plan_package, plan_package_traced,
@@ -101,3 +106,4 @@ pub use portfolio::{
 pub use random::random_assignment;
 pub use sections::{increased_density, SectionBaseline};
 pub use tracker::{DeltaIrTracker, OmegaTracker, SectionTracker};
+pub use warm::{exchange_warm, exchange_warm_from_journal, repair_assignment, warm_schedule};

@@ -1,0 +1,224 @@
+//! The net-separation margin penalty `SM` — the optional fourth term of
+//! Eq. 3, after Cheng et al.'s PCB margin-maximization objective
+//! (PAPERS.md).
+//!
+//! Two nets on **adjacent fingers** whose balls sit in nearby rows run
+//! their bond wires nearly parallel over the whole escape, leaving the
+//! least lateral margin between them; nets whose balls are many rows
+//! apart diverge quickly and leave the most. The penalty therefore
+//! scores every adjacent occupied finger pair `(a, a+1)` as
+//!
+//! ```text
+//! R − |row(a) − row(a+1)|        (R = ball-row count)
+//! ```
+//!
+//! so same-row neighbours cost `R` and maximally-separated neighbours
+//! cost `1`; minimizing the sum maximizes aggregate separation margin.
+//! The score is a sum of small integers, accumulated in a `u64`, so the
+//! incremental [`MarginTracker`] and the from-scratch
+//! [`margin_penalty`] agree **exactly** — no float drift — which is
+//! what lets the O(1)-per-move kernel stay bit-identical to the
+//! reference implementation when the term is enabled.
+
+use copack_geom::{Assignment, FingerIdx, Quadrant};
+
+/// The total separation-margin penalty of `assignment` on `quadrant`,
+/// computed from scratch.
+///
+/// Empty slots break adjacency (neither pair containing the gap
+/// scores); a placed net unknown to the quadrant is treated as an empty
+/// slot (the exchange kernel never produces one — it validates the
+/// assignment first).
+#[must_use]
+pub fn margin_penalty(quadrant: &Quadrant, assignment: &Assignment) -> u64 {
+    let rows = quadrant.row_count() as u32;
+    let slot_row = slot_rows(quadrant, assignment);
+    total_of(&slot_row, rows)
+}
+
+/// O(1)-per-move tracker of the separation-margin penalty under
+/// adjacent slot swaps — the margin analogue of
+/// [`crate::OmegaTracker`].
+#[derive(Debug, Clone)]
+pub struct MarginTracker {
+    /// Ball-row index (1-based) of the net in each slot, `None` for
+    /// empty slots.
+    slot_row: Vec<Option<u32>>,
+    /// Ball-row count `R` of the quadrant.
+    rows: u32,
+    /// Current total penalty.
+    total: u64,
+}
+
+impl MarginTracker {
+    /// Builds a tracker over the current assignment.
+    #[must_use]
+    pub fn new(quadrant: &Quadrant, assignment: &Assignment) -> Self {
+        let rows = quadrant.row_count() as u32;
+        let slot_row = slot_rows(quadrant, assignment);
+        let total = total_of(&slot_row, rows);
+        Self {
+            slot_row,
+            rows,
+            total,
+        }
+    }
+
+    /// The current total penalty.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Updates for a swap of slots `pos` and `pos + 1`.
+    ///
+    /// Only the two flanking pairs `(pos−1, pos)` and `(pos+1, pos+2)`
+    /// change — the swapped pair's own score is symmetric in its
+    /// operands. The update is self-inverse: applying it twice with the
+    /// same `pos` restores the previous state, which is how the kernel
+    /// reverts rejected moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos + 1` is out of range.
+    pub fn apply_adjacent_swap(&mut self, pos: FingerIdx) {
+        let i = pos.zero_based();
+        let j = i + 1;
+        assert!(j < self.slot_row.len(), "swap out of range");
+        self.total -= self.pair(i.wrapping_sub(1), i) + self.pair(j, j + 1);
+        self.slot_row.swap(i, j);
+        self.total += self.pair(i.wrapping_sub(1), i) + self.pair(j, j + 1);
+    }
+
+    /// Score of the pair `(a, b)`: zero when either slot is empty or
+    /// out of range (including the `a = 0 − 1` underflow sentinel).
+    fn pair(&self, a: usize, b: usize) -> u64 {
+        match (
+            self.slot_row.get(a).copied().flatten(),
+            self.slot_row.get(b).copied().flatten(),
+        ) {
+            (Some(ra), Some(rb)) => u64::from(self.rows - ra.abs_diff(rb)),
+            _ => 0,
+        }
+    }
+}
+
+/// Ball-row index per slot, `None` for empty or unknown.
+fn slot_rows(quadrant: &Quadrant, assignment: &Assignment) -> Vec<Option<u32>> {
+    let mut slot_row = vec![None; assignment.finger_count()];
+    for (finger, net) in assignment.iter() {
+        if let Some(ball) = quadrant.ball_of(net) {
+            slot_row[finger.zero_based()] = Some(ball.row.get());
+        }
+    }
+    slot_row
+}
+
+fn total_of(slot_row: &[Option<u32>], rows: u32) -> u64 {
+    slot_row
+        .windows(2)
+        .map(|w| match (w[0], w[1]) {
+            (Some(ra), Some(rb)) => u64::from(rows - ra.abs_diff(rb)),
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::NetId;
+
+    fn quadrant() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .build()
+            .unwrap()
+    }
+
+    fn dense(order: &[u32]) -> Assignment {
+        Assignment::from_order(order.iter().map(|&n| NetId::new(n)))
+    }
+
+    #[test]
+    fn same_row_neighbours_score_row_count() {
+        let q = quadrant();
+        // 10 and 2 are both row-1 nets: pair scores R = 3.
+        let a = dense(&[10, 2, 4, 7, 0, 1, 3, 5, 8, 11, 6, 9]);
+        let sm = margin_penalty(&q, &a);
+        // Full dense order: 11 adjacent pairs, each ≥ 1.
+        assert!(sm >= 11);
+        // Alternating rows beats runs of equal rows.
+        let spread = dense(&[10, 1, 11, 2, 3, 6, 4, 5, 9, 7, 8, 0]);
+        assert!(margin_penalty(&q, &spread) < sm);
+    }
+
+    #[test]
+    fn empty_slots_break_adjacency() {
+        let q = quadrant();
+        let mut a = Assignment::empty(14);
+        // Two nets with a gap between them: no scoring pair at all.
+        a.place(NetId::new(10), FingerIdx::new(1)).unwrap();
+        a.place(NetId::new(2), FingerIdx::new(3)).unwrap();
+        assert_eq!(margin_penalty(&q, &a), 0);
+        // Close the gap: both row 1, R = 3.
+        let mut b = Assignment::empty(14);
+        b.place(NetId::new(10), FingerIdx::new(1)).unwrap();
+        b.place(NetId::new(2), FingerIdx::new(2)).unwrap();
+        assert_eq!(margin_penalty(&q, &b), 3);
+    }
+
+    #[test]
+    fn tracker_matches_scratch_under_random_swaps() {
+        let q = quadrant();
+        let mut a = dense(&[10, 2, 4, 7, 0, 1, 3, 5, 8, 11, 6, 9]);
+        let mut tracker = MarginTracker::new(&q, &a);
+        // A deterministic pseudo-random walk of adjacent swaps,
+        // including immediate reverts (self-inverse check).
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for step in 0..500 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = (state >> 33) as usize % (a.finger_count() - 1);
+            let pos = FingerIdx::from_zero_based(i);
+            a.swap(pos, FingerIdx::from_zero_based(i + 1)).unwrap();
+            tracker.apply_adjacent_swap(pos);
+            assert_eq!(
+                tracker.total(),
+                margin_penalty(&q, &a),
+                "divergence at step {step}"
+            );
+            if step % 3 == 0 {
+                // Revert immediately: the tracker must be self-inverse.
+                a.swap(pos, FingerIdx::from_zero_based(i + 1)).unwrap();
+                tracker.apply_adjacent_swap(pos);
+                assert_eq!(tracker.total(), margin_penalty(&q, &a));
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_handles_sparse_assignments() {
+        let q = quadrant();
+        // 12 nets on 14 fingers: two holes move around under swaps.
+        let mut a = Assignment::empty(14);
+        for (i, n) in [10u32, 2, 4, 7, 0, 1, 3, 5, 8, 11, 6, 9].iter().enumerate() {
+            a.place(
+                NetId::new(*n),
+                FingerIdx::from_zero_based(i + (i >= 6) as usize),
+            )
+            .unwrap();
+        }
+        let mut tracker = MarginTracker::new(&q, &a);
+        assert_eq!(tracker.total(), margin_penalty(&q, &a));
+        for i in 0..13 {
+            let pos = FingerIdx::from_zero_based(i);
+            a.swap(pos, FingerIdx::from_zero_based(i + 1)).unwrap();
+            tracker.apply_adjacent_swap(pos);
+            assert_eq!(tracker.total(), margin_penalty(&q, &a), "slot {i}");
+        }
+    }
+}

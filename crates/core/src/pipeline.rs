@@ -476,6 +476,7 @@ mod tests {
             lambda: 0.0,
             rho: 0.5,
             phi: 1.0,
+            margin: 0.0,
         };
         let report = cfg.run(&q).unwrap();
         assert!(report.omega_after <= report.omega_before);

@@ -1,0 +1,219 @@
+//! Seeded ECO churn: deterministic small edits against an existing
+//! quadrant, the workload generator of the `copack replan` path.
+//!
+//! A churned quadrant stands in for "the netlist changed a little": a
+//! fraction of the nets are added, removed, retyped or (for stacked
+//! instances) moved across tiers, everything else untouched. The fuzz
+//! driver diffs base vs churned through `copack-core`'s delta layer and
+//! feeds both to the `replan_vs_scratch` oracle; the quality-regression
+//! suite uses the fixed 10 % fraction as the standard replan workload.
+//!
+//! This module is pure geometry — it returns the edited [`Quadrant`]
+//! and leaves computing the [`copack_core`-level] delta to the caller,
+//! keeping `copack-gen` free of a core dependency.
+
+use copack_geom::{GeomError, NetId, NetKind, Quadrant, TierId};
+
+use crate::SplitMix64;
+
+/// The standard churn fraction of the replan quality rows: 10 % of the
+/// nets see an edit.
+pub const STANDARD_CHURN: f64 = 0.10;
+
+/// Applies `max(1, round(fraction · net_count))` seeded edits to a copy
+/// of `base` and rebuilds it.
+///
+/// Edit classes, chosen per edit from the seed stream: **add** a fresh
+/// net (id = current max + 1) at a random row position, **remove** a
+/// random net (never below 2 nets or 1 row), **retype** a random net to
+/// the next electrical kind, and — when the base uses stacking tiers —
+/// **retier** a random net within the base's tier range. An explicit
+/// finger count is preserved while it still fits, so sparse quadrants
+/// stay sparse.
+///
+/// Deterministic: the same `(base, seed, fraction)` always yields the
+/// same quadrant.
+///
+/// # Errors
+///
+/// Propagates [`GeomError`] if the edited model fails to rebuild (not
+/// expected — every edit preserves the builder's invariants).
+pub fn churn(base: &Quadrant, seed: u64, fraction: f64) -> Result<Quadrant, GeomError> {
+    let mut rng = SplitMix64::new(seed ^ 0xC0DE_C0DE_5EED_5EED);
+    rng.next_u64();
+
+    let mut rows: Vec<Vec<NetId>> = base.rows_bottom_up().map(|(_, r)| r.to_vec()).collect();
+    let mut kinds: Vec<(NetId, NetKind)> = Vec::new();
+    let mut tiers: Vec<(NetId, TierId)> = Vec::new();
+    for net in base.nets() {
+        if net.kind != NetKind::Signal {
+            kinds.push((net.id, net.kind));
+        }
+        if net.tier != TierId::BASE {
+            tiers.push((net.id, net.tier));
+        }
+    }
+    let max_tier = base.nets().map(|n| n.tier.get()).max().unwrap_or(1);
+    let mut next_id = base.nets().map(|n| n.id.raw()).max().unwrap_or(0) + 1;
+
+    let edits = ((base.net_count() as f64 * fraction).round() as u64).max(1);
+    for _ in 0..edits {
+        let net_count: usize = rows.iter().map(Vec::len).sum();
+        let op = rng.below(4);
+        match op {
+            // Add a fresh signal net somewhere.
+            0 => {
+                let r = rng.below(rows.len() as u64) as usize;
+                let at = rng.below(rows[r].len() as u64 + 1) as usize;
+                rows[r].insert(at, NetId::new(next_id));
+                next_id += 1;
+            }
+            // Remove a random net (keep the instance meaningful).
+            1 if net_count > 2 => {
+                let victim = pick_net(&rows, &mut rng);
+                for row in &mut rows {
+                    if let Some(i) = row.iter().position(|&n| n == victim) {
+                        row.remove(i);
+                        break;
+                    }
+                }
+                if rows.len() > 1 {
+                    rows.retain(|r| !r.is_empty());
+                }
+                kinds.retain(|(n, _)| *n != victim);
+                tiers.retain(|(n, _)| *n != victim);
+            }
+            // Retier within the base's tier range (stacked bases only).
+            3 if max_tier > 1 => {
+                let net = pick_net(&rows, &mut rng);
+                let tier = TierId::new(rng.range(1, u64::from(max_tier)) as u8);
+                tiers.retain(|(n, _)| *n != net);
+                if tier != TierId::BASE {
+                    tiers.push((net, tier));
+                }
+            }
+            // Retype: cycle the net's electrical kind.
+            _ => {
+                let net = pick_net(&rows, &mut rng);
+                let old = kinds
+                    .iter()
+                    .find(|(n, _)| *n == net)
+                    .map_or(NetKind::Signal, |(_, k)| *k);
+                let new = match old {
+                    NetKind::Signal => NetKind::Power,
+                    NetKind::Power => NetKind::Ground,
+                    NetKind::Ground => NetKind::Signal,
+                };
+                kinds.retain(|(n, _)| *n != net);
+                if new != NetKind::Signal {
+                    kinds.push((net, new));
+                }
+            }
+        }
+    }
+
+    let net_count: usize = rows.iter().map(Vec::len).sum();
+    let mut builder = Quadrant::builder().geometry(*base.geometry());
+    for row in rows {
+        builder = builder.row(row);
+    }
+    if base.finger_count() != base.net_count() && base.finger_count() >= net_count {
+        builder = builder.fingers(base.finger_count());
+    }
+    for (net, kind) in kinds {
+        builder = builder.net_kind(net, kind);
+    }
+    for (net, tier) in tiers {
+        builder = builder.net_tier(net, tier);
+    }
+    builder.build()
+}
+
+/// Picks a uniformly random net id from the row structure.
+fn pick_net(rows: &[Vec<NetId>], rng: &mut SplitMix64) -> NetId {
+    let total: usize = rows.iter().map(Vec::len).sum();
+    let mut k = rng.below(total as u64) as usize;
+    for row in rows {
+        if k < row.len() {
+            return row[k];
+        }
+        k -= row.len();
+    }
+    unreachable!("pick index within total net count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit;
+
+    fn base() -> Quadrant {
+        circuit(3).build_quadrant().unwrap()
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let q = base();
+        let a = churn(&q, 9, STANDARD_CHURN).unwrap();
+        let b = churn(&q, 9, STANDARD_CHURN).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churn_actually_changes_the_quadrant() {
+        let q = base();
+        let changed = (0..8u64)
+            .filter(|&s| churn(&q, s, STANDARD_CHURN).unwrap() != q)
+            .count();
+        assert!(changed >= 7, "only {changed}/8 seeds changed the instance");
+    }
+
+    #[test]
+    fn churn_scales_with_the_fraction() {
+        let q = base();
+        let light = churn(&q, 4, 0.02).unwrap();
+        let heavy = churn(&q, 4, 0.5).unwrap();
+        let delta = |e: &Quadrant| (e.net_count() as i64 - q.net_count() as i64).unsigned_abs();
+        // Heavier churn may add/remove many more nets; at minimum it
+        // must touch the instance at least as much structurally.
+        assert!(delta(&heavy) >= delta(&light));
+    }
+
+    #[test]
+    fn churned_quadrants_always_rebuild() {
+        for (i, c) in crate::circuits().iter().enumerate() {
+            let q = c.build_quadrant().unwrap();
+            for seed in 0..16u64 {
+                let e = churn(&q, seed, STANDARD_CHURN)
+                    .unwrap_or_else(|err| panic!("circuit {i} seed {seed}: {err}"));
+                assert!(e.net_count() >= 2);
+                assert!(e.finger_count() >= e.net_count());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_finger_counts_survive_churn() {
+        let mut b = Quadrant::builder();
+        for r in [[1u32, 2, 3].as_slice(), &[4, 5], &[6]] {
+            b = b.row(r.iter().copied());
+        }
+        let q = b.fingers(10).build().unwrap();
+        let e = churn(&q, 2, STANDARD_CHURN).unwrap();
+        assert_eq!(e.finger_count(), 10);
+    }
+
+    #[test]
+    fn stacked_bases_get_retier_edits_eventually() {
+        let mut c = circuit(2);
+        c.tiers = 3;
+        let q = c.build_quadrant().unwrap();
+        let any_retier = (0..32u64).any(|s| {
+            let e = churn(&q, s, 0.3).unwrap();
+            // A retier shows up as a tier difference on a surviving net.
+            q.nets()
+                .any(|n| e.net(n.id).is_some_and(|m| m.tier != n.tier))
+        });
+        assert!(any_retier, "no retier edit in 32 seeds");
+    }
+}

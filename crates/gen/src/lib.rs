@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod adversarial;
+mod churn;
 mod circuit;
 mod fuzz;
 mod large;
@@ -46,6 +47,7 @@ mod sweep;
 mod table1;
 
 pub use adversarial::{blocked_tiers, clustered_supply};
+pub use churn::{churn, STANDARD_CHURN};
 pub use circuit::Circuit;
 pub use fuzz::{fuzz_case, FuzzCase, SplitMix64};
 pub use large::{large_circuit, large_circuits, large_fuzz_case, LargeSpec, LARGE_SIZES};

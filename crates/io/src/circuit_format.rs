@@ -220,18 +220,18 @@ pub fn write_quadrant(name: &str, quadrant: &Quadrant) -> String {
     out
 }
 
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(i) => line[..i].trim(),
         None => line.trim(),
     }
 }
 
-fn bad(line: usize, keyword: &'static str, expected: &'static str) -> E {
+pub(crate) fn bad(line: usize, keyword: &'static str, expected: &'static str) -> E {
     ParseError::new(line, ParseErrorKind::BadOperands { keyword, expected })
 }
 
-fn parse_num<T: std::str::FromStr>(line: usize, token: &str) -> Result<T, E> {
+pub(crate) fn parse_num<T: std::str::FromStr>(line: usize, token: &str) -> Result<T, E> {
     token.parse().map_err(|_| {
         ParseError::new(
             line,
@@ -242,7 +242,7 @@ fn parse_num<T: std::str::FromStr>(line: usize, token: &str) -> Result<T, E> {
     })
 }
 
-fn split_attr(line: usize, token: &str) -> Result<(&str, &str), E> {
+pub(crate) fn split_attr(line: usize, token: &str) -> Result<(&str, &str), E> {
     token.split_once('=').ok_or_else(|| {
         ParseError::new(
             line,
@@ -254,7 +254,7 @@ fn split_attr(line: usize, token: &str) -> Result<(&str, &str), E> {
     })
 }
 
-fn parse_geometry(line: usize, tokens: &[&str]) -> Result<QuadrantGeometry, E> {
+pub(crate) fn parse_geometry(line: usize, tokens: &[&str]) -> Result<QuadrantGeometry, E> {
     let mut g = QuadrantGeometry::default();
     for token in tokens {
         let (key, value) = split_attr(line, token)?;

@@ -1,0 +1,417 @@
+//! The ECO delta text format — the on-disk shape of `copack replan
+//! --delta`.
+//!
+//! ```text
+//! # comment
+//! delta <name>
+//! quadrant <quadrant name>     # opens that quadrant's edit list
+//! geometry ball_pitch=1.2      # Edit::Geometry (unset keys = defaults)
+//! fingers 24                   # Edit::Fingers
+//! row 3 11 6 9                 # Edit::Row { y: 3, nets: [11, 6, 9] }
+//! truncate 2                   # Edit::Truncate
+//! add 42 row=1 at=0            # Edit::Add
+//! remove 42                    # Edit::Remove
+//! retype 42 power              # Edit::Retype
+//! tier 42 2                    # Edit::Tier
+//! quadrant <another name>      # quadrants absent entirely are clean
+//! ```
+//!
+//! Edits keep their file order — the delta semantics are positional
+//! (later edits see earlier ones), so unlike the circuit format the
+//! same directive may repeat. A `quadrant` section with no edit lines
+//! is legal and marks that quadrant explicitly clean.
+
+use std::fmt::Write as _;
+
+use copack_core::{Edit, InstanceDelta, QuadrantDelta};
+use copack_geom::{NetId, NetKind, TierId};
+
+use crate::circuit_format::{bad, parse_geometry, parse_num, split_attr, strip_comment};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::ParseError as E;
+
+/// Parses a delta file; returns the declared name and the per-quadrant
+/// edit lists in file order.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for any syntax
+/// violation: a missing `delta` header, an edit before the first
+/// `quadrant` section, a repeated quadrant name, or malformed operands.
+pub fn parse_delta(text: &str) -> Result<(String, InstanceDelta), E> {
+    let mut name: Option<String> = None;
+    let mut quadrants: Vec<(String, QuadrantDelta)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().expect("non-empty line has a token");
+        let rest: Vec<&str> = tokens.collect();
+        if keyword == "delta" {
+            if name.is_some() {
+                return Err(ParseError::new(
+                    line_no,
+                    ParseErrorKind::Duplicate { keyword: "delta" },
+                ));
+            }
+            if rest.is_empty() {
+                return Err(bad(line_no, "delta", "a name"));
+            }
+            name = Some(rest.join(" "));
+            continue;
+        }
+        if name.is_none() {
+            return Err(ParseError::new(
+                line_no,
+                ParseErrorKind::MissingHeader { expected: "delta" },
+            ));
+        }
+        if keyword == "quadrant" {
+            if rest.is_empty() {
+                return Err(bad(line_no, "quadrant", "a name"));
+            }
+            let q = rest.join(" ");
+            if quadrants.iter().any(|(n, _)| *n == q) {
+                return Err(ParseError::new(
+                    line_no,
+                    ParseErrorKind::Duplicate {
+                        keyword: "quadrant",
+                    },
+                ));
+            }
+            quadrants.push((q, QuadrantDelta::default()));
+            continue;
+        }
+        let Some((_, delta)) = quadrants.last_mut() else {
+            return Err(ParseError::new(
+                line_no,
+                ParseErrorKind::MissingHeader {
+                    expected: "quadrant",
+                },
+            ));
+        };
+        delta.edits.push(parse_edit(line_no, keyword, &rest)?);
+    }
+
+    let name = name
+        .ok_or_else(|| ParseError::new(0, ParseErrorKind::MissingHeader { expected: "delta" }))?;
+    Ok((name, InstanceDelta { quadrants }))
+}
+
+/// Parses one edit directive (everything but `delta`/`quadrant`).
+fn parse_edit(line_no: usize, keyword: &str, rest: &[&str]) -> Result<Edit, E> {
+    match keyword {
+        "geometry" => Ok(Edit::Geometry(parse_geometry(line_no, rest)?)),
+        "fingers" => {
+            if rest.len() != 1 {
+                return Err(bad(line_no, "fingers", "one count"));
+            }
+            Ok(Edit::Fingers(parse_num::<usize>(line_no, rest[0])?))
+        }
+        "row" => {
+            if rest.is_empty() {
+                return Err(bad(line_no, "row", "a 1-based row index then net ids"));
+            }
+            let y = parse_num::<u32>(line_no, rest[0])?;
+            let nets = rest[1..]
+                .iter()
+                .map(|t| parse_num::<u32>(line_no, t).map(NetId::new))
+                .collect::<Result<_, _>>()?;
+            Ok(Edit::Row { y, nets })
+        }
+        "truncate" => {
+            if rest.len() != 1 {
+                return Err(bad(line_no, "truncate", "one row count"));
+            }
+            Ok(Edit::Truncate(parse_num::<u32>(line_no, rest[0])?))
+        }
+        "add" => {
+            if rest.len() != 3 {
+                return Err(bad(line_no, "add", "`<net> row=<y> at=<i>`"));
+            }
+            let net = NetId::new(parse_num::<u32>(line_no, rest[0])?);
+            let mut row: Option<u32> = None;
+            let mut at: Option<u32> = None;
+            for token in &rest[1..] {
+                let (key, value) = split_attr(line_no, token)?;
+                match key {
+                    "row" => row = Some(parse_num(line_no, value)?),
+                    "at" => at = Some(parse_num(line_no, value)?),
+                    other => {
+                        return Err(ParseError::new(
+                            line_no,
+                            ParseErrorKind::UnknownAttribute {
+                                key: other.to_owned(),
+                            },
+                        ))
+                    }
+                }
+            }
+            let (Some(row), Some(at)) = (row, at) else {
+                return Err(bad(line_no, "add", "`<net> row=<y> at=<i>`"));
+            };
+            Ok(Edit::Add { net, row, at })
+        }
+        "remove" => {
+            if rest.len() != 1 {
+                return Err(bad(line_no, "remove", "one net id"));
+            }
+            Ok(Edit::Remove(NetId::new(parse_num::<u32>(
+                line_no, rest[0],
+            )?)))
+        }
+        "retype" => {
+            if rest.len() != 2 {
+                return Err(bad(line_no, "retype", "`<net> <kind>`"));
+            }
+            let net = NetId::new(parse_num::<u32>(line_no, rest[0])?);
+            let kind = match rest[1] {
+                "signal" => NetKind::Signal,
+                "power" => NetKind::Power,
+                "ground" => NetKind::Ground,
+                other => {
+                    return Err(ParseError::new(
+                        line_no,
+                        ParseErrorKind::BadNetKind {
+                            token: other.to_owned(),
+                        },
+                    ))
+                }
+            };
+            Ok(Edit::Retype { net, kind })
+        }
+        "tier" => {
+            if rest.len() != 2 {
+                return Err(bad(line_no, "tier", "`<net> <tier>`"));
+            }
+            let net = NetId::new(parse_num::<u32>(line_no, rest[0])?);
+            let d = parse_num::<u8>(line_no, rest[1])?;
+            if d == 0 {
+                return Err(ParseError::new(
+                    line_no,
+                    ParseErrorKind::BadNumber {
+                        token: rest[1].to_owned(),
+                    },
+                ));
+            }
+            Ok(Edit::Tier {
+                net,
+                tier: TierId::new(d),
+            })
+        }
+        other => Err(ParseError::new(
+            line_no,
+            ParseErrorKind::UnknownDirective {
+                keyword: other.to_owned(),
+            },
+        )),
+    }
+}
+
+/// Writes a delta in the format [`parse_delta`] reads back exactly —
+/// including quadrant sections with no edits (explicitly clean).
+#[must_use]
+pub fn write_delta(name: &str, delta: &InstanceDelta) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "delta {name}");
+    for (quadrant, d) in &delta.quadrants {
+        let _ = writeln!(out, "quadrant {quadrant}");
+        for edit in &d.edits {
+            write_edit(&mut out, edit);
+        }
+    }
+    out
+}
+
+fn write_edit(out: &mut String, edit: &Edit) {
+    match edit {
+        Edit::Geometry(g) => {
+            let _ = writeln!(
+                out,
+                "geometry ball_pitch={} finger_pitch={} finger_width={} finger_height={} \
+                 via_diameter={} ball_diameter={}",
+                g.ball_pitch,
+                g.finger_pitch,
+                g.finger_width,
+                g.finger_height,
+                g.via_diameter,
+                g.ball_diameter
+            );
+        }
+        Edit::Fingers(f) => {
+            let _ = writeln!(out, "fingers {f}");
+        }
+        Edit::Row { y, nets } => {
+            let _ = write!(out, "row {y}");
+            for net in nets {
+                let _ = write!(out, " {}", net.raw());
+            }
+            let _ = writeln!(out);
+        }
+        Edit::Truncate(n) => {
+            let _ = writeln!(out, "truncate {n}");
+        }
+        Edit::Add { net, row, at } => {
+            let _ = writeln!(out, "add {} row={row} at={at}", net.raw());
+        }
+        Edit::Remove(net) => {
+            let _ = writeln!(out, "remove {}", net.raw());
+        }
+        Edit::Retype { net, kind } => {
+            let _ = writeln!(out, "retype {} {kind}", net.raw());
+        }
+        Edit::Tier { net, tier } => {
+            let _ = writeln!(out, "tier {} {}", net.raw(), tier.get());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_core::{apply_delta, diff_quadrant};
+    use copack_geom::{Quadrant, QuadrantGeometry};
+
+    const SAMPLE: &str = "\
+# a two-quadrant ECO
+delta eco1
+quadrant north
+row 2 1 3 5 8 12
+retype 12 ground
+tier 6 3
+quadrant east
+";
+
+    #[test]
+    fn parses_the_sample_file() {
+        let (name, delta) = parse_delta(SAMPLE).unwrap();
+        assert_eq!(name, "eco1");
+        assert_eq!(delta.quadrants.len(), 2);
+        assert_eq!(delta.quadrants[0].0, "north");
+        assert_eq!(delta.quadrants[0].1.edits.len(), 3);
+        assert!(delta.is_clean("east"));
+        assert!(!delta.is_clean("north"));
+        assert_eq!(delta.dirty().collect::<Vec<_>>(), vec!["north"]);
+    }
+
+    #[test]
+    fn every_edit_class_round_trips() {
+        let delta = InstanceDelta {
+            quadrants: vec![
+                (
+                    "q1".to_owned(),
+                    QuadrantDelta {
+                        edits: vec![
+                            Edit::Geometry(QuadrantGeometry {
+                                ball_pitch: 2.5,
+                                ..QuadrantGeometry::default()
+                            }),
+                            Edit::Fingers(24),
+                            Edit::Row {
+                                y: 3,
+                                nets: vec![NetId::new(11), NetId::new(6)],
+                            },
+                            Edit::Truncate(2),
+                            Edit::Add {
+                                net: NetId::new(42),
+                                row: 1,
+                                at: 0,
+                            },
+                            Edit::Remove(NetId::new(42)),
+                            Edit::Retype {
+                                net: NetId::new(7),
+                                kind: NetKind::Power,
+                            },
+                            Edit::Retype {
+                                net: NetId::new(7),
+                                kind: NetKind::Signal,
+                            },
+                            Edit::Tier {
+                                net: NetId::new(7),
+                                tier: TierId::new(2),
+                            },
+                            Edit::Tier {
+                                net: NetId::new(7),
+                                tier: TierId::BASE,
+                            },
+                        ],
+                    },
+                ),
+                ("q2 with spaces".to_owned(), QuadrantDelta::default()),
+            ],
+        };
+        let text = write_delta("eco", &delta);
+        let (name, back) = parse_delta(&text).unwrap();
+        assert_eq!(name, "eco");
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn diffed_quadrants_round_trip_through_the_format() {
+        let a = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .net_kind(10u32, NetKind::Power)
+            .build()
+            .unwrap();
+        let b = Quadrant::builder()
+            .row([10u32, 2, 4, 7])
+            .row([1u32, 3, 5, 8, 12])
+            .row([11u32, 6, 9])
+            .net_kind(12u32, NetKind::Ground)
+            .net_tier(6u32, TierId::new(3))
+            .fingers(14)
+            .build()
+            .unwrap();
+        let delta = InstanceDelta {
+            quadrants: vec![("north".to_owned(), diff_quadrant(&a, &b))],
+        };
+        let text = write_delta("eco", &delta);
+        let (_, back) = parse_delta(&text).unwrap();
+        let edited = apply_delta(&a, back.get("north").unwrap()).unwrap();
+        assert_eq!(edited, b);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        for (text, expect_line, is_kind) in [
+            ("row 1 2\n", 1, false),                         // edit before any header
+            ("delta d\nrow 1 2\n", 2, false),                // edit before a quadrant
+            ("delta d\ndelta e\n", 2, false),                // duplicate header
+            ("delta d\nquadrant q\nquadrant q\n", 3, false), // duplicate quadrant
+            ("delta d\nquadrant q\nbogus 1\n", 3, false),
+            ("delta d\nquadrant q\nrow\n", 3, false),
+            ("delta d\nquadrant q\nadd 1 row=1\n", 3, false),
+            ("delta d\nquadrant q\nadd 1 row=1 z=0\n", 3, false),
+            ("delta d\nquadrant q\ntier 1 0\n", 3, false),
+            ("delta d\nquadrant q\nretype 1 mains\n", 3, true),
+        ] {
+            let err = parse_delta(text).unwrap_err();
+            assert_eq!(err.line, expect_line, "{text:?} -> {err}");
+            if is_kind {
+                assert!(matches!(err.kind, ParseErrorKind::BadNetKind { .. }));
+            }
+        }
+        let err = parse_delta("# only comments\n").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::MissingHeader { expected: "delta" }
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# lead\ndelta d # trail\n\nquadrant q # here\nremove 3 # bye\n";
+        let (name, delta) = parse_delta(text).unwrap();
+        assert_eq!(name, "d");
+        assert_eq!(
+            delta.get("q").unwrap().edits,
+            vec![Edit::Remove(NetId::new(3))]
+        );
+    }
+}

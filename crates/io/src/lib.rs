@@ -6,7 +6,9 @@
 //!
 //! * the **circuit format** (`.copack`) describes one quadrant: geometry,
 //!   ball rows (bottom-up), and per-net kind/tier overrides;
-//! * the **assignment format** stores a finger order for a named circuit.
+//! * the **assignment format** stores a finger order for a named circuit;
+//! * the **delta format** (`.edits`) is an ECO edit script — per-quadrant
+//!   edit lists consumed by `copack replan --delta`.
 //!
 //! Both formats are line-based, `#`-commented, and round-trip exactly
 //! (`parse(write(x)) == x`, property-tested).
@@ -43,6 +45,7 @@
 mod assignment_format;
 mod canonical;
 mod circuit_format;
+mod delta_format;
 mod error;
 
 pub use assignment_format::{parse_assignment, write_assignment};
@@ -50,4 +53,5 @@ pub use canonical::{
     canonical_portfolio_params, canonical_quadrant_text, fnv1a64, quadrant_fingerprint,
 };
 pub use circuit_format::{parse_quadrant, write_quadrant};
+pub use delta_format::{parse_delta, write_delta};
 pub use error::{ParseError, ParseErrorKind};

@@ -260,6 +260,25 @@ pub enum Event {
         /// The global best cost the start was compared against.
         global_best: f64,
     },
+    /// An incremental replan began: the delta's dirty-set classification
+    /// of the instance, emitted before any quadrant is planned.
+    ReplanStart {
+        /// Quadrants in the instance.
+        quadrants: u32,
+        /// Quadrants the delta actually touches (the rest reuse their
+        /// previous plan or cache entry verbatim).
+        dirty: u32,
+    },
+    /// A quadrant's previous plan was reused during a replan instead of
+    /// being recomputed.
+    QuadrantReused {
+        /// The quadrant's name.
+        name: String,
+        /// Where the reused plan came from: `"previous"` (clean quadrant,
+        /// prior plan returned verbatim), `"mem"` or `"disk"` (serve
+        /// cache tiers).
+        tier: String,
+    },
     /// An invariant oracle (`copack-verify`) delivered a verdict.
     OracleChecked {
         /// Stable oracle name (`"monotonicity"`, `"density"`,
@@ -327,6 +346,8 @@ impl Event {
             Self::ServeCache { .. } => "serve_cache",
             Self::PortfolioStart { .. } => "portfolio_start",
             Self::PortfolioPrune { .. } => "portfolio_prune",
+            Self::ReplanStart { .. } => "replan_start",
+            Self::QuadrantReused { .. } => "quadrant_reused",
             Self::OracleChecked { .. } => "oracle",
             Self::Note { .. } => "note",
         }
@@ -531,6 +552,15 @@ impl Event {
                 out.push_str(",\"global_best\":");
                 json_f64(out, *global_best);
             }
+            Self::ReplanStart { quadrants, dirty } => {
+                let _ = write!(out, ",\"quadrants\":{quadrants},\"dirty\":{dirty}");
+            }
+            Self::QuadrantReused { name, tier } => {
+                out.push_str(",\"name\":");
+                json_str(out, name);
+                out.push_str(",\"tier\":");
+                json_str(out, tier);
+            }
             Self::OracleChecked {
                 oracle,
                 passed,
@@ -664,6 +694,14 @@ mod tests {
                 epoch: 1,
                 best_cost: 12.5,
                 global_best: 9.0,
+            },
+            Event::ReplanStart {
+                quadrants: 4,
+                dirty: 1,
+            },
+            Event::QuadrantReused {
+                name: "north".to_owned(),
+                tier: "previous".to_owned(),
             },
             Event::OracleChecked {
                 oracle: "density".to_owned(),

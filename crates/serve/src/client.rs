@@ -100,13 +100,47 @@ impl Client {
         &mut self,
         specs: &[JobSpec],
         class: JobClass,
-        mut on_item: impl FnMut(u32, &Result<PlanResponse, ServeError>),
+        on_item: impl FnMut(u32, &Result<PlanResponse, ServeError>),
     ) -> Result<BatchOutcome, ServeError> {
         let request = Request::Batch {
             class,
             jobs: specs.to_vec(),
         };
-        let mut frame = encode_request(&request);
+        self.stream_items(&request, on_item)
+    }
+
+    /// Submits an incremental replan: one job per quadrant, each spec
+    /// carrying the previous plan (`prev`) for the dirty ones. Streams
+    /// exactly like [`Client::batch`]; the daemon answers untouched
+    /// quadrants from its cache and only runs workers on the dirty set.
+    ///
+    /// # Errors
+    ///
+    /// The daemon's typed replan-level error or a transport/protocol
+    /// failure; per-job failures arrive as `Err` items.
+    pub fn replan(
+        &mut self,
+        specs: &[JobSpec],
+        class: JobClass,
+        on_item: impl FnMut(u32, &Result<PlanResponse, ServeError>),
+    ) -> Result<BatchOutcome, ServeError> {
+        let request = Request::Replan {
+            class,
+            jobs: specs.to_vec(),
+        };
+        self.stream_items(&request, on_item)
+    }
+
+    /// Shared streaming loop behind [`Client::batch`] and
+    /// [`Client::replan`]: sends the request, surfaces every `item` frame
+    /// through `on_item`, and returns once the summary frame closes the
+    /// stream.
+    fn stream_items(
+        &mut self,
+        request: &Request,
+        mut on_item: impl FnMut(u32, &Result<PlanResponse, ServeError>),
+    ) -> Result<BatchOutcome, ServeError> {
+        let mut frame = encode_request(request);
         frame.push('\n');
         self.writer.write_all(frame.as_bytes())?;
         let mut items: Vec<(u32, Result<PlanResponse, ServeError>)> = Vec::new();

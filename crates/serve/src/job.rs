@@ -13,11 +13,14 @@
 //! coalesce onto one entry.
 
 use copack_core::{
-    assign, exchange_cancellable, exchange_portfolio_cancellable, AssignMethod, CancelToken,
-    CoreError, ExchangeConfig, PortfolioConfig,
+    assign, exchange_cancellable, exchange_portfolio_cancellable, exchange_warm, AssignMethod,
+    CancelToken, CoreError, ExchangeConfig, PortfolioConfig,
 };
 use copack_geom::{Quadrant, StackConfig};
-use copack_io::{canonical_portfolio_params, canonical_quadrant_text, fnv1a64, write_assignment};
+use copack_io::{
+    canonical_portfolio_params, canonical_quadrant_text, fnv1a64, parse_assignment,
+    write_assignment,
+};
 use copack_obs::NoopRecorder;
 use copack_route::{analyze, DensityModel};
 use std::fmt::Write as _;
@@ -100,6 +103,15 @@ pub struct JobSpec {
     /// round-trips the wire and the cache key exactly. Inert when
     /// `starts <= 1`.
     pub prune_margin_bits: u64,
+    /// Previous assignment file text (`copack plan --out` format) for
+    /// an incremental replan. When set (and `exchange` is on) the
+    /// worker warm-starts the anneal from the repaired previous plan
+    /// instead of a cold DFA start. Inert when `exchange` is off.
+    pub prev: Option<String>,
+    /// Raw `f64` bits of the net-separation margin weight
+    /// (`CostWeights::margin`). Bits for the same reason as
+    /// `prune_margin_bits`; zero (the default) leaves the term off.
+    pub margin_bits: u64,
     /// Per-job wall-clock budget; `None` uses the server default.
     pub timeout_ms: Option<u64>,
     /// Admission class (execution-only: scheduling priority, never part
@@ -119,6 +131,8 @@ impl JobSpec {
             exchange_seed: ExchangeConfig::default().seed,
             starts: 1,
             prune_margin_bits: PortfolioConfig::default().prune_margin.to_bits(),
+            prev: None,
+            margin_bits: 0.0f64.to_bits(),
             timeout_ms: None,
             class: JobClass::Interactive,
         }
@@ -170,6 +184,16 @@ pub fn cache_key(spec: &JobSpec, quadrant: &Quadrant) -> u64 {
                 spec.prune_margin_bits,
             ));
         }
+        // Same conditional pattern for the replan extensions: a zero
+        // margin weight is the pre-margin objective and a missing
+        // `prev` is a cold plan, so both fold in only when they can
+        // change the result — every pre-replan key stays stable.
+        if f64::from_bits(spec.margin_bits) != 0.0 {
+            let _ = write!(material, "margin_bits={}|", spec.margin_bits);
+        }
+        if let Some(prev) = &spec.prev {
+            let _ = write!(material, "prev={:016x}|", fnv1a64(prev.as_bytes()));
+        }
     } else {
         material.push_str("exchange=false|");
     }
@@ -212,10 +236,11 @@ pub fn execute_job(
         } else {
             StackConfig::stacked(spec.psi).map_err(|e| job_failed(&e))?
         };
-        let config = ExchangeConfig {
+        let mut config = ExchangeConfig {
             seed: spec.exchange_seed,
             ..ExchangeConfig::default()
         };
+        config.weights.margin = f64::from_bits(spec.margin_bits);
         let on_core_error = |e: CoreError| match e {
             CoreError::Cancelled => ServeError::new(
                 ErrorKind::Timeout,
@@ -223,7 +248,28 @@ pub fn execute_job(
             ),
             other => job_failed(&other),
         };
-        let result = if spec.starts > 1 {
+        let result = if let Some(prev_text) = &spec.prev {
+            // Incremental replan: warm-start from the previous plan
+            // (repair, reheat, shortened schedule — or bit-identical
+            // from-scratch below the core's size cutoff). The warm
+            // path is single-start by construction, so it takes
+            // precedence over the portfolio width.
+            let (_, previous) = parse_assignment(prev_text).map_err(|e| {
+                ServeError::new(
+                    ErrorKind::BadRequest,
+                    format!("previous assignment does not parse: {e}"),
+                )
+            })?;
+            exchange_warm(
+                quadrant,
+                &previous,
+                &stack,
+                &config,
+                &mut NoopRecorder,
+                cancel,
+            )
+            .map_err(on_core_error)?
+        } else if spec.starts > 1 {
             // Worker threads are the pool's concurrency unit, so the
             // portfolio anneals its starts serially inside this worker
             // (`threads: 1`) instead of oversubscribing the host; the
@@ -268,9 +314,14 @@ pub fn execute_job(
         assignment = result.assignment;
         let routing =
             analyze(quadrant, &assignment, DensityModel::Geometric).map_err(|e| job_failed(&e))?;
+        let verb = if spec.prev.is_some() {
+            "replan"
+        } else {
+            "exchange"
+        };
         let _ = writeln!(
             report,
-            "{name}: after exchange (cost {:.4} -> {:.4}) -> {routing}",
+            "{name}: after {verb} (cost {:.4} -> {:.4}) -> {routing}",
             result.stats.initial_cost, result.stats.final_cost
         );
     }
@@ -373,6 +424,83 @@ mod tests {
             ..off.clone()
         };
         assert_eq!(cache_key(&off, &q), cache_key(&off_multi, &q));
+    }
+
+    #[test]
+    fn the_key_folds_replan_fields_only_when_they_can_matter() {
+        let (_, q) = circuit();
+        // With exchange off, margin and prev are inert.
+        let off = JobSpec::new("");
+        let off_margin = JobSpec {
+            margin_bits: 0.5f64.to_bits(),
+            ..off.clone()
+        };
+        let off_prev = JobSpec {
+            prev: Some("assignment demo\norder 1 2\n".to_owned()),
+            ..off.clone()
+        };
+        assert_eq!(cache_key(&off, &q), cache_key(&off_margin, &q));
+        assert_eq!(cache_key(&off, &q), cache_key(&off_prev, &q));
+
+        // With exchange on, a zero margin still matches the pre-margin
+        // key, a nonzero margin separates, and so does a previous plan
+        // (content-addressed: equal text, equal key).
+        let on = JobSpec {
+            exchange: true,
+            ..JobSpec::new("")
+        };
+        let on_zero_margin = JobSpec {
+            margin_bits: 0.0f64.to_bits(),
+            ..on.clone()
+        };
+        assert_eq!(cache_key(&on, &q), cache_key(&on_zero_margin, &q));
+        let on_margin = JobSpec {
+            margin_bits: 0.5f64.to_bits(),
+            ..on.clone()
+        };
+        assert_ne!(cache_key(&on, &q), cache_key(&on_margin, &q));
+        let prev_a = JobSpec {
+            prev: Some("assignment demo\norder 1 2\n".to_owned()),
+            ..on.clone()
+        };
+        let prev_a_again = prev_a.clone();
+        let prev_b = JobSpec {
+            prev: Some("assignment demo\norder 2 1\n".to_owned()),
+            ..on.clone()
+        };
+        assert_ne!(cache_key(&on, &q), cache_key(&prev_a, &q));
+        assert_eq!(cache_key(&prev_a, &q), cache_key(&prev_a_again, &q));
+        assert_ne!(cache_key(&prev_a, &q), cache_key(&prev_b, &q));
+    }
+
+    #[test]
+    fn a_replan_job_warm_starts_from_the_previous_plan() {
+        let text =
+            "quadrant demo\nrow 10 2 4 7 0\nrow 1 3 5 8\nrow 11 6 9\nnet 10 power\nnet 5 power\n";
+        let (name, q) = parse_quadrant(text).expect("valid circuit");
+        let cold_spec = JobSpec {
+            exchange: true,
+            ..JobSpec::new("")
+        };
+        let cold = execute_job(&cold_spec, &name, &q, &CancelToken::new()).expect("cold plan");
+        let warm_spec = JobSpec {
+            prev: Some(cold.assignment.clone()),
+            ..cold_spec.clone()
+        };
+        let warm = execute_job(&warm_spec, &name, &q, &CancelToken::new()).expect("warm plan");
+        assert!(warm.report.contains("after replan"), "{}", warm.report);
+        assert!(!cold.report.contains("after replan"), "{}", cold.report);
+        // The warm result is a complete assignment of the same instance.
+        let (_, parsed) = parse_assignment(&warm.assignment).expect("warm output parses");
+        assert_eq!(parsed.net_count(), q.net_count());
+        // A previous plan that is not an assignment file is a typed
+        // bad-request, not a panic.
+        let junk = JobSpec {
+            prev: Some("not an assignment".to_owned()),
+            ..cold_spec
+        };
+        let err = execute_job(&junk, &name, &q, &CancelToken::new()).expect_err("junk prev");
+        assert_eq!(err.kind, ErrorKind::BadRequest);
     }
 
     #[test]

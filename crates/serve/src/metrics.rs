@@ -37,6 +37,13 @@ pub struct PoolMetrics {
     pub quarantined: u64,
     /// Disk-tier entries resident at the end ([`Event::ServeCache`]).
     pub disk_entries: u64,
+    /// Replan requests observed ([`Event::ReplanStart`] count).
+    pub replans: u64,
+    /// Quadrants submitted across all replan requests.
+    pub replan_quadrants: u64,
+    /// Quadrants answered from a previous plan or cache tier instead of
+    /// being recomputed ([`Event::QuadrantReused`] count).
+    pub replan_reused: u64,
     /// Deepest queue observed at any admission.
     pub max_queue_depth: u32,
     /// Median admission-to-response latency, milliseconds.
@@ -65,6 +72,15 @@ impl PoolMetrics {
                 metrics.evictions = *evictions;
                 metrics.quarantined = *quarantined;
                 metrics.disk_entries = *disk_entries;
+                continue;
+            }
+            if let Event::ReplanStart { quadrants, .. } = event {
+                metrics.replans += 1;
+                metrics.replan_quadrants += u64::from(*quadrants);
+                continue;
+            }
+            if matches!(event, Event::QuadrantReused { .. }) {
+                metrics.replan_reused += 1;
                 continue;
             }
             let Event::ServeJob {
@@ -119,6 +135,17 @@ impl PoolMetrics {
         }
     }
 
+    /// Fraction of replanned quadrants answered without recomputation;
+    /// 0 when no replan ran.
+    #[must_use]
+    pub fn reuse_rate(&self) -> f64 {
+        if self.replan_quadrants == 0 {
+            0.0
+        } else {
+            self.replan_reused as f64 / self.replan_quadrants as f64
+        }
+    }
+
     /// Multi-line human-readable rendering (the serve `--metrics`
     /// block). Latency lines carry timings and are therefore the only
     /// non-deterministic part.
@@ -149,6 +176,16 @@ impl PoolMetrics {
             "store evictions {}  quarantined {}  disk-entries {}",
             self.evictions, self.quarantined, self.disk_entries
         );
+        if self.replans > 0 {
+            let _ = writeln!(
+                out,
+                "replan requests {}  quadrants {}  reused {} (reuse-rate {:.1}%)",
+                self.replans,
+                self.replan_quadrants,
+                self.replan_reused,
+                100.0 * self.reuse_rate()
+            );
+        }
         let _ = writeln!(out, "max-queue-depth {}", self.max_queue_depth);
         if self.jobs > 0 {
             let _ = writeln!(
@@ -256,6 +293,41 @@ mod tests {
         let text = m.to_text();
         assert!(text.contains("cache hit 0  disk 1  coalesced 0  miss 2"));
         assert!(text.contains("store evictions 3  quarantined 1  disk-entries 7"));
+    }
+
+    #[test]
+    fn replan_events_fold_into_the_reuse_rate() {
+        let events = vec![
+            Event::ReplanStart {
+                quadrants: 4,
+                dirty: 1,
+            },
+            Event::QuadrantReused {
+                name: "north".to_owned(),
+                tier: "mem".to_owned(),
+            },
+            Event::QuadrantReused {
+                name: "south".to_owned(),
+                tier: "disk".to_owned(),
+            },
+            Event::QuadrantReused {
+                name: "west".to_owned(),
+                tier: "mem".to_owned(),
+            },
+            job("miss", "ok", 0, 0.010),
+        ];
+        let m = PoolMetrics::from_events(&events);
+        assert_eq!(m.replans, 1);
+        assert_eq!(m.replan_quadrants, 4);
+        assert_eq!(m.replan_reused, 3);
+        assert!((m.reuse_rate() - 0.75).abs() < 1e-12);
+        let text = m.to_text();
+        assert!(
+            text.contains("replan requests 1  quadrants 4  reused 3 (reuse-rate 75.0%)"),
+            "{text}"
+        );
+        // The line is absent when no replan ran.
+        assert!(!pool_metrics_text(&[]).contains("replan"));
     }
 
     #[test]

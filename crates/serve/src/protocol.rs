@@ -3,7 +3,7 @@
 //!
 //! Each frame is one JSON object on one line (`\n`-terminated; a
 //! trailing `\r` is tolerated). Requests carry an `"op"` tag (`plan`,
-//! `batch`, `status`, `shutdown`); responses carry `"ok"` plus either
+//! `batch`, `replan`, `status`, `shutdown`); responses carry `"ok"` plus either
 //! the payload or a typed error object. Frames are capped at
 //! [`MAX_FRAME`] bytes — an oversized frame is discarded up to its
 //! terminating newline and answered with a typed `oversized` error,
@@ -41,6 +41,17 @@ pub enum Request {
     /// they finish. The class applies to all jobs in the batch.
     Batch {
         /// Admission class for every job in the batch.
+        class: JobClass,
+        /// The jobs, in submission order (their `seq` tags).
+        jobs: Vec<JobSpec>,
+    },
+    /// Incrementally re-plan every embedded quadrant after an ECO edit,
+    /// streaming `item` frames exactly like a batch. Untouched
+    /// quadrants (specs whose key is already cached) are answered from
+    /// the cache and counted as reused; dirty quadrants run the warm
+    /// executor path when their spec carries a previous plan.
+    Replan {
+        /// Admission class for every job in the replan.
         class: JobClass,
         /// The jobs, in submission order (their `seq` tags).
         jobs: Vec<JobSpec>,
@@ -170,6 +181,15 @@ fn write_job_fields(out: &mut String, spec: &JobSpec) {
             spec.starts, spec.prune_margin_bits
         );
     }
+    // The replan extensions likewise travel only when live, so every
+    // pre-replan frame stays byte-identical.
+    if f64::from_bits(spec.margin_bits) != 0.0 {
+        let _ = write!(out, ",\"margin_bits\":{}", spec.margin_bits);
+    }
+    if let Some(prev) = &spec.prev {
+        out.push_str(",\"prev\":");
+        write_json_str(out, prev);
+    }
     if let Some(ms) = spec.timeout_ms {
         let _ = write!(out, ",\"timeout_ms\":{ms}");
     }
@@ -178,6 +198,32 @@ fn write_job_fields(out: &mut String, spec: &JobSpec) {
     if spec.class != JobClass::Interactive {
         let _ = write!(out, ",\"class\":\"{}\"", spec.class);
     }
+}
+
+/// Writes a `batch`/`replan` request body: the op, the non-default
+/// class, and the job array (per-item class tags are omitted — the
+/// request-level class governs every job).
+fn write_job_array(out: &mut String, op: &str, class: JobClass, jobs: &[JobSpec]) {
+    let _ = write!(out, "{{\"op\":\"{op}\"");
+    if class != JobClass::Interactive {
+        let _ = write!(out, ",\"class\":\"{class}\"");
+    }
+    out.push_str(",\"jobs\":[");
+    for (index, spec) in jobs.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        write_job_fields(
+            out,
+            &JobSpec {
+                class: JobClass::Interactive,
+                ..spec.clone()
+            },
+        );
+        out.push('}');
+    }
+    out.push_str("]}");
 }
 
 /// Encodes a request as one frame line (no trailing newline).
@@ -190,30 +236,8 @@ pub fn encode_request(request: &Request) -> String {
             write_job_fields(&mut out, spec);
             out.push('}');
         }
-        Request::Batch { class, jobs } => {
-            out.push_str("{\"op\":\"batch\"");
-            if *class != JobClass::Interactive {
-                let _ = write!(out, ",\"class\":\"{class}\"");
-            }
-            out.push_str(",\"jobs\":[");
-            for (index, spec) in jobs.iter().enumerate() {
-                if index > 0 {
-                    out.push(',');
-                }
-                out.push('{');
-                // The batch-level class governs; per-item class tags
-                // would only invite disagreement, so they are omitted.
-                write_job_fields(
-                    &mut out,
-                    &JobSpec {
-                        class: JobClass::Interactive,
-                        ..spec.clone()
-                    },
-                );
-                out.push('}');
-            }
-            out.push_str("]}");
-        }
+        Request::Batch { class, jobs } => write_job_array(&mut out, "batch", *class, jobs),
+        Request::Replan { class, jobs } => write_job_array(&mut out, "replan", *class, jobs),
         Request::Status => out.push_str("{\"op\":\"status\"}"),
         Request::Shutdown => out.push_str("{\"op\":\"shutdown\"}"),
     }
@@ -283,6 +307,22 @@ fn decode_job_fields(json: &Json) -> Result<JobSpec, ServeError> {
     if let Some(bits) = field_u64("prune_margin_bits")? {
         spec.prune_margin_bits = bits;
     }
+    if let Some(bits) = field_u64("margin_bits")? {
+        spec.margin_bits = bits;
+    }
+    match json.get("prev") {
+        None | Some(Json::Null) => {}
+        Some(value) => {
+            spec.prev = Some(
+                value
+                    .as_str()
+                    .ok_or_else(|| {
+                        ServeError::new(ErrorKind::BadRequest, "`prev` must be a string")
+                    })?
+                    .to_owned(),
+            );
+        }
+    }
     spec.timeout_ms = field_u64("timeout_ms")?;
     spec.class = decode_class(json)?;
     Ok(spec)
@@ -326,46 +366,57 @@ pub fn decode_request(line: &str) -> Result<Request, ServeError> {
         "shutdown" => Ok(Request::Shutdown),
         "plan" => Ok(Request::Plan(decode_job_fields(&json)?)),
         "batch" => {
-            let class = decode_class(&json)?;
-            let Some(Json::Arr(items)) = json.get("jobs") else {
-                return Err(ServeError::new(
-                    ErrorKind::BadRequest,
-                    "batch requires an array `jobs`",
-                ));
-            };
-            if items.is_empty() {
-                return Err(ServeError::new(
-                    ErrorKind::BadRequest,
-                    "batch requires at least one job",
-                ));
-            }
-            if items.len() > MAX_BATCH {
-                return Err(ServeError::new(
-                    ErrorKind::BadRequest,
-                    format!("batch exceeds the {MAX_BATCH}-job limit"),
-                ));
-            }
-            let mut jobs = Vec::with_capacity(items.len());
-            for (index, item) in items.iter().enumerate() {
-                if !matches!(item, Json::Obj(_)) {
-                    return Err(ServeError::new(
-                        ErrorKind::BadRequest,
-                        format!("batch job {index} must be a JSON object"),
-                    ));
-                }
-                let mut spec = decode_job_fields(item).map_err(|e| {
-                    ServeError::new(e.kind, format!("batch job {index}: {}", e.message))
-                })?;
-                spec.class = class;
-                jobs.push(spec);
-            }
+            let (class, jobs) = decode_job_array(&json, "batch")?;
             Ok(Request::Batch { class, jobs })
+        }
+        "replan" => {
+            let (class, jobs) = decode_job_array(&json, "replan")?;
+            Ok(Request::Replan { class, jobs })
         }
         other => Err(ServeError::new(
             ErrorKind::BadRequest,
-            format!("unknown op `{other}` (plan|batch|status|shutdown)"),
+            format!("unknown op `{other}` (plan|batch|replan|status|shutdown)"),
         )),
     }
+}
+
+/// Decodes the shared body of a `batch`/`replan` request: the class tag
+/// and the bounded job array, with the request-level class landing on
+/// every decoded spec.
+fn decode_job_array(json: &Json, op: &str) -> Result<(JobClass, Vec<JobSpec>), ServeError> {
+    let class = decode_class(json)?;
+    let Some(Json::Arr(items)) = json.get("jobs") else {
+        return Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("{op} requires an array `jobs`"),
+        ));
+    };
+    if items.is_empty() {
+        return Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("{op} requires at least one job"),
+        ));
+    }
+    if items.len() > MAX_BATCH {
+        return Err(ServeError::new(
+            ErrorKind::BadRequest,
+            format!("{op} exceeds the {MAX_BATCH}-job limit"),
+        ));
+    }
+    let mut jobs = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        if !matches!(item, Json::Obj(_)) {
+            return Err(ServeError::new(
+                ErrorKind::BadRequest,
+                format!("{op} job {index} must be a JSON object"),
+            ));
+        }
+        let mut spec = decode_job_fields(item)
+            .map_err(|e| ServeError::new(e.kind, format!("{op} job {index}: {}", e.message)))?;
+        spec.class = class;
+        jobs.push(spec);
+    }
+    Ok((class, jobs))
 }
 
 /// Writes a plan's payload fields (shared by `plan` responses and batch
@@ -733,6 +784,23 @@ mod tests {
                 class: JobClass::Interactive,
                 jobs: vec![JobSpec::new("quadrant h\nrow 1\n")],
             },
+            Request::Replan {
+                class: JobClass::Bulk,
+                jobs: vec![
+                    JobSpec {
+                        exchange: true,
+                        prev: Some("assignment i\norder 2 1\n".to_owned()),
+                        margin_bits: 0.25f64.to_bits(),
+                        class: JobClass::Bulk,
+                        ..JobSpec::new("quadrant i\nrow 1 2\n")
+                    },
+                    JobSpec {
+                        exchange: true,
+                        class: JobClass::Bulk,
+                        ..JobSpec::new("quadrant j\nrow 2 1\n")
+                    },
+                ],
+            },
             Request::Status,
             Request::Shutdown,
         ];
@@ -883,8 +951,11 @@ mod tests {
         }));
         assert!(!line.contains("starts"));
         assert!(!line.contains("prune_margin_bits"));
-        // The default class is likewise invisible on the wire.
+        // The default class is likewise invisible on the wire, and so
+        // are the replan extensions when unused.
         assert!(!line.contains("class"));
+        assert!(!line.contains("margin_bits"));
+        assert!(!line.contains("prev"));
         // Multi-start frames carry both, and the margin's bits survive
         // the round trip exactly.
         let spec = JobSpec {

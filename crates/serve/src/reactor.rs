@@ -33,6 +33,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use copack_obs::Event;
 use polling::{poll, PollFd, POLLIN, POLLOUT};
 
 use crate::error::{ErrorKind, ServeError};
@@ -386,7 +387,8 @@ impl Reactor {
                     }
                 }
             }
-            Request::Batch { class: _, jobs } => self.handle_batch(id, jobs),
+            Request::Batch { class: _, jobs } => self.handle_jobs(id, jobs, false),
+            Request::Replan { class: _, jobs } => self.handle_jobs(id, jobs, true),
             Request::Status => {
                 let response = Response::Status(self.inner.snapshot());
                 self.queue_to(id, &response);
@@ -398,7 +400,14 @@ impl Reactor {
         }
     }
 
-    fn handle_batch(&mut self, id: u64, jobs: Vec<JobSpec>) {
+    /// Streams a `batch` or `replan` job array. A replan additionally
+    /// classifies each quadrant at admission: specs answered straight
+    /// from the cache are *reused* (their quadrant was untouched by the
+    /// edit — same key, same result), everything else is dirty and runs
+    /// a worker. The classification is recorded as one
+    /// [`Event::ReplanStart`] plus one [`Event::QuadrantReused`] per
+    /// reused quadrant, which `--metrics` folds into the reuse rate.
+    fn handle_jobs(&mut self, id: u64, jobs: Vec<JobSpec>, replan: bool) {
         let batch_id = self.next_batch;
         self.next_batch += 1;
         let jobs_total = u32::try_from(jobs.len()).unwrap_or(u32::MAX);
@@ -412,6 +421,7 @@ impl Reactor {
                 failed: 0,
             },
         );
+        let mut reused: Vec<(String, &'static str)> = Vec::new();
         for (index, spec) in jobs.into_iter().enumerate() {
             let seq = u32::try_from(index).unwrap_or(u32::MAX);
             let class = spec.class;
@@ -422,6 +432,10 @@ impl Reactor {
                     key,
                     output,
                 } => {
+                    if replan {
+                        let tier = if cache_tag == "disk" { "disk" } else { "mem" };
+                        reused.push((output.name.clone(), tier));
+                    }
                     let result = Ok(plan_response(cache_tag, key, &output, started));
                     self.finish_batch_item(batch_id, seq, result);
                 }
@@ -442,6 +456,19 @@ impl Reactor {
                         depth: admitted_depth,
                     });
                 }
+            }
+        }
+        if replan {
+            let dirty = jobs_total - u32::try_from(reused.len()).unwrap_or(0);
+            self.inner.record_event(&Event::ReplanStart {
+                quadrants: jobs_total,
+                dirty,
+            });
+            for (name, tier) in reused {
+                self.inner.record_event(&Event::QuadrantReused {
+                    name,
+                    tier: tier.to_owned(),
+                });
             }
         }
     }

@@ -239,6 +239,15 @@ impl Inner {
             });
     }
 
+    /// Records one event into the daemon's trace buffer (the reactor's
+    /// hook for replan lifecycle events).
+    pub(crate) fn record_event(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("event buffer poisoned")
+            .record(event);
+    }
+
     /// Resolves one plan submission at admission time: cache lookup,
     /// then admission to the job's class queue (or typed rejection).
     /// Never blocks on job execution — `Wait` outcomes are answered by

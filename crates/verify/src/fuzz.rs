@@ -14,13 +14,15 @@
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use copack_gen::{fuzz_case, large_fuzz_case};
+use copack_core::{diff_quadrant, InstanceDelta, QuadrantDelta};
+use copack_gen::{churn, fuzz_case, large_fuzz_case, STANDARD_CHURN};
 use copack_geom::Quadrant;
+use copack_io::write_delta;
 use copack_obs::{Event, NoopRecorder, Recorder};
 
 use crate::{
-    check_quadrant, keep_bottom_rows, without_net, write_reproducer, OracleReport, Sidecar,
-    VerifyConfig,
+    check_quadrant, check_replan_with_delta, keep_bottom_rows, shrink_replan_delta, without_net,
+    write_reproducer, OracleReport, Sidecar, VerifyConfig,
 };
 
 /// Upper bound on greedy shrink passes; each pass removes at least one
@@ -72,6 +74,12 @@ pub struct FuzzFailure {
     /// Path of the written `.copack` reproducer, if a corpus directory
     /// was configured and the write succeeded.
     pub reproducer: Option<PathBuf>,
+    /// For `replan_vs_scratch` failures: the shrunk delta (drop-edit /
+    /// merge-edit reduced) that still exhibits the violation against
+    /// the shrunk instance.
+    pub delta: Option<QuadrantDelta>,
+    /// Path of the written `.edits` delta reproducer, if any.
+    pub edits_file: Option<PathBuf>,
 }
 
 /// Runs the real oracle suite over the stream ([`check_quadrant`] with a
@@ -154,6 +162,22 @@ where
             found.oracle,
             found.detail,
         );
+        // For replan failures, additionally shrink along the delta axis:
+        // re-derive the standard churn delta of the shrunk instance and
+        // reduce it edit by edit while the oracle keeps failing.
+        let (delta, detail) = if found.oracle == "replan_vs_scratch" {
+            let full = churn(&quadrant, verify.exchange_seed, STANDARD_CHURN)
+                .map(|edited| diff_quadrant(&quadrant, &edited))
+                .unwrap_or_default();
+            let (shrunk, detail) = shrink_replan_delta(full, detail, |candidate| {
+                let r = check_replan_with_delta(&quadrant, candidate, &verify);
+                (!r.passed).then_some(r.detail)
+            });
+            (Some(shrunk), detail)
+        } else {
+            (None, detail)
+        };
+        let stem = format!("fuzz-{}-{index}", config.seed);
         let reproducer = config.corpus_dir.as_deref().and_then(|dir| {
             let sidecar = Sidecar {
                 seed: config.seed,
@@ -163,9 +187,20 @@ where
                 oracle: found.oracle.to_owned(),
                 detail: detail.clone(),
             };
-            let stem = format!("fuzz-{}-{index}", config.seed);
             write_reproducer(dir, &stem, &quadrant, &sidecar).ok()
         });
+        let edits_file = match (config.corpus_dir.as_deref(), &delta) {
+            (Some(dir), Some(d)) => {
+                let instance = InstanceDelta {
+                    quadrants: vec![(stem.clone(), d.clone())],
+                };
+                let path = dir.join(format!("{stem}.edits"));
+                std::fs::write(&path, write_delta(&stem, &instance))
+                    .ok()
+                    .map(|()| path)
+            }
+            _ => None,
+        };
         return FuzzOutcome {
             cases,
             failure: Some(FuzzFailure {
@@ -176,6 +211,8 @@ where
                 quadrant,
                 config: verify,
                 reproducer,
+                delta,
+                edits_file,
             }),
         };
     }

@@ -6,7 +6,7 @@
 //! the IR proxy must track the real solvers, and the whole pipeline must
 //! be deterministic. This crate makes those invariants first-class:
 //!
-//! * [`check_quadrant`] runs the five oracles on one problem instance and
+//! * [`check_quadrant`] runs the six oracles on one problem instance and
 //!   returns a verdict per oracle (`copack check` renders the table);
 //! * [`run_fuzz`] drives the oracles over an endless seeded stream of
 //!   generated instances ([`copack_gen::fuzz_case`]) and, on a failure,
@@ -22,6 +22,7 @@
 //! | `ir-cross-check`| SOR, CG, and a small dense direct solve agree on the same pad assignment |
 //! | `determinism`   | same seed ⇒ byte-identical reports for every thread count, and re-running the pipeline reproduces itself |
 //! | `cost-ledger`   | each journal Δcost equals the cost difference bit-exactly, and the final cost is the running minimum bit-exactly |
+//! | `replan_vs_scratch` | the warm-started replan of a churned instance validates clean and lands within [`REPLAN_TOLERANCE`] of the from-scratch cost |
 //!
 //! Everything here is deterministic: a failing case is fully described by
 //! the driver seed and case index, which the shrunk reproducer's sidecar
@@ -34,6 +35,7 @@ mod config;
 mod corpus;
 mod fuzz;
 mod oracles;
+mod replan;
 mod report;
 pub mod selftest;
 mod shrink;
@@ -44,6 +46,9 @@ pub use fuzz::{run_fuzz, run_fuzz_with, FuzzConfig, FuzzFailure, FuzzOutcome};
 pub use oracles::{
     check_cost_ledger, check_density_conservation, check_determinism, check_ir_cross,
     check_monotonicity_preserved, check_quadrant, ORACLE_NAMES,
+};
+pub use replan::{
+    check_replan_vs_scratch, check_replan_with_delta, shrink_replan_delta, REPLAN_TOLERANCE,
 };
 pub use report::{verdict_table, OracleReport};
 pub use shrink::{keep_bottom_rows, without_net};

@@ -1,4 +1,4 @@
-//! The five invariant oracles.
+//! The six invariant oracles.
 //!
 //! Each oracle is a pure function `(Quadrant, VerifyConfig) →`
 //! [`OracleReport`]: it builds its own initial assignment (always
@@ -20,12 +20,13 @@ use copack_route::{exchange_range, is_monotonic, RangeCache};
 use crate::{OracleReport, VerifyConfig};
 
 /// The stable oracle names, in execution order.
-pub const ORACLE_NAMES: [&str; 5] = [
+pub const ORACLE_NAMES: [&str; 6] = [
     "monotonicity",
     "density",
     "ir-cross-check",
     "determinism",
     "cost-ledger",
+    "replan_vs_scratch",
 ];
 
 /// Agreement tolerance of the IR cross-check: both iterative solvers run
@@ -33,7 +34,7 @@ pub const ORACLE_NAMES: [&str; 5] = [
 /// slack while still catching any modelling mismatch.
 const IR_TOL: f64 = 1e-6;
 
-/// Runs all five oracles on one instance, emitting one
+/// Runs all six oracles on one instance, emitting one
 /// [`Event::OracleChecked`] per verdict into `recorder`.
 pub fn check_quadrant(
     quadrant: &Quadrant,
@@ -46,6 +47,7 @@ pub fn check_quadrant(
         check_ir_cross(quadrant, config),
         check_determinism(quadrant, config),
         check_cost_ledger(quadrant, config),
+        crate::check_replan_vs_scratch(quadrant, config),
     ];
     if recorder.enabled() {
         for r in &reports {

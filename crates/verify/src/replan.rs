@@ -1,0 +1,360 @@
+//! Oracle 6 — `replan_vs_scratch`: the incremental replan path is
+//! equivalent to planning from scratch.
+//!
+//! For an `(instance, delta)` pair the warm-started exchange
+//! ([`copack_core::exchange_warm`] seeded by the base instance's plan)
+//! must produce a plan that validates clean on the edited instance
+//! (complete, monotonic) **and** lands within a pinned cost band of the
+//! from-scratch plan of the same edited instance. The band
+//! ([`REPLAN_TOLERANCE`]) is the production contract `copack replan`
+//! ships under; the quality-regression suite pins per-circuit bands on
+//! top of it.
+//!
+//! The fuzz driver shrinks a failing pair along **both** axes: the
+//! instance through the usual net/row reducers, and the delta through
+//! the drop-edit / merge-edit reducers in [`shrink_replan_delta`] — the
+//! minimal reproducer is a `.copack` file plus an `.edits` file.
+
+use copack_core::{
+    apply_delta, assign, diff_quadrant, exchange, exchange_warm, AssignMethod, CancelToken,
+    CoreError, Edit, QuadrantDelta,
+};
+use copack_gen::{churn, STANDARD_CHURN};
+use copack_geom::{Assignment, Quadrant};
+use copack_obs::NoopRecorder;
+use copack_route::is_monotonic;
+
+use crate::{OracleReport, VerifyConfig};
+
+/// The pinned replan cost band: the warm plan's Eq. 3 cost must not
+/// exceed the from-scratch cost by more than this factor. Tuned over
+/// the fuzz corpus. Below the core's scratch cutoff the replan path is
+/// bit-identical to from-scratch, so small instances sit at ratio 1 by
+/// construction; at scale the warm start usually *beats* scratch (it
+/// inherits a converged plan), but simulated annealing is a stochastic
+/// search and on heavily edited instances the shortened schedule can
+/// trail the from-scratch walk by a bounded factor — the corpus-wide
+/// worst observed is ~1.45, and the band pins 2.0 with headroom. The
+/// band's teeth are structural: it catches infeasible or non-monotonic
+/// warm plans and unbounded cost blowups (broken repair or reheat
+/// showed up as 4–8× before being fixed).
+pub const REPLAN_TOLERANCE: f64 = 2.0;
+
+/// Absolute slack of the band: one discrete cost quantum — a single
+/// Eq. 2 density unit (ρ) plus a single ω unit (φ). Tiny instances have
+/// near-zero costs where a one-unit integer difference between two
+/// legal optima dwarfs any multiplicative band; at production scale the
+/// quantum is noise against the multiplicative term.
+fn abs_slack(weights: &copack_core::CostWeights) -> f64 {
+    weights.rho + weights.phi
+}
+
+/// Oracle 6 — derives the standard churn delta for the instance from
+/// the profile's exchange seed and checks replan-vs-scratch equivalence
+/// on the resulting `(instance, delta)` pair.
+#[must_use]
+pub fn check_replan_vs_scratch(quadrant: &Quadrant, config: &VerifyConfig) -> OracleReport {
+    const NAME: &str = "replan_vs_scratch";
+    let edited = match churn(quadrant, config.exchange_seed, STANDARD_CHURN) {
+        Ok(q) => q,
+        Err(e) => return OracleReport::fail(NAME, format!("churn failed to rebuild: {e}")),
+    };
+    check_replan_with_delta(quadrant, &diff_quadrant(quadrant, &edited), config)
+}
+
+/// The differential check proper, for an explicit delta: applies
+/// `delta` to `base`, plans the edited instance from scratch, replans
+/// it warm from `base`'s plan, and compares.
+#[must_use]
+pub fn check_replan_with_delta(
+    base: &Quadrant,
+    delta: &QuadrantDelta,
+    config: &VerifyConfig,
+) -> OracleReport {
+    const NAME: &str = "replan_vs_scratch";
+    let stack = match config.stack() {
+        Ok(s) => s,
+        Err(e) => return OracleReport::fail(NAME, format!("bad stack: {e}")),
+    };
+    let edited = match apply_delta(base, delta) {
+        Ok(q) => q,
+        // A shrink candidate may render the delta inapplicable; that is
+        // not a replan bug, so the invariant is not exercisable.
+        Err(e) => return OracleReport::pass(NAME, format!("vacuous: delta inapplicable: {e}")),
+    };
+    let xcfg = config.exchange_config();
+
+    // The "previous plan" the replan warm-starts from: the base
+    // instance's annealed plan, or its cold initial order when the base
+    // has nothing to anneal.
+    let previous: Assignment = match assign(base, AssignMethod::dfa_default()) {
+        Ok(initial) => match exchange(base, &initial, &stack, &xcfg) {
+            Ok(r) => r.assignment,
+            Err(CoreError::NoMovablePads) => initial,
+            Err(e) => return OracleReport::fail(NAME, format!("base plan failed: {e}")),
+        },
+        Err(e) => return OracleReport::fail(NAME, format!("base assignment failed: {e}")),
+    };
+
+    let scratch_initial = match assign(&edited, AssignMethod::dfa_default()) {
+        Ok(a) => a,
+        Err(e) => return OracleReport::fail(NAME, format!("edited assignment failed: {e}")),
+    };
+    let scratch = match exchange(&edited, &scratch_initial, &stack, &xcfg) {
+        Ok(r) => r,
+        Err(CoreError::NoMovablePads) => {
+            return OracleReport::pass(NAME, "vacuous: no movable pads after the edit")
+        }
+        Err(e) => return OracleReport::fail(NAME, format!("scratch exchange failed: {e}")),
+    };
+    let warm = match exchange_warm(
+        &edited,
+        &previous,
+        &stack,
+        &xcfg,
+        &mut NoopRecorder,
+        &CancelToken::new(),
+    ) {
+        Ok(r) => r,
+        Err(CoreError::NoMovablePads) => {
+            return OracleReport::pass(NAME, "vacuous: no movable pads after the edit")
+        }
+        Err(e) => return OracleReport::fail(NAME, format!("warm exchange failed: {e}")),
+    };
+
+    if let Err(e) = warm.assignment.validate_complete(&edited) {
+        return OracleReport::fail(NAME, format!("warm plan incomplete: {e}"));
+    }
+    if !is_monotonic(&edited, &warm.assignment) {
+        return OracleReport::fail(NAME, "warm plan violates the via rule");
+    }
+    let (w, s) = (warm.stats.final_cost, scratch.stats.final_cost);
+    if w > s * REPLAN_TOLERANCE + abs_slack(&xcfg.weights) {
+        return OracleReport::fail(
+            NAME,
+            format!("warm cost {w:.6} exceeds scratch {s:.6} x {REPLAN_TOLERANCE}"),
+        );
+    }
+    OracleReport::pass(
+        NAME,
+        format!(
+            "{} edits: warm {w:.6} within scratch {s:.6} x {REPLAN_TOLERANCE}",
+            delta.edits.len()
+        ),
+    )
+}
+
+/// Whether two edits address the same target, making the later one
+/// subsume or cancel the earlier (the merge-edit reduction).
+fn same_target(a: &Edit, b: &Edit) -> bool {
+    match (a, b) {
+        (Edit::Geometry(_), Edit::Geometry(_))
+        | (Edit::Fingers(_), Edit::Fingers(_))
+        | (Edit::Truncate(_), Edit::Truncate(_)) => true,
+        (Edit::Row { y: ya, .. }, Edit::Row { y: yb, .. }) => ya == yb,
+        (Edit::Retype { net: na, .. }, Edit::Retype { net: nb, .. })
+        | (Edit::Tier { net: na, .. }, Edit::Tier { net: nb, .. })
+        | (Edit::Add { net: na, .. }, Edit::Remove(nb)) => na == nb,
+        _ => false,
+    }
+}
+
+/// Greedily minimises a failing delta while `still_fails` keeps
+/// reporting the violation:
+///
+/// 1. **drop-edit** — remove one edit at a time, first to last;
+/// 2. **merge-edit** — collapse an adjacent same-target pair into the
+///    later edit (an add cancelled by its own remove collapses to
+///    nothing).
+///
+/// Both passes repeat to a fixpoint. Returns the reduced delta and the
+/// oracle detail observed on it.
+pub fn shrink_replan_delta<F>(
+    mut delta: QuadrantDelta,
+    mut detail: String,
+    mut still_fails: F,
+) -> (QuadrantDelta, String)
+where
+    F: FnMut(&QuadrantDelta) -> Option<String>,
+{
+    loop {
+        let mut reduced = false;
+        // Drop-edit.
+        let mut i = 0;
+        while i < delta.edits.len() {
+            let mut candidate = delta.clone();
+            candidate.edits.remove(i);
+            if let Some(d) = still_fails(&candidate) {
+                delta = candidate;
+                detail = d;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Merge-edit.
+        let mut j = 0;
+        while j + 1 < delta.edits.len() {
+            if same_target(&delta.edits[j], &delta.edits[j + 1]) {
+                let mut candidate = delta.clone();
+                let cancelling = matches!(
+                    (&candidate.edits[j], &candidate.edits[j + 1]),
+                    (Edit::Add { .. }, Edit::Remove(_))
+                );
+                candidate.edits.remove(j);
+                if cancelling {
+                    candidate.edits.remove(j);
+                }
+                if let Some(d) = still_fails(&candidate) {
+                    delta = candidate;
+                    detail = d;
+                    reduced = true;
+                    continue;
+                }
+            }
+            j += 1;
+        }
+        if !reduced {
+            return (delta, detail);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_geom::{NetId, NetKind};
+
+    fn fig5() -> Quadrant {
+        Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8])
+            .row([11u32, 6, 9])
+            .net_kind(2u32, NetKind::Power)
+            .net_kind(5u32, NetKind::Power)
+            .net_kind(9u32, NetKind::Power)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn replan_oracle_passes_on_fig5() {
+        let r = check_replan_vs_scratch(&fig5(), &VerifyConfig::default());
+        assert!(r.passed, "{}", r.detail);
+        assert_eq!(r.oracle, "replan_vs_scratch");
+    }
+
+    #[test]
+    fn replan_oracle_passes_on_the_table1_circuits() {
+        for (i, c) in copack_gen::circuits().iter().enumerate() {
+            let q = c.build_quadrant().unwrap();
+            let r = check_replan_vs_scratch(&q, &VerifyConfig::default());
+            assert!(r.passed, "circuit {i}: {}", r.detail);
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_equivalent_by_construction() {
+        let r =
+            check_replan_with_delta(&fig5(), &QuadrantDelta::default(), &VerifyConfig::default());
+        assert!(r.passed, "{}", r.detail);
+    }
+
+    #[test]
+    fn inapplicable_deltas_pass_vacuously() {
+        let d = QuadrantDelta {
+            edits: vec![Edit::Remove(NetId::new(999))],
+        };
+        let r = check_replan_with_delta(&fig5(), &d, &VerifyConfig::default());
+        assert!(r.passed, "{}", r.detail);
+        assert!(r.detail.contains("vacuous"), "{}", r.detail);
+    }
+
+    #[test]
+    fn powerless_instances_pass_vacuously_or_trivially() {
+        let q = Quadrant::builder().row([1u32, 2, 3]).build().unwrap();
+        let r = check_replan_vs_scratch(&q, &VerifyConfig::default());
+        assert!(r.passed, "{}", r.detail);
+    }
+
+    #[test]
+    fn drop_edit_reducer_minimises_to_the_culprit() {
+        // Synthetic failure predicate: "fails" while edit Remove(7) is
+        // still in the delta.
+        let delta = QuadrantDelta {
+            edits: vec![
+                Edit::Retype {
+                    net: NetId::new(2),
+                    kind: NetKind::Ground,
+                },
+                Edit::Remove(NetId::new(7)),
+                Edit::Add {
+                    net: NetId::new(42),
+                    row: 1,
+                    at: 0,
+                },
+            ],
+        };
+        let (shrunk, detail) = shrink_replan_delta(delta, "start".to_owned(), |d| {
+            d.edits
+                .iter()
+                .any(|e| matches!(e, Edit::Remove(n) if *n == NetId::new(7)))
+                .then(|| "still failing".to_owned())
+        });
+        assert_eq!(shrunk.edits, vec![Edit::Remove(NetId::new(7))]);
+        assert_eq!(detail, "still failing");
+    }
+
+    #[test]
+    fn merge_edit_reducer_collapses_same_target_pairs() {
+        // Failure depends only on the *final* kind of net 2, so the
+        // retype chain must collapse to its last element.
+        let delta = QuadrantDelta {
+            edits: vec![
+                Edit::Retype {
+                    net: NetId::new(2),
+                    kind: NetKind::Ground,
+                },
+                Edit::Retype {
+                    net: NetId::new(2),
+                    kind: NetKind::Power,
+                },
+            ],
+        };
+        let (shrunk, _) = shrink_replan_delta(delta, String::new(), |d| {
+            matches!(
+                d.edits.last(),
+                Some(Edit::Retype {
+                    kind: NetKind::Power,
+                    ..
+                })
+            )
+            .then(String::new)
+        });
+        assert_eq!(shrunk.edits.len(), 1);
+    }
+
+    #[test]
+    fn cancelling_add_remove_pairs_vanish() {
+        let delta = QuadrantDelta {
+            edits: vec![
+                Edit::Remove(NetId::new(7)),
+                Edit::Add {
+                    net: NetId::new(42),
+                    row: 1,
+                    at: 0,
+                },
+                Edit::Remove(NetId::new(42)),
+            ],
+        };
+        // Failure only requires Remove(7); the add/remove pair is noise
+        // that the merge pass may eliminate in one step.
+        let (shrunk, _) = shrink_replan_delta(delta, String::new(), |d| {
+            d.edits
+                .iter()
+                .any(|e| matches!(e, Edit::Remove(n) if *n == NetId::new(7)))
+                .then(String::new)
+        });
+        assert_eq!(shrunk.edits, vec![Edit::Remove(NetId::new(7))]);
+    }
+}

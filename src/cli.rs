@@ -7,9 +7,11 @@
 //! ```text
 //! copack gen <1..=5>                       write a Table 1 circuit file
 //! copack plan <circuit> [options]          assign (and optionally exchange)
+//! copack replan <circuit> --prev PLAN --delta EDITS
+//!                                          incrementally re-plan after an ECO
 //! copack route <circuit> <assignment>      analyse a routing
 //! copack ir <circuit> <assignment>         solve the IR-drop map
-//! copack check <circuit>                   run the five invariant oracles
+//! copack check <circuit>                   run the six invariant oracles
 //! copack fuzz [--budget-secs N]            fuzz the oracles over generated
 //!                                          instances, shrinking failures
 //! copack serve [--addr HOST:PORT]          run the resident planning daemon
@@ -25,12 +27,13 @@ use std::io::BufWriter;
 use std::path::Path;
 
 use copack_core::{
-    assign, exchange, exchange_portfolio_traced, exchange_traced, plan_package,
-    plan_package_traced, AssignMethod, Codesign, ExchangeConfig, PortfolioConfig,
+    apply_delta, assign, exchange, exchange_portfolio_traced, exchange_traced, exchange_warm,
+    plan_package, plan_package_traced, AssignMethod, CancelToken, Codesign, CostWeights,
+    ExchangeConfig, PortfolioConfig,
 };
 use copack_gen::circuit;
 use copack_geom::{Package, StackConfig};
-use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadrant};
+use copack_io::{parse_assignment, parse_delta, parse_quadrant, write_assignment, write_quadrant};
 use copack_obs::{Event, JsonlSink, NoopRecorder, Recorder, TraceBuffer, TraceSummary};
 use copack_power::GridSpec;
 use copack_route::{analyze, balanced_density_map, DensityModel};
@@ -54,8 +57,9 @@ USAGE:
 
   copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
               [--slack N] [--exchange] [--psi N] [--starts K]
-              [--prune-margin F] [--out FILE] [--svg FILE] [--package]
-              [--threads N] [--trace FILE] [--metrics]
+              [--prune-margin F] [--margin-weight F] [--out FILE]
+              [--svg FILE] [--package] [--threads N] [--trace FILE]
+              [--metrics]
       Run the congestion-driven assignment (default: dfa) and optionally
       the IR-drop-aware exchange step; print the routing report.
       With --starts K > 1 the exchange runs as a multi-start portfolio:
@@ -67,7 +71,23 @@ USAGE:
       uniform package and report the package-level IR-drop and cut-line
       congestion; --threads caps the worker threads (0 = available
       parallelism, 1 = serial; the result is identical for every thread
-      count).
+      count). --margin-weight adds the weighted net-separation margin
+      term to the exchange cost (0, the default, leaves it off).
+
+  copack replan <circuit-file> --prev ASSIGNMENT --delta EDITS
+                [--psi N] [--xseed N] [--margin-weight F] [--out FILE]
+                [--trace FILE] [--metrics]
+      Incrementally re-plan after an ECO. <circuit-file> is the base
+      (pre-edit) circuit, --prev its planned assignment (`copack plan
+      --out` format), --delta the edit list (`.edits` format). When the
+      delta does not touch this quadrant the previous plan is reused
+      verbatim — the --out file is byte-identical to --prev and no
+      annealing work runs (the trace proves it: `replan_start` with
+      dirty 0 plus one `quadrant_reused`). A dirty quadrant applies its
+      edits, repairs the previous assignment onto the edited netlist,
+      and re-anneals from that warm start; the result lands in the same
+      feasibility class as a from-scratch plan, with its cost inside
+      the `replan_vs_scratch` oracle's band.
 
   copack route <circuit-file> <assignment-file> [--svg FILE]
       Check legality and print density/wirelength analysis.
@@ -77,9 +97,10 @@ USAGE:
       Solve the finite-difference IR-drop model for the power pads.
 
   copack check <circuit-file> [--psi N] [--trace FILE] [--metrics]
-      Run the five invariant oracles (monotonicity, density,
-      ir-cross-check, determinism, cost-ledger) on the circuit and print
-      the verdict table; exits non-zero if any oracle fails.
+      Run the six invariant oracles (monotonicity, density,
+      ir-cross-check, determinism, cost-ledger, replan_vs_scratch) on
+      the circuit and print the verdict table; exits non-zero if any
+      oracle fails.
 
   copack fuzz [--budget-secs N] [--cases N] [--seed S] [--corpus DIR]
               [--trace FILE] [--metrics]
@@ -108,7 +129,8 @@ USAGE:
 
   copack submit <circuit-file> [--addr HOST:PORT] [--method dfa|ifa|random]
                 [--seed N] [--slack N] [--exchange] [--psi N] [--xseed N]
-                [--starts K] [--prune-margin F] [--timeout-ms N]
+                [--starts K] [--prune-margin F] [--margin-weight F]
+                [--prev FILE] [--timeout-ms N]
                 [--class interactive|bulk] [--out FILE]
       Submit one planning job to a running daemon and print its report.
       The planning flags mirror `copack plan`; --xseed seeds the exchange
@@ -116,7 +138,11 @@ USAGE:
       daemon's cache key), --timeout-ms overrides the daemon's default
       budget, --class picks the admission class (interactive jobs are
       prioritised, bulk jobs never starve; the result is identical
-      either way). --out writes the assignment file (byte-identical to
+      either way). --prev FILE ships a previous assignment so the
+      daemon warm-starts the exchange from it (an incremental replan of
+      one quadrant); --margin-weight sets the net-separation margin
+      term. Both join the cache key only when they can change the
+      result. --out writes the assignment file (byte-identical to
       `copack plan --out`).
 
   copack batch <dir> [--addr HOST:PORT] [--class interactive|bulk]
@@ -155,6 +181,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match it.next() {
         Some("gen") => cmd_gen(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
+        Some("replan") => cmd_replan(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("ir") => cmd_ir(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
@@ -174,7 +201,10 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 27] = [
+const VALUED: [&str; 30] = [
+    "--prev",
+    "--delta",
+    "--margin-weight",
     "--family",
     "--size",
     "--starts",
@@ -314,6 +344,31 @@ fn load_assignment(path: &str) -> Result<copack_geom::Assignment, String> {
     Ok(parse_assignment(&text)
         .map_err(|e| format!("{path}: {e}"))?
         .1)
+}
+
+/// Parses `--margin-weight`, the weight of the net-separation margin
+/// term in the exchange cost. Zero — the default — leaves the term off,
+/// so every pre-existing invocation is unchanged.
+fn margin_weight(opts: &Options) -> Result<f64, String> {
+    let weight: f64 = opts.num("margin-weight", 0.0)?;
+    if weight.is_nan() || weight < 0.0 {
+        return Err("--margin-weight expects a non-negative number".to_owned());
+    }
+    Ok(weight)
+}
+
+/// Builds the exchange configuration shared by `plan` and `replan`:
+/// defaults plus the `--xseed` seed and `--margin-weight` cost term.
+fn exchange_config(opts: &Options) -> Result<ExchangeConfig, String> {
+    let weights = CostWeights {
+        margin: margin_weight(opts)?,
+        ..CostWeights::default()
+    };
+    Ok(ExchangeConfig {
+        seed: opts.num("xseed", ExchangeConfig::default().seed)?,
+        weights,
+        ..ExchangeConfig::default()
+    })
 }
 
 fn maybe_write(path: Option<&str>, content: &str, out: &mut String) -> Result<(), String> {
@@ -458,6 +513,7 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         if starts == 0 {
             return Err("--starts expects at least 1 start".to_owned());
         }
+        let xconfig = exchange_config(&opts)?;
         let result = if starts > 1 {
             let portfolio = PortfolioConfig {
                 starts,
@@ -470,7 +526,7 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
                     &quadrant,
                     &assignment,
                     &stack,
-                    &ExchangeConfig::default(),
+                    &xconfig,
                     &portfolio,
                     &mut t.buffer,
                 ),
@@ -478,7 +534,7 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
                     &quadrant,
                     &assignment,
                     &stack,
-                    &ExchangeConfig::default(),
+                    &xconfig,
                     &portfolio,
                     &mut NoopRecorder,
                 ),
@@ -496,14 +552,8 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
             won.result
         } else {
             match telemetry.as_mut() {
-                Some(t) => exchange_traced(
-                    &quadrant,
-                    &assignment,
-                    &stack,
-                    &ExchangeConfig::default(),
-                    &mut t.buffer,
-                ),
-                None => exchange(&quadrant, &assignment, &stack, &ExchangeConfig::default()),
+                Some(t) => exchange_traced(&quadrant, &assignment, &stack, &xconfig, &mut t.buffer),
+                None => exchange(&quadrant, &assignment, &stack, &xconfig),
             }
             .map_err(|e| e.to_string())?
         };
@@ -533,6 +583,112 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         let svg = routing_svg(&quadrant, &assignment).map_err(|e| e.to_string())?;
         maybe_write(Some(svg_path), &svg, &mut out)?;
     }
+    if let Some(t) = telemetry {
+        t.finish(&mut out);
+    }
+    Ok(out)
+}
+
+fn cmd_replan(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let [path] = opts.positional.as_slice() else {
+        return Err(format!("replan expects one circuit file\n\n{USAGE}"));
+    };
+    let prev_path = opts
+        .value("prev")
+        .ok_or_else(|| format!("replan needs --prev ASSIGNMENT-FILE\n\n{USAGE}"))?;
+    let delta_path = opts
+        .value("delta")
+        .ok_or_else(|| format!("replan needs --delta EDITS-FILE\n\n{USAGE}"))?;
+    let (name, base) = load_quadrant(path)?;
+    let prev_text = fs::read_to_string(prev_path).map_err(|e| format!("{prev_path}: {e}"))?;
+    let (_, previous) = parse_assignment(&prev_text).map_err(|e| format!("{prev_path}: {e}"))?;
+    let delta_text = fs::read_to_string(delta_path).map_err(|e| format!("{delta_path}: {e}"))?;
+    let (_, delta) = parse_delta(&delta_text).map_err(|e| format!("{delta_path}: {e}"))?;
+    let mut telemetry = Telemetry::from_options(&opts)?;
+
+    let mut out = String::new();
+    if delta.is_clean(&name) {
+        // Untouched quadrant: reuse the previous plan verbatim. Nothing
+        // is re-annealed — the only trace is the replan bookkeeping —
+        // and --out gets the previous file's bytes, not a re-render, so
+        // reuse is bit-for-bit.
+        if let Some(t) = telemetry.as_mut() {
+            t.buffer.record(&Event::ReplanStart {
+                quadrants: 1,
+                dirty: 0,
+            });
+            t.buffer.record(&Event::QuadrantReused {
+                name: name.clone(),
+                tier: "previous".to_owned(),
+            });
+        }
+        let _ = writeln!(
+            out,
+            "{name}: replan 0/1 quadrants dirty; previous plan reused"
+        );
+        let _ = writeln!(out, "order: {previous}");
+        maybe_write(opts.value("out"), &prev_text, &mut out)?;
+        if let Some(t) = telemetry {
+            t.finish(&mut out);
+        }
+        return Ok(out);
+    }
+
+    let quadrant_delta = delta
+        .get(&name)
+        .expect("a dirty instance lists this quadrant");
+    let edited = apply_delta(&base, quadrant_delta).map_err(|e| format!("{delta_path}: {e}"))?;
+    let psi = opts.num("psi", 1u8)?;
+    let stack = if psi <= 1 {
+        StackConfig::planar()
+    } else {
+        StackConfig::stacked(psi).map_err(|e| e.to_string())?
+    };
+    let config = exchange_config(&opts)?;
+    if let Some(t) = telemetry.as_mut() {
+        t.buffer.record(&Event::ReplanStart {
+            quadrants: 1,
+            dirty: 1,
+        });
+    }
+    let mut noop = NoopRecorder;
+    let recorder: &mut dyn Recorder = match telemetry.as_mut() {
+        Some(t) => &mut t.buffer,
+        None => &mut noop,
+    };
+    let result = exchange_warm(
+        &edited,
+        &previous,
+        &stack,
+        &config,
+        recorder,
+        &CancelToken::new(),
+    )
+    .map_err(|e| e.to_string())?;
+    let assignment = result.assignment;
+    let report =
+        analyze(&edited, &assignment, DensityModel::Geometric).map_err(|e| e.to_string())?;
+    if let Some(t) = telemetry.as_mut() {
+        t.buffer.record(&Event::RoutingEvaluated {
+            max_density: report.max_density,
+            total_wirelength: report.total_wirelength,
+        });
+    }
+    // Same verb line the daemon's replan executor prints, so served
+    // replans stay byte-identical to local ones.
+    let _ = writeln!(out, "{name}: replan 1/1 quadrants dirty");
+    let _ = writeln!(
+        out,
+        "{name}: after replan (cost {:.4} -> {:.4}) -> {report}",
+        result.stats.initial_cost, result.stats.final_cost
+    );
+    let _ = writeln!(out, "order: {assignment}");
+    maybe_write(
+        opts.value("out"),
+        &write_assignment(&name, &assignment),
+        &mut out,
+    )?;
     if let Some(t) = telemetry {
         t.finish(&mut out);
     }
@@ -688,6 +844,13 @@ fn cmd_fuzz(args: &[String]) -> Result<String, String> {
                 f.quadrant.row_count(),
                 f.config.exchange_seed
             );
+            if let Some(delta) = &f.delta {
+                let _ = writeln!(
+                    out,
+                    "  delta: {} edits (replan reproducer)",
+                    delta.edits.len()
+                );
+            }
             match &f.reproducer {
                 Some(p) => {
                     let _ = writeln!(out, "  reproducer: {}", p.display());
@@ -695,6 +858,9 @@ fn cmd_fuzz(args: &[String]) -> Result<String, String> {
                 None => {
                     let _ = writeln!(out, "  reproducer: not written (pass --corpus DIR)");
                 }
+            }
+            if let Some(p) = &f.edits_file {
+                let _ = writeln!(out, "  edits: {}", p.display());
             }
         }
     }
@@ -738,6 +904,10 @@ fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, Str
     if prune_margin.is_nan() || prune_margin < 0.0 {
         return Err("--prune-margin expects a non-negative number".to_owned());
     }
+    let prev = match opts.value("prev") {
+        None => None,
+        Some(p) => Some(fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
+    };
     Ok(JobSpec {
         circuit,
         method,
@@ -746,6 +916,8 @@ fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, Str
         exchange_seed: opts.num("xseed", ExchangeConfig::default().seed)?,
         starts,
         prune_margin_bits: prune_margin.to_bits(),
+        prev,
+        margin_bits: margin_weight(opts)?.to_bits(),
         timeout_ms,
         class: job_class_from_options(opts)?,
     })
@@ -1332,7 +1504,7 @@ mod tests {
         let circuit_path = dir.path("c1.copack");
         fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
         let out = run(&s(&["check", circuit_path.to_str().unwrap()])).unwrap();
-        assert!(out.contains("5/5 oracles passed"), "{out}");
+        assert!(out.contains("6/6 oracles passed"), "{out}");
         for oracle in copack_verify::ORACLE_NAMES {
             assert!(out.contains(oracle), "{oracle} missing from {out}");
         }
@@ -1354,7 +1526,7 @@ mod tests {
             trace_path.to_str().unwrap(),
         ]))
         .unwrap();
-        assert!(out.contains("5/5"), "{out}");
+        assert!(out.contains("6/6"), "{out}");
         let text = fs::read_to_string(&trace_path).unwrap();
         assert_eq!(
             text.matches(r#""ev":"oracle""#).count(),
@@ -1362,6 +1534,154 @@ mod tests {
             "{text}"
         );
         assert!(text.contains(r#""passed":true"#), "{text}");
+    }
+
+    /// Plans circuit 1 into `prev`, returning the written bytes.
+    fn plan_previous(dir: &TestDir) -> (std::path::PathBuf, std::path::PathBuf, String) {
+        let circuit = dir.path("c1.copack");
+        fs::write(&circuit, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let prev = dir.path("c1.order");
+        run(&s(&[
+            "plan",
+            circuit.to_str().unwrap(),
+            "--exchange",
+            "--out",
+            prev.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let prev_bytes = fs::read_to_string(&prev).unwrap();
+        (circuit, prev, prev_bytes)
+    }
+
+    #[test]
+    fn replan_validates_its_arguments() {
+        let dir = TestDir::new("replan_args");
+        let (circuit, prev, _) = plan_previous(&dir);
+        assert!(run(&s(&["replan"]))
+            .unwrap_err()
+            .contains("replan expects one circuit file"));
+        assert!(run(&s(&["replan", circuit.to_str().unwrap()]))
+            .unwrap_err()
+            .contains("--prev"));
+        assert!(run(&s(&[
+            "replan",
+            circuit.to_str().unwrap(),
+            "--prev",
+            prev.to_str().unwrap(),
+        ]))
+        .unwrap_err()
+        .contains("--delta"));
+    }
+
+    #[test]
+    fn replan_reuses_the_previous_plan_bit_for_bit_on_a_clean_delta() {
+        let dir = TestDir::new("replan_clean");
+        let (circuit, prev, prev_bytes) = plan_previous(&dir);
+        let edits = dir.path("noop.edits");
+        fs::write(
+            &edits,
+            copack_io::write_delta("circuit1", &copack_core::InstanceDelta::default()),
+        )
+        .unwrap();
+        let out_path = dir.path("replanned.order");
+        let trace_path = dir.path("replan.jsonl");
+        let out = run(&s(&[
+            "replan",
+            circuit.to_str().unwrap(),
+            "--prev",
+            prev.to_str().unwrap(),
+            "--delta",
+            edits.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("0/1 quadrants dirty"), "{out}");
+        assert!(out.contains("previous plan reused"), "{out}");
+        // Bit-for-bit reuse of the previous plan file.
+        assert_eq!(fs::read_to_string(&out_path).unwrap(), prev_bytes);
+        // The trace proves zero annealing work happened: only the
+        // replan bookkeeping, no exchange run events.
+        let text = fs::read_to_string(&trace_path).unwrap();
+        assert!(text.contains(r#""ev":"replan_start""#), "{text}");
+        assert!(text.contains(r#""dirty":0"#), "{text}");
+        assert!(text.contains(r#""ev":"quadrant_reused""#), "{text}");
+        assert!(text.contains(r#""tier":"previous""#), "{text}");
+        assert!(!text.contains(r#""ev":"run_start""#), "{text}");
+    }
+
+    #[test]
+    fn replan_reanneals_a_dirty_quadrant_deterministically() {
+        let dir = TestDir::new("replan_dirty");
+        let (circuit, prev, _) = plan_previous(&dir);
+        // A standard-churn ECO expressed as a diffed delta file.
+        let (_, base) = parse_quadrant(&fs::read_to_string(&circuit).unwrap()).unwrap();
+        let churned = copack_gen::churn(&base, 7, copack_gen::STANDARD_CHURN).unwrap();
+        let qdelta = copack_core::diff_quadrant(&base, &churned);
+        assert!(!qdelta.is_empty());
+        let delta = copack_core::InstanceDelta {
+            quadrants: vec![("circuit1".to_owned(), qdelta)],
+        };
+        let edits = dir.path("eco.edits");
+        fs::write(&edits, copack_io::write_delta("circuit1", &delta)).unwrap();
+        let out_path = dir.path("replanned.order");
+        let args = s(&[
+            "replan",
+            circuit.to_str().unwrap(),
+            "--prev",
+            prev.to_str().unwrap(),
+            "--delta",
+            edits.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ]);
+        let out = run(&args).unwrap();
+        assert!(out.contains("1/1 quadrants dirty"), "{out}");
+        assert!(out.contains("after replan (cost "), "{out}");
+        // The written assignment is for the *edited* netlist.
+        let replanned = load_assignment(out_path.to_str().unwrap()).unwrap();
+        assert_eq!(replanned.finger_count(), churned.finger_count());
+        // Deterministic: a second run is byte-identical.
+        assert_eq!(run(&args).unwrap(), out);
+    }
+
+    #[test]
+    fn margin_weight_is_validated_and_changes_the_cost_ledger() {
+        let dir = TestDir::new("margin");
+        let circuit_path = dir.path("c1.copack");
+        fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        assert!(run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+            "--margin-weight",
+            "-1",
+        ]))
+        .unwrap_err()
+        .contains("--margin-weight"));
+        // Weight 0 (default) is byte-identical to omitting the flag.
+        let plain = run(&s(&["plan", circuit_path.to_str().unwrap(), "--exchange"])).unwrap();
+        let zero = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+            "--margin-weight",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(plain, zero);
+        // A non-zero weight changes the annealer's cost surface.
+        let weighted = run(&s(&[
+            "plan",
+            circuit_path.to_str().unwrap(),
+            "--exchange",
+            "--margin-weight",
+            "5.0",
+        ]))
+        .unwrap();
+        assert_ne!(plain, weighted);
     }
 
     #[test]

@@ -33,8 +33,17 @@ fn table3_output_is_bit_identical_to_the_golden() {
     assert_eq!(copack_bench::table3_report(), golden("table3.txt"));
 }
 
+/// The A8 margin ablation is pinned too: its μ = 0 column runs the
+/// annealer with the margin term disabled, so this golden doubles as
+/// the bit-identity proof that adding the term did not perturb the
+/// default flow.
+#[test]
+fn margin_ablation_is_bit_identical_to_the_golden() {
+    assert_eq!(copack_bench::margin_report(), golden("margin.txt"));
+}
+
 /// The `copack check` verdict table of every Table 1 circuit is pinned:
-/// all five oracles pass, and the detail lines (accepted-move counts,
+/// all six oracles pass, and the detail lines (accepted-move counts,
 /// pad counts, Eq. 2 `ID`) are seeded and therefore byte-stable.
 /// Regenerate with
 /// `for n in 1 2 3 4 5; do copack gen $n --out c.copack && copack check c.copack; done`

@@ -105,6 +105,7 @@ fn stacking_pipeline_improves_bonding_wires() {
         lambda: 100.0,
         rho: 1.0,
         phi: 2.0,
+        margin: 0.0,
     };
     let report = flow.run(&q).expect("pipeline");
     assert!(

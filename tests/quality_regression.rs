@@ -20,12 +20,15 @@
 use std::fmt::Write as _;
 
 use copack::core::{
-    assign, exchange_portfolio, AssignMethod, Codesign, ExchangeConfig, PortfolioConfig, Schedule,
+    assign, exchange, exchange_portfolio, exchange_warm, AssignMethod, CancelToken, Codesign,
+    ExchangeConfig, PortfolioConfig, Schedule,
 };
-use copack::gen::circuits;
+use copack::gen::{churn, circuits, STANDARD_CHURN};
 use copack::geom::StackConfig;
+use copack::obs::NoopRecorder;
 use copack::power::GridSpec;
 use copack::route::{analyze, DensityModel};
+use copack::verify::REPLAN_TOLERANCE;
 
 /// Seeds for the random-assignment baseline (same set Table 2's harness
 /// averages over).
@@ -283,6 +286,95 @@ fn table1_quality_stays_inside_the_pinned_bands() {
     assert!(
         failed == 0,
         "{failed} quality metric(s) left their pinned band:\n{}",
+        verdict_table(&checks)
+    );
+}
+
+/// Replan quality bands under the standard 10%-net-churn ECO: on every
+/// Table 1 circuit the warm replan must land in the same feasibility
+/// class as a from-scratch plan of the edited instance (both legal,
+/// both analysed), with its final cost inside the `replan_vs_scratch`
+/// oracle's band and its routing density inside a pinned range. The
+/// ratio metric is `warm / (scratch + slack)` where slack is one
+/// discrete cost quantum (ρ + φ) — the same absolute allowance the
+/// oracle grants tiny near-zero-cost instances.
+#[test]
+fn replan_quality_stays_inside_the_pinned_bands_on_every_circuit() {
+    // Recorded worst-case ratios at these seeds sit well under 1.0 on
+    // every circuit (the warm start usually *wins*); the band tops out
+    // at the oracle's multiplicative tolerance.
+    let ratio_band = band(0.0, REPLAN_TOLERANCE);
+    // Post-replan density: same range the post-exchange bands allow,
+    // with one extra unit for the churned (slightly different) netlist.
+    let density_band = band(4.0, 10.0);
+
+    let base_config = fast_flow().exchange;
+    let slack = base_config.weights.rho + base_config.weights.phi;
+    let mut checks: Vec<Check> = Vec::new();
+
+    for (c, reference) in circuits().iter().zip(&REFERENCES) {
+        let q = c.build_quadrant().expect("circuit builds");
+        let mut worst_ratio: f64 = 0.0;
+        let mut density_after = 0.0;
+
+        for &seed in &EXCHANGE_SEEDS {
+            let mut config = base_config.clone();
+            config.seed = seed;
+
+            // The previous plan of the pre-edit instance.
+            let initial = assign(&q, AssignMethod::dfa_default()).expect("dfa");
+            let previous = exchange(&q, &initial, &StackConfig::planar(), &config)
+                .expect("baseline exchange runs")
+                .assignment;
+
+            // The ECO: standard churn, keyed off the exchange seed.
+            let edited = churn(&q, seed, STANDARD_CHURN).expect("churn applies");
+
+            // Warm replan vs from-scratch plan of the edited instance.
+            let warm = exchange_warm(
+                &edited,
+                &previous,
+                &StackConfig::planar(),
+                &config,
+                &mut NoopRecorder,
+                &CancelToken::new(),
+            )
+            .expect("warm replan runs");
+            let scratch_initial = assign(&edited, AssignMethod::dfa_default()).expect("dfa");
+            let scratch = exchange(&edited, &scratch_initial, &StackConfig::planar(), &config)
+                .expect("scratch exchange runs");
+
+            // Same feasibility class: both plans are complete and legal
+            // (analyze rejects anything else).
+            let warm_report =
+                analyze(&edited, &warm.assignment, DensityModel::Geometric).expect("warm is legal");
+            analyze(&edited, &scratch.assignment, DensityModel::Geometric)
+                .expect("scratch is legal");
+
+            let ratio = warm.stats.final_cost / (scratch.stats.final_cost + slack);
+            worst_ratio = worst_ratio.max(ratio);
+            density_after += f64::from(warm_report.max_density);
+        }
+        density_after /= EXCHANGE_SEEDS.len() as f64;
+
+        checks.push(Check {
+            circuit: reference.name,
+            metric: "replan cost ratio",
+            actual: worst_ratio,
+            band: ratio_band,
+        });
+        checks.push(Check {
+            circuit: reference.name,
+            metric: "replan density",
+            actual: density_after,
+            band: density_band,
+        });
+    }
+
+    let failed = checks.iter().filter(|c| !c.passes()).count();
+    assert!(
+        failed == 0,
+        "{failed} replan metric(s) left their pinned band:\n{}",
         verdict_table(&checks)
     );
 }
