@@ -81,6 +81,35 @@ impl Schedule {
         // cooling^k < final_ratio  ⇒  k > ln(final)/ln(cooling)
         (self.final_temp_ratio.ln() / self.cooling.ln()).ceil() as usize
     }
+
+    /// The schedule truncated to its first `steps` temperature steps —
+    /// the auto-tuner's early-stop hook.
+    ///
+    /// Everything that shapes the move stream (initial temperature,
+    /// cooling, moves per step, and therefore the per-move RNG draws) is
+    /// unchanged; only the stop threshold moves. An exchange run under
+    /// the prefix schedule is therefore an **exact prefix** of the full
+    /// run: same moves proposed, same moves accepted, same best-so-far
+    /// trajectory over the shared steps (property-tested in
+    /// `copack-tune`). That is what makes early signals honest — they
+    /// observe the real run, not a perturbed one.
+    ///
+    /// The threshold lands half a cooling step past step `steps`
+    /// (`cooling^(steps − ½)`), so float rounding in the temperature
+    /// recurrence can never shift the stop by a step. `steps` is clamped
+    /// to `1..=temperature_steps()`.
+    #[must_use]
+    pub fn prefix(&self, steps: usize) -> Self {
+        let full = self.temperature_steps();
+        let steps = steps.clamp(1, full.max(1));
+        if steps >= full {
+            return *self;
+        }
+        Self {
+            final_temp_ratio: self.cooling.powf(steps as f64 - 0.5),
+            ..*self
+        }
+    }
 }
 
 impl Default for Schedule {
@@ -135,6 +164,25 @@ mod tests {
         assert!(s.is_valid());
         let steps = s.temperature_steps();
         assert!((40..400).contains(&steps), "{steps}");
+    }
+
+    #[test]
+    fn prefix_runs_exactly_the_requested_steps() {
+        let s = Schedule::default();
+        let full = s.temperature_steps();
+        for steps in [1, 2, full / 2, full - 1] {
+            let p = s.prefix(steps);
+            assert!(p.is_valid(), "{p:?}");
+            assert_eq!(p.temperature_steps(), steps, "prefix({steps})");
+            // Only the stop threshold may differ.
+            assert_eq!(p.cooling, s.cooling);
+            assert_eq!(p.initial_temp_factor, s.initial_temp_factor);
+            assert_eq!(p.moves_per_temp_per_finger, s.moves_per_temp_per_finger);
+        }
+        // At or past the full length the schedule is returned unchanged.
+        assert_eq!(s.prefix(full), s);
+        assert_eq!(s.prefix(full + 10), s);
+        assert_eq!(s.prefix(0).temperature_steps(), 1);
     }
 
     #[test]

@@ -84,6 +84,23 @@ impl QuadrantDelta {
     pub fn is_empty(&self) -> bool {
         self.edits.is_empty()
     }
+
+    /// Whether applying this delta to `base` leaves it unchanged —
+    /// either no edits at all, or edits that cancel out (an ECO drafted,
+    /// backed out, and still resubmitted). Replan paths use this to
+    /// return the previous plan verbatim instead of repairing and
+    /// re-annealing a quadrant that did not actually change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`apply_delta`]'s errors for edits that cannot be
+    /// interpreted against `base`.
+    pub fn is_noop_for(&self, base: &Quadrant) -> Result<bool, CoreError> {
+        if self.is_empty() {
+            return Ok(true);
+        }
+        Ok(apply_delta(base, self)? == *base)
+    }
 }
 
 /// Per-quadrant deltas of one planning instance, keyed by quadrant
@@ -182,6 +199,20 @@ pub fn diff_quadrant(a: &Quadrant, b: &Quadrant) -> QuadrantDelta {
     if inherited != b.finger_count() {
         edits.push(Edit::Fingers(b.finger_count()));
     }
+    QuadrantDelta { edits }
+}
+
+/// A non-empty delta that provably changes nothing: the edits turning
+/// `a` into `b` followed by the edits turning `b` back into `a`. This is
+/// the test/bench vocabulary for the "empty-but-resubmitted" replan
+/// case — a delta whose edit list is non-trivial but whose net effect
+/// is zero, which [`QuadrantDelta::is_noop_for`] must detect so the
+/// replanner can skip repair entirely. Returns the empty delta when
+/// `a == b` (there is nothing to cancel).
+#[must_use]
+pub fn cancelling_delta(a: &Quadrant, b: &Quadrant) -> QuadrantDelta {
+    let mut edits = diff_quadrant(a, b).edits;
+    edits.extend(diff_quadrant(b, a).edits);
     QuadrantDelta { edits }
 }
 
@@ -332,6 +363,35 @@ mod tests {
         let d = diff_quadrant(&a, &a);
         assert!(d.is_empty(), "{d:?}");
         assert_eq!(apply_delta(&a, &d).unwrap(), a);
+    }
+
+    #[test]
+    fn cancelling_edits_are_noop_but_not_empty() {
+        let a = base();
+        // A realistic backed-out ECO: add a net, retype one, then revert
+        // both — expressed through the round-trip composition.
+        let b = Quadrant::builder()
+            .row([10u32, 2, 4, 7, 0])
+            .row([1u32, 3, 5, 8, 12])
+            .row([11u32, 6, 9])
+            .net_kind(10u32, NetKind::Ground)
+            .net_tier(3u32, TierId::new(2))
+            .build()
+            .unwrap();
+        let d = cancelling_delta(&a, &b);
+        assert!(!d.is_empty(), "{d:?}");
+        assert!(d.is_noop_for(&a).unwrap());
+        assert_eq!(apply_delta(&a, &d).unwrap(), a);
+        // The same edit list against the *other* endpoint is not a noop.
+        assert!(!diff_quadrant(&a, &b).is_noop_for(&a).unwrap());
+        // And identical endpoints cancel to the empty delta.
+        assert!(cancelling_delta(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn empty_delta_is_noop_without_applying() {
+        let a = base();
+        assert!(QuadrantDelta::default().is_noop_for(&a).unwrap());
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub use anneal::{Acceptance, Schedule};
 pub use bondwire::{bondwire_lengths, total_bondwire};
 pub use cancel::CancelToken;
 pub use config::{AssignMethod, CostWeights, ExchangeConfig, IrObjective};
-pub use delta::{apply_delta, diff_quadrant, Edit, InstanceDelta, QuadrantDelta};
+pub use delta::{apply_delta, cancelling_delta, diff_quadrant, Edit, InstanceDelta, QuadrantDelta};
 pub use dfa::dfa;
 pub use error::CoreError;
 pub use exchange::{

@@ -53,5 +53,5 @@ pub use fuzz::{fuzz_case, FuzzCase, SplitMix64};
 pub use large::{large_circuit, large_circuits, large_fuzz_case, LargeSpec, LARGE_SIZES};
 pub use netmix::NetMix;
 pub use rows::{row_sizes, row_sizes_with, RowProfile};
-pub use sweep::{finger_count_sweep, row_depth_sweep};
+pub use sweep::{finger_count_sweep, row_depth_sweep, tune_family};
 pub use table1::{circuit, circuits};

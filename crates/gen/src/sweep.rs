@@ -53,6 +53,23 @@ pub fn row_depth_sweep(fingers: usize, depths: &[usize]) -> Vec<Circuit> {
         .collect()
 }
 
+/// The auto-tuner's standard circuit family: the five Table 1 circuits
+/// plus stacked (ψ = 3) and deep-grid variants, so the family spans
+/// several instance classes (net-count buckets, tier counts, row
+/// depths) instead of collapsing into one.
+///
+/// Deterministic — no seed parameter — because the family's identity is
+/// part of a tuning run's reproducibility contract: `copack tune` over
+/// "table1" must mean the same instances on every machine.
+#[must_use]
+pub fn tune_family() -> Vec<Circuit> {
+    let mut family = crate::circuits();
+    family.push(crate::circuit(2).stacked(3));
+    family.push(crate::circuit(4).stacked(3));
+    family.extend(row_depth_sweep(96, &[6]));
+    family
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +95,24 @@ mod tests {
             assert_eq!(q.row_count(), rows);
             assert_eq!(q.net_count(), 24);
         }
+    }
+
+    #[test]
+    fn tune_family_spans_multiple_classes() {
+        let family = tune_family();
+        assert_eq!(family.len(), 8);
+        let mut shapes = std::collections::HashSet::new();
+        for c in &family {
+            let q = c.build_quadrant().unwrap();
+            shapes.insert((q.net_count(), q.row_count(), c.tiers));
+        }
+        assert!(shapes.len() >= 5, "{shapes:?}");
+        // Deterministic identity: two calls agree exactly.
+        let again = tune_family();
+        assert_eq!(
+            family.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            again.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

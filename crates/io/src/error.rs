@@ -57,6 +57,23 @@ pub enum ParseErrorKind {
         /// The directive.
         keyword: &'static str,
     },
+    /// A versioned file declared a version this build does not read.
+    VersionMismatch {
+        /// The version token found in the header.
+        found: String,
+    },
+    /// The file ended before a required trailing directive.
+    Truncated {
+        /// The directive that was expected before end of input.
+        expected: &'static str,
+    },
+    /// The file's integrity checksum does not match its content.
+    ChecksumMismatch {
+        /// The checksum the file declared.
+        declared: u64,
+        /// The checksum computed from the parsed content.
+        actual: u64,
+    },
 }
 
 impl ParseError {
@@ -88,6 +105,19 @@ impl fmt::Display for ParseError {
             ParseErrorKind::Model(e) => write!(f, "invalid model: {e}"),
             ParseErrorKind::Duplicate { keyword } => {
                 write!(f, "directive `{keyword}` given twice")
+            }
+            ParseErrorKind::VersionMismatch { found } => {
+                write!(f, "unsupported version `{found}`")
+            }
+            ParseErrorKind::Truncated { expected } => {
+                write!(f, "file truncated: missing `{expected}`")
+            }
+            ParseErrorKind::ChecksumMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: file declares 0x{declared:016x}, content hashes to \
+                     0x{actual:016x}"
+                )
             }
         }
     }

@@ -8,7 +8,9 @@
 //!   ball rows (bottom-up), and per-net kind/tier overrides;
 //! * the **assignment format** stores a finger order for a named circuit;
 //! * the **delta format** (`.edits`) is an ECO edit script — per-quadrant
-//!   edit lists consumed by `copack replan --delta`.
+//!   edit lists consumed by `copack replan --delta`;
+//! * the **tune format** (`.tune`) is a versioned, checksummed tuning
+//!   profile emitted by `copack tune` and loaded via `--profile`.
 //!
 //! Both formats are line-based, `#`-commented, and round-trip exactly
 //! (`parse(write(x)) == x`, property-tested).
@@ -47,6 +49,7 @@ mod canonical;
 mod circuit_format;
 mod delta_format;
 mod error;
+mod tune_format;
 
 pub use assignment_format::{parse_assignment, write_assignment};
 pub use canonical::{
@@ -55,3 +58,6 @@ pub use canonical::{
 pub use circuit_format::{parse_quadrant, write_quadrant};
 pub use delta_format::{parse_delta, write_delta};
 pub use error::{ParseError, ParseErrorKind};
+pub use tune_format::{
+    classify_quadrant, parse_tune, write_tune, ClassConfig, ClassKey, TuneProfile, TUNE_VERSION,
+};

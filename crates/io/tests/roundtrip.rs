@@ -1,7 +1,10 @@
 //! Property tests: the text formats round-trip arbitrary valid models.
 
 use copack_geom::{Assignment, FingerIdx, NetKind, Quadrant, TierId};
-use copack_io::{parse_assignment, parse_quadrant, write_assignment, write_quadrant};
+use copack_io::{
+    parse_assignment, parse_quadrant, parse_tune, write_assignment, write_quadrant, write_tune,
+    ClassConfig, ClassKey, TuneProfile,
+};
 use proptest::prelude::*;
 
 fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
@@ -45,6 +48,84 @@ fn quadrant_strategy() -> impl Strategy<Value = Quadrant> {
         })
 }
 
+/// A finite `f64` with the full bit-pattern range the hex encoding must
+/// preserve (subnormals, negative zero, huge magnitudes). Non-finite
+/// bit patterns have their top exponent bit cleared, which lands on a
+/// finite value while keeping sign and mantissa arbitrary.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let value = f64::from_bits(bits);
+        if value.is_finite() {
+            value
+        } else {
+            f64::from_bits(bits & !(1u64 << 62))
+        }
+    })
+}
+
+fn class_config_strategy() -> impl Strategy<Value = ClassConfig> {
+    (
+        (finite_f64(), finite_f64(), finite_f64(), any::<u32>()),
+        (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
+        (any::<u32>(), finite_f64()),
+    )
+        .prop_map(
+            |(
+                (cooling, initial_temp_factor, final_temp_ratio, moves_per_temp),
+                (lambda, rho, phi, margin),
+                (starts, prune_margin),
+            )| ClassConfig {
+                cooling,
+                initial_temp_factor,
+                final_temp_ratio,
+                moves_per_temp,
+                lambda,
+                rho,
+                phi,
+                margin,
+                starts,
+                prune_margin,
+            },
+        )
+}
+
+fn tune_profile_strategy() -> impl Strategy<Value = TuneProfile> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(
+            (
+                (1u32..=4096, 1u32..=128, 1u8..=8, 0u8..=100),
+                class_config_strategy(),
+            ),
+            0..=6,
+        ),
+    )
+        .prop_map(|(seed, space_fingerprint, raw)| {
+            // The writer emits classes in sorted key order; build the
+            // profile that way (deduplicated) so round-trips compare
+            // structurally equal.
+            let mut classes: Vec<(ClassKey, ClassConfig)> = Vec::new();
+            for ((nets, rows, tiers, power_pct), config) in raw {
+                let key = ClassKey {
+                    nets,
+                    rows,
+                    tiers,
+                    power_pct,
+                };
+                if !classes.iter().any(|(k, _)| *k == key) {
+                    classes.push((key, config));
+                }
+            }
+            classes.sort_by(|a, b| a.0.cmp(&b.0));
+            TuneProfile {
+                seed,
+                space_fingerprint,
+                classes,
+            }
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -84,5 +165,39 @@ proptest! {
             prop_assert_eq!(parsed.position_of(*net), a.position_of(*net));
         }
         prop_assert_eq!(parsed.net_count(), a.net_count());
+    }
+
+    #[test]
+    fn tune_profiles_round_trip_bit_exactly(profile in tune_profile_strategy()) {
+        let text = write_tune(&profile);
+        let parsed = parse_tune(&text).expect("own output parses");
+        // Every f64 travels as its IEEE-754 bit pattern, so the parsed
+        // profile is structurally equal — subnormals, -0.0 and all.
+        prop_assert_eq!(&parsed, &profile);
+        // And the round-tripped document is byte-stable.
+        prop_assert_eq!(write_tune(&parsed), text);
+    }
+
+    #[test]
+    fn corrupting_any_tune_byte_is_rejected_or_equivalent(
+        profile in tune_profile_strategy(),
+        position in any::<u64>(),
+        replacement in 0x20u8..0x7f,
+    ) {
+        let text = write_tune(&profile);
+        let mut bytes = text.clone().into_bytes();
+        let at = (position % bytes.len() as u64) as usize;
+        bytes[at] = replacement;
+        if bytes == text.as_bytes() {
+            return Ok(()); // replacement landed on the same byte
+        }
+        // A single corrupted byte must never pass silently as a
+        // *different* profile: either the checksum (or structure)
+        // rejects it, or the mutation was semantically neutral and
+        // re-serialises to the identical document.
+        match String::from_utf8(bytes).ok().map(|s| parse_tune(&s)) {
+            Some(Ok(reparsed)) => prop_assert_eq!(write_tune(&reparsed), text),
+            _ => {}
+        }
     }
 }

@@ -279,6 +279,17 @@ pub enum Event {
         /// cache tiers).
         tier: String,
     },
+    /// A dirty quadrant is about to warm-start, and this is where its
+    /// starting assignment came from.
+    QuadrantWarmed {
+        /// The quadrant's name.
+        name: String,
+        /// `"journal"` (replayed from a portfolio winner's frozen move
+        /// journal) or `"plan"` (re-parsed from the materialised
+        /// previous plan). The two are byte-equivalent by the journal
+        /// replay contract; the source records which path served it.
+        source: String,
+    },
     /// An invariant oracle (`copack-verify`) delivered a verdict.
     OracleChecked {
         /// Stable oracle name (`"monotonicity"`, `"density"`,
@@ -348,6 +359,7 @@ impl Event {
             Self::PortfolioPrune { .. } => "portfolio_prune",
             Self::ReplanStart { .. } => "replan_start",
             Self::QuadrantReused { .. } => "quadrant_reused",
+            Self::QuadrantWarmed { .. } => "quadrant_warmed",
             Self::OracleChecked { .. } => "oracle",
             Self::Note { .. } => "note",
         }
@@ -561,6 +573,12 @@ impl Event {
                 out.push_str(",\"tier\":");
                 json_str(out, tier);
             }
+            Self::QuadrantWarmed { name, source } => {
+                out.push_str(",\"name\":");
+                json_str(out, name);
+                out.push_str(",\"source\":");
+                json_str(out, source);
+            }
             Self::OracleChecked {
                 oracle,
                 passed,
@@ -702,6 +720,10 @@ mod tests {
             Event::QuadrantReused {
                 name: "north".to_owned(),
                 tier: "previous".to_owned(),
+            },
+            Event::QuadrantWarmed {
+                name: "north".to_owned(),
+                source: "journal".to_owned(),
             },
             Event::OracleChecked {
                 oracle: "density".to_owned(),

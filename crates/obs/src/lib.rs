@@ -30,12 +30,14 @@ mod buffer;
 mod event;
 mod jsonl;
 mod recorder;
+mod signals;
 mod summary;
 
 pub use buffer::TraceBuffer;
 pub use event::{Event, Solver};
 pub use jsonl::{JsonlSink, ObsError};
 pub use recorder::{FanoutRecorder, NoopRecorder, Recorder};
+pub use signals::{early_signals, EarlySignals};
 pub use summary::{
     acceptance_curve, accepted_signature, portfolio_cost_curves, replay_final_cost, residual_curve,
     split_runs, AcceptedMove, PortfolioCurve, TraceSummary,

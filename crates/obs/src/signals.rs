@@ -1,0 +1,172 @@
+//! Cheap early signals for auto-tuning, extracted from trace prefixes.
+//!
+//! `copack tune` runs each trial configuration twice: first under a
+//! **prefix schedule** (the first few temperature steps only — see
+//! `Schedule::prefix` in `copack-core`), then, if the trial survives the
+//! cut, under the full schedule. The prefix run is an exact prefix of
+//! the full run, so whatever it shows — how fast acceptance collapses,
+//! how steeply the best cost falls, how many portfolio starts were
+//! pruned — is a true observation of the real trajectory, not of a
+//! perturbed one. [`early_signals`] condenses a prefix trace into those
+//! observations; the tuner ranks trials on them and only pays full-run
+//! cost for the promising ones.
+
+use crate::event::Event;
+use crate::summary::{acceptance_curve, replay_final_cost, split_runs};
+
+/// The condensed early view of one (possibly multi-start) trial trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EarlySignals {
+    /// Mean acceptance fraction per temperature step, elementwise
+    /// across the trace's runs, truncated to the shortest run — the
+    /// early acceptance-rate trajectory.
+    pub acceptance: Vec<f64>,
+    /// Mean relative best-cost slope per temperature step across runs:
+    /// `(best − initial) / (|initial| · steps)`, so more-negative means
+    /// the anneal is finding improvement faster. Zero for traces with
+    /// no runs or no steps.
+    pub cost_slope: f64,
+    /// Portfolio starts pruned within the prefix window.
+    pub pruned_starts: u32,
+    /// Best Eq. 3 cost any run reached in the window (replayed exactly
+    /// from accepted-move events); `+∞` for an empty trace.
+    pub best_cost: f64,
+}
+
+/// Extracts [`EarlySignals`] from a captured event stream.
+///
+/// Works on any trace — a single exchange run, a merged portfolio
+/// trace, or a full-schedule trace (in which case the "early" window is
+/// simply the whole run). Deterministic: the trace merge is
+/// thread-count-invariant, so these signals are too.
+#[must_use]
+pub fn early_signals(events: &[Event]) -> EarlySignals {
+    let runs = split_runs(events);
+
+    let curves: Vec<Vec<f64>> = runs.iter().map(|r| acceptance_curve(r)).collect();
+    let shortest = curves.iter().map(Vec::len).min().unwrap_or(0);
+    let mut acceptance = Vec::with_capacity(shortest);
+    for step in 0..shortest {
+        let sum: f64 = curves.iter().map(|c| c[step]).sum();
+        acceptance.push(sum / curves.len() as f64);
+    }
+
+    let mut slope_sum = 0.0;
+    let mut slope_count = 0u32;
+    let mut best_cost = f64::INFINITY;
+    for run in &runs {
+        let Some(best) = replay_final_cost(run) else {
+            continue;
+        };
+        if best < best_cost {
+            best_cost = best;
+        }
+        let initial = run.iter().find_map(|e| match e {
+            Event::RunStart { initial_cost, .. } => Some(*initial_cost),
+            _ => None,
+        });
+        let steps = acceptance_curve(run).len();
+        if let Some(initial) = initial {
+            if steps > 0 && initial.abs() > f64::EPSILON {
+                slope_sum += (best - initial) / (initial.abs() * steps as f64);
+                slope_count += 1;
+            }
+        }
+    }
+
+    let pruned_starts = events
+        .iter()
+        .filter(|e| matches!(e, Event::PortfolioPrune { .. }))
+        .count() as u32;
+
+    EarlySignals {
+        acceptance,
+        cost_slope: if slope_count == 0 {
+            0.0
+        } else {
+            slope_sum / f64::from(slope_count)
+        },
+        pruned_starts,
+        best_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_events(initial: f64, step_costs: &[(u64, u64, f64)], accepted_to: f64) -> Vec<Event> {
+        let mut ev = vec![Event::RunStart {
+            initial_cost: initial,
+            ir_term: 0.0,
+            initial_temperature: 1.0,
+            final_temperature: 0.01,
+            cooling: 0.9,
+            moves_per_temp: 4,
+            movable_nets: 4,
+        }];
+        ev.push(Event::MoveAccepted {
+            step: 0,
+            left_slot: 1,
+            delta: accepted_to - initial,
+            cost: accepted_to,
+            ir_term: 0.0,
+            ir_changed: true,
+            uphill: false,
+        });
+        for (i, &(proposed, accepted, cost)) in step_costs.iter().enumerate() {
+            ev.push(Event::TempStep {
+                step: i as u32,
+                temperature: 1.0,
+                proposed,
+                accepted,
+                uphill_accepted: 0,
+                constraint_rejected: 0,
+                ir_noop_applied: 0,
+                cost,
+            });
+        }
+        ev.push(Event::RunEnd {
+            final_cost: accepted_to,
+            proposed: step_costs.iter().map(|s| s.0).sum(),
+            accepted: step_costs.iter().map(|s| s.1).sum(),
+            uphill_accepted: 0,
+            constraint_rejected: 0,
+            temperature_steps: step_costs.len() as u64,
+        });
+        ev
+    }
+
+    #[test]
+    fn empty_trace_yields_inert_signals() {
+        let s = early_signals(&[]);
+        assert!(s.acceptance.is_empty());
+        assert_eq!(s.cost_slope, 0.0);
+        assert_eq!(s.pruned_starts, 0);
+        assert!(s.best_cost.is_infinite());
+    }
+
+    #[test]
+    fn signals_average_across_runs() {
+        let mut events = run_events(10.0, &[(4, 4, 9.0), (4, 2, 8.0)], 8.0);
+        events.extend(run_events(10.0, &[(4, 0, 10.0), (4, 2, 9.0)], 9.0));
+        let s = early_signals(&events);
+        // Step 0: (1.0 + 0.0)/2, step 1: (0.5 + 0.5)/2.
+        assert_eq!(s.acceptance, vec![0.5, 0.5]);
+        assert_eq!(s.best_cost, 8.0);
+        // Run 1 slope: (8−10)/(10·2) = −0.1; run 2: (9−10)/(10·2) = −0.05.
+        assert!((s.cost_slope - (-0.075)).abs() < 1e-12, "{}", s.cost_slope);
+    }
+
+    #[test]
+    fn prunes_are_counted() {
+        let mut events = run_events(10.0, &[(4, 4, 9.0)], 9.0);
+        events.push(Event::PortfolioPrune {
+            start: 1,
+            epoch: 0,
+            best_cost: 11.0,
+            global_best: 9.0,
+        });
+        assert_eq!(early_signals(&events).pruned_starts, 1);
+    }
+}

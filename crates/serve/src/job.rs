@@ -13,13 +13,14 @@
 //! coalesce onto one entry.
 
 use copack_core::{
-    assign, exchange_cancellable, exchange_portfolio_cancellable, exchange_warm, AssignMethod,
-    CancelToken, CoreError, ExchangeConfig, PortfolioConfig,
+    assign, exchange_cancellable, exchange_portfolio_cancellable, exchange_warm,
+    exchange_warm_from_journal, AssignMethod, CancelToken, CoreError, ExchangeConfig,
+    PortfolioConfig,
 };
-use copack_geom::{Quadrant, StackConfig};
+use copack_geom::{Assignment, Quadrant, StackConfig};
 use copack_io::{
-    canonical_portfolio_params, canonical_quadrant_text, fnv1a64, parse_assignment,
-    write_assignment,
+    canonical_portfolio_params, canonical_quadrant_text, classify_quadrant, fnv1a64,
+    parse_assignment, write_assignment, TuneProfile,
 };
 use copack_obs::NoopRecorder;
 use copack_route::{analyze, DensityModel};
@@ -112,6 +113,15 @@ pub struct JobSpec {
     /// (`CostWeights::margin`). Bits for the same reason as
     /// `prune_margin_bits`; zero (the default) leaves the term off.
     pub margin_bits: u64,
+    /// Whether to plan under the daemon's loaded tuning profile
+    /// (`copack serve --profile`). When set, the profile's tuned
+    /// configuration for the circuit's instance class replaces the
+    /// spec's schedule/weight/portfolio tunables (the seed and `psi`
+    /// stay the spec's), and the profile fingerprint plus class key
+    /// join the cache key so tuned and untuned results never collide.
+    /// A daemon with no profile loaded rejects such jobs as bad
+    /// requests.
+    pub profile: bool,
     /// Per-job wall-clock budget; `None` uses the server default.
     pub timeout_ms: Option<u64>,
     /// Admission class (execution-only: scheduling priority, never part
@@ -133,6 +143,7 @@ impl JobSpec {
             prune_margin_bits: PortfolioConfig::default().prune_margin.to_bits(),
             prev: None,
             margin_bits: 0.0f64.to_bits(),
+            profile: false,
             timeout_ms: None,
             class: JobClass::Interactive,
         }
@@ -166,8 +177,31 @@ pub struct JobOutput {
 /// execution, not the result.
 #[must_use]
 pub fn cache_key(spec: &JobSpec, quadrant: &Quadrant) -> u64 {
+    cache_key_with(spec, quadrant, None)
+}
+
+/// [`cache_key`] under a loaded tuning profile.
+///
+/// A profile-using job (`spec.profile`) additionally folds in the
+/// profile's content fingerprint and the circuit's class key — the two
+/// values that determine which tuned configuration the executor will
+/// apply — so results planned under different profiles (or after a
+/// profile reload) never collide, while non-profile jobs keep their
+/// pre-profile keys bit for bit.
+#[must_use]
+pub fn cache_key_with(spec: &JobSpec, quadrant: &Quadrant, profile: Option<&TuneProfile>) -> u64 {
     let mut material = String::new();
     let _ = write!(material, "{KEY_DOMAIN}|method={}|", spec.method);
+    if spec.profile {
+        if let Some(p) = profile {
+            let _ = write!(
+                material,
+                "profile={:016x}|class={}|",
+                p.fingerprint(),
+                classify_quadrant(quadrant)
+            );
+        }
+    }
     if spec.exchange {
         let _ = write!(
             material,
@@ -201,6 +235,40 @@ pub fn cache_key(spec: &JobSpec, quadrant: &Quadrant) -> u64 {
     fnv1a64(material.as_bytes())
 }
 
+/// A portfolio winner's frozen move journal, kept by the daemon so a
+/// later replan against that winner can warm-start from the journal
+/// instead of re-parsing and repairing the materialised plan.
+///
+/// `replay_journal(initial, journal[..best_len])` reproduces the
+/// winner's assignment exactly (a core invariant), so seeding
+/// [`exchange_warm_from_journal`] with a record whose replay matches
+/// the job's `prev` text is equivalent to the parse-and-repair path —
+/// same result, same cache key, less work.
+#[derive(Debug, Clone)]
+pub struct JournalRecord {
+    /// The assignment the journal replays onto (the pre-exchange
+    /// initial order).
+    pub initial: Assignment,
+    /// The winning start's accepted-move journal.
+    pub journal: Vec<(u32, u32)>,
+    /// Journal prefix length that produced the winner's best cost.
+    pub best_len: usize,
+}
+
+/// [`execute_job_full`]'s result: the output plus executor telemetry
+/// the daemon uses (the CLI wrapper discards it).
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// The job's output, byte-identical to [`execute_job`]'s.
+    pub output: JobOutput,
+    /// The frozen journal of a portfolio winner (captured only for
+    /// multi-start cold plans), for the daemon's warm-start registry.
+    pub frozen: Option<JournalRecord>,
+    /// How a replan warm-started: `"journal"` (frozen-journal seed) or
+    /// `"plan"` (parsed previous plan). `None` for cold plans.
+    pub warm_source: Option<&'static str>,
+}
+
 /// Runs one job to completion (or cancellation), mirroring
 /// `copack plan`'s non-package flow line for line.
 ///
@@ -215,6 +283,29 @@ pub fn execute_job(
     quadrant: &Quadrant,
     cancel: &CancelToken,
 ) -> Result<JobOutput, ServeError> {
+    execute_job_full(spec, name, quadrant, cancel, None, None).map(|r| r.output)
+}
+
+/// [`execute_job`] with the daemon-only extensions: an optional loaded
+/// tuning profile (applied when the spec asks for it) and an optional
+/// frozen-journal warm-start hint for the replan path.
+///
+/// The produced [`JobOutput`] is byte-identical to [`execute_job`]'s
+/// for the same spec — the extensions only change *how* the result is
+/// reached (tuned config, journal seed), never what a given cache key
+/// maps to.
+///
+/// # Errors
+///
+/// As [`execute_job`].
+pub fn execute_job_full(
+    spec: &JobSpec,
+    name: &str,
+    quadrant: &Quadrant,
+    cancel: &CancelToken,
+    profile: Option<&TuneProfile>,
+    hint: Option<&JournalRecord>,
+) -> Result<ExecReport, ServeError> {
     let job_failed =
         |e: &dyn std::fmt::Display| ServeError::new(ErrorKind::JobFailed, e.to_string());
 
@@ -223,6 +314,8 @@ pub fn execute_job(
     let routing =
         analyze(quadrant, &assignment, DensityModel::Geometric).map_err(|e| job_failed(&e))?;
     let _ = writeln!(report, "{name}: {} -> {routing}", spec.method);
+    let mut frozen = None;
+    let mut warm_source = None;
 
     if spec.exchange {
         if cancel.is_cancelled() {
@@ -241,6 +334,28 @@ pub fn execute_job(
             ..ExchangeConfig::default()
         };
         config.weights.margin = f64::from_bits(spec.margin_bits);
+        // Worker threads are the pool's concurrency unit, so the
+        // portfolio (when widened below) anneals its starts serially
+        // inside this worker (`threads: 1`) instead of oversubscribing
+        // the host; the reduction is thread-count-invariant, so the
+        // result is identical either way.
+        let mut portfolio = PortfolioConfig {
+            starts: spec.starts,
+            prune_margin: f64::from_bits(spec.prune_margin_bits),
+            threads: 1,
+            ..PortfolioConfig::default()
+        };
+        if spec.profile {
+            if let Some(p) = profile {
+                // The tuned class configuration replaces the spec's
+                // schedule/weight/portfolio tunables wholesale; the
+                // seed and stacking stay the spec's, and the worker
+                // keeps its single-threaded portfolio.
+                p.config_for(quadrant).apply(&mut config, &mut portfolio);
+                config.seed = spec.exchange_seed;
+                portfolio.threads = 1;
+            }
+        }
         let on_core_error = |e: CoreError| match e {
             CoreError::Cancelled => ServeError::new(
                 ErrorKind::Timeout,
@@ -253,34 +368,43 @@ pub fn execute_job(
             // (repair, reheat, shortened schedule — or bit-identical
             // from-scratch below the core's size cutoff). The warm
             // path is single-start by construction, so it takes
-            // precedence over the portfolio width.
-            let (_, previous) = parse_assignment(prev_text).map_err(|e| {
-                ServeError::new(
-                    ErrorKind::BadRequest,
-                    format!("previous assignment does not parse: {e}"),
+            // precedence over the portfolio width. When the daemon
+            // still holds the frozen journal of the portfolio run that
+            // produced `prev`, replaying it is equivalent to parsing
+            // the plan text (the replay invariant) and skips the
+            // parse-and-repair round trip.
+            if let Some(h) = hint {
+                warm_source = Some("journal");
+                exchange_warm_from_journal(
+                    quadrant,
+                    &h.initial,
+                    &h.journal,
+                    h.best_len,
+                    &stack,
+                    &config,
+                    &mut NoopRecorder,
+                    cancel,
                 )
-            })?;
-            exchange_warm(
-                quadrant,
-                &previous,
-                &stack,
-                &config,
-                &mut NoopRecorder,
-                cancel,
-            )
-            .map_err(on_core_error)?
-        } else if spec.starts > 1 {
-            // Worker threads are the pool's concurrency unit, so the
-            // portfolio anneals its starts serially inside this worker
-            // (`threads: 1`) instead of oversubscribing the host; the
-            // reduction is thread-count-invariant, so the result is
-            // identical either way.
-            let portfolio = PortfolioConfig {
-                starts: spec.starts,
-                prune_margin: f64::from_bits(spec.prune_margin_bits),
-                threads: 1,
-                ..PortfolioConfig::default()
-            };
+                .map_err(on_core_error)?
+            } else {
+                warm_source = Some("plan");
+                let (_, previous) = parse_assignment(prev_text).map_err(|e| {
+                    ServeError::new(
+                        ErrorKind::BadRequest,
+                        format!("previous assignment does not parse: {e}"),
+                    )
+                })?;
+                exchange_warm(
+                    quadrant,
+                    &previous,
+                    &stack,
+                    &config,
+                    &mut NoopRecorder,
+                    cancel,
+                )
+                .map_err(on_core_error)?
+            }
+        } else if portfolio.starts > 1 {
             let won = exchange_portfolio_cancellable(
                 quadrant,
                 &assignment,
@@ -294,11 +418,16 @@ pub fn execute_job(
             let _ = writeln!(
                 report,
                 "{name}: portfolio K={} winner start {} seed {} pruned {}",
-                spec.starts,
+                portfolio.starts,
                 won.winner_start,
                 won.winner_seed,
                 won.pruned()
             );
+            frozen = Some(JournalRecord {
+                initial: assignment.clone(),
+                journal: won.journal.clone(),
+                best_len: won.best_len,
+            });
             won.result
         } else {
             exchange_cancellable(
@@ -327,17 +456,21 @@ pub fn execute_job(
     }
 
     let _ = writeln!(report, "order: {assignment}");
-    Ok(JobOutput {
-        name: name.to_owned(),
-        report,
-        assignment: write_assignment(name, &assignment),
+    Ok(ExecReport {
+        output: JobOutput {
+            name: name.to_owned(),
+            report,
+            assignment: write_assignment(name, &assignment),
+        },
+        frozen,
+        warm_source,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use copack_io::parse_quadrant;
+    use copack_io::{parse_quadrant, ClassConfig};
 
     fn circuit() -> (String, Quadrant) {
         let text = "quadrant demo\nrow 10 2 4 7 0\nrow 1 3 5 8\nrow 11 6 9\n";
@@ -549,6 +682,132 @@ mod tests {
         assert!(out.report.contains("order: 10,11,1,2,6,3,4,9,5,7,8,0"));
         assert!(out.assignment.contains("order 10 11 1 2 6 3 4 9 5 7 8 0"));
         assert_eq!(out.name, "demo");
+    }
+
+    fn profile_for(q: &Quadrant, tuned: ClassConfig) -> TuneProfile {
+        TuneProfile {
+            seed: 0xC0DE,
+            space_fingerprint: 1,
+            classes: vec![(classify_quadrant(q), tuned)],
+        }
+    }
+
+    #[test]
+    fn the_key_folds_the_profile_only_when_requested_and_loaded() {
+        let (_, q) = circuit();
+        let plain = JobSpec {
+            exchange: true,
+            ..JobSpec::new("")
+        };
+        let tuned = JobSpec {
+            profile: true,
+            ..plain.clone()
+        };
+        let profile = profile_for(&q, ClassConfig::default_config());
+        // Without the flag the loaded profile is inert: pre-profile
+        // keys stay stable even on a daemon that has one loaded.
+        assert_eq!(
+            cache_key_with(&plain, &q, None),
+            cache_key_with(&plain, &q, Some(&profile))
+        );
+        assert_eq!(cache_key(&plain, &q), cache_key_with(&plain, &q, None));
+        // With the flag and a loaded profile the key separates, and two
+        // different profiles never collide.
+        assert_ne!(
+            cache_key_with(&plain, &q, Some(&profile)),
+            cache_key_with(&tuned, &q, Some(&profile))
+        );
+        let other = profile_for(
+            &q,
+            ClassConfig {
+                cooling: 0.85,
+                ..ClassConfig::default_config()
+            },
+        );
+        assert_ne!(
+            cache_key_with(&tuned, &q, Some(&profile)),
+            cache_key_with(&tuned, &q, Some(&other))
+        );
+    }
+
+    #[test]
+    fn a_profile_widens_a_default_job_into_its_tuned_portfolio() {
+        let text =
+            "quadrant demo\nrow 10 2 4 7 0\nrow 1 3 5 8\nrow 11 6 9\nnet 10 power\nnet 5 power\n";
+        let (name, q) = parse_quadrant(text).expect("valid circuit");
+        let spec = JobSpec {
+            exchange: true,
+            profile: true,
+            ..JobSpec::new("")
+        };
+        let profile = profile_for(
+            &q,
+            ClassConfig {
+                starts: 2,
+                ..ClassConfig::default_config()
+            },
+        );
+        let run = execute_job_full(&spec, &name, &q, &CancelToken::new(), Some(&profile), None)
+            .expect("tuned plan");
+        assert!(
+            run.output.report.contains("portfolio K=2"),
+            "{}",
+            run.output.report
+        );
+        assert!(run.frozen.is_some(), "portfolio runs freeze their journal");
+        // An unknown class falls back to the built-in default class
+        // config (which carries the default K=4 portfolio): same bytes
+        // as a profile-less job submitted with those knobs spelled out.
+        let empty = TuneProfile {
+            seed: 0xC0DE,
+            space_fingerprint: 1,
+            classes: Vec::new(),
+        };
+        let fallback = execute_job_full(&spec, &name, &q, &CancelToken::new(), Some(&empty), None)
+            .expect("fallback plan");
+        let plain_spec = JobSpec {
+            profile: false,
+            starts: PortfolioConfig::default().starts,
+            ..spec.clone()
+        };
+        let plain = execute_job(&plain_spec, &name, &q, &CancelToken::new()).expect("plain plan");
+        assert_eq!(fallback.output, plain);
+    }
+
+    #[test]
+    fn a_journal_hint_replan_matches_the_parse_path_bit_for_bit() {
+        let text =
+            "quadrant demo\nrow 10 2 4 7 0\nrow 1 3 5 8\nrow 11 6 9\nnet 10 power\nnet 5 power\n";
+        let (name, q) = parse_quadrant(text).expect("valid circuit");
+        let cold_spec = JobSpec {
+            exchange: true,
+            starts: 4,
+            ..JobSpec::new("")
+        };
+        let cold = execute_job_full(&cold_spec, &name, &q, &CancelToken::new(), None, None)
+            .expect("cold portfolio");
+        let record = cold.frozen.expect("portfolio freezes its journal");
+        assert!(cold.warm_source.is_none());
+        let warm_spec = JobSpec {
+            prev: Some(cold.output.assignment.clone()),
+            ..cold_spec
+        };
+        let parsed = execute_job_full(&warm_spec, &name, &q, &CancelToken::new(), None, None)
+            .expect("parse-path replan");
+        let seeded = execute_job_full(
+            &warm_spec,
+            &name,
+            &q,
+            &CancelToken::new(),
+            None,
+            Some(&record),
+        )
+        .expect("journal-path replan");
+        assert_eq!(parsed.warm_source, Some("plan"));
+        assert_eq!(seeded.warm_source, Some("journal"));
+        // The journal seed is an implementation detail: the served
+        // bytes are identical either way.
+        assert_eq!(parsed.output, seeded.output);
     }
 
     #[test]

@@ -64,7 +64,10 @@ mod store;
 pub use cache::{CacheConfig, CacheStats, Lookup, ResultCache, Waiter};
 pub use client::{BatchOutcome, Client};
 pub use error::{ErrorKind, ServeError};
-pub use job::{cache_key, execute_job, JobClass, JobOutput, JobSpec};
+pub use job::{
+    cache_key, cache_key_with, execute_job, execute_job_full, ExecReport, JobClass, JobOutput,
+    JobSpec, JournalRecord,
+};
 pub use metrics::{pool_metrics_text, PoolMetrics};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, BatchSummary, Frame,

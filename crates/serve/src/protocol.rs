@@ -190,6 +190,11 @@ fn write_job_fields(out: &mut String, spec: &JobSpec) {
         out.push_str(",\"prev\":");
         write_json_str(out, prev);
     }
+    // The profile flag travels only when set, so pre-profile frames
+    // stay byte-identical.
+    if spec.profile {
+        out.push_str(",\"profile\":true");
+    }
     if let Some(ms) = spec.timeout_ms {
         let _ = write!(out, ",\"timeout_ms\":{ms}");
     }
@@ -322,6 +327,11 @@ fn decode_job_fields(json: &Json) -> Result<JobSpec, ServeError> {
                     .to_owned(),
             );
         }
+    }
+    if let Some(profile) = json.get("profile") {
+        spec.profile = profile
+            .as_bool()
+            .ok_or_else(|| ServeError::new(ErrorKind::BadRequest, "`profile` must be a boolean"))?;
     }
     spec.timeout_ms = field_u64("timeout_ms")?;
     spec.class = decode_class(json)?;
@@ -765,6 +775,11 @@ mod tests {
                 class: JobClass::Bulk,
                 ..JobSpec::new("quadrant e\nrow 1 2\n")
             }),
+            Request::Plan(JobSpec {
+                exchange: true,
+                profile: true,
+                ..JobSpec::new("quadrant e2\nrow 1 2\n")
+            }),
             Request::Batch {
                 class: JobClass::Bulk,
                 jobs: vec![
@@ -956,6 +971,8 @@ mod tests {
         assert!(!line.contains("class"));
         assert!(!line.contains("margin_bits"));
         assert!(!line.contains("prev"));
+        // The profile flag is invisible unless set.
+        assert!(!line.contains("profile"));
         // Multi-start frames carry both, and the margin's bits survive
         // the round trip exactly.
         let spec = JobSpec {

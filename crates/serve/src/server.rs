@@ -33,7 +33,7 @@
 
 use copack_core::CancelToken;
 use copack_geom::Quadrant;
-use copack_io::parse_quadrant;
+use copack_io::{canonical_quadrant_text, fnv1a64, parse_quadrant, TuneProfile};
 use copack_obs::{Event, Recorder as _, TraceBuffer};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 
 use crate::cache::{CacheConfig, CacheStats, Lookup, ResultCache};
 use crate::error::{ErrorKind, ServeError};
-use crate::job::{cache_key, execute_job, JobClass, JobOutput, JobSpec};
+use crate::job::{cache_key_with, execute_job_full, JobClass, JobOutput, JobSpec, JournalRecord};
 use crate::protocol::{Response, StatusSnapshot};
 use crate::reactor::{CompletionQueue, Reactor};
 
@@ -75,6 +75,10 @@ pub struct ServeConfig {
     /// Memory-tier budget in bytes (least-recently-used entries are
     /// evicted past it); `0` means unbounded.
     pub cache_mem_limit: usize,
+    /// Loaded tuning profile (`copack serve --profile`). Jobs that set
+    /// `profile: true` plan under its per-class configuration; when
+    /// `None`, such jobs are refused as bad requests.
+    pub profile: Option<TuneProfile>,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +90,7 @@ impl Default for ServeConfig {
             worker_stall: None,
             cache_dir: None,
             cache_mem_limit: 64 << 20,
+            profile: None,
         }
     }
 }
@@ -148,6 +153,47 @@ impl PoolState {
     }
 }
 
+/// How many frozen portfolio journals the daemon retains for
+/// journal-seeded replans. Oldest-first eviction: the registry is a
+/// warm-start accelerator, never a correctness dependency (a miss just
+/// falls back to the parse-and-repair path).
+const JOURNAL_CAPACITY: usize = 64;
+
+/// Bounded FIFO registry of frozen portfolio-winner journals, keyed by
+/// the FNV-1a hash of the canonical circuit text plus the winner's
+/// assignment-file bytes — exactly what a replan resubmits as
+/// `(circuit, prev)`, so a hit guarantees the journal replays onto the
+/// same instance to the same plan the parse path would start from.
+#[derive(Default)]
+struct JournalRegistry {
+    entries: VecDeque<(u64, JournalRecord)>,
+}
+
+impl JournalRegistry {
+    fn remember(&mut self, key: u64, record: JournalRecord) {
+        self.entries.retain(|(k, _)| *k != key);
+        if self.entries.len() >= JOURNAL_CAPACITY {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((key, record));
+    }
+
+    fn lookup(&self, key: u64) -> Option<JournalRecord> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, r)| r.clone())
+    }
+}
+
+/// Registry key for a `(quadrant, assignment text)` pair.
+fn journal_key(quadrant: &Quadrant, assignment_text: &str) -> u64 {
+    let mut material = canonical_quadrant_text(quadrant);
+    material.push('\u{0}');
+    material.push_str(assignment_text);
+    fnv1a64(material.as_bytes())
+}
+
 #[derive(Default)]
 struct Counters {
     submitted: AtomicU64,
@@ -189,6 +235,8 @@ pub(crate) struct Inner {
     running: AtomicU32,
     counters: Counters,
     events: Mutex<TraceBuffer>,
+    profile: Option<TuneProfile>,
+    journals: Mutex<JournalRegistry>,
 }
 
 impl Inner {
@@ -275,7 +323,15 @@ impl Inner {
                 ));
             }
         };
-        let key = cache_key(&spec, &quadrant);
+        if spec.profile && self.profile.is_none() {
+            self.record_job("none", "rejected", class, 0, started);
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return PlanOutcome::Refused(ServeError::new(
+                ErrorKind::BadRequest,
+                "no tuning profile is loaded; start the daemon with --profile",
+            ));
+        }
+        let key = cache_key_with(&spec, &quadrant, self.profile.as_ref());
 
         match self.cache.lookup(key) {
             Lookup::Hit(output) => {
@@ -417,7 +473,38 @@ impl Inner {
                 Some(deadline) => CancelToken::with_deadline(deadline),
                 None => CancelToken::new(),
             };
-            let result = execute_job(&job.spec, &job.name, &job.quadrant, &cancel);
+            // A replan against a plan whose frozen journal is still
+            // registered warm-starts from the journal; otherwise (and
+            // for every cold job) the hint is `None`.
+            let hint = job.spec.prev.as_deref().and_then(|prev| {
+                self.journals
+                    .lock()
+                    .expect("journal registry poisoned")
+                    .lookup(journal_key(&job.quadrant, prev))
+            });
+            let result = execute_job_full(
+                &job.spec,
+                &job.name,
+                &job.quadrant,
+                &cancel,
+                self.profile.as_ref(),
+                hint.as_ref(),
+            )
+            .map(|run| {
+                if let Some(source) = run.warm_source {
+                    self.record_event(&Event::QuadrantWarmed {
+                        name: job.name.clone(),
+                        source: source.to_owned(),
+                    });
+                }
+                if let Some(frozen) = run.frozen {
+                    self.journals
+                        .lock()
+                        .expect("journal registry poisoned")
+                        .remember(journal_key(&job.quadrant, &run.output.assignment), frozen);
+                }
+                run.output
+            });
             match &result {
                 Ok(_) => {
                     self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -479,6 +566,8 @@ impl Server {
             running: AtomicU32::new(0),
             counters: Counters::default(),
             events: Mutex::new(TraceBuffer::new()),
+            profile: config.profile,
+            journals: Mutex::new(JournalRegistry::default()),
         });
         Ok(Self { listener, inner })
     }

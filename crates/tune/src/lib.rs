@@ -1,0 +1,82 @@
+//! Deterministic telemetry-driven auto-tuning (`copack tune`).
+//!
+//! The obs layer records acceptance rates, per-start cost curves, and
+//! prune decisions; this crate is the first consumer that closes the
+//! loop. It sweeps a [`TrialSpace`] — SA schedule parameters, the
+//! paper's Eq. 3 weights (λ, ρ, φ, μ), and portfolio knobs (K, prune
+//! margin) — over a circuit family, using cheap **early signals** from
+//! trace prefixes ([`copack_obs::early_signals`]) to successively halve
+//! the candidate set before paying for full-length runs, and distils
+//! one winning configuration per instance class into a reusable
+//! [`copack_io::TuneProfile`] that `plan`, `replan`, and `serve` load
+//! via `--profile`.
+//!
+//! Three contracts define the subsystem:
+//!
+//! * **honest early stopping** — an early trial runs a schedule
+//!   *prefix* (`Schedule::prefix`), which is bit-exactly the head of
+//!   the full run, so the predictor ranks real trajectories, never
+//!   perturbed ones;
+//! * **determinism** — every trial is replayable from
+//!   `(instance, point, seed)`; pool merges are index-ordered and ties
+//!   break structurally, so the emitted profile is byte-identical
+//!   across `--threads` values and reruns (pinned by the
+//!   `tune-determinism` oracle in `copack-verify`);
+//! * **never-worse quality** — the default configuration is trial
+//!   point 0, always runs full-length, and a candidate only wins if it
+//!   beats it on *every* family member of its class, so loading a
+//!   profile can never regress a family instance (gated by
+//!   `bench_tune`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod predictor;
+mod space;
+mod trial;
+mod tuner;
+
+use std::fmt;
+
+use copack_core::CoreError;
+
+pub use predictor::{halve, spearman};
+pub use space::TrialSpace;
+pub use trial::{run_trial, TrialOutcome};
+pub use tuner::{tune, ClassOutcome, TuneOptions, TuneReport};
+
+/// Failure of a tuning run.
+#[derive(Debug)]
+pub enum TuneError {
+    /// A trial's annealer rejected its inputs.
+    Core(CoreError),
+    /// The trial space has no points.
+    EmptySpace,
+    /// The circuit family has no instances.
+    EmptyFamily,
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "trial failed: {e}"),
+            Self::EmptySpace => write!(f, "trial space has no points"),
+            Self::EmptyFamily => write!(f, "circuit family has no instances"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for TuneError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}

@@ -1,0 +1,114 @@
+//! The in-tree predictor: rank statistics for successive halving.
+//!
+//! No external ML dependency (the workspace is vendored-std-only), and
+//! none is needed: successive halving only requires a *ranking* of
+//! candidates from cheap observations, and Spearman rank correlation
+//! quantifies after the fact how well the early ranking predicted the
+//! final one — the number `copack tune --metrics` reports so a user can
+//! judge whether the early-stop budget was trustworthy.
+
+/// Average ranks of `values` (1-based; ties share their average rank),
+/// in input order. `NaN`-free inputs expected; ties are exact float
+/// equality.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]).then(a.cmp(&b)));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank-correlation coefficient between two samples.
+///
+/// Returns 0 when either sample is constant or shorter than 2 (no
+/// ranking information either way).
+#[must_use]
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - mean) * (y - mean);
+        var_a += (x - mean).powi(2);
+        var_b += (y - mean).powi(2);
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// One successive-halving cut: keeps the better-scoring half.
+///
+/// `scored` pairs candidate ids with their (early) scores — lower is
+/// better. Keeps `ceil(n/2)`, at least `min_keep`; ties break toward
+/// the **lower candidate id**, which is what makes the cut — and hence
+/// the whole tuning run — deterministic across thread counts and
+/// reruns. The returned ids are sorted ascending.
+#[must_use]
+pub fn halve(scored: &[(usize, f64)], min_keep: usize) -> Vec<usize> {
+    let mut order: Vec<&(usize, f64)> = scored.iter().collect();
+    order.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    let keep = scored.len().div_ceil(2).max(min_keep).min(scored.len());
+    let mut ids: Vec<usize> = order[..keep].iter().map(|s| s.0).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spearman_matches_hand_values() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let rev: Vec<f64> = b.iter().rev().copied().collect();
+        assert!((spearman(&a, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties_and_degenerate_input() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 6.0, 7.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn ranks_average_over_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 10.0]), vec![1.5, 3.0, 1.5]);
+    }
+
+    #[test]
+    fn halving_keeps_the_better_half_deterministically() {
+        let scored = [(0, 5.0), (1, 1.0), (2, 3.0), (3, 1.0), (4, 9.0)];
+        // ceil(5/2) = 3: costs 1.0 (id 1), 1.0 (id 3), 3.0 (id 2).
+        assert_eq!(halve(&scored, 1), vec![1, 2, 3]);
+        // min_keep can widen the cut.
+        assert_eq!(halve(&scored, 4), vec![0, 1, 2, 3]);
+        assert_eq!(halve(&scored, 10), vec![0, 1, 2, 3, 4]);
+    }
+}

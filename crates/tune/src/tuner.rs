@@ -1,0 +1,426 @@
+//! The tuning loop: per-class successive halving over the trial space.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use copack_geom::{Quadrant, StackConfig};
+use copack_io::{classify_quadrant, ClassKey, TuneProfile};
+
+use crate::predictor::{halve, spearman};
+use crate::space::TrialSpace;
+use crate::trial::run_trial;
+use crate::TuneError;
+
+/// Tuning-run parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneOptions {
+    /// Base seed every trial seed derives from. The default matches the
+    /// CLI's default exchange seed, so trial point 0 reproduces exactly
+    /// what an untuned `copack plan --exchange` run would do.
+    pub seed: u64,
+    /// Tuner worker threads (`0` = available parallelism). The output
+    /// profile is byte-identical for every value — pinned by the
+    /// `tune-determinism` oracle.
+    pub threads: usize,
+    /// Successive-halving rounds before the final full-length round.
+    pub rounds: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0xC0DE,
+            threads: 0,
+            rounds: 2,
+        }
+    }
+}
+
+/// What happened for one instance class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassOutcome {
+    /// The class key.
+    pub key: ClassKey,
+    /// Names of the family members in this class.
+    pub members: Vec<String>,
+    /// Winning trial-point id (0 = the defaults won).
+    pub winner: usize,
+    /// Winner's summed full-run cost over the members.
+    pub winner_cost: f64,
+    /// The default point's summed full-run cost — never less than
+    /// `winner_cost` by construction.
+    pub default_cost: f64,
+    /// Spearman rank correlation between the first early round's scores
+    /// and the final full-run scores, over the finalists — how
+    /// predictive the cheap signals were.
+    pub correlation: f64,
+    /// Points eliminated by the early rounds (never run full-length).
+    pub pruned_points: usize,
+}
+
+/// A finished tuning run: the profile plus its per-class audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// The profile to serialise with `copack_io::write_tune`.
+    pub profile: TuneProfile,
+    /// Per-class outcomes, in class-key order.
+    pub classes: Vec<ClassOutcome>,
+    /// Total trials executed (early + full).
+    pub trials: usize,
+}
+
+/// One unit of work for the trial pool.
+struct Task {
+    class: usize,
+    point: usize,
+    member: usize,
+    prefix: Option<usize>,
+}
+
+/// Runs `tasks.len()` jobs on `threads` workers and returns results in
+/// task order. Each job is independent and deterministic, so the merge
+/// (and the first-error choice) is index-ordered and thread-invariant.
+fn run_pool<T, F>(count: usize, threads: usize, job: F) -> Result<Vec<T>, TuneError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, TuneError> + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+    .min(count.max(1));
+
+    let slots: Vec<Mutex<Option<Result<T, TuneError>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = job(i);
+                *slots[i].lock().expect("trial slot poisoned") = Some(result);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(count);
+    for slot in slots {
+        out.push(
+            slot.into_inner()
+                .expect("trial slot poisoned")
+                .expect("every task ran")?,
+        );
+    }
+    Ok(out)
+}
+
+/// Tunes `instances` over `space` and distils one config per instance
+/// class into a [`TuneProfile`].
+///
+/// Per class, the tuner races the whole space through
+/// `options.rounds` successive-halving rounds on schedule *prefixes*
+/// (cheap, honest early signals — see `Schedule::prefix`), halving the
+/// candidate set each round, then runs the survivors **plus the default
+/// point** to full length. The class winner is the candidate with the
+/// lowest summed full-run cost that is **no worse than the default on
+/// every member** — so a tuned profile can never regress any family
+/// member, not just the family average. Ties break toward the lower
+/// point id (the default itself wins exact ties).
+///
+/// Everything is deterministic: trial seeds derive from
+/// `(options.seed, point id)`, pool results merge in task order, and
+/// ties break structurally — the emitted profile is byte-identical
+/// across `--threads` values and reruns.
+pub fn tune(
+    instances: &[(String, Quadrant, StackConfig)],
+    space: &TrialSpace,
+    options: &TuneOptions,
+) -> Result<TuneReport, TuneError> {
+    if space.is_empty() {
+        return Err(TuneError::EmptySpace);
+    }
+    if instances.is_empty() {
+        return Err(TuneError::EmptyFamily);
+    }
+
+    // Group family members by class, sorted by key for output stability.
+    let mut classes: Vec<(ClassKey, Vec<usize>)> = Vec::new();
+    for (i, (_, quadrant, _)) in instances.iter().enumerate() {
+        let key = classify_quadrant(quadrant);
+        match classes.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(i),
+            None => classes.push((key, vec![i])),
+        }
+    }
+    classes.sort_by_key(|entry| entry.0);
+
+    let mut trials_total = 0usize;
+    // Per class: surviving candidate ids, plus the first round's scores
+    // for the correlation report.
+    let mut survivors: Vec<Vec<usize>> = vec![(0..space.len()).collect(); classes.len()];
+    let mut first_scores: Vec<Vec<(usize, f64)>> = vec![Vec::new(); classes.len()];
+
+    // Early rounds: fractions 1/2^(rounds), …, 1/4, 1/2 of each point's
+    // own schedule length.
+    for round in 0..options.rounds {
+        let shift = options.rounds - round;
+        let mut tasks: Vec<Task> = Vec::new();
+        for (ci, (_, members)) in classes.iter().enumerate() {
+            if survivors[ci].len() <= 2 {
+                continue; // nothing left to prune
+            }
+            for &point in &survivors[ci] {
+                for &member in members {
+                    tasks.push(Task {
+                        class: ci,
+                        point,
+                        member,
+                        prefix: Some(shift),
+                    });
+                }
+            }
+        }
+        if tasks.is_empty() {
+            break;
+        }
+        let outcomes = run_pool(tasks.len(), options.threads, |i| {
+            let t = &tasks[i];
+            let (_, quadrant, stack) = &instances[t.member];
+            let point = &space.points[t.point];
+            let full = {
+                let mut c = copack_core::ExchangeConfig::default();
+                let mut p = copack_core::PortfolioConfig::default();
+                point.apply(&mut c, &mut p);
+                c.schedule.temperature_steps()
+            };
+            let steps = (full >> t.prefix.unwrap_or(0)).max(2);
+            run_trial(
+                quadrant,
+                stack,
+                point,
+                options.seed,
+                t.point as u32,
+                Some(steps),
+            )
+        })?;
+        trials_total += outcomes.len();
+
+        // Score = summed early best cost per (class, point); then halve.
+        for (ci, (_, _members)) in classes.iter().enumerate() {
+            let mut scored: Vec<(usize, f64)> = Vec::new();
+            for (task, outcome) in tasks.iter().zip(&outcomes) {
+                if task.class != ci {
+                    continue;
+                }
+                match scored.iter_mut().find(|(p, _)| *p == task.point) {
+                    Some((_, s)) => *s += outcome.cost,
+                    None => scored.push((task.point, outcome.cost)),
+                }
+            }
+            if scored.is_empty() {
+                continue;
+            }
+            if round == 0 {
+                first_scores[ci] = scored.clone();
+            }
+            survivors[ci] = halve(&scored, 2);
+        }
+    }
+
+    // Final round: survivors plus the default point, full length.
+    let mut tasks: Vec<Task> = Vec::new();
+    for (ci, (_, members)) in classes.iter().enumerate() {
+        let mut finalists = survivors[ci].clone();
+        if !finalists.contains(&0) {
+            finalists.push(0);
+            finalists.sort_unstable();
+        }
+        survivors[ci] = finalists.clone();
+        for point in finalists {
+            for &member in members {
+                tasks.push(Task {
+                    class: ci,
+                    point,
+                    member,
+                    prefix: None,
+                });
+            }
+        }
+    }
+    let outcomes = run_pool(tasks.len(), options.threads, |i| {
+        let t = &tasks[i];
+        let (_, quadrant, stack) = &instances[t.member];
+        run_trial(
+            quadrant,
+            stack,
+            &space.points[t.point],
+            options.seed,
+            t.point as u32,
+            None,
+        )
+    })?;
+    trials_total += outcomes.len();
+
+    let mut class_outcomes = Vec::with_capacity(classes.len());
+    let mut profile_classes = Vec::with_capacity(classes.len());
+    for (ci, (key, members)) in classes.iter().enumerate() {
+        // Per-point per-member full costs for this class.
+        let mut by_point: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (task, outcome) in tasks.iter().zip(&outcomes) {
+            if task.class != ci {
+                continue;
+            }
+            match by_point.iter_mut().find(|(p, _)| *p == task.point) {
+                Some((_, costs)) => costs.push(outcome.cost),
+                None => by_point.push((task.point, vec![outcome.cost])),
+            }
+        }
+        let default_costs = by_point
+            .iter()
+            .find(|(p, _)| *p == 0)
+            .map(|(_, c)| c.clone())
+            .expect("default point always runs full-length");
+        let default_cost: f64 = default_costs.iter().sum();
+
+        // Eligibility: no member may regress versus the defaults.
+        let mut winner = 0usize;
+        let mut winner_cost = default_cost;
+        for (point, costs) in &by_point {
+            let eligible = costs.iter().zip(&default_costs).all(|(c, d)| c <= d);
+            let total: f64 = costs.iter().sum();
+            if eligible && (total < winner_cost || (total == winner_cost && *point < winner)) {
+                winner = *point;
+                winner_cost = total;
+            }
+        }
+
+        // Correlation of the first early round against the final round,
+        // over the finalists that appeared in both.
+        let finals: Vec<(usize, f64)> = by_point
+            .iter()
+            .map(|(p, costs)| (*p, costs.iter().sum()))
+            .collect();
+        let mut early = Vec::new();
+        let mut late = Vec::new();
+        for (p, s) in &finals {
+            if let Some((_, e)) = first_scores[ci].iter().find(|(fp, _)| fp == p) {
+                early.push(*e);
+                late.push(*s);
+            }
+        }
+        let correlation = spearman(&early, &late);
+
+        class_outcomes.push(ClassOutcome {
+            key: *key,
+            members: members.iter().map(|&m| instances[m].0.clone()).collect(),
+            winner,
+            winner_cost,
+            default_cost,
+            correlation,
+            pruned_points: space.len() - by_point.len(),
+        });
+        profile_classes.push((*key, space.points[winner]));
+    }
+
+    Ok(TuneReport {
+        profile: TuneProfile {
+            seed: options.seed,
+            space_fingerprint: space.fingerprint(),
+            classes: profile_classes,
+        },
+        classes: class_outcomes,
+        trials: trials_total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use copack_io::write_tune;
+
+    fn family(indices: &[usize]) -> Vec<(String, Quadrant, StackConfig)> {
+        indices
+            .iter()
+            .map(|&i| {
+                let c = copack_gen::circuit(i);
+                (
+                    c.name.clone(),
+                    c.build_quadrant().unwrap(),
+                    c.stack().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tuned_profile_never_loses_to_defaults_on_any_member() {
+        let instances = family(&[1, 2]);
+        let report = tune(&instances, &TrialSpace::quick(), &TuneOptions::default()).unwrap();
+        for class in &report.classes {
+            assert!(
+                class.winner_cost <= class.default_cost,
+                "{}: {} > {}",
+                class.key,
+                class.winner_cost,
+                class.default_cost
+            );
+        }
+        assert!(!report.profile.classes.is_empty());
+    }
+
+    #[test]
+    fn profile_bytes_are_thread_invariant_and_rerunnable() {
+        let instances = family(&[1]);
+        let space = TrialSpace::quick();
+        let single = tune(
+            &instances,
+            &space,
+            &TuneOptions {
+                threads: 1,
+                ..TuneOptions::default()
+            },
+        )
+        .unwrap();
+        let threaded = tune(
+            &instances,
+            &space,
+            &TuneOptions {
+                threads: 4,
+                ..TuneOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(write_tune(&single.profile), write_tune(&threaded.profile));
+        let again = tune(
+            &instances,
+            &space,
+            &TuneOptions {
+                threads: 4,
+                ..TuneOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(write_tune(&threaded.profile), write_tune(&again.profile));
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let instances = family(&[1]);
+        assert!(matches!(
+            tune(
+                &instances,
+                &TrialSpace { points: vec![] },
+                &TuneOptions::default()
+            ),
+            Err(TuneError::EmptySpace)
+        ));
+        assert!(matches!(
+            tune(&[], &TrialSpace::quick(), &TuneOptions::default()),
+            Err(TuneError::EmptyFamily)
+        ));
+    }
+}

@@ -6,7 +6,7 @@
 //! the IR proxy must track the real solvers, and the whole pipeline must
 //! be deterministic. This crate makes those invariants first-class:
 //!
-//! * [`check_quadrant`] runs the six oracles on one problem instance and
+//! * [`check_quadrant`] runs the seven oracles on one problem instance and
 //!   returns a verdict per oracle (`copack check` renders the table);
 //! * [`run_fuzz`] drives the oracles over an endless seeded stream of
 //!   generated instances ([`copack_gen::fuzz_case`]) and, on a failure,
@@ -23,6 +23,7 @@
 //! | `determinism`   | same seed ⇒ byte-identical reports for every thread count, and re-running the pipeline reproduces itself |
 //! | `cost-ledger`   | each journal Δcost equals the cost difference bit-exactly, and the final cost is the running minimum bit-exactly |
 //! | `replan_vs_scratch` | the warm-started replan of a churned instance validates clean and lands within [`REPLAN_TOLERANCE`] of the from-scratch cost |
+//! | `tune-determinism` | the auto-tuner emits a byte-identical `.tune` profile for every worker-thread count and reproduces itself on a rerun |
 //!
 //! Everything here is deterministic: a failing case is fully described by
 //! the driver seed and case index, which the shrunk reproducer's sidecar
@@ -45,7 +46,7 @@ pub use corpus::{read_sidecar, write_reproducer, Sidecar};
 pub use fuzz::{run_fuzz, run_fuzz_with, FuzzConfig, FuzzFailure, FuzzOutcome};
 pub use oracles::{
     check_cost_ledger, check_density_conservation, check_determinism, check_ir_cross,
-    check_monotonicity_preserved, check_quadrant, ORACLE_NAMES,
+    check_monotonicity_preserved, check_quadrant, check_tune_determinism, ORACLE_NAMES,
 };
 pub use replan::{
     check_replan_vs_scratch, check_replan_with_delta, shrink_replan_delta, REPLAN_TOLERANCE,

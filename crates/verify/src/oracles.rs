@@ -1,4 +1,4 @@
-//! The six invariant oracles.
+//! The seven invariant oracles.
 //!
 //! Each oracle is a pure function `(Quadrant, VerifyConfig) →`
 //! [`OracleReport`]: it builds its own initial assignment (always
@@ -10,23 +10,26 @@
 
 use copack_core::{
     assign, exchange, exchange_reference, exchange_traced, increased_density, plan_package,
-    AssignMethod, Codesign, CoreError, DeltaIrTracker, SectionTracker,
+    AssignMethod, Codesign, CoreError, DeltaIrTracker, PortfolioConfig, SectionTracker,
 };
 use copack_geom::{Assignment, FingerIdx, NetKind, Package, Quadrant, StackConfig};
+use copack_io::{write_tune, ClassConfig};
 use copack_obs::{Event, Recorder, TraceBuffer};
 use copack_power::{solve_cg, solve_dense, solve_sor, GridSpec, PadRing};
 use copack_route::{exchange_range, is_monotonic, RangeCache};
+use copack_tune::{tune, TrialSpace, TuneError, TuneOptions};
 
 use crate::{OracleReport, VerifyConfig};
 
 /// The stable oracle names, in execution order.
-pub const ORACLE_NAMES: [&str; 6] = [
+pub const ORACLE_NAMES: [&str; 7] = [
     "monotonicity",
     "density",
     "ir-cross-check",
     "determinism",
     "cost-ledger",
     "replan_vs_scratch",
+    "tune-determinism",
 ];
 
 /// Agreement tolerance of the IR cross-check: both iterative solvers run
@@ -34,7 +37,7 @@ pub const ORACLE_NAMES: [&str; 6] = [
 /// slack while still catching any modelling mismatch.
 const IR_TOL: f64 = 1e-6;
 
-/// Runs all six oracles on one instance, emitting one
+/// Runs all seven oracles on one instance, emitting one
 /// [`Event::OracleChecked`] per verdict into `recorder`.
 pub fn check_quadrant(
     quadrant: &Quadrant,
@@ -48,6 +51,7 @@ pub fn check_quadrant(
         check_determinism(quadrant, config),
         check_cost_ledger(quadrant, config),
         crate::check_replan_vs_scratch(quadrant, config),
+        check_tune_determinism(quadrant, config),
     ];
     if recorder.enabled() {
         for r in &reports {
@@ -531,6 +535,77 @@ pub fn check_cost_ledger(quadrant: &Quadrant, config: &VerifyConfig) -> OracleRe
     )
 }
 
+/// Oracle 7 — tune determinism: the auto-tuner emits a byte-identical
+/// `.tune` profile for worker-thread counts 1 and 2 and reproduces itself
+/// on a rerun, over a small trial space built around this instance's own
+/// verification schedule.
+#[must_use]
+pub fn check_tune_determinism(quadrant: &Quadrant, config: &VerifyConfig) -> OracleReport {
+    const NAME: &str = "tune-determinism";
+    let stack = match config.stack() {
+        Ok(s) => s,
+        Err(e) => return OracleReport::fail(NAME, format!("bad stack: {e}")),
+    };
+    // A tiny space anchored at the oracle's own short schedule: single
+    // starts keep the walk cheap, and one two-start point exercises the
+    // portfolio path inside a trial.
+    let base = ClassConfig::from_configs(
+        &config.exchange_config(),
+        &PortfolioConfig {
+            starts: 1,
+            ..PortfolioConfig::default()
+        },
+    );
+    let space = TrialSpace {
+        points: vec![
+            base,
+            ClassConfig {
+                cooling: 0.8,
+                ..base
+            },
+            ClassConfig {
+                moves_per_temp: base.moves_per_temp + 1,
+                ..base
+            },
+            ClassConfig {
+                starts: 2,
+                prune_margin: 0.25,
+                ..base
+            },
+        ],
+    };
+    let options = |threads: usize| TuneOptions {
+        seed: config.exchange_seed,
+        threads,
+        rounds: 1,
+    };
+    let family = [("instance".to_owned(), quadrant.clone(), stack)];
+    let mut baseline: Option<(String, usize)> = None;
+    for (threads, label) in [(1usize, "threads 1"), (2, "threads 2"), (1, "rerun")] {
+        let report = match tune(&family, &space, &options(threads)) {
+            Ok(r) => r,
+            Err(TuneError::Core(e)) => return exchange_err(NAME, &e),
+            Err(e) => return OracleReport::fail(NAME, format!("tune failed: {e}")),
+        };
+        let bytes = write_tune(&report.profile);
+        match &baseline {
+            None => baseline = Some((bytes, report.trials)),
+            Some((b, _)) if *b != bytes => {
+                return OracleReport::fail(NAME, format!("profile differs under {label}"));
+            }
+            Some(_) => {}
+        }
+    }
+    let (_, trials) = baseline.expect("three tune runs recorded a baseline");
+    OracleReport::pass(
+        NAME,
+        format!(
+            "profile byte-identical across threads 1/2 and a rerun ({} points, {trials} trials)",
+            space.len()
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +658,13 @@ mod tests {
         let r = check_cost_ledger(&fig5(), &VerifyConfig::default());
         assert!(r.passed, "{}", r.detail);
         assert!(r.detail.contains("bit-exactly"), "{}", r.detail);
+    }
+
+    #[test]
+    fn tune_determinism_oracle_passes_on_fig5() {
+        let r = check_tune_determinism(&fig5(), &VerifyConfig::default());
+        assert!(r.passed, "{}", r.detail);
+        assert!(r.detail.contains("byte-identical"), "{}", r.detail);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //!                                          incrementally re-plan after an ECO
 //! copack route <circuit> <assignment>      analyse a routing
 //! copack ir <circuit> <assignment>         solve the IR-drop map
-//! copack check <circuit>                   run the six invariant oracles
+//! copack check <circuit>                   run the seven invariant oracles
 //! copack fuzz [--budget-secs N]            fuzz the oracles over generated
 //!                                          instances, shrinking failures
+//! copack tune [circuits...]                auto-tune schedules/weights into
+//!                                          a reusable .tune profile
 //! copack serve [--addr HOST:PORT]          run the resident planning daemon
 //! copack submit <circuit>                  plan one circuit via the daemon
 //! copack batch <dir>                       plan every circuit in a directory
@@ -33,13 +35,17 @@ use copack_core::{
 };
 use copack_gen::circuit;
 use copack_geom::{Package, StackConfig};
-use copack_io::{parse_assignment, parse_delta, parse_quadrant, write_assignment, write_quadrant};
+use copack_io::{
+    classify_quadrant, parse_assignment, parse_delta, parse_quadrant, parse_tune, write_assignment,
+    write_quadrant, write_tune, TuneProfile,
+};
 use copack_obs::{Event, JsonlSink, NoopRecorder, Recorder, TraceBuffer, TraceSummary};
 use copack_power::GridSpec;
 use copack_route::{analyze, balanced_density_map, DensityModel};
 use copack_serve::{
     pool_metrics_text, Client, JobClass, JobSpec, PlanResponse, ServeConfig, Server,
 };
+use copack_tune::{tune, TrialSpace, TuneOptions};
 use copack_viz::{density_histogram, routing_ascii, routing_svg, trace_sparklines};
 
 /// Usage text printed for `--help` or argument errors.
@@ -57,9 +63,9 @@ USAGE:
 
   copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
               [--slack N] [--exchange] [--psi N] [--starts K]
-              [--prune-margin F] [--margin-weight F] [--out FILE]
-              [--svg FILE] [--package] [--threads N] [--trace FILE]
-              [--metrics]
+              [--prune-margin F] [--margin-weight F] [--profile FILE]
+              [--out FILE] [--svg FILE] [--package] [--threads N]
+              [--trace FILE] [--metrics]
       Run the congestion-driven assignment (default: dfa) and optionally
       the IR-drop-aware exchange step; print the routing report.
       With --starts K > 1 the exchange runs as a multi-start portfolio:
@@ -73,21 +79,28 @@ USAGE:
       parallelism, 1 = serial; the result is identical for every thread
       count). --margin-weight adds the weighted net-separation margin
       term to the exchange cost (0, the default, leaves it off).
+      --profile loads a `copack tune` profile and plans the exchange
+      under the tuned configuration for the circuit's instance class
+      (unknown classes fall back to the defaults); explicitly-given
+      flags (--starts, --prune-margin, --margin-weight, --xseed) still
+      win over the profile.
 
   copack replan <circuit-file> --prev ASSIGNMENT --delta EDITS
-                [--psi N] [--xseed N] [--margin-weight F] [--out FILE]
-                [--trace FILE] [--metrics]
+                [--psi N] [--xseed N] [--margin-weight F]
+                [--profile FILE] [--out FILE] [--trace FILE] [--metrics]
       Incrementally re-plan after an ECO. <circuit-file> is the base
       (pre-edit) circuit, --prev its planned assignment (`copack plan
       --out` format), --delta the edit list (`.edits` format). When the
-      delta does not touch this quadrant the previous plan is reused
-      verbatim — the --out file is byte-identical to --prev and no
-      annealing work runs (the trace proves it: `replan_start` with
-      dirty 0 plus one `quadrant_reused`). A dirty quadrant applies its
-      edits, repairs the previous assignment onto the edited netlist,
-      and re-anneals from that warm start; the result lands in the same
-      feasibility class as a from-scratch plan, with its cost inside
-      the `replan_vs_scratch` oracle's band.
+      delta does not touch this quadrant — or lists edits that cancel
+      out to a no-op — the previous plan is reused verbatim: the --out
+      file is byte-identical to --prev and no annealing work runs (the
+      trace proves it: `replan_start` with dirty 0 plus one
+      `quadrant_reused`). A dirty quadrant applies its edits, repairs
+      the previous assignment onto the edited netlist, and re-anneals
+      from that warm start; the result lands in the same feasibility
+      class as a from-scratch plan, with its cost inside the
+      `replan_vs_scratch` oracle's band. --profile applies a tuned
+      configuration, as in plan.
 
   copack route <circuit-file> <assignment-file> [--svg FILE]
       Check legality and print density/wirelength analysis.
@@ -97,10 +110,28 @@ USAGE:
       Solve the finite-difference IR-drop model for the power pads.
 
   copack check <circuit-file> [--psi N] [--trace FILE] [--metrics]
-      Run the six invariant oracles (monotonicity, density,
-      ir-cross-check, determinism, cost-ledger, replan_vs_scratch) on
-      the circuit and print the verdict table; exits non-zero if any
-      oracle fails.
+      Run the seven invariant oracles (monotonicity, density,
+      ir-cross-check, determinism, cost-ledger, replan_vs_scratch,
+      tune-determinism) on the circuit and print the verdict table;
+      exits non-zero if any oracle fails.
+
+  copack tune [circuit-files...] [--quick] [--rounds N] [--seed N]
+              [--threads N] [--psi N] [--out FILE]
+      Auto-tune the SA schedule, Eq. 3 weights, and portfolio knobs
+      over a circuit family (default: the built-in 8-member tuning
+      family; pass circuit files to tune your own) and distil one
+      winning configuration per instance class into a reusable .tune
+      profile (written with --out; loaded by plan/replan/serve via
+      --profile). Trials are seeded and journaled: early
+      successive-halving rounds run bit-exact schedule prefixes, cheap
+      trace signals rank the candidates (the per-class Spearman
+      correlation in the report says how predictive they were), and
+      survivors run full-length. The default configuration always
+      competes in the final round and a candidate only wins by beating
+      it on every family member, so a profile can never regress a
+      family instance. The emitted profile is byte-identical for every
+      --threads value and across reruns. --quick sweeps a 4-point
+      space (CI smoke); the default space has 16 points.
 
   copack fuzz [--budget-secs N] [--cases N] [--seed S] [--corpus DIR]
               [--trace FILE] [--metrics]
@@ -111,7 +142,8 @@ USAGE:
 
   copack serve [--addr HOST:PORT] [--workers N] [--queue N]
                [--timeout-secs N] [--cache-dir DIR] [--cache-mem-limit B]
-               [--port-file FILE] [--trace FILE] [--metrics]
+               [--profile FILE] [--port-file FILE] [--trace FILE]
+               [--metrics]
       Run the resident planning daemon: jobs arrive as JSON lines over a
       local TCP socket, a single event loop owns every connection (idle
       clients cost no threads), jobs run on a bounded worker pool, and
@@ -125,12 +157,20 @@ USAGE:
       written; corrupt entries are quarantined, and a restarted daemon
       answers from the warm store); --cache-mem-limit bounds the
       in-memory tier in bytes (LRU eviction; 0 = unbounded; default
-      64 MiB).
+      64 MiB). --profile loads a `copack tune` profile: jobs submitted
+      with --use-profile plan under its tuned per-class configuration
+      (the profile fingerprint and class key join the cache key, so
+      tuned and untuned results never collide); without a loaded
+      profile such jobs are refused with a typed bad-request error.
+      The daemon also keeps the frozen move journals of recent
+      portfolio winners, so a replan against one warm-starts from the
+      journal instead of re-parsing the previous plan (same bytes,
+      less work; the trace records `quadrant_warmed` with its source).
 
   copack submit <circuit-file> [--addr HOST:PORT] [--method dfa|ifa|random]
                 [--seed N] [--slack N] [--exchange] [--psi N] [--xseed N]
                 [--starts K] [--prune-margin F] [--margin-weight F]
-                [--prev FILE] [--timeout-ms N]
+                [--prev FILE] [--use-profile] [--timeout-ms N]
                 [--class interactive|bulk] [--out FILE]
       Submit one planning job to a running daemon and print its report.
       The planning flags mirror `copack plan`; --xseed seeds the exchange
@@ -142,8 +182,9 @@ USAGE:
       daemon warm-starts the exchange from it (an incremental replan of
       one quadrant); --margin-weight sets the net-separation margin
       term. Both join the cache key only when they can change the
-      result. --out writes the assignment file (byte-identical to
-      `copack plan --out`).
+      result. --use-profile plans under the daemon's loaded tuning
+      profile (see serve --profile). --out writes the assignment file
+      (byte-identical to `copack plan --out`).
 
   copack batch <dir> [--addr HOST:PORT] [--class interactive|bulk]
                [--stream] [planning flags as submit]
@@ -186,6 +227,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("ir") => cmd_ir(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
@@ -201,8 +243,10 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 30] = [
+const VALUED: [&str; 32] = [
     "--prev",
+    "--profile",
+    "--rounds",
     "--delta",
     "--margin-weight",
     "--family",
@@ -371,6 +415,19 @@ fn exchange_config(opts: &Options) -> Result<ExchangeConfig, String> {
     })
 }
 
+/// Loads `--profile` (a `copack tune` output file), or `None` when the
+/// flag is absent. Parse failures — truncation, checksum mismatch,
+/// version skew — surface as typed errors with the file name attached.
+fn load_profile(opts: &Options) -> Result<Option<TuneProfile>, String> {
+    match opts.value("profile") {
+        None => Ok(None),
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Ok(Some(parse_tune(&text).map_err(|e| format!("{path}: {e}"))?))
+        }
+    }
+}
+
 fn maybe_write(path: Option<&str>, content: &str, out: &mut String) -> Result<(), String> {
     if let Some(path) = path {
         fs::write(path, content).map_err(|e| format!("{path}: {e}"))?;
@@ -442,6 +499,10 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         "random" => AssignMethod::Random { seed },
         other => return Err(format!("unknown method `{other}` (dfa|ifa|random)")),
     };
+    let profile = load_profile(&opts)?;
+    if profile.is_some() && (opts.flag("exchange").is_none() || opts.flag("package").is_some()) {
+        return Err("--profile tunes the exchange pass: it requires --exchange and does not apply to --package".to_owned());
+    }
 
     if opts.flag("package").is_some() {
         let psi = opts.num("psi", 1u8)?;
@@ -513,14 +574,37 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
         if starts == 0 {
             return Err("--starts expects at least 1 start".to_owned());
         }
-        let xconfig = exchange_config(&opts)?;
+        let mut xconfig = exchange_config(&opts)?;
+        let mut portfolio = PortfolioConfig {
+            starts,
+            prune_margin: opts.num("prune-margin", PortfolioConfig::default().prune_margin)?,
+            threads: opts.num("threads", 0usize)?,
+            ..PortfolioConfig::default()
+        };
+        if let Some(p) = &profile {
+            // The tuned class config replaces schedule, weights, and
+            // portfolio shape; the seed and worker threads stay the
+            // flags' (`apply` never touches them), and explicitly-given
+            // flags still win over the profile.
+            p.config_for(&quadrant).apply(&mut xconfig, &mut portfolio);
+            if opts.value("starts").is_some() {
+                portfolio.starts = starts;
+            }
+            if opts.value("prune-margin").is_some() {
+                portfolio.prune_margin =
+                    opts.num("prune-margin", PortfolioConfig::default().prune_margin)?;
+            }
+            if opts.value("margin-weight").is_some() {
+                xconfig.weights.margin = margin_weight(&opts)?;
+            }
+            let _ = writeln!(
+                out,
+                "{name}: tuned profile applied (class {})",
+                classify_quadrant(&quadrant)
+            );
+        }
+        let starts = portfolio.starts;
         let result = if starts > 1 {
-            let portfolio = PortfolioConfig {
-                starts,
-                prune_margin: opts.num("prune-margin", PortfolioConfig::default().prune_margin)?,
-                threads: opts.num("threads", 0usize)?,
-                ..PortfolioConfig::default()
-            };
             let won = match telemetry.as_mut() {
                 Some(t) => exchange_portfolio_traced(
                     &quadrant,
@@ -605,10 +689,21 @@ fn cmd_replan(args: &[String]) -> Result<String, String> {
     let (_, previous) = parse_assignment(&prev_text).map_err(|e| format!("{prev_path}: {e}"))?;
     let delta_text = fs::read_to_string(delta_path).map_err(|e| format!("{delta_path}: {e}"))?;
     let (_, delta) = parse_delta(&delta_text).map_err(|e| format!("{delta_path}: {e}"))?;
+    let profile = load_profile(&opts)?;
     let mut telemetry = Telemetry::from_options(&opts)?;
 
     let mut out = String::new();
-    if delta.is_clean(&name) {
+    // A quadrant is clean when the delta does not list it — or when it
+    // does but the listed edits cancel out to a no-op (an ECO that was
+    // made and reverted, then resubmitted). Either way the edited
+    // netlist equals the base, so the previous plan is still exactly
+    // valid and repair + re-anneal would be pure waste.
+    // (An *invalid* delta is not a no-op: it falls through to the dirty
+    // path, where `apply_delta` reports the real error.)
+    let noop_resubmission = delta
+        .get(&name)
+        .is_some_and(|d| d.is_noop_for(&base).unwrap_or(false));
+    if delta.is_clean(&name) || noop_resubmission {
         // Untouched quadrant: reuse the previous plan verbatim. Nothing
         // is re-annealed — the only trace is the replan bookkeeping —
         // and --out gets the previous file's bytes, not a re-render, so
@@ -645,7 +740,21 @@ fn cmd_replan(args: &[String]) -> Result<String, String> {
     } else {
         StackConfig::stacked(psi).map_err(|e| e.to_string())?
     };
-    let config = exchange_config(&opts)?;
+    let mut config = exchange_config(&opts)?;
+    if let Some(p) = &profile {
+        // The warm path is single-start, so only the tuned schedule and
+        // weights matter; explicit flags still win, as in plan.
+        let mut portfolio = PortfolioConfig::default();
+        p.config_for(&edited).apply(&mut config, &mut portfolio);
+        if opts.value("margin-weight").is_some() {
+            config.weights.margin = margin_weight(&opts)?;
+        }
+        let _ = writeln!(
+            out,
+            "{name}: tuned profile applied (class {})",
+            classify_quadrant(&edited)
+        );
+    }
     if let Some(t) = telemetry.as_mut() {
         t.buffer.record(&Event::ReplanStart {
             quadrants: 1,
@@ -874,6 +983,68 @@ fn cmd_fuzz(args: &[String]) -> Result<String, String> {
     }
 }
 
+fn cmd_tune(args: &[String]) -> Result<String, String> {
+    let opts = parse_options(args)?;
+    let psi = opts.num("psi", 1u8)?;
+    let mut instances: Vec<(String, copack_geom::Quadrant, StackConfig)> = Vec::new();
+    if opts.positional.is_empty() {
+        // The built-in tuning family: Table 1 plus stacked and deep-row
+        // variants, chosen to cover the instance classes the other
+        // verbs see.
+        for c in copack_gen::tune_family() {
+            let quadrant = c.build_quadrant().map_err(|e| e.to_string())?;
+            let stack = c.stack().map_err(|e| e.to_string())?;
+            instances.push((c.name.replace(' ', ""), quadrant, stack));
+        }
+    } else {
+        let stack = if psi <= 1 {
+            StackConfig::planar()
+        } else {
+            StackConfig::stacked(psi).map_err(|e| e.to_string())?
+        };
+        for path in &opts.positional {
+            let (name, quadrant) = load_quadrant(path)?;
+            instances.push((name, quadrant, stack));
+        }
+    }
+    let space = if opts.flag("quick").is_some() {
+        TrialSpace::quick()
+    } else {
+        TrialSpace::standard()
+    };
+    let options = TuneOptions {
+        seed: opts.num("seed", TuneOptions::default().seed)?,
+        threads: opts.num("threads", 0usize)?,
+        rounds: opts.num("rounds", TuneOptions::default().rounds)?,
+    };
+    let report = tune(&instances, &space, &options).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tuned {} instances over {} points ({} trials, seed {})",
+        instances.len(),
+        space.len(),
+        report.trials,
+        options.seed
+    );
+    for class in &report.classes {
+        let _ = writeln!(
+            out,
+            "  {}: winner point {} cost {:.4} -> {:.4} (corr {:+.2}, {} pruned; members {})",
+            class.key,
+            class.winner,
+            class.default_cost,
+            class.winner_cost,
+            class.correlation,
+            class.pruned_points,
+            class.members.join(", ")
+        );
+    }
+    maybe_write(opts.value("out"), &write_tune(&report.profile), &mut out)?;
+    Ok(out)
+}
+
 /// Builds a daemon job spec from `submit`/`batch`'s planning flags (the
 /// same vocabulary as `copack plan`).
 fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, String> {
@@ -918,6 +1089,7 @@ fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, Str
         prune_margin_bits: prune_margin.to_bits(),
         prev,
         margin_bits: margin_weight(opts)?.to_bits(),
+        profile: opts.flag("use-profile").is_some(),
         timeout_ms,
         class: job_class_from_options(opts)?,
     })
@@ -956,6 +1128,7 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         worker_stall: (stall_ms > 0).then(|| std::time::Duration::from_millis(stall_ms)),
         cache_dir: opts.value("cache-dir").map(std::path::PathBuf::from),
         cache_mem_limit: opts.num("cache-mem-limit", ServeConfig::default().cache_mem_limit)?,
+        profile: load_profile(&opts)?,
     };
     let trace = opts.value("trace").map(str::to_owned);
     let metrics = opts.flag("metrics").is_some();
@@ -1504,7 +1677,7 @@ mod tests {
         let circuit_path = dir.path("c1.copack");
         fs::write(&circuit_path, run(&s(&["gen", "1"])).unwrap()).unwrap();
         let out = run(&s(&["check", circuit_path.to_str().unwrap()])).unwrap();
-        assert!(out.contains("6/6 oracles passed"), "{out}");
+        assert!(out.contains("7/7 oracles passed"), "{out}");
         for oracle in copack_verify::ORACLE_NAMES {
             assert!(out.contains(oracle), "{oracle} missing from {out}");
         }
@@ -1526,7 +1699,7 @@ mod tests {
             trace_path.to_str().unwrap(),
         ]))
         .unwrap();
-        assert!(out.contains("6/6"), "{out}");
+        assert!(out.contains("7/7"), "{out}");
         let text = fs::read_to_string(&trace_path).unwrap();
         assert_eq!(
             text.matches(r#""ev":"oracle""#).count(),
@@ -1645,6 +1818,124 @@ mod tests {
         assert_eq!(replanned.finger_count(), churned.finger_count());
         // Deterministic: a second run is byte-identical.
         assert_eq!(run(&args).unwrap(), out);
+    }
+
+    #[test]
+    fn replan_skips_repair_for_a_delta_whose_edits_cancel_out() {
+        let dir = TestDir::new("replan_noop");
+        let (circuit, prev, prev_bytes) = plan_previous(&dir);
+        // A non-empty edit list that lands back on the base netlist:
+        // forward churn edits immediately undone by their reverses.
+        let (_, base) = parse_quadrant(&fs::read_to_string(&circuit).unwrap()).unwrap();
+        let churned = copack_gen::churn(&base, 7, copack_gen::STANDARD_CHURN).unwrap();
+        let qdelta = copack_core::cancelling_delta(&base, &churned);
+        assert!(!qdelta.is_empty());
+        let delta = copack_core::InstanceDelta {
+            quadrants: vec![("circuit1".to_owned(), qdelta)],
+        };
+        let edits = dir.path("noop.edits");
+        fs::write(&edits, copack_io::write_delta("circuit1", &delta)).unwrap();
+        let out_path = dir.path("replanned.order");
+        let trace_path = dir.path("replan.jsonl");
+        let out = run(&s(&[
+            "replan",
+            circuit.to_str().unwrap(),
+            "--prev",
+            prev.to_str().unwrap(),
+            "--delta",
+            edits.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("0/1 quadrants dirty"), "{out}");
+        assert!(out.contains("previous plan reused"), "{out}");
+        assert_eq!(fs::read_to_string(&out_path).unwrap(), prev_bytes);
+        let text = fs::read_to_string(&trace_path).unwrap();
+        assert!(!text.contains(r#""ev":"run_start""#), "{text}");
+    }
+
+    /// The final cost of an `after exchange (cost a -> b)` verb line.
+    fn final_cost(out: &str) -> f64 {
+        let (_, tail) = out.split_once("after exchange (cost ").unwrap();
+        let (_, tail) = tail.split_once("-> ").unwrap();
+        let (cost, _) = tail.split_once(')').unwrap();
+        cost.trim().parse().unwrap()
+    }
+
+    #[test]
+    fn a_tuned_profile_never_loses_to_the_default_plan() {
+        let dir = TestDir::new("plan_profile");
+        let circuit = dir.path("c1.copack");
+        fs::write(&circuit, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let profile = dir.path("c1.tune");
+        let out = run(&s(&[
+            "tune",
+            circuit.to_str().unwrap(),
+            "--quick",
+            "--out",
+            profile.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("tuned 1 instances"), "{out}");
+
+        // --profile is an exchange-pass knob.
+        let err = run(&s(&[
+            "plan",
+            circuit.to_str().unwrap(),
+            "--profile",
+            profile.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("requires --exchange"), "{err}");
+
+        let default = run(&s(&["plan", circuit.to_str().unwrap(), "--exchange"])).unwrap();
+        let tuned = run(&s(&[
+            "plan",
+            circuit.to_str().unwrap(),
+            "--exchange",
+            "--profile",
+            profile.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(tuned.contains("tuned profile applied (class "), "{tuned}");
+        // Never-worse guarantee on a family member: the winner carries
+        // the default point through the final round, and the default
+        // point's portfolio subsumes the single-start run.
+        assert!(
+            final_cost(&tuned) <= final_cost(&default),
+            "tuned {tuned} vs default {default}"
+        );
+    }
+
+    #[test]
+    fn tune_emits_byte_identical_profiles_across_threads_and_reruns() {
+        let dir = TestDir::new("tune_threads");
+        let circuit = dir.path("c1.copack");
+        fs::write(&circuit, run(&s(&["gen", "1"])).unwrap()).unwrap();
+        let emit = |tag: &str, threads: &str| {
+            let path = dir.path(tag);
+            run(&s(&[
+                "tune",
+                circuit.to_str().unwrap(),
+                "--quick",
+                "--seed",
+                "5",
+                "--threads",
+                threads,
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            fs::read_to_string(&path).unwrap()
+        };
+        let one = emit("a.tune", "1");
+        assert_eq!(one, emit("b.tune", "2"));
+        assert_eq!(one, emit("c.tune", "1"));
+        // The emitted profile is a valid, loadable `.tune` document.
+        copack_io::parse_tune(&one).unwrap();
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   and the simulated-annealing finger/pad exchange;
 //! * [`gen`] — synthetic test circuits (including the paper's Table 1
 //!   five);
+//! * [`tune`] — the deterministic auto-tuner: seeded trials over SA
+//!   schedules, Eq. 3 weights, and portfolio knobs, distilled into a
+//!   reusable `.tune` profile keyed by instance class;
 //! * [`viz`] — SVG/ASCII rendering of routings and IR maps.
 //!
 //! # Quickstart
@@ -53,5 +56,6 @@ pub use copack_io as io;
 pub use copack_obs as obs;
 pub use copack_power as power;
 pub use copack_route as route;
+pub use copack_tune as tune;
 pub use copack_verify as verify;
 pub use copack_viz as viz;

@@ -85,7 +85,7 @@ fn full_workflow_through_the_binary() {
 
     let out = copack(&["check", circuit.to_str().unwrap()]);
     assert!(out.status.success(), "{out:?}");
-    assert!(String::from_utf8_lossy(&out.stdout).contains("6/6 oracles passed"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("7/7 oracles passed"));
 }
 
 #[test]

@@ -43,7 +43,7 @@ fn margin_ablation_is_bit_identical_to_the_golden() {
 }
 
 /// The `copack check` verdict table of every Table 1 circuit is pinned:
-/// all six oracles pass, and the detail lines (accepted-move counts,
+/// all seven oracles pass, and the detail lines (accepted-move counts,
 /// pad counts, Eq. 2 `ID`) are seeded and therefore byte-stable.
 /// Regenerate with
 /// `for n in 1 2 3 4 5; do copack gen $n --out c.copack && copack check c.copack; done`
