@@ -1,10 +1,13 @@
 //! Machine-readable portfolio-annealing benchmark: for every Table 1
 //! circuit, sweep the portfolio width (quality vs. starts at a fixed
-//! thread count) and the worker count (wall clock vs. threads at a fixed
-//! width), asserting the two structural guarantees along the way — the
-//! K-start winner is never worse than the single start it contains, and
-//! the winner is bit-identical for every thread count. Writes the curves
-//! to `BENCH_portfolio.json` for tracking across commits.
+//! thread count), the worker count (wall clock vs. threads at a fixed
+//! width), and the cooperation mode (quality vs. `race`/`coop`/`temper`
+//! at an equal move budget), asserting the structural guarantees along
+//! the way — the K-start winner is never worse than the single start it
+//! contains, the winner is bit-identical for every thread count, and
+//! the cooperative modes never lose to `race` at the same budget.
+//! Writes the curves to `BENCH_portfolio.json` for tracking across
+//! commits.
 //!
 //! Run with `cargo run --release -p copack-bench --bin bench_portfolio`.
 
@@ -12,7 +15,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use copack_core::{
-    assign, exchange_portfolio, AssignMethod, ExchangeConfig, PortfolioConfig, Schedule,
+    assign, exchange_portfolio, AssignMethod, ExchangeConfig, PortfolioConfig, PortfolioMode,
+    Schedule,
 };
 use copack_gen::{circuits, large_circuit};
 use copack_geom::{Assignment, Quadrant, StackConfig};
@@ -39,6 +43,34 @@ fn bench_config() -> ExchangeConfig {
         ..ExchangeConfig::default()
     }
 }
+
+/// The schedule for the quality-vs-mode sweep. Deeper than the starved
+/// width sweep on purpose: parallel tempering spends most of its rungs
+/// holding the ladder's hotter temperatures, so on a one-shot starved
+/// ramp it has a single effective cold trajectory and structurally
+/// trails `race`'s K independent anneals. The paper-style claim the
+/// mode gate pins — cooperation never loses at an equal move budget —
+/// is about schedules deep enough for the ladder (and `coop`'s
+/// crossover respawns) to actually mix.
+fn mode_config() -> ExchangeConfig {
+    ExchangeConfig {
+        schedule: Schedule {
+            moves_per_temp_per_finger: 1,
+            final_temp_ratio: 1e-2,
+            cooling: 0.85,
+            ..Schedule::default()
+        },
+        ..ExchangeConfig::default()
+    }
+}
+
+/// The cooperation modes the quality gate sweeps, `race` first (it is
+/// the baseline the other two are compared against).
+const MODES: [PortfolioMode; 3] = [
+    PortfolioMode::Race,
+    PortfolioMode::Coop,
+    PortfolioMode::Temper,
+];
 
 /// One portfolio run's measurements.
 struct Sample {
@@ -74,6 +106,79 @@ fn run_portfolio(
         pruned: won.pruned(),
         wall_seconds: t.elapsed().as_secs_f64(),
     }
+}
+
+/// Runs the three cooperation modes at an equal move budget and asserts
+/// the never-worse gate: `coop` and `temper` winner costs must not
+/// exceed `race`'s on the same instance, schedule, and seed. `template`
+/// carries the portfolio shape (starts, sync epochs, ladder ratio); the
+/// mode is overridden per run. Returns the samples in `MODES` order.
+fn mode_sweep(
+    name: &str,
+    quadrant: &Quadrant,
+    initial: &Assignment,
+    stack: &StackConfig,
+    config: &ExchangeConfig,
+    template: &PortfolioConfig,
+) -> Vec<Sample> {
+    let sweep: Vec<Sample> = MODES
+        .iter()
+        .map(|&mode| {
+            let portfolio = PortfolioConfig {
+                mode,
+                threads: 1,
+                ..*template
+            };
+            let t = Instant::now();
+            let won = exchange_portfolio(quadrant, initial, stack, config, &portfolio)
+                .expect("portfolio runs");
+            Sample {
+                starts: template.starts,
+                threads: 1,
+                winner_start: won.winner_start,
+                cost: won.result.stats.final_cost,
+                pruned: won.pruned(),
+                wall_seconds: t.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    let race = sweep[0].cost;
+    // ULP headroom, not a quality band: equal-quality plans reached via
+    // different accept orders re-accumulate the λ-weighted Δ_IR term in
+    // a different order, so ties can differ in the cost's last bits.
+    let gate = race * (1.0 + 1e-12);
+    for (mode, sample) in MODES.iter().zip(&sweep).skip(1) {
+        assert!(
+            sample.cost <= gate,
+            "{name}: {} winner ({:.17e}) lost to race ({race:.17e}) at an equal move budget",
+            mode.as_str(),
+            sample.cost
+        );
+    }
+    sweep
+}
+
+fn json_mode_sweep(out: &mut String, template: &PortfolioConfig, sweep: &[Sample]) {
+    out.push_str("     \"quality_vs_mode\": [");
+    for (j, (mode, s)) in MODES.iter().zip(sweep).enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"mode\": \"{}\", \"starts\": {}, \"sync_epochs\": {}, \"kick_size\": {}, \
+             \"ladder_ratio\": {}, \"cost\": {:.6}, \"pruned\": {}, \"wall_seconds\": {:.6}}}",
+            mode.as_str(),
+            s.starts,
+            template.sync_epochs,
+            template.kick_size,
+            template.ladder_ratio,
+            s.cost,
+            s.pruned,
+            s.wall_seconds
+        );
+    }
+    out.push(']');
 }
 
 fn json_sample(out: &mut String, sample: &Sample) {
@@ -117,7 +222,7 @@ fn main() {
         assert!(
             widest.cost <= baseline,
             "{}: K={} winner ({:.6}) worse than single start ({:.6})",
-            circuit.name,
+            &circuit.name,
             widest.starts,
             widest.cost,
             baseline
@@ -148,10 +253,26 @@ fn main() {
             );
         }
 
+        // Quality vs. cooperation mode at an equal move budget; the
+        // never-worse gate fires inside the sweep.
+        let mode_shape = PortfolioConfig {
+            starts: *WIDTHS.last().expect("widths"),
+            ..PortfolioConfig::default()
+        };
+        let modes = mode_sweep(
+            &circuit.name,
+            &quadrant,
+            &initial,
+            &StackConfig::planar(),
+            &mode_config(),
+            &mode_shape,
+        );
+
         println!(
             "{}: K=1 cost {:.4} -> K=8 cost {:.4} (winner start {}, {} pruned); \
-             1 thread {:.3} s -> {} threads {:.3} s",
-            circuit.name,
+             1 thread {:.3} s -> {} threads {:.3} s; \
+             race {:.4} / coop {:.4} / temper {:.4}",
+            &circuit.name,
             baseline,
             widest.cost,
             widest.winner_start,
@@ -159,6 +280,9 @@ fn main() {
             scaling[0].wall_seconds,
             scaling.last().expect("non-empty sweep").threads,
             scaling.last().expect("non-empty sweep").wall_seconds,
+            modes[0].cost,
+            modes[1].cost,
+            modes[2].cost,
         );
 
         let _ = write!(json, "    {{\"name\": \"{}\",\n", circuit.name);
@@ -176,7 +300,9 @@ fn main() {
             }
             json_sample(&mut json, s);
         }
-        json.push_str("]}");
+        json.push_str("],\n");
+        json_mode_sweep(&mut json, &mode_shape, &modes);
+        json.push('}');
         if i + 1 < circuits().len() {
             json.push(',');
         }
@@ -189,20 +315,21 @@ fn main() {
     println!("wrote BENCH_portfolio.json");
 }
 
-/// The industrial-scale row the whole parallelism story hangs on: an
-/// eight-start portfolio on the 1k-net preset, swept over worker counts.
-/// At Table 1 sizes a start finishes in microseconds and thread spawn
-/// overhead eats the speedup; at 1k nets each start carries real work,
-/// so this run *asserts* the crossover — eight workers must finish the
-/// same portfolio in less wall time than one — alongside the usual
-/// bit-identity of the winner across every thread count.
+/// The industrial-scale rows the parallelism and cooperation stories
+/// hang on. On the 1k-net preset an eight-start portfolio is swept over
+/// worker counts: at Table 1 sizes a start finishes in microseconds and
+/// thread spawn overhead eats the speedup, but at 1k nets each start
+/// carries real work, so this run *asserts* the crossover — eight
+/// workers must finish the same portfolio in less wall time than one —
+/// alongside the usual bit-identity of the winner across every thread
+/// count. Both the 1k and 4k presets then run the quality-vs-mode gate:
+/// `coop` and `temper` must not lose to `race` at an equal move budget
+/// at industrial scale either.
 fn bench_large(json: &mut String) {
-    let spec = large_circuit("1k", 42).expect("preset name");
-    let stack = spec.stack().expect("valid stack");
-    let quadrant = spec.build_quadrant().expect("instance builds");
-    let initial = assign(&quadrant, AssignMethod::dfa_default()).expect("dfa");
     // A fuller schedule than the Table 1 sweep: enough annealing per
-    // start that the work, not the thread plumbing, dominates.
+    // start that the work, not the thread plumbing, dominates. Doubles
+    // as the mode-gate schedule at this scale (deep enough for the
+    // temperature ladder to mix).
     let config = ExchangeConfig {
         schedule: Schedule {
             moves_per_temp_per_finger: 2,
@@ -212,73 +339,124 @@ fn bench_large(json: &mut String) {
         },
         ..ExchangeConfig::default()
     };
-    let scaling: Vec<Sample> = THREADS
-        .iter()
-        .map(|&t| {
-            run_portfolio(
-                &quadrant,
-                &initial,
-                &stack,
-                &config,
-                *WIDTHS.last().expect("widths"),
-                t,
-            )
-        })
-        .collect();
-    for s in &scaling {
-        assert!(
-            s.cost.to_bits() == scaling[0].cost.to_bits()
-                && s.winner_start == scaling[0].winner_start,
-            "{}: winner changed under --threads {}",
-            spec.name,
-            s.threads
-        );
-    }
-    let serial = scaling.first().expect("non-empty sweep");
-    let widest = scaling.last().expect("non-empty sweep");
-    // The crossover only exists where the hardware can actually run the
-    // workers side by side; on a single core the same sweep instead
-    // bounds the thread plumbing's overhead.
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    if cores >= 2 {
-        assert!(
-            widest.wall_seconds < serial.wall_seconds,
-            "{}: {} threads ({:.3} s) failed to beat 1 thread ({:.3} s) on {cores} cores",
-            spec.name,
-            widest.threads,
-            widest.wall_seconds,
-            serial.wall_seconds
-        );
-    } else {
-        println!("note: single core — asserting thread overhead is bounded, not the crossover");
-        assert!(
-            widest.wall_seconds < serial.wall_seconds * 1.5,
-            "{}: {} threads ({:.3} s) cost >50% over 1 thread ({:.3} s) on one core",
-            spec.name,
-            widest.threads,
-            widest.wall_seconds,
-            serial.wall_seconds
-        );
-    }
-    println!(
-        "{}: K={} cost {:.4} (winner start {}); 1 thread {:.3} s -> {} threads {:.3} s ({:.2}x)",
-        spec.name,
-        widest.starts,
-        widest.cost,
-        widest.winner_start,
-        serial.wall_seconds,
-        widest.threads,
-        widest.wall_seconds,
-        serial.wall_seconds / widest.wall_seconds.max(1e-12),
-    );
+    json.push_str("  \"large\": [\n");
+    for (row, preset) in ["1k", "4k"].iter().enumerate() {
+        let spec = large_circuit(preset, 42).expect("preset name");
+        let stack = spec.stack().expect("valid stack");
+        let quadrant = spec.build_quadrant().expect("instance builds");
+        let initial = assign(&quadrant, AssignMethod::dfa_default()).expect("dfa");
 
-    let _ = write!(json, "  \"large\": [\n    {{\"name\": \"{}\",\n", spec.name);
-    json.push_str("     \"wall_clock_vs_threads\": [");
-    for (j, s) in scaling.iter().enumerate() {
-        if j > 0 {
-            json.push_str(", ");
+        // The thread-scaling sweep (and its crossover assert) only on
+        // the 1k row: it pins the plumbing, and once is enough.
+        let scaling: Option<Vec<Sample>> = (*preset == "1k").then(|| {
+            let scaling: Vec<Sample> = THREADS
+                .iter()
+                .map(|&t| {
+                    run_portfolio(
+                        &quadrant,
+                        &initial,
+                        &stack,
+                        &config,
+                        *WIDTHS.last().expect("widths"),
+                        t,
+                    )
+                })
+                .collect();
+            for s in &scaling {
+                assert!(
+                    s.cost.to_bits() == scaling[0].cost.to_bits()
+                        && s.winner_start == scaling[0].winner_start,
+                    "{}: winner changed under --threads {}",
+                    spec.name,
+                    s.threads
+                );
+            }
+            let serial = scaling.first().expect("non-empty sweep");
+            let widest = scaling.last().expect("non-empty sweep");
+            // The crossover only exists where the hardware can actually
+            // run the workers side by side; on a single core the same
+            // sweep instead bounds the thread plumbing's overhead.
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            if cores >= 2 {
+                assert!(
+                    widest.wall_seconds < serial.wall_seconds,
+                    "{}: {} threads ({:.3} s) failed to beat 1 thread ({:.3} s) on {cores} cores",
+                    spec.name,
+                    widest.threads,
+                    widest.wall_seconds,
+                    serial.wall_seconds
+                );
+            } else {
+                println!(
+                    "note: single core — asserting thread overhead is bounded, not the crossover"
+                );
+                assert!(
+                    widest.wall_seconds < serial.wall_seconds * 1.5,
+                    "{}: {} threads ({:.3} s) cost >50% over 1 thread ({:.3} s) on one core",
+                    spec.name,
+                    widest.threads,
+                    widest.wall_seconds,
+                    serial.wall_seconds
+                );
+            }
+            println!(
+                "{}: K={} cost {:.4} (winner start {}); 1 thread {:.3} s -> {} threads {:.3} s \
+                 ({:.2}x)",
+                spec.name,
+                widest.starts,
+                widest.cost,
+                widest.winner_start,
+                serial.wall_seconds,
+                widest.threads,
+                widest.wall_seconds,
+                serial.wall_seconds / widest.wall_seconds.max(1e-12),
+            );
+            scaling
+        });
+
+        // At industrial scale the ladder needs room to mix before the
+        // gate is meaningful: at least as many barriers as rungs (so a
+        // good configuration can percolate from the hot end to the cold
+        // one) and a soft ratio (so adjacent rungs overlap enough for
+        // Metropolis swaps to fire). With the Table 1 defaults (4
+        // barriers, ratio 1.5) tempering never exchanges anything here
+        // and simply forfeits 7 of its 8 rungs to unproductive heat.
+        let mode_shape = PortfolioConfig {
+            starts: *WIDTHS.last().expect("widths"),
+            sync_epochs: 8,
+            ladder_ratio: 1.1,
+            ..PortfolioConfig::default()
+        };
+        let modes = mode_sweep(
+            &spec.name,
+            &quadrant,
+            &initial,
+            &stack,
+            &config,
+            &mode_shape,
+        );
+        println!(
+            "{}: race {:.4} / coop {:.4} / temper {:.4} at K=8",
+            spec.name, modes[0].cost, modes[1].cost, modes[2].cost
+        );
+
+        let _ = write!(json, "    {{\"name\": \"{}\",\n", spec.name);
+        if let Some(scaling) = &scaling {
+            json.push_str("     \"wall_clock_vs_threads\": [");
+            for (j, s) in scaling.iter().enumerate() {
+                if j > 0 {
+                    json.push_str(", ");
+                }
+                json_sample(json, s);
+            }
+            json.push_str("],\n");
         }
-        json_sample(json, s);
+        json_mode_sweep(json, &mode_shape, &modes);
+        json.push('}');
+        if row == 0 {
+            json.push(',');
+        }
+        json.push('\n');
     }
-    json.push_str("]}\n  ]\n");
+    json.push_str("  ]\n");
 }

@@ -527,6 +527,33 @@ impl<'a> ExchangeDriver<'a> {
         self.best_cost
     }
 
+    /// Cost of the *current* (not best) state — what a tempering swap
+    /// decision must look at, since the plan a rung would hand over is
+    /// its live trajectory, not its best prefix.
+    pub(crate) fn current_cost(&self) -> f64 {
+        self.current_cost
+    }
+
+    /// The run's thermal state `(temperature, final_temp)`.
+    ///
+    /// Both values move together in a tempering swap: the pair encodes
+    /// the rung, and because every rung shares `final_temp_ratio` and
+    /// `cooling`, swapping pairs preserves each driver's remaining step
+    /// count — the ladder stays in lockstep across sync epochs.
+    pub(crate) fn thermal(&self) -> (f64, f64) {
+        (self.temperature, self.final_temp)
+    }
+
+    /// Installs a thermal state taken from another rung (see
+    /// [`ExchangeDriver::thermal`]). Exchanging temperatures while plans,
+    /// journals and RNG streams stay put is observably identical to the
+    /// textbook "swap the configurations" formulation, but keeps every
+    /// cost ledger and the journal-replay contract trivially intact.
+    pub(crate) fn set_thermal(&mut self, temperature: f64, final_temp: f64) {
+        self.temperature = temperature;
+        self.final_temp = final_temp;
+    }
+
     /// The accepted-move journal so far.
     pub(crate) fn journal(&self) -> &[(u32, u32)] {
         &self.journal

@@ -49,13 +49,81 @@
 //! The winner's accepted-move journal (and best-prefix length) is
 //! returned so the `copack-verify` oracles can replay the trajectory
 //! unchanged; [`replay_journal`] is the replay helper.
+//!
+//! # Cooperative modes
+//!
+//! [`PortfolioMode`] selects how the starts relate: `race` (the default,
+//! bit-identical to the pre-mode portfolio), `coop` (leader crossover on
+//! respawn plus an adaptive prune margin) and `temper` (a parallel
+//! tempering ladder with deterministic Metropolis swaps at epoch
+//! barriers). All three keep the byte-identical-across-threads contract:
+//! every mode-specific decision — the crossover parent, the kick swaps,
+//! the adaptive margin, each swap verdict — is taken at the barrier, in
+//! start-index order, from values that do not depend on thread
+//! scheduling. A crossover respawn's journal is re-based onto the
+//! portfolio's initial order by storing the parent's best prefix (plus
+//! kick swaps) and prepending it on reduction, so the replay contract
+//! holds in every mode.
 
-use copack_geom::{Assignment, FingerIdx, Quadrant, StackConfig};
+use copack_geom::{Assignment, FingerIdx, NetId, Quadrant, StackConfig};
 use copack_obs::{Event, NoopRecorder, Recorder, TraceBuffer};
+use copack_route::RangeCache;
 
 use crate::exchange::ExchangeDriver;
 use crate::package_plan::effective_threads;
 use crate::{CancelToken, CoreError, ExchangeConfig, ExchangeResult};
+
+/// How the portfolio's starts relate to each other.
+///
+/// `Race` is the original independent-racing model and the default
+/// everywhere (CLI, serve, tune): its results, cache keys and goldens
+/// are bit-identical to portfolios that predate the cooperative modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PortfolioMode {
+    /// Independent racing: starts never exchange information, pruned
+    /// slots respawn from a fresh seed, and the prune margin is the
+    /// constant [`PortfolioConfig::prune_margin`]. Prune verdicts are
+    /// `K`-invariant, so the winner's cost is monotone in `K`.
+    #[default]
+    Race,
+    /// Cooperative ensemble: a pruned slot respawns from the current
+    /// leader's best-prefix plan perturbed by a seeded
+    /// [`PortfolioConfig::kick_size`]-swap kick, and the prune margin
+    /// widens from the observed cross-start cost spread at each epoch
+    /// barrier (never below the configured base margin, so every start
+    /// that survives a `Race` portfolio also survives here).
+    Coop,
+    /// Parallel tempering: start `r` anneals on temperature rung
+    /// `initial_temp_factor · ladder_ratio^r`, nothing is ever pruned,
+    /// and adjacent rungs propose a deterministic Metropolis swap of
+    /// thermal states at each epoch barrier (even pairs on even
+    /// barriers, odd pairs on odd ones).
+    Temper,
+}
+
+impl PortfolioMode {
+    /// Stable lowercase tag, used by the CLI, the wire protocol, cache
+    /// keys and `.tune` profiles.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Race => "race",
+            Self::Coop => "coop",
+            Self::Temper => "temper",
+        }
+    }
+
+    /// Parses [`PortfolioMode::as_str`] back; `None` for unknown tags.
+    #[must_use]
+    pub fn parse(tag: &str) -> Option<Self> {
+        match tag {
+            "race" => Some(Self::Race),
+            "coop" => Some(Self::Coop),
+            "temper" => Some(Self::Temper),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of a multi-start exchange portfolio.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +145,17 @@ pub struct PortfolioConfig {
     /// Worker threads (`0` = available parallelism, `1` = serial). Has
     /// no effect on results, only on wall clock.
     pub threads: usize,
+    /// How the starts cooperate. Defaults to [`PortfolioMode::Race`].
+    pub mode: PortfolioMode,
+    /// `Coop` only: number of seeded adjacent swaps a crossover respawn
+    /// applies to the leader's plan before re-annealing, `≥ 1`. Inert in
+    /// the other modes.
+    pub kick_size: u32,
+    /// `Temper` only: geometric spacing of the temperature ladder,
+    /// `≥ 1.0` and finite (rung `r` heats the initial temperature by
+    /// `ladder_ratio^r`; `1.0` collapses the ladder onto one rung).
+    /// Inert in the other modes.
+    pub ladder_ratio: f64,
 }
 
 impl Default for PortfolioConfig {
@@ -86,6 +165,9 @@ impl Default for PortfolioConfig {
             prune_margin: 0.25,
             sync_epochs: 4,
             threads: 0,
+            mode: PortfolioMode::Race,
+            kick_size: 4,
+            ladder_ratio: 1.5,
         }
     }
 }
@@ -94,7 +176,12 @@ impl PortfolioConfig {
     /// Whether the configuration is usable.
     #[must_use]
     pub fn is_valid(&self) -> bool {
-        self.starts >= 1 && self.sync_epochs >= 1 && self.prune_margin >= 0.0
+        self.starts >= 1
+            && self.sync_epochs >= 1
+            && self.prune_margin >= 0.0
+            && self.kick_size >= 1
+            && self.ladder_ratio.is_finite()
+            && self.ladder_ratio >= 1.0
     }
 }
 
@@ -178,6 +265,119 @@ pub fn replay_journal(
     Ok(a)
 }
 
+/// Salt folded into the base seed before deriving a crossover kick
+/// stream, so kick randomness never collides with the per-start
+/// annealing seeds derived from the same base.
+const KICK_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Metropolis acceptance probability of a tempering swap between two
+/// rungs holding states of cost `cost_a`/`cost_b` at temperatures
+/// `temp_a`/`temp_b`: `min(1, exp((1/Tₐ − 1/T_b)(Eₐ − E_b)))`.
+///
+/// Exposed so `tests/tempering_invariants.rs` can re-derive every swap
+/// verdict from the `PortfolioSwap` event fields alone.
+#[must_use]
+pub fn tempering_swap_probability(cost_a: f64, cost_b: f64, temp_a: f64, temp_b: f64) -> f64 {
+    let beta_a = 1.0 / temp_a.max(f64::MIN_POSITIVE);
+    let beta_b = 1.0 / temp_b.max(f64::MIN_POSITIVE);
+    ((beta_a - beta_b) * (cost_a - cost_b)).exp().min(1.0)
+}
+
+/// The uniform draw a tempering swap compares against: the SplitMix64
+/// finalizer over `(seed, epoch, rung)`, mapped to `[0, 1)`. Epoch-major
+/// and start-indexed, so the verdict is a pure function of the barrier —
+/// never of thread scheduling.
+#[must_use]
+pub fn tempering_swap_draw(seed: u64, epoch: u32, rung: u32) -> f64 {
+    let lane = (u64::from(epoch) << 32) | u64::from(rung);
+    let mut z = seed
+        .wrapping_add(0x632B_E592_86AA_633B)
+        .wrapping_add(lane.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Whether the rung pair `(rung, rung+1)` swaps thermal states at
+/// `epoch`: draw < probability, both sides deterministic functions of
+/// `(seed, epoch, rung, costs, temps)`.
+#[must_use]
+pub fn tempering_swap_accepts(
+    seed: u64,
+    epoch: u32,
+    rung: u32,
+    cost_a: f64,
+    cost_b: f64,
+    temp_a: f64,
+    temp_b: f64,
+) -> bool {
+    tempering_swap_draw(seed, epoch, rung)
+        < tempering_swap_probability(cost_a, cost_b, temp_a, temp_b)
+}
+
+/// Applies up to `kick_size` seeded adjacent swaps to `a`, each checked
+/// against the kernel's own range constraint (mover's target inside its
+/// span, displaced neighbour's new slot inside its own), and returns the
+/// journal entries of the swaps actually applied. Proposals that fail
+/// the constraint are skipped, bounded by `8 · kick_size` attempts, so a
+/// tightly-constrained instance degrades to a smaller (possibly empty)
+/// kick instead of looping.
+fn kick_plan(
+    quadrant: &Quadrant,
+    a: &mut Assignment,
+    seed: u64,
+    kick_size: u32,
+) -> Result<Vec<(u32, u32)>, CoreError> {
+    let alpha = a.finger_count();
+    if alpha < 2 {
+        return Ok(Vec::new());
+    }
+    let mut cache = RangeCache::new(quadrant, a)?;
+    let ids: Vec<NetId> = quadrant.nets().map(|n| n.id).collect();
+    let mut pos1: Vec<u32> = vec![0; ids.len()];
+    let mut slot_net: Vec<Option<usize>> = vec![None; alpha];
+    for (i, &id) in ids.iter().enumerate() {
+        if let Some(p) = a.position_of(id) {
+            pos1[i] = p.get();
+            slot_net[p.zero_based()] = Some(i);
+        }
+    }
+    let mut swaps = Vec::with_capacity(kick_size as usize);
+    let mut state = seed;
+    for _ in 0..kick_size.saturating_mul(8) {
+        if swaps.len() >= kick_size as usize {
+            break;
+        }
+        // SplitMix64 step → left slot of the proposed adjacent pair.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let s = 1 + u32::try_from(z % (alpha as u64 - 1)).expect("slot fits u32");
+        let (Some(li), Some(ri)) = (slot_net[(s - 1) as usize], slot_net[s as usize]) else {
+            continue;
+        };
+        let (llo, lhi) = cache.range(li);
+        if s + 1 < llo.get() || s + 1 > lhi.get() {
+            continue;
+        }
+        let (rlo, rhi) = cache.range(ri);
+        if s < rlo.get() || s > rhi.get() {
+            continue;
+        }
+        a.swap(FingerIdx::new(s), FingerIdx::new(s + 1))?;
+        slot_net.swap((s - 1) as usize, s as usize);
+        pos1[li] = s + 1;
+        pos1[ri] = s;
+        cache.note_moved(li, &pos1);
+        cache.note_moved(ri, &pos1);
+        swaps.push((s, s + 1));
+    }
+    Ok(swaps)
+}
+
 /// One start's in-flight state.
 struct Run<'a> {
     start: u32,
@@ -193,6 +393,12 @@ struct Run<'a> {
     /// best-of candidate so abandoning a start never discards its
     /// trajectory from the reduction.
     frozen: Option<crate::exchange::FrozenRun>,
+    /// Journal prefix this run's driver was seeded from, relative to the
+    /// *portfolio's* initial order. Empty for fresh starts; a `Coop`
+    /// crossover respawn carries its parent's best prefix plus the kick
+    /// swaps here, so `prefix ++ own journal` always replays from the
+    /// global initial.
+    prefix: Vec<(u32, u32)>,
     failure: Option<CoreError>,
 }
 
@@ -320,22 +526,62 @@ pub fn exchange_portfolio_cancellable(
     let rec_on = recorder.enabled();
     let rec_rejected = rec_on && recorder.wants_rejected();
 
-    let spawn = |start: u32| -> Result<Run<'_>, CoreError> {
+    /// Everything a `Coop` crossover respawn starts from: the kicked
+    /// plan, its journal relative to the portfolio's initial order, and
+    /// the provenance the `PortfolioCrossover` event reports.
+    struct CrossoverSpawn {
+        plan: Assignment,
+        prefix: Vec<(u32, u32)>,
+        parent: u32,
+        parent_cost: f64,
+        epoch: u32,
+        kick: u32,
+    }
+
+    let mode = portfolio.mode;
+    let spawn = |start: u32, cross: Option<CrossoverSpawn>| -> Result<Run<'_>, CoreError> {
         let seed = derive_seed(config.seed, start);
-        let cfg = ExchangeConfig {
+        let mut cfg = ExchangeConfig {
             seed,
             ..config.clone()
+        };
+        if mode == PortfolioMode::Temper && start > 0 {
+            // Temperature rung `start`: geometric ladder over the base
+            // schedule. The step count depends only on `final_temp_ratio`
+            // and `cooling`, so every rung runs the same number of
+            // temperature steps and the ladder stays in lockstep.
+            cfg.schedule.initial_temp_factor *= portfolio
+                .ladder_ratio
+                .powi(i32::try_from(start).expect("start index fits i32"));
+        }
+        let (plan, prefix, origin) = match cross {
+            Some(c) => (
+                Some(c.plan),
+                c.prefix,
+                Some((c.parent, c.parent_cost, c.epoch, c.kick)),
+            ),
+            None => (None, Vec::new(), None),
         };
         let mut buffer = if rec_rejected {
             TraceBuffer::with_rejected()
         } else {
             TraceBuffer::new()
         };
+        let from = plan.as_ref().unwrap_or(initial);
         let driver = if rec_on {
             buffer.push(Event::PortfolioStart { start, seed });
-            ExchangeDriver::new(quadrant, initial, stack, &cfg, &mut buffer)?
+            if let Some((parent, parent_cost, epoch, kick)) = origin {
+                buffer.push(Event::PortfolioCrossover {
+                    start,
+                    parent,
+                    epoch,
+                    kick,
+                    parent_cost,
+                });
+            }
+            ExchangeDriver::new(quadrant, from, stack, &cfg, &mut buffer)?
         } else {
-            ExchangeDriver::new(quadrant, initial, stack, &cfg, &mut NoopRecorder)?
+            ExchangeDriver::new(quadrant, from, stack, &cfg, &mut NoopRecorder)?
         };
         Ok(Run {
             start,
@@ -346,11 +592,12 @@ pub fn exchange_portfolio_cancellable(
             pruned_at: None,
             frozen_best: f64::INFINITY,
             frozen: None,
+            prefix,
             failure: None,
         })
     };
 
-    let mut runs: Vec<Run<'_>> = (0..k).map(spawn).collect::<Result<_, _>>()?;
+    let mut runs: Vec<Run<'_>> = (0..k).map(|s| spawn(s, None)).collect::<Result<_, _>>()?;
     // Replacement budget: at most K extra starts over the whole run, so
     // aggressive margins cannot spawn unboundedly.
     let mut replacements_left = k;
@@ -396,22 +643,106 @@ pub fn exchange_portfolio_cancellable(
                 return Err(e);
             }
         }
+        // The barrier index every epoch-major decision below keys on:
+        // start 0 (always `runs[0]`, never pruned) has completed exactly
+        // one epoch per round.
+        let barrier_epoch = runs[0].epochs_done.saturating_sub(1);
+
+        if mode == PortfolioMode::Temper {
+            // Parallel tempering: no pruning — every rung survives to the
+            // end — and adjacent rungs propose a Metropolis swap of
+            // thermal states while the whole ladder is still live.
+            // Even-indexed pairs on even barriers, odd-indexed on odd
+            // ones, each verdict a pure function of (seed, barrier, rung,
+            // current costs, temperatures) — epoch-major, so threads
+            // 1 and N agree bit-for-bit.
+            if runs.len() > 1 && runs.iter().all(|r| !r.is_finished()) {
+                let mut i = (barrier_epoch % 2) as usize;
+                while i + 1 < runs.len() {
+                    let (head, tail) = runs.split_at_mut(i + 1);
+                    let ra = &mut head[i];
+                    let rb = &mut tail[0];
+                    if let (Some(da), Some(db)) = (ra.driver.as_mut(), rb.driver.as_mut()) {
+                        let (cost_a, cost_b) = (da.current_cost(), db.current_cost());
+                        let ((temp_a, fin_a), (temp_b, fin_b)) = (da.thermal(), db.thermal());
+                        let accepted = tempering_swap_accepts(
+                            config.seed,
+                            barrier_epoch,
+                            u32::try_from(i).expect("rung index fits u32"),
+                            cost_a,
+                            cost_b,
+                            temp_a,
+                            temp_b,
+                        );
+                        if accepted {
+                            da.set_thermal(temp_b, fin_b);
+                            db.set_thermal(temp_a, fin_a);
+                        }
+                        if rec_on {
+                            ra.buffer.push(Event::PortfolioSwap {
+                                epoch: barrier_epoch,
+                                start_a: ra.start,
+                                start_b: rb.start,
+                                cost_a,
+                                cost_b,
+                                temp_a,
+                                temp_b,
+                                accepted,
+                            });
+                        }
+                    }
+                    i += 2;
+                }
+            }
+            continue;
+        }
+
         // Prune verdicts, in start-index order against the baseline —
         // start 0's best-so-far. Start 0 is exempt: it carries the
         // caller's seed, always survives (so at least one start does),
         // and keeping it alive to the end makes the K-start winner never
-        // worse than the K = 1 run. Because the threshold depends only on
-        // start 0's (K-invariant) trajectory, each start is pruned at the
-        // same epoch in every portfolio that contains it — the property
-        // that makes the winner's cost monotone in K.
+        // worse than the K = 1 run. In `Race` the threshold depends only
+        // on start 0's (K-invariant) trajectory, so each start is pruned
+        // at the same epoch in every portfolio that contains it — the
+        // property that makes the winner's cost monotone in K.
         let baseline_best = runs
             .iter()
             .find(|r| r.start == 0)
             .expect("start 0 is never removed")
             .best_cost();
-        let threshold = portfolio
-            .prune_margin
-            .mul_add(baseline_best.abs() + 1.0, baseline_best);
+        let margin = if mode == PortfolioMode::Coop {
+            // Adaptive margin: widen to the observed relative best-cost
+            // spread of the live starts, clamped to [base, 4·base].
+            // Widen-only, so every original start that survives a `Race`
+            // portfolio (identical trajectory, identical barrier costs)
+            // also survives here; folding min/max in start-index order
+            // keeps the value bit-identical for every thread count.
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut live = 0u32;
+            for run in &runs {
+                if run.driver.is_some() {
+                    let b = run.best_cost();
+                    lo = lo.min(b);
+                    hi = hi.max(b);
+                    live += 1;
+                }
+            }
+            let spread = ((hi - lo) / (baseline_best.abs() + 1.0)).max(0.0);
+            let widened = spread.clamp(portfolio.prune_margin, 4.0 * portfolio.prune_margin);
+            if rec_on {
+                runs[0].buffer.push(Event::PortfolioMargin {
+                    epoch: barrier_epoch,
+                    margin: widened,
+                    spread,
+                    live,
+                });
+            }
+            widened
+        } else {
+            portfolio.prune_margin
+        };
+        let threshold = margin.mul_add(baseline_best.abs() + 1.0, baseline_best);
         let mut spawn_requests = 0u32;
         for run in &mut runs {
             if run.start == 0 || run.driver.is_none() || run.is_finished() {
@@ -439,10 +770,56 @@ pub fn exchange_portfolio_cancellable(
                 }
             }
         }
-        for _ in 0..spawn_requests {
-            let run = spawn(next_start)?;
-            next_start += 1;
-            runs.push(run);
+        if spawn_requests > 0 && mode == PortfolioMode::Coop {
+            // Crossover respawns: seed each replacement from the current
+            // leader's best-prefix plan, perturbed by a deterministic
+            // `kick_size`-swap kick. The leader is chosen by the same
+            // (best cost, start index) order as the final reduction, over
+            // live and just-frozen trajectories alike, so the choice is
+            // thread-count invariant.
+            let leader = runs
+                .iter()
+                .filter(|r| r.driver.is_some() || r.frozen.is_some())
+                .min_by(|a, b| {
+                    a.best_cost()
+                        .partial_cmp(&b.best_cost())
+                        .expect("costs are finite")
+                        .then(a.start.cmp(&b.start))
+                })
+                .expect("start 0 is never removed");
+            let mut full = leader.prefix.clone();
+            match (&leader.driver, &leader.frozen) {
+                (Some(d), _) => full.extend_from_slice(&d.journal()[..d.best_len()]),
+                (None, Some(f)) => full.extend_from_slice(&f.0[..f.1]),
+                (None, None) => unreachable!("leader candidates hold a driver or a frozen run"),
+            }
+            let (parent, parent_cost) = (leader.start, leader.best_cost());
+            for _ in 0..spawn_requests {
+                let mut plan = replay_journal(initial, &full, full.len())?;
+                let kick_seed = derive_seed(config.seed ^ KICK_SALT, next_start);
+                let kicks = kick_plan(quadrant, &mut plan, kick_seed, portfolio.kick_size)?;
+                let mut prefix = full.clone();
+                prefix.extend_from_slice(&kicks);
+                let run = spawn(
+                    next_start,
+                    Some(CrossoverSpawn {
+                        plan,
+                        prefix,
+                        parent,
+                        parent_cost,
+                        epoch: barrier_epoch,
+                        kick: u32::try_from(kicks.len()).expect("kick count fits u32"),
+                    }),
+                )?;
+                next_start += 1;
+                runs.push(run);
+            }
+        } else {
+            for _ in 0..spawn_requests {
+                let run = spawn(next_start, None)?;
+                next_start += 1;
+                runs.push(run);
+            }
         }
     }
 
@@ -471,15 +848,27 @@ pub fn exchange_portfolio_cancellable(
     // winner rematerialises from its frozen best-prefix journal.
     let (result, journal, best_len) = {
         let run = &mut runs[winner_idx];
+        // A crossover winner's own journal is relative to its kicked
+        // starting plan; prepending the stored prefix re-bases it onto
+        // the portfolio's initial order, so the replay contract — and
+        // every `copack-verify` oracle built on it — holds in all modes.
+        // For fresh starts the prefix is empty and nothing changes.
+        let prefix = std::mem::take(&mut run.prefix);
         if let Some(driver) = run.driver.as_mut() {
             let result = if rec_on {
                 driver.finish(&mut run.buffer)?
             } else {
                 driver.finish(&mut NoopRecorder)?
             };
-            (result, driver.journal().to_vec(), driver.best_len())
+            let best_len = prefix.len() + driver.best_len();
+            let mut journal = prefix;
+            journal.extend_from_slice(driver.journal());
+            (result, journal, best_len)
         } else {
-            let (journal, best_len, stats) = run.frozen.take().expect("pruned winner was frozen");
+            let (own, own_best, stats) = run.frozen.take().expect("pruned winner was frozen");
+            let best_len = prefix.len() + own_best;
+            let mut journal = prefix;
+            journal.extend_from_slice(&own);
             let assignment = replay_journal(initial, &journal, best_len)?;
             (ExchangeResult { assignment, stats }, journal, best_len)
         }
@@ -612,6 +1001,7 @@ mod tests {
             prune_margin: 0.05,
             sync_epochs: 4,
             threads: 1,
+            ..PortfolioConfig::default()
         };
         let serial = exchange_portfolio(&q, &a, &stack, &cfg, &base).expect("serial portfolio");
         for threads in [2, 8] {
@@ -680,6 +1070,7 @@ mod tests {
                     prune_margin: margin,
                     sync_epochs: 8,
                     threads: 1,
+                    ..PortfolioConfig::default()
                 },
             )
             .expect("portfolio run");
@@ -727,6 +1118,7 @@ mod tests {
             prune_margin: 0.0,
             sync_epochs: 24,
             threads: 1,
+            ..PortfolioConfig::default()
         };
         let serial = exchange_portfolio(&q, &a, &stack, &cfg, &base).expect("serial");
         assert!(serial.pruned() > 0, "zero margin should prune something");
@@ -761,6 +1153,7 @@ mod tests {
                 prune_margin: 0.01,
                 sync_epochs: 8,
                 threads: 1,
+                ..PortfolioConfig::default()
             },
         )
         .expect("portfolio run");
@@ -786,6 +1179,7 @@ mod tests {
             prune_margin: 0.1,
             sync_epochs: 3,
             threads: 1,
+            ..PortfolioConfig::default()
         };
         let mut buf1 = TraceBuffer::new();
         let r1 = exchange_portfolio_traced(&q, &a, &stack, &cfg, &base, &mut buf1)
@@ -843,6 +1237,238 @@ mod tests {
     }
 
     #[test]
+    fn mode_tags_round_trip() {
+        for mode in [
+            PortfolioMode::Race,
+            PortfolioMode::Coop,
+            PortfolioMode::Temper,
+        ] {
+            assert_eq!(PortfolioMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(PortfolioMode::parse("anneal"), None);
+        assert_eq!(PortfolioMode::default(), PortfolioMode::Race);
+    }
+
+    #[test]
+    fn default_config_still_races() {
+        // The default mode must stay `race` forever: every pre-mode
+        // golden, cache key and oracle depends on it.
+        assert_eq!(PortfolioConfig::default().mode, PortfolioMode::Race);
+    }
+
+    #[test]
+    fn cooperative_modes_are_thread_count_invariant() {
+        let (q, a) = big_case();
+        let stack = StackConfig::default();
+        let cfg = fast_config(0xC0DE);
+        for mode in [PortfolioMode::Coop, PortfolioMode::Temper] {
+            let base = PortfolioConfig {
+                starts: 5,
+                prune_margin: 0.05,
+                sync_epochs: 4,
+                threads: 1,
+                mode,
+                ..PortfolioConfig::default()
+            };
+            let mut buf1 = TraceBuffer::new();
+            let serial = exchange_portfolio_traced(&q, &a, &stack, &cfg, &base, &mut buf1)
+                .expect("serial portfolio");
+            for threads in [2, 8] {
+                let mut bufn = TraceBuffer::new();
+                let threaded = exchange_portfolio_traced(
+                    &q,
+                    &a,
+                    &stack,
+                    &cfg,
+                    &PortfolioConfig {
+                        threads,
+                        ..base.clone()
+                    },
+                    &mut bufn,
+                )
+                .expect("threaded portfolio");
+                assert_eq!(threaded, serial, "mode {mode:?} threads {threads}");
+                assert_eq!(buf1.events(), bufn.events(), "mode {mode:?} trace");
+            }
+        }
+    }
+
+    #[test]
+    fn cooperative_winners_replay_from_the_global_initial() {
+        let (q, a) = big_case();
+        let stack = StackConfig::default();
+        let cfg = ExchangeConfig {
+            schedule: Schedule {
+                moves_per_temp_per_finger: 1,
+                final_temp_ratio: 5e-2,
+                cooling: 0.7,
+                ..Schedule::default()
+            },
+            seed: 0xD0_5EED,
+            ..ExchangeConfig::default()
+        };
+        for mode in [PortfolioMode::Coop, PortfolioMode::Temper] {
+            let portfolio = exchange_portfolio(
+                &q,
+                &a,
+                &stack,
+                &cfg,
+                &PortfolioConfig {
+                    starts: 8,
+                    prune_margin: 0.0,
+                    sync_epochs: 8,
+                    threads: 1,
+                    mode,
+                    ..PortfolioConfig::default()
+                },
+            )
+            .expect("portfolio run");
+            let replayed = replay_journal(&a, &portfolio.journal, portfolio.best_len)
+                .expect("journal replays");
+            assert_eq!(
+                replayed, portfolio.result.assignment,
+                "mode {mode:?}: composed journal must replay to the winner"
+            );
+        }
+    }
+
+    #[test]
+    fn coop_zero_margin_prunes_spawn_crossovers() {
+        let (q, a) = big_case();
+        let stack = StackConfig::default();
+        let cfg = fast_config(0xABBA);
+        let mut buf = TraceBuffer::new();
+        let result = exchange_portfolio_traced(
+            &q,
+            &a,
+            &stack,
+            &cfg,
+            &PortfolioConfig {
+                starts: 6,
+                prune_margin: 0.0,
+                sync_epochs: 24,
+                threads: 1,
+                mode: PortfolioMode::Coop,
+                ..PortfolioConfig::default()
+            },
+            &mut buf,
+        )
+        .expect("coop portfolio");
+        assert!(result.pruned() > 0, "zero margin should prune something");
+        let crossovers: Vec<(u32, u32)> = buf
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::PortfolioCrossover { start, parent, .. } => Some((*start, *parent)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !crossovers.is_empty(),
+            "coop respawns must announce their crossover parent"
+        );
+        for (start, parent) in crossovers {
+            assert!(start >= 6, "crossover slots are replacements");
+            assert!(parent < start, "the parent precedes the respawn");
+        }
+        // The margin trace fires at every barrier start 0 reaches.
+        assert!(buf
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::PortfolioMargin { .. })));
+    }
+
+    #[test]
+    fn temper_never_prunes_and_announces_swaps() {
+        let (q, a) = big_case();
+        let stack = StackConfig::default();
+        let cfg = fast_config(0xFADE);
+        let mut buf = TraceBuffer::new();
+        let result = exchange_portfolio_traced(
+            &q,
+            &a,
+            &stack,
+            &cfg,
+            &PortfolioConfig {
+                starts: 4,
+                prune_margin: 0.0, // would prune aggressively in race
+                sync_epochs: 6,
+                threads: 1,
+                mode: PortfolioMode::Temper,
+                ..PortfolioConfig::default()
+            },
+            &mut buf,
+        )
+        .expect("temper portfolio");
+        assert_eq!(result.pruned(), 0, "tempering never prunes a rung");
+        assert_eq!(result.starts.len(), 4, "tempering never respawns");
+        let swaps: Vec<u32> = buf
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::PortfolioSwap { start_a, .. } => Some(*start_a),
+                _ => None,
+            })
+            .collect();
+        assert!(!swaps.is_empty(), "barriers must propose rung swaps");
+        // Every swap verdict re-derives from the event fields alone.
+        for e in buf.events() {
+            if let Event::PortfolioSwap {
+                epoch,
+                start_a,
+                cost_a,
+                cost_b,
+                temp_a,
+                temp_b,
+                accepted,
+                ..
+            } = e
+            {
+                assert_eq!(
+                    tempering_swap_accepts(
+                        cfg.seed, *epoch, *start_a, *cost_a, *cost_b, *temp_a, *temp_b
+                    ),
+                    *accepted,
+                    "swap verdicts are a pure function of (seed, epoch, rung, costs)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_start_temper_is_bit_identical_to_race() {
+        let (q, a) = case();
+        let stack = StackConfig::default();
+        let cfg = fast_config(0x1ADD);
+        let race = exchange_portfolio(
+            &q,
+            &a,
+            &stack,
+            &cfg,
+            &PortfolioConfig {
+                starts: 1,
+                threads: 1,
+                ..PortfolioConfig::default()
+            },
+        )
+        .expect("race run");
+        let temper = exchange_portfolio(
+            &q,
+            &a,
+            &stack,
+            &cfg,
+            &PortfolioConfig {
+                starts: 1,
+                threads: 1,
+                mode: PortfolioMode::Temper,
+                ..PortfolioConfig::default()
+            },
+        )
+        .expect("temper run");
+        assert_eq!(temper, race, "a 1-rung ladder degenerates to race");
+    }
+
+    #[test]
     fn invalid_portfolio_config_is_rejected() {
         let (q, a) = case();
         for bad in [
@@ -860,6 +1486,22 @@ mod tests {
             },
             PortfolioConfig {
                 prune_margin: f64::NAN,
+                ..PortfolioConfig::default()
+            },
+            PortfolioConfig {
+                kick_size: 0,
+                ..PortfolioConfig::default()
+            },
+            PortfolioConfig {
+                ladder_ratio: 0.5,
+                ..PortfolioConfig::default()
+            },
+            PortfolioConfig {
+                ladder_ratio: f64::NAN,
+                ..PortfolioConfig::default()
+            },
+            PortfolioConfig {
+                ladder_ratio: f64::INFINITY,
                 ..PortfolioConfig::default()
             },
         ] {

@@ -53,7 +53,8 @@ mod tune_format;
 
 pub use assignment_format::{parse_assignment, write_assignment};
 pub use canonical::{
-    canonical_portfolio_params, canonical_quadrant_text, fnv1a64, quadrant_fingerprint,
+    canonical_portfolio_mode_params, canonical_portfolio_params, canonical_quadrant_text, fnv1a64,
+    quadrant_fingerprint,
 };
 pub use circuit_format::{parse_quadrant, write_quadrant};
 pub use delta_format::{parse_delta, write_delta};

@@ -27,7 +27,7 @@
 
 use std::fmt;
 
-use copack_core::{CostWeights, ExchangeConfig, PortfolioConfig, Schedule};
+use copack_core::{CostWeights, ExchangeConfig, PortfolioConfig, PortfolioMode, Schedule};
 use copack_geom::Quadrant;
 
 use crate::canonical::fnv1a64;
@@ -129,6 +129,12 @@ pub struct ClassConfig {
     pub starts: u32,
     /// Portfolio prune margin.
     pub prune_margin: f64,
+    /// Portfolio mode (race / coop / temper).
+    pub mode: PortfolioMode,
+    /// Coop crossover kick size.
+    pub kick_size: u32,
+    /// Temper ladder ratio.
+    pub ladder_ratio: f64,
 }
 
 impl ClassConfig {
@@ -148,6 +154,9 @@ impl ClassConfig {
             margin: config.weights.margin,
             starts: portfolio.starts,
             prune_margin: portfolio.prune_margin,
+            mode: portfolio.mode,
+            kick_size: portfolio.kick_size,
+            ladder_ratio: portfolio.ladder_ratio,
         }
     }
 
@@ -167,6 +176,9 @@ impl ClassConfig {
         };
         portfolio.starts = self.starts;
         portfolio.prune_margin = self.prune_margin;
+        portfolio.mode = self.mode;
+        portfolio.kick_size = self.kick_size;
+        portfolio.ladder_ratio = self.ladder_ratio;
     }
 
     /// The built-in defaults as a class config — what unknown classes
@@ -236,10 +248,11 @@ fn body_of(profile: &TuneProfile) -> String {
     out.push_str(&format!("space 0x{:016x}\n", profile.space_fingerprint));
     let mut classes = profile.classes.clone();
     classes.sort_by_key(|entry| entry.0);
+    let defaults = ClassConfig::default_config();
     for (key, c) in &classes {
         out.push_str(&format!(
             "class {key} cooling={} itf={} ftr={} moves={} lambda={} rho={} phi={} \
-             margin={} starts={} prune={}\n",
+             margin={} starts={} prune={}",
             hex_bits(c.cooling),
             hex_bits(c.initial_temp_factor),
             hex_bits(c.final_temp_ratio),
@@ -251,6 +264,21 @@ fn body_of(profile: &TuneProfile) -> String {
             c.starts,
             hex_bits(c.prune_margin),
         ));
+        // The cooperative-mode attributes are emitted only when they
+        // deviate from the built-in defaults: a default-valued knob
+        // serialises to the exact byte stream the pre-mode writer
+        // produced, so old profiles re-checksum unchanged, and the
+        // parser's default-fill makes parse(write(p)) == p either way.
+        if c.mode != defaults.mode {
+            out.push_str(&format!(" mode={}", c.mode.as_str()));
+        }
+        if c.kick_size != defaults.kick_size {
+            out.push_str(&format!(" kick={}", c.kick_size));
+        }
+        if c.ladder_ratio.to_bits() != defaults.ladder_ratio.to_bits() {
+            out.push_str(&format!(" ladder={}", hex_bits(c.ladder_ratio)));
+        }
+        out.push('\n');
     }
     out
 }
@@ -438,6 +466,21 @@ pub fn parse_tune(text: &str) -> Result<TuneProfile, ParseError> {
                             config.starts = v.parse().map_err(|_| bad_number(line, v))?;
                         }
                         "prune" => config.prune_margin = parse_bits_f64(line, v)?,
+                        "mode" => {
+                            config.mode = PortfolioMode::parse(v).ok_or_else(|| {
+                                ParseError::new(
+                                    line,
+                                    ParseErrorKind::BadOperands {
+                                        keyword: "class",
+                                        expected: "mode=race|coop|temper",
+                                    },
+                                )
+                            })?;
+                        }
+                        "kick" => {
+                            config.kick_size = v.parse().map_err(|_| bad_number(line, v))?;
+                        }
+                        "ladder" => config.ladder_ratio = parse_bits_f64(line, v)?,
                         _ => {
                             return Err(ParseError::new(
                                 line,
@@ -552,6 +595,48 @@ mod tests {
         let parsed = parse_tune(&text).unwrap();
         assert_eq!(parsed, p);
         assert_eq!(write_tune(&parsed), text);
+    }
+
+    #[test]
+    fn mode_attributes_round_trip_and_default_ones_are_omitted() {
+        let mut p = sample();
+        p.classes[0].1.mode = PortfolioMode::Temper;
+        p.classes[0].1.kick_size = 8;
+        p.classes[0].1.ladder_ratio = 2.0;
+        let text = write_tune(&p);
+        assert!(text.contains(" mode=temper"), "{text}");
+        assert!(text.contains(" kick=8"), "{text}");
+        assert!(
+            text.contains(&format!(" ladder={}", hex_bits(2.0))),
+            "{text}"
+        );
+        assert_eq!(parse_tune(&text).unwrap(), p);
+        // Default-valued knobs never serialise: the sample profile's
+        // byte stream is identical to what the pre-mode writer emitted,
+        // so profiles written before the cooperative modes still
+        // checksum clean.
+        let default_text = write_tune(&sample());
+        assert!(!default_text.contains("mode="), "{default_text}");
+        assert!(!default_text.contains("kick="), "{default_text}");
+        assert!(!default_text.contains("ladder="), "{default_text}");
+    }
+
+    #[test]
+    fn bad_mode_tag_is_typed() {
+        let mut p = sample();
+        p.classes[0].1.mode = PortfolioMode::Coop;
+        let text = write_tune(&p).replacen("mode=coop", "mode=boil", 1);
+        let err = parse_tune(&text).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ParseErrorKind::BadOperands {
+                    keyword: "class",
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Property tests: the text formats round-trip arbitrary valid models.
 
+use copack_core::PortfolioMode;
 use copack_geom::{Assignment, FingerIdx, NetKind, Quadrant, TierId};
 use copack_io::{
     parse_assignment, parse_quadrant, parse_tune, write_assignment, write_quadrant, write_tune,
@@ -68,12 +69,14 @@ fn class_config_strategy() -> impl Strategy<Value = ClassConfig> {
         (finite_f64(), finite_f64(), finite_f64(), any::<u32>()),
         (finite_f64(), finite_f64(), finite_f64(), finite_f64()),
         (any::<u32>(), finite_f64()),
+        (0u8..3, any::<u32>(), finite_f64()),
     )
         .prop_map(
             |(
                 (cooling, initial_temp_factor, final_temp_ratio, moves_per_temp),
                 (lambda, rho, phi, margin),
                 (starts, prune_margin),
+                (mode, kick_size, ladder_ratio),
             )| ClassConfig {
                 cooling,
                 initial_temp_factor,
@@ -85,6 +88,13 @@ fn class_config_strategy() -> impl Strategy<Value = ClassConfig> {
                 margin,
                 starts,
                 prune_margin,
+                mode: match mode {
+                    0 => PortfolioMode::Race,
+                    1 => PortfolioMode::Coop,
+                    _ => PortfolioMode::Temper,
+                },
+                kick_size,
+                ladder_ratio,
             },
         )
 }

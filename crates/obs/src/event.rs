@@ -260,6 +260,54 @@ pub enum Event {
         /// The global best cost the start was compared against.
         global_best: f64,
     },
+    /// A `coop`-mode portfolio respawned a pruned slot from the current
+    /// leader's best-prefix plan, perturbed by a seeded k-swap kick.
+    PortfolioCrossover {
+        /// Start index of the respawned slot.
+        start: u32,
+        /// Start index of the leader whose plan seeded the respawn.
+        parent: u32,
+        /// Sync-epoch barrier (0-based) at which the crossover fired.
+        epoch: u32,
+        /// Kick swaps actually applied (may fall short of the configured
+        /// kick size on tightly range-constrained instances).
+        kick: u32,
+        /// The leader's best-so-far cost at the barrier.
+        parent_cost: f64,
+    },
+    /// A `temper`-mode portfolio proposed a Metropolis swap of thermal
+    /// states between two adjacent temperature rungs at an epoch barrier.
+    PortfolioSwap {
+        /// Sync-epoch barrier (0-based) of the proposal.
+        epoch: u32,
+        /// Start index of the colder rung.
+        start_a: u32,
+        /// Start index of the hotter rung.
+        start_b: u32,
+        /// Current (not best) cost of the colder rung's trajectory.
+        cost_a: f64,
+        /// Current cost of the hotter rung's trajectory.
+        cost_b: f64,
+        /// The colder rung's temperature at the barrier.
+        temp_a: f64,
+        /// The hotter rung's temperature at the barrier.
+        temp_b: f64,
+        /// Whether the Metropolis verdict accepted the swap.
+        accepted: bool,
+    },
+    /// A `coop`-mode portfolio recomputed its adaptive prune margin at an
+    /// epoch barrier from the live starts' best-cost spread.
+    PortfolioMargin {
+        /// Sync-epoch barrier (0-based).
+        epoch: u32,
+        /// The effective (widened) relative margin used for this
+        /// barrier's prune verdicts.
+        margin: f64,
+        /// The observed relative best-cost spread it widened to.
+        spread: f64,
+        /// Live starts folded into the spread.
+        live: u32,
+    },
     /// An incremental replan began: the delta's dirty-set classification
     /// of the instance, emitted before any quadrant is planned.
     ReplanStart {
@@ -357,6 +405,9 @@ impl Event {
             Self::ServeCache { .. } => "serve_cache",
             Self::PortfolioStart { .. } => "portfolio_start",
             Self::PortfolioPrune { .. } => "portfolio_prune",
+            Self::PortfolioCrossover { .. } => "portfolio_crossover",
+            Self::PortfolioSwap { .. } => "portfolio_swap",
+            Self::PortfolioMargin { .. } => "portfolio_margin",
             Self::ReplanStart { .. } => "replan_start",
             Self::QuadrantReused { .. } => "quadrant_reused",
             Self::QuadrantWarmed { .. } => "quadrant_warmed",
@@ -564,6 +615,54 @@ impl Event {
                 out.push_str(",\"global_best\":");
                 json_f64(out, *global_best);
             }
+            Self::PortfolioCrossover {
+                start,
+                parent,
+                epoch,
+                kick,
+                parent_cost,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"start\":{start},\"parent\":{parent},\"epoch\":{epoch},\"kick\":{kick},\"parent_cost\":"
+                );
+                json_f64(out, *parent_cost);
+            }
+            Self::PortfolioSwap {
+                epoch,
+                start_a,
+                start_b,
+                cost_a,
+                cost_b,
+                temp_a,
+                temp_b,
+                accepted,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"epoch\":{epoch},\"start_a\":{start_a},\"start_b\":{start_b},\"cost_a\":"
+                );
+                json_f64(out, *cost_a);
+                out.push_str(",\"cost_b\":");
+                json_f64(out, *cost_b);
+                out.push_str(",\"temp_a\":");
+                json_f64(out, *temp_a);
+                out.push_str(",\"temp_b\":");
+                json_f64(out, *temp_b);
+                let _ = write!(out, ",\"accepted\":{accepted}");
+            }
+            Self::PortfolioMargin {
+                epoch,
+                margin,
+                spread,
+                live,
+            } => {
+                let _ = write!(out, ",\"epoch\":{epoch},\"margin\":");
+                json_f64(out, *margin);
+                out.push_str(",\"spread\":");
+                json_f64(out, *spread);
+                let _ = write!(out, ",\"live\":{live}");
+            }
             Self::ReplanStart { quadrants, dirty } => {
                 let _ = write!(out, ",\"quadrants\":{quadrants},\"dirty\":{dirty}");
             }
@@ -712,6 +811,29 @@ mod tests {
                 epoch: 1,
                 best_cost: 12.5,
                 global_best: 9.0,
+            },
+            Event::PortfolioCrossover {
+                start: 4,
+                parent: 0,
+                epoch: 1,
+                kick: 4,
+                parent_cost: 9.0,
+            },
+            Event::PortfolioSwap {
+                epoch: 2,
+                start_a: 0,
+                start_b: 1,
+                cost_a: 9.0,
+                cost_b: 10.5,
+                temp_a: 0.5,
+                temp_b: 0.75,
+                accepted: true,
+            },
+            Event::PortfolioMargin {
+                epoch: 1,
+                margin: 0.25,
+                spread: 0.1,
+                live: 4,
             },
             Event::ReplanStart {
                 quadrants: 4,

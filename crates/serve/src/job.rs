@@ -15,12 +15,12 @@
 use copack_core::{
     assign, exchange_cancellable, exchange_portfolio_cancellable, exchange_warm,
     exchange_warm_from_journal, AssignMethod, CancelToken, CoreError, ExchangeConfig,
-    PortfolioConfig,
+    PortfolioConfig, PortfolioMode,
 };
 use copack_geom::{Assignment, Quadrant, StackConfig};
 use copack_io::{
-    canonical_portfolio_params, canonical_quadrant_text, classify_quadrant, fnv1a64,
-    parse_assignment, write_assignment, TuneProfile,
+    canonical_portfolio_mode_params, canonical_portfolio_params, canonical_quadrant_text,
+    classify_quadrant, fnv1a64, parse_assignment, write_assignment, TuneProfile,
 };
 use copack_obs::NoopRecorder;
 use copack_route::{analyze, DensityModel};
@@ -104,6 +104,19 @@ pub struct JobSpec {
     /// round-trips the wire and the cache key exactly. Inert when
     /// `starts <= 1`.
     pub prune_margin_bits: u64,
+    /// Cooperation mode for the multi-start portfolio. `Race` (the
+    /// default) is the pre-cooperative independent portfolio; `Coop`
+    /// adds crossover respawns and adaptive margins; `Temper` runs a
+    /// parallel-tempering ladder. Inert when `starts <= 1`.
+    pub mode: PortfolioMode,
+    /// Crossover kick size (seeded adjacent swaps applied to the
+    /// leader's plan on a cooperative respawn). Inert unless
+    /// `mode == Coop` and `starts > 1`.
+    pub kick_size: u32,
+    /// Raw `f64` bits of the tempering ladder's geometric temperature
+    /// ratio. Bits for the same reason as `prune_margin_bits`. Inert
+    /// unless `mode == Temper` and `starts > 1`.
+    pub ladder_ratio_bits: u64,
     /// Previous assignment file text (`copack plan --out` format) for
     /// an incremental replan. When set (and `exchange` is on) the
     /// worker warm-starts the anneal from the repaired previous plan
@@ -141,6 +154,9 @@ impl JobSpec {
             exchange_seed: ExchangeConfig::default().seed,
             starts: 1,
             prune_margin_bits: PortfolioConfig::default().prune_margin.to_bits(),
+            mode: PortfolioMode::Race,
+            kick_size: PortfolioConfig::default().kick_size,
+            ladder_ratio_bits: PortfolioConfig::default().ladder_ratio.to_bits(),
             prev: None,
             margin_bits: 0.0f64.to_bits(),
             profile: false,
@@ -217,6 +233,16 @@ pub fn cache_key_with(spec: &JobSpec, quadrant: &Quadrant, profile: Option<&Tune
                 spec.starts,
                 spec.prune_margin_bits,
             ));
+            // Cooperative-mode parameters fold in only for a non-default
+            // mode: at `mode == Race` they cannot affect the result, and
+            // omitting them keeps every pre-cooperative key stable.
+            if spec.mode != PortfolioMode::Race {
+                material.push_str(&canonical_portfolio_mode_params(
+                    spec.mode.as_str(),
+                    spec.kick_size,
+                    spec.ladder_ratio_bits,
+                ));
+            }
         }
         // Same conditional pattern for the replan extensions: a zero
         // margin weight is the pre-margin objective and a missing
@@ -343,6 +369,9 @@ pub fn execute_job_full(
             starts: spec.starts,
             prune_margin: f64::from_bits(spec.prune_margin_bits),
             threads: 1,
+            mode: spec.mode,
+            kick_size: spec.kick_size,
+            ladder_ratio: f64::from_bits(spec.ladder_ratio_bits),
             ..PortfolioConfig::default()
         };
         if spec.profile {
@@ -557,6 +586,58 @@ mod tests {
             ..off.clone()
         };
         assert_eq!(cache_key(&off, &q), cache_key(&off_multi, &q));
+    }
+
+    #[test]
+    fn the_key_folds_mode_params_only_for_cooperative_multi_start_jobs() {
+        let (_, q) = circuit();
+        let multi = JobSpec {
+            exchange: true,
+            starts: 4,
+            ..JobSpec::new("")
+        };
+        // Race is the default mode: mode parameters are inert there, so
+        // pre-cooperative keys stay byte-stable even with exotic knobs.
+        let race_kicked = JobSpec {
+            kick_size: 9,
+            ladder_ratio_bits: 2.0f64.to_bits(),
+            ..multi.clone()
+        };
+        assert_eq!(cache_key(&multi, &q), cache_key(&race_kicked, &q));
+
+        // A non-default mode separates, and each knob is load-bearing.
+        let coop = JobSpec {
+            mode: PortfolioMode::Coop,
+            ..multi.clone()
+        };
+        let temper = JobSpec {
+            mode: PortfolioMode::Temper,
+            ..multi.clone()
+        };
+        assert_ne!(cache_key(&multi, &q), cache_key(&coop, &q));
+        assert_ne!(cache_key(&multi, &q), cache_key(&temper, &q));
+        assert_ne!(cache_key(&coop, &q), cache_key(&temper, &q));
+        let coop_kicked = JobSpec {
+            kick_size: 9,
+            ..coop.clone()
+        };
+        let temper_steep = JobSpec {
+            ladder_ratio_bits: 2.0f64.to_bits(),
+            ..temper.clone()
+        };
+        assert_ne!(cache_key(&coop, &q), cache_key(&coop_kicked, &q));
+        assert_ne!(cache_key(&temper, &q), cache_key(&temper_steep, &q));
+
+        // At K=1 the whole portfolio block (mode included) is inert.
+        let single_temper = JobSpec {
+            starts: 1,
+            ..temper.clone()
+        };
+        let single = JobSpec {
+            exchange: true,
+            ..JobSpec::new("")
+        };
+        assert_eq!(cache_key(&single, &q), cache_key(&single_temper, &q));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! `seq` after the summary arrives — the tags make the final ordering
 //! deterministic without forcing the server to buffer.
 
-use copack_core::AssignMethod;
+use copack_core::{AssignMethod, PortfolioMode};
 use std::fmt::Write as _;
 use std::io::Read;
 
@@ -180,6 +180,17 @@ fn write_job_fields(out: &mut String, spec: &JobSpec) {
             ",\"starts\":{},\"prune_margin_bits\":{}",
             spec.starts, spec.prune_margin_bits
         );
+        // Cooperative-mode fields travel only for a non-default mode,
+        // so every pre-cooperative multi-start frame stays byte-stable.
+        if spec.mode != PortfolioMode::Race {
+            let _ = write!(
+                out,
+                ",\"mode\":\"{}\",\"kick_size\":{},\"ladder_ratio_bits\":{}",
+                spec.mode.as_str(),
+                spec.kick_size,
+                spec.ladder_ratio_bits
+            );
+        }
     }
     // The replan extensions likewise travel only when live, so every
     // pre-replan frame stays byte-identical.
@@ -311,6 +322,34 @@ fn decode_job_fields(json: &Json) -> Result<JobSpec, ServeError> {
     }
     if let Some(bits) = field_u64("prune_margin_bits")? {
         spec.prune_margin_bits = bits;
+    }
+    match json.get("mode") {
+        None | Some(Json::Null) => {}
+        Some(value) => {
+            spec.mode = value
+                .as_str()
+                .and_then(PortfolioMode::parse)
+                .ok_or_else(|| {
+                    ServeError::new(
+                        ErrorKind::BadRequest,
+                        "`mode` must be \"race\", \"coop\" or \"temper\"",
+                    )
+                })?;
+        }
+    }
+    if let Some(kick) = field_u64("kick_size")? {
+        spec.kick_size = u32::try_from(kick)
+            .ok()
+            .filter(|k| *k >= 1)
+            .ok_or_else(|| {
+                ServeError::new(
+                    ErrorKind::BadRequest,
+                    "`kick_size` must be between 1 and 4294967295",
+                )
+            })?;
+    }
+    if let Some(bits) = field_u64("ladder_ratio_bits")? {
+        spec.ladder_ratio_bits = bits;
     }
     if let Some(bits) = field_u64("margin_bits")? {
         spec.margin_bits = bits;
@@ -772,6 +811,20 @@ mod tests {
                 ..JobSpec::new("quadrant d\nrow 2 1\n")
             }),
             Request::Plan(JobSpec {
+                exchange: true,
+                starts: 6,
+                mode: PortfolioMode::Coop,
+                kick_size: 7,
+                ..JobSpec::new("quadrant d2\nrow 2 1\n")
+            }),
+            Request::Plan(JobSpec {
+                exchange: true,
+                starts: 4,
+                mode: PortfolioMode::Temper,
+                ladder_ratio_bits: 2.0f64.to_bits(),
+                ..JobSpec::new("quadrant d3\nrow 1 2\n")
+            }),
+            Request::Plan(JobSpec {
                 class: JobClass::Bulk,
                 ..JobSpec::new("quadrant e\nrow 1 2\n")
             }),
@@ -918,6 +971,18 @@ mod tests {
                 .kind,
             ErrorKind::BadRequest
         );
+        assert_eq!(
+            decode_request("{\"op\":\"plan\",\"circuit\":\"x\",\"mode\":\"sprint\"}")
+                .unwrap_err()
+                .kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            decode_request("{\"op\":\"plan\",\"circuit\":\"x\",\"kick_size\":0}")
+                .unwrap_err()
+                .kind,
+            ErrorKind::BadRequest
+        );
     }
 
     #[test]
@@ -966,6 +1031,16 @@ mod tests {
         }));
         assert!(!line.contains("starts"));
         assert!(!line.contains("prune_margin_bits"));
+        // The cooperative-mode fields are likewise invisible at the
+        // default `race` mode, even on a multi-start frame.
+        let race_line = encode_request(&Request::Plan(JobSpec {
+            exchange: true,
+            starts: 4,
+            ..JobSpec::new("quadrant a\nrow 1 2\n")
+        }));
+        assert!(!race_line.contains("mode"));
+        assert!(!race_line.contains("kick_size"));
+        assert!(!race_line.contains("ladder_ratio_bits"));
         // The default class is likewise invisible on the wire, and so
         // are the replan extensions when unused.
         assert!(!line.contains("class"));

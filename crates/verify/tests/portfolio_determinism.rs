@@ -10,8 +10,8 @@
 //! widths and prune margins.
 
 use copack_core::{
-    dfa, exchange_portfolio, replay_journal, ExchangeConfig, PortfolioConfig, PortfolioResult,
-    Schedule,
+    dfa, exchange_portfolio, replay_journal, ExchangeConfig, PortfolioConfig, PortfolioMode,
+    PortfolioResult, Schedule,
 };
 use copack_geom::{NetKind, Quadrant, StackConfig, TierId};
 use proptest::prelude::*;
@@ -65,7 +65,14 @@ fn fast_config(seed: u64) -> ExchangeConfig {
     }
 }
 
-fn run(q: &Quadrant, seed: u64, starts: u32, prune_margin: f64, threads: usize) -> PortfolioResult {
+fn run_mode(
+    q: &Quadrant,
+    seed: u64,
+    starts: u32,
+    prune_margin: f64,
+    threads: usize,
+    mode: PortfolioMode,
+) -> PortfolioResult {
     let initial = dfa(q, 1).expect("dfa");
     exchange_portfolio(
         q,
@@ -76,10 +83,15 @@ fn run(q: &Quadrant, seed: u64, starts: u32, prune_margin: f64, threads: usize) 
             starts,
             prune_margin,
             threads,
+            mode,
             ..PortfolioConfig::default()
         },
     )
     .expect("portfolio runs")
+}
+
+fn run(q: &Quadrant, seed: u64, starts: u32, prune_margin: f64, threads: usize) -> PortfolioResult {
+    run_mode(q, seed, starts, prune_margin, threads, PortfolioMode::Race)
 }
 
 /// Strategy for the prune margin: pruning off, aggressive, and the
@@ -88,21 +100,38 @@ fn margin_strategy() -> impl Strategy<Value = f64> {
     (0usize..3).prop_map(|i| [f64::INFINITY, 0.0, 0.25][i])
 }
 
+/// Strategy over the cooperation modes: every contract in this file must
+/// hold for `race`, `coop`, and `temper` alike.
+fn mode_strategy() -> impl Strategy<Value = PortfolioMode> {
+    (0usize..3).prop_map(|i| {
+        [
+            PortfolioMode::Race,
+            PortfolioMode::Coop,
+            PortfolioMode::Temper,
+        ][i]
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The winning plan, journal, winner identity, and the full per-start
-    /// report are bit-identical across thread counts 1, 2, and 8.
+    /// report are bit-identical across thread counts 1, 2, and 8 — and
+    /// across a rerun — in every cooperation mode.
     #[test]
     fn the_portfolio_is_thread_count_invariant(
         q in quadrant_strategy(1),
         seed in any::<u64>(),
         starts in 1u32..=6,
         margin in margin_strategy(),
+        mode in mode_strategy(),
     ) {
-        let serial = run(&q, seed, starts, margin, 1);
+        let serial = run_mode(&q, seed, starts, margin, 1, mode);
+        let rerun = run_mode(&q, seed, starts, margin, 1, mode);
+        prop_assert_eq!(&serial.result.assignment, &rerun.result.assignment);
+        prop_assert_eq!(&serial.journal, &rerun.journal);
         for threads in [2usize, 8] {
-            let parallel = run(&q, seed, starts, margin, threads);
+            let parallel = run_mode(&q, seed, starts, margin, threads, mode);
             prop_assert_eq!(&serial.result.assignment, &parallel.result.assignment);
             prop_assert_eq!(&serial.journal, &parallel.journal);
             prop_assert_eq!(serial.winner_start, parallel.winner_start);
@@ -152,13 +181,19 @@ proptest! {
 
     /// The winner's journal replays onto the initial assignment to the
     /// exact winning plan — the property `copack-verify`'s replay oracle
-    /// relies on (also under stacking, where ω joins the cost).
+    /// relies on (also under stacking, where ω joins the cost) — in every
+    /// cooperation mode. For `coop` this covers crossed-over slots: a
+    /// crossover winner's journal is its parent's prefix plus the kick
+    /// plus its own accepted moves, and the composition must still land
+    /// on the winning plan. For `temper` it covers swapped rungs, whose
+    /// journals never leave their slot by construction.
     #[test]
     fn the_winning_journal_replays_to_the_winning_plan(
         q in quadrant_strategy(2),
         seed in any::<u64>(),
         starts in 1u32..=4,
         margin in margin_strategy(),
+        mode in mode_strategy(),
     ) {
         let initial = dfa(&q, 1).expect("dfa");
         let stack = StackConfig::stacked(2).expect("valid stack");
@@ -171,10 +206,56 @@ proptest! {
                 starts,
                 prune_margin: margin,
                 threads: 1,
+                mode,
                 ..PortfolioConfig::default()
             },
         )
         .expect("portfolio runs");
+        let replayed = replay_journal(&initial, &won.journal, won.best_len).expect("replays");
+        prop_assert_eq!(&replayed, &won.result.assignment);
+    }
+
+    /// A zero-margin `coop` portfolio prunes aggressively and respawns
+    /// slots from the leader's plan; every one of those crossed-over
+    /// slots must still satisfy the replay and determinism contracts,
+    /// and the `coop` winner can never lose to the same-budget `race`
+    /// portfolio's start 0 (the shared, structurally-exempt baseline).
+    #[test]
+    fn crossed_over_slots_uphold_the_contracts(
+        q in quadrant_strategy(1),
+        seed in any::<u64>(),
+        starts in 2u32..=6,
+    ) {
+        let coop = run_mode(&q, seed, starts, 0.0, 1, PortfolioMode::Coop);
+        let initial = dfa(&q, 1).expect("dfa");
+        let replayed =
+            replay_journal(&initial, &coop.journal, coop.best_len).expect("replays");
+        prop_assert_eq!(&replayed, &coop.result.assignment);
+        // Start 0 runs the caller's seed in both modes and is never
+        // pruned, so its trajectory is mode-invariant: coop's winner is
+        // at worst that shared baseline.
+        let race = run_mode(&q, seed, 1, 0.0, 1, PortfolioMode::Race);
+        prop_assert!(
+            coop.result.stats.final_cost <= race.result.stats.final_cost,
+            "coop winner {} lost to its own start 0 at {}",
+            coop.result.stats.final_cost,
+            race.result.stats.final_cost
+        );
+    }
+
+    /// Tempering never prunes: every rung survives to the reduction,
+    /// whatever the margin knob says, and the winner replays.
+    #[test]
+    fn tempering_rungs_all_survive(
+        q in quadrant_strategy(1),
+        seed in any::<u64>(),
+        starts in 2u32..=5,
+        margin in margin_strategy(),
+    ) {
+        let won = run_mode(&q, seed, starts, margin, 1, PortfolioMode::Temper);
+        prop_assert_eq!(won.pruned(), 0);
+        prop_assert_eq!(won.starts.len(), starts as usize);
+        let initial = dfa(&q, 1).expect("dfa");
         let replayed = replay_journal(&initial, &won.journal, won.best_len).expect("replays");
         prop_assert_eq!(&replayed, &won.result.assignment);
     }

@@ -31,7 +31,7 @@ use std::path::Path;
 use copack_core::{
     apply_delta, assign, exchange, exchange_portfolio_traced, exchange_traced, exchange_warm,
     plan_package, plan_package_traced, AssignMethod, CancelToken, Codesign, CostWeights,
-    ExchangeConfig, PortfolioConfig,
+    ExchangeConfig, PortfolioConfig, PortfolioMode,
 };
 use copack_gen::circuit;
 use copack_geom::{Package, StackConfig};
@@ -63,9 +63,10 @@ USAGE:
 
   copack plan <circuit-file> [--method dfa|ifa|random] [--seed N]
               [--slack N] [--exchange] [--psi N] [--starts K]
-              [--prune-margin F] [--margin-weight F] [--profile FILE]
-              [--out FILE] [--svg FILE] [--package] [--threads N]
-              [--trace FILE] [--metrics]
+              [--prune-margin F] [--portfolio-mode race|coop|temper]
+              [--kick-size N] [--ladder-ratio F] [--margin-weight F]
+              [--profile FILE] [--out FILE] [--svg FILE] [--package]
+              [--threads N] [--trace FILE] [--metrics]
       Run the congestion-driven assignment (default: dfa) and optionally
       the IR-drop-aware exchange step; print the routing report.
       With --starts K > 1 the exchange runs as a multi-start portfolio:
@@ -73,7 +74,15 @@ USAGE:
       best by --prune-margin (relative, default 0.25) are pruned and
       re-seeded at sync points, and the best final cost wins (ties to
       the lowest start index). The winner is byte-identical for every
-      --threads value. With --package, plan all four quadrants of a
+      --threads value. --portfolio-mode picks the cooperation policy:
+      `race` (the default) keeps the starts independent; `coop` respawns
+      pruned starts from the current leader's plan perturbed by a seeded
+      --kick-size swap kick and adapts the prune margin to the observed
+      cross-start spread; `temper` runs a parallel-tempering ladder
+      (rung temperatures scale by --ladder-ratio, default 1.5) with
+      deterministic Metropolis swaps at epoch boundaries and no pruning.
+      Every mode honours the same determinism contract: byte-identical
+      output for every --threads value and across reruns. With --package, plan all four quadrants of a
       uniform package and report the package-level IR-drop and cut-line
       congestion; --threads caps the worker threads (0 = available
       parallelism, 1 = serial; the result is identical for every thread
@@ -169,13 +178,17 @@ USAGE:
 
   copack submit <circuit-file> [--addr HOST:PORT] [--method dfa|ifa|random]
                 [--seed N] [--slack N] [--exchange] [--psi N] [--xseed N]
-                [--starts K] [--prune-margin F] [--margin-weight F]
+                [--starts K] [--prune-margin F]
+                [--portfolio-mode race|coop|temper] [--kick-size N]
+                [--ladder-ratio F] [--margin-weight F]
                 [--prev FILE] [--use-profile] [--timeout-ms N]
                 [--class interactive|bulk] [--out FILE]
       Submit one planning job to a running daemon and print its report.
       The planning flags mirror `copack plan`; --xseed seeds the exchange
       pass, --starts/--prune-margin select the portfolio (part of the
-      daemon's cache key), --timeout-ms overrides the daemon's default
+      daemon's cache key, as are --portfolio-mode/--kick-size/
+      --ladder-ratio when a non-default mode is chosen),
+      --timeout-ms overrides the daemon's default
       budget, --class picks the admission class (interactive jobs are
       prioritised, bulk jobs never starve; the result is identical
       either way). --prev FILE ships a previous assignment so the
@@ -243,7 +256,10 @@ struct Options {
 }
 
 /// Flags that take a value; everything else `--x` is boolean.
-const VALUED: [&str; 32] = [
+const VALUED: [&str; 35] = [
+    "--portfolio-mode",
+    "--kick-size",
+    "--ladder-ratio",
     "--prev",
     "--profile",
     "--rounds",
@@ -575,10 +591,14 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
             return Err("--starts expects at least 1 start".to_owned());
         }
         let mut xconfig = exchange_config(&opts)?;
+        let (mode, kick_size, ladder_ratio) = portfolio_mode_options(&opts)?;
         let mut portfolio = PortfolioConfig {
             starts,
             prune_margin: opts.num("prune-margin", PortfolioConfig::default().prune_margin)?,
             threads: opts.num("threads", 0usize)?,
+            mode,
+            kick_size,
+            ladder_ratio,
             ..PortfolioConfig::default()
         };
         if let Some(p) = &profile {
@@ -593,6 +613,15 @@ fn cmd_plan(args: &[String]) -> Result<String, String> {
             if opts.value("prune-margin").is_some() {
                 portfolio.prune_margin =
                     opts.num("prune-margin", PortfolioConfig::default().prune_margin)?;
+            }
+            if opts.value("portfolio-mode").is_some() {
+                portfolio.mode = mode;
+            }
+            if opts.value("kick-size").is_some() {
+                portfolio.kick_size = kick_size;
+            }
+            if opts.value("ladder-ratio").is_some() {
+                portfolio.ladder_ratio = ladder_ratio;
             }
             if opts.value("margin-weight").is_some() {
                 xconfig.weights.margin = margin_weight(&opts)?;
@@ -1045,6 +1074,29 @@ fn cmd_tune(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// Parses the cooperative-portfolio flags shared by `plan` and
+/// `submit`/`batch`: `--portfolio-mode` (default `race`), `--kick-size`
+/// (default 4, `coop` only) and `--ladder-ratio` (default 1.5, `temper`
+/// only). Validation mirrors [`PortfolioConfig::is_valid`] so a bad
+/// flag fails at the CLI boundary with a readable message instead of a
+/// core error.
+fn portfolio_mode_options(opts: &Options) -> Result<(PortfolioMode, u32, f64), String> {
+    let mode = match opts.value("portfolio-mode") {
+        None => PortfolioMode::Race,
+        Some(tag) => PortfolioMode::parse(tag)
+            .ok_or_else(|| format!("unknown portfolio mode `{tag}` (race|coop|temper)"))?,
+    };
+    let kick_size = opts.num("kick-size", PortfolioConfig::default().kick_size)?;
+    if kick_size == 0 {
+        return Err("--kick-size expects at least 1 swap".to_owned());
+    }
+    let ladder_ratio: f64 = opts.num("ladder-ratio", PortfolioConfig::default().ladder_ratio)?;
+    if !ladder_ratio.is_finite() || ladder_ratio < 1.0 {
+        return Err("--ladder-ratio expects a finite ratio >= 1.0".to_owned());
+    }
+    Ok((mode, kick_size, ladder_ratio))
+}
+
 /// Builds a daemon job spec from `submit`/`batch`'s planning flags (the
 /// same vocabulary as `copack plan`).
 fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, String> {
@@ -1075,6 +1127,7 @@ fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, Str
     if prune_margin.is_nan() || prune_margin < 0.0 {
         return Err("--prune-margin expects a non-negative number".to_owned());
     }
+    let (mode, kick_size, ladder_ratio) = portfolio_mode_options(opts)?;
     let prev = match opts.value("prev") {
         None => None,
         Some(p) => Some(fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
@@ -1087,6 +1140,9 @@ fn job_spec_from_options(opts: &Options, circuit: String) -> Result<JobSpec, Str
         exchange_seed: opts.num("xseed", ExchangeConfig::default().seed)?,
         starts,
         prune_margin_bits: prune_margin.to_bits(),
+        mode,
+        kick_size,
+        ladder_ratio_bits: ladder_ratio.to_bits(),
         prev,
         margin_bits: margin_weight(opts)?.to_bits(),
         profile: opts.flag("use-profile").is_some(),
